@@ -1,0 +1,64 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes
+its rows/series to ``benchmarks/results/<name>.txt`` (also printed, so
+``pytest benchmarks/ --benchmark-only -s`` shows them inline).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+POLICIES = ["RR", "PR", "LR", "PRS", "LRS"]
+
+
+class Report:
+    """Collects lines for one experiment's output artifact."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers, rows, fmt="%10s") -> None:
+        self.line(" ".join(fmt % header for header in headers))
+        for row in rows:
+            self.line(" ".join(fmt % cell for cell in row))
+
+    def series(self, label, values, per_line=12) -> None:
+        self.line("%s:" % label)
+        for start in range(0, len(values), per_line):
+            chunk = values[start:start + per_line]
+            self.line("  " + " ".join("%6.1f" % value for value in chunk))
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(self.lines) + "\n"
+        (RESULTS_DIR / ("%s.txt" % self.name)).write_text(text)
+        print("\n" + text)
+
+
+@pytest.fixture
+def report(request):
+    rep = Report(request.node.name.replace("[", "_").replace("]", ""))
+    yield rep
+    rep.flush()
+
+
+@pytest.fixture(scope="session")
+def testbed_results():
+    """The Sec. VI-B routing-comparison runs, shared by Figs. 4-8 benches."""
+    from repro.simulation import scenarios
+    from repro.simulation.swarm import run_swarm
+    from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+    results = {}
+    for app in (FACE_APP, TRANSLATE_APP):
+        for policy in POLICIES:
+            results[(app, policy)] = run_swarm(
+                scenarios.testbed(app=app, policy=policy, duration=60.0))
+    return results

@@ -1,0 +1,46 @@
+"""Ablation: reorder-buffer timespan (Sec. IV-C, Fig. 8).
+
+"A large buffer ensures better ordering but delays the display of the
+results."  The paper fixes the buffer at one second of the source rate;
+this bench sweeps the timespan and quantifies the ordering/delay
+trade-off.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+
+TIMESPANS = [0.1, 0.5, 1.0, 2.0, 4.0]
+
+
+def run_sweep():
+    out = {}
+    for timespan in TIMESPANS:
+        config = scenarios.testbed(policy="LR", duration=45.0)
+        config.reorder_timespan = timespan
+        out[timespan] = run_swarm(config)
+    return out
+
+
+def test_ablation_reorder_buffer(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report.line("Ablation — reorder-buffer timespan (LR, face, 45 s)")
+    rows = []
+    for timespan, result in results.items():
+        buffer = result.reorder
+        rows.append(("%.1fs (%d)" % (timespan, buffer.capacity),
+                     "%d" % buffer.total_skipped(),
+                     "%.0f" % ((buffer.mean_buffering_delay() or 0) * 1000),
+                     "%d" % buffer.stale_drops))
+    report.table(["timespan", "skipped", "buf delay ms", "stale"], rows)
+
+    # Ordering always holds regardless of buffer size.
+    for result in results.values():
+        assert result.reorder.is_monotonic()
+    # Bigger buffers skip fewer slots but hold results longer.
+    assert (results[4.0].reorder.total_skipped()
+            <= results[0.1].reorder.total_skipped())
+    assert ((results[4.0].reorder.mean_buffering_delay() or 0)
+            >= (results[0.1].reorder.mean_buffering_delay() or 0))

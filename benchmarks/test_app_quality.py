@@ -1,0 +1,84 @@
+"""Application-quality studies of the rebuilt sensing apps.
+
+The reproduction's detector/recognizer/ASR are real algorithms with
+real operating points; these benches characterize them the way the
+original components (OpenCV cascades, PocketSphinx) are characterized:
+a detection threshold sweep and an ASR noise-robustness sweep.
+"""
+
+import pytest
+
+from repro.apps.face.detect import FaceDetector
+from repro.apps.face.images import FaceGenerator, FrameSynthesizer
+from repro.apps.translate.asr import SpeechRecognizer
+from repro.apps.translate.audio import synthesize_utterance
+from repro.apps.translate.pipeline import default_phrases
+from repro.apps.translate.translator import Translator
+
+THRESHOLDS = [0.35, 0.45, 0.55, 0.65, 0.75]
+NOISE_LEVELS = [0.01, 0.05, 0.10, 0.20, 0.35]
+
+
+def detection_sweep():
+    generator = FaceGenerator(5, seed=3)
+    synth = FrameSynthesizer(generator, seed=3)
+    frames = [synth.frame(face_count=1) for _ in range(25)]
+    empties = [synth.frame(face_count=0)[0] for _ in range(25)]
+    out = {}
+    for threshold in THRESHOLDS:
+        detector = FaceDetector(generator, threshold=threshold)
+        hits = 0
+        for image, placements in frames:
+            detections = detector.detect(image)
+            placement = placements[0]
+            if any(abs(d.x - placement.x) <= 8 and abs(d.y - placement.y) <= 8
+                   for d in detections):
+                hits += 1
+        false_positives = sum(len(detector.detect(image))
+                              for image in empties)
+        out[threshold] = (hits / len(frames),
+                          false_positives / len(empties))
+    return out
+
+
+def asr_sweep():
+    recognizer = SpeechRecognizer(Translator().vocabulary())
+    phrases = default_phrases(20, seed=4)
+    out = {}
+    for noise in NOISE_LEVELS:
+        correct = total = 0
+        for index, phrase in enumerate(phrases):
+            waveform = synthesize_utterance(phrase, noise=noise, seed=index)
+            recognized = recognizer.recognize(waveform)
+            total += len(phrase)
+            correct += sum(1 for a, b in zip(phrase, recognized) if a == b)
+        out[noise] = correct / total
+    return out
+
+
+def test_app_quality(benchmark, report):
+    detection, asr = benchmark.pedantic(
+        lambda: (detection_sweep(), asr_sweep()), rounds=1, iterations=1)
+
+    report.line("Face detector — NCC threshold sweep (25 frames each)")
+    report.table(["threshold", "recall", "FP/frame"],
+                 [("%.2f" % threshold, "%.2f" % recall, "%.2f" % fp)
+                  for threshold, (recall, fp) in detection.items()])
+    report.line("")
+    report.line("Speech recognizer — noise robustness (word accuracy)")
+    report.table(["noise sigma", "accuracy"],
+                 [("%.2f" % noise, "%.2f" % accuracy)
+                  for noise, accuracy in asr.items()])
+
+    # Recall decreases monotonically-ish with threshold; FP too.
+    recalls = [detection[t][0] for t in THRESHOLDS]
+    fps = [detection[t][1] for t in THRESHOLDS]
+    assert recalls[0] >= recalls[-1]
+    assert fps[0] >= fps[-1]
+    # The default operating point (0.55) is usable: high recall, few FPs.
+    recall, fp = detection[0.55]
+    assert recall >= 0.9
+    assert fp <= 0.2
+    # ASR is near-perfect at capture noise and degrades gracefully.
+    assert asr[0.01] >= 0.95
+    assert asr[0.35] <= asr[0.01]

@@ -1,0 +1,51 @@
+"""Cloudlet mode (paper Sec. II): the swarm plus fixed infrastructure.
+
+"Swing does support 'cloudlet mode' through Android virtual machines if
+a cloudlet infrastructure is available."  The cloudlet is just one more
+(very fast, wall-powered) worker: no policy changes needed.  This bench
+quantifies what the phones-only swarm gives up relative to having edge
+infrastructure — and what it saves in deployment cost.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+
+def run_suite():
+    out = {}
+    for app in (FACE_APP, TRANSLATE_APP):
+        out[(app, "phones")] = run_swarm(
+            scenarios.testbed(app=app, policy="LRS", duration=60.0))
+        out[(app, "cloudlet")] = run_swarm(
+            scenarios.cloudlet_mode(app=app, policy="LRS", duration=60.0))
+    return out
+
+
+def test_cloudlet_mode(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Cloudlet mode — phones-only swarm vs swarm + cloudlet VM")
+    rows = []
+    for app in (FACE_APP, TRANSLATE_APP):
+        for setup in ("phones", "cloudlet"):
+            result = results[(app, setup)]
+            rows.append(("%s/%s" % (app.split("_")[0], setup),
+                         "%.1f" % result.throughput,
+                         "%.0f" % (result.latency.mean * 1000),
+                         "%.2f" % result.energy.aggregate_w))
+    report.table(["setup", "thr fps", "lat ms", "power W"], rows, fmt="%16s")
+
+    for app in (FACE_APP, TRANSLATE_APP):
+        phones = results[(app, "phones")]
+        assisted = results[(app, "cloudlet")]
+        # The cloudlet absorbs the stream: latency collapses toward its
+        # processing delay; throughput at (or above) the phones-only level.
+        assert assisted.latency.mean < phones.latency.mean / 2
+        assert assisted.throughput >= phones.throughput * 0.95
+        # LRS discovers the cloudlet with no configuration: it ends up
+        # the most-loaded worker.
+        rates = assisted.input_rates()
+        assert rates["CL"] == max(rates.values())

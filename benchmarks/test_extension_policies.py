@@ -1,0 +1,49 @@
+"""Extension study: JSQ and WRR against the paper's policies.
+
+Beyond the paper: join-shortest-queue (instantaneous backlog signal) and
+static weighted round robin (offline capability profiling, no runtime
+adaptation) on the same testbed.  JSQ's backlog signal reacts to
+congestion like LRS's latency signal; WRR shows why offline profiles
+alone cannot cope with network heterogeneity.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+
+POLICIES = ["RR", "WRR", "JSQ", "LRS"]
+
+
+def run_suite():
+    return {policy: run_swarm(scenarios.testbed(policy=policy,
+                                                duration=60.0))
+            for policy in POLICIES}
+
+
+def test_extension_policies(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Extension study — backlog/static policies vs LRS "
+                "(face, 60 s)")
+    rows = []
+    for policy in POLICIES:
+        result = results[policy]
+        rates = result.input_rates()
+        weak = rates["B"] + rates["C"] + rates["D"]
+        rows.append((policy,
+                     "%.1f" % result.throughput,
+                     "%.0f" % (result.latency.mean * 1000),
+                     "%.1f" % weak,
+                     "%.2f" % result.fps_per_watt()))
+    report.table(["policy", "thr fps", "lat ms", "to-weak fps", "fps/W"],
+                 rows)
+
+    # JSQ's backlog signal also avoids clogged weak links: it must beat
+    # RR clearly and come close to LRS.
+    assert results["JSQ"].throughput > 1.5 * results["RR"].throughput
+    assert results["JSQ"].throughput > 0.85 * results["LRS"].throughput
+    # WRR adapts capability but not network state: better than RR,
+    # worse than the adaptive policies.
+    assert results["WRR"].throughput >= results["RR"].throughput * 0.9
+    assert results["WRR"].throughput < results["LRS"].throughput

@@ -1,0 +1,60 @@
+"""Fig. 10: throughput and per-device load as a user walks away.
+
+B, G, H compute under LRS; G's user walks from a good-signal spot
+(> -30 dBm) to a fair one (-70..-60 dBm) and then a poor one
+(-80..-70 dBm), one minute each.  LRS re-routes data to the other two
+phones and overall throughput recovers after each move.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+
+DWELL = 60.0
+DURATION = 180.0
+
+
+def run_mobility():
+    return run_swarm(scenarios.moving(duration=DURATION, dwell=DWELL,
+                                      seed=4))
+
+
+def test_fig10_mobility(benchmark, report):
+    result = benchmark.pedantic(run_mobility, rounds=1, iterations=1)
+
+    overall = result.throughput_series()
+    per_device = result.metrics.per_device_throughput_series(DURATION)
+    report.line("Fig. 10 — G walks good -> fair -> poor (60 s each), LRS")
+    report.series("overall FPS", overall)
+    report.line("")
+    for device_id in ("B", "G", "H"):
+        report.series("%s FPS" % device_id, per_device[device_id])
+
+    def window(series, start, end):
+        chunk = series[int(start):int(end)]
+        return sum(chunk) / len(chunk)
+
+    g_good = window(per_device["G"], 10, 55)
+    g_fair = window(per_device["G"], 70, 115)
+    g_poor = window(per_device["G"], 130, 175)
+    # G's share shrinks with its signal strength.
+    assert g_fair < g_good
+    assert g_poor < g_fair
+    assert g_poor < g_good / 2
+
+    # The stationary phones carry a larger share of the (reduced) total
+    # once G degrades — Swing re-routed the stream around G.
+    b_good = window(per_device["B"], 10, 55)
+    b_poor = window(per_device["B"], 130, 175)
+    h_good = window(per_device["H"], 10, 55)
+    h_poor = window(per_device["H"], 130, 175)
+    total_good = window(overall, 10, 55)
+    total_poor = window(overall, 130, 175)
+    assert ((b_poor + h_poor) / total_poor
+            > (b_good + h_good) / total_good)
+
+    # Overall throughput recovers after each move (paper: "recovers
+    # quickly after G moves to a region with weak signals").
+    assert window(overall, 10, 55) >= 20.0
+    assert window(overall, 150, 175) >= 15.0

@@ -1,0 +1,51 @@
+"""Fig. 1: per-frame delay build-up on individual devices at 24 FPS.
+
+No single phone sustains 24 FPS, so frames queue and the end-to-end
+delay per frame climbs within seconds — the motivating observation of
+the paper.  We replay the experiment with unbounded queues and report
+the delay of the frames completing around each second mark.
+"""
+
+import pytest
+
+from repro import profiles
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+
+DURATION = 5.0
+
+
+def delay_series(device_id):
+    config = scenarios.single_device(device_id, input_rate=24.0,
+                                     duration=DURATION, seed=0)
+    result = run_swarm(config)
+    completed = result.metrics.completed_frames()
+    # Delay of the last frame completed before each second mark.
+    series = []
+    for mark in (1.0, 2.0, 3.0, 4.0, 5.0):
+        before = [record for record in completed
+                  if record.sink_arrived_at <= mark]
+        series.append(before[-1].total_delay * 1000.0 if before else 0.0)
+    return series
+
+
+def test_fig1_single_device_delay(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: {device_id: delay_series(device_id)
+                 for device_id in profiles.WORKER_IDS},
+        rounds=1, iterations=1)
+
+    report.line("Fig. 1: total delay per frame (ms) at t = 1..5 s, 24 FPS in")
+    rows = [(device_id, *("%.0f" % value for value in series[device_id]))
+            for device_id in profiles.WORKER_IDS]
+    report.table(["phone", "t=1s", "t=2s", "t=3s", "t=4s", "t=5s"], rows)
+
+    for device_id, values in series.items():
+        # Delays build up over time on every device (paper: all queues grow).
+        assert values[-1] > values[0], device_id
+        assert values[-1] > 500.0, device_id  # beyond half a second by t=5
+    # Slow phone E accumulates far more delay than fast phone H.
+    assert series["E"][-1] > 2.0 * series["H"][-1]
+    # Even the fastest device H exceeds ~1 s of delay within 5 s (paper:
+    # "its end-to-end frame delay increases to 1.2 s after only 5 s").
+    assert series["H"][-1] > 800.0

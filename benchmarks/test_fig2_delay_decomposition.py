@@ -1,0 +1,81 @@
+"""Fig. 2: decomposition of remote-processing delays on one device.
+
+Three sweeps against worker B: Wi-Fi signal strength drives transmission
+delay, background CPU usage drives processing delay, and the input rate
+drives queuing delay.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.network import rssi_for_region
+from repro.simulation.swarm import run_swarm
+
+SIGNALS = ["good", "fair", "poor"]
+CPU_LOADS = [0.2, 0.6, 1.0]
+RATES = [5.0, 10.0, 20.0]
+
+
+def run_case(rssi="good", background=0.0, rate=4.0, duration=15.0):
+    config = scenarios.single_device(
+        "B", input_rate=rate, duration=duration,
+        rssi=rssi_for_region(rssi), background_load=background, seed=0)
+    result = run_swarm(config)
+    return result.metrics.delay_decomposition()
+
+
+def run_all():
+    return {
+        "signal": {name: run_case(rssi=name) for name in SIGNALS},
+        "cpu": {load: run_case(background=load, rate=1.5)
+                for load in CPU_LOADS},
+        "rate": {rate: run_case(rate=rate) for rate in RATES},
+    }
+
+
+def test_fig2_delay_decomposition(benchmark, report):
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report.line("Fig. 2: decomposition of remote face-recognition delays (ms)")
+    report.line("")
+    report.line("-- signal strength sweep (input 4 FPS) --")
+    rows = [(name,
+             "%.0f" % (d["transmission"] * 1000),
+             "%.0f" % (d["processing"] * 1000),
+             "%.0f" % (d["queuing"] * 1000))
+            for name, d in sweeps["signal"].items()]
+    report.table(["signal", "transmission", "processing", "queuing"], rows)
+    report.line("")
+    report.line("-- background CPU sweep (input 1.5 FPS) --")
+    rows = [("%d%%" % (load * 100),
+             "%.0f" % (d["transmission"] * 1000),
+             "%.0f" % (d["processing"] * 1000))
+            for load, d in sweeps["cpu"].items()]
+    report.table(["cpu load", "transmission", "processing"], rows)
+    report.line("")
+    report.line("-- input rate sweep (good signal) --")
+    rows = [("%d FPS" % rate,
+             "%.0f" % (d["transmission"] * 1000),
+             "%.0f" % (d["processing"] * 1000),
+             "%.0f" % (d["queuing"] * 1000))
+            for rate, d in sweeps["rate"].items()]
+    report.table(["rate", "transmission", "processing", "queuing"], rows)
+
+    signal = sweeps["signal"]
+    # Weaker signal => transmission delay dominates and grows sharply.
+    assert (signal["poor"]["transmission"]
+            > 10 * signal["good"]["transmission"])
+    assert signal["fair"]["transmission"] > signal["good"]["transmission"]
+    # Signal barely affects processing.
+    assert signal["poor"]["processing"] == pytest.approx(
+        signal["good"]["processing"], rel=0.2)
+
+    cpu = sweeps["cpu"]
+    # More background load => longer processing delay (paper: ~6x at 100%).
+    assert cpu[1.0]["processing"] > 3 * cpu[0.2]["processing"]
+    assert cpu[0.6]["processing"] > cpu[0.2]["processing"]
+
+    rate = sweeps["rate"]
+    # Input beyond B's ~10 FPS capacity => queuing delay explodes.
+    assert rate[20.0]["queuing"] > 10 * max(rate[5.0]["queuing"], 0.001)
+    assert rate[5.0]["queuing"] < 0.2

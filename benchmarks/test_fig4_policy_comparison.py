@@ -1,0 +1,62 @@
+"""Fig. 4: throughput and per-frame latency of the five routing policies.
+
+The headline experiment: nine devices, B/C/D at poor-signal locations,
+both sensing apps, policies RR / PR / LR / PRS / LRS.  The paper reports
+average system throughput and the min/max/average/variance of per-frame
+latency; LRS wins with 2.7x RR's throughput and 6.7x lower latency.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+from conftest import POLICIES
+
+DURATION = 60.0
+
+
+def run_suite():
+    return {(app, policy): run_swarm(
+        scenarios.testbed(app=app, policy=policy, duration=DURATION))
+        for app in (FACE_APP, TRANSLATE_APP) for policy in POLICIES}
+
+
+def test_fig4_policy_comparison(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    for app, label in ((FACE_APP, "Face Recognition"),
+                       (TRANSLATE_APP, "Voice Translation")):
+        report.line("Fig. 4 — %s" % label)
+        rows = []
+        for policy in POLICIES:
+            result = results[(app, policy)]
+            latency = result.latency
+            rows.append((policy,
+                         "%.1f" % result.throughput,
+                         "%.0f" % (latency.mean * 1000),
+                         "%.0f" % (latency.minimum * 1000),
+                         "%.0f" % (latency.maximum * 1000),
+                         "%.2f" % latency.variance))
+        report.table(["policy", "thr fps", "lat ms", "min ms", "max ms",
+                      "var s^2"], rows)
+        report.line("")
+
+    face = {policy: results[(FACE_APP, policy)] for policy in POLICIES}
+    gain = face["LRS"].throughput / face["RR"].throughput
+    reduction = face["RR"].latency.mean / face["LRS"].latency.mean
+    report.line("LRS vs RR (face): %.1fx throughput (paper 2.7x), "
+                "%.1fx latency reduction (paper 6.7x)" % (gain, reduction))
+
+    # Paper claims, as assertions:
+    assert 1.8 <= gain <= 4.0
+    assert reduction >= 4.0
+    assert face["LRS"].meets_input_rate(tolerance=0.10)
+    assert face["PR"].throughput < 24.0 * 0.75       # P* fail the target
+    assert face["LR"].latency.mean < face["PR"].latency.mean
+    assert face["LRS"].latency.mean <= face["PRS"].latency.mean
+    trans = {policy: results[(TRANSLATE_APP, policy)] for policy in POLICIES}
+    assert trans["LRS"].throughput > trans["RR"].throughput * 1.5
+    assert trans["LRS"].throughput == max(r.throughput
+                                          for r in trans.values())

@@ -1,0 +1,68 @@
+"""Fig. 5: per-device CPU utilisation and input data rate per policy.
+
+RR spreads data evenly; weak processors burn a larger CPU share for the
+same load; L* policies starve the poor-signal devices (B, C, D) and the
+straggler-prone ones (E, F); *S policies concentrate on a selected
+subset.
+"""
+
+import pytest
+
+from repro import profiles
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+from conftest import POLICIES
+
+DEVICES = profiles.WORKER_IDS
+
+
+def run_suite():
+    return {(app, policy): run_swarm(
+        scenarios.testbed(app=app, policy=policy, duration=60.0))
+        for app in (FACE_APP, TRANSLATE_APP) for policy in POLICIES}
+
+
+def test_fig5_cpu_and_load(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    for app, label in ((FACE_APP, "Face Recognition"),
+                       (TRANSLATE_APP, "Voice Translation")):
+        report.line("Fig. 5 — %s: CPU usage (%%)" % label)
+        rows = []
+        for policy in POLICIES:
+            cpu = results[(app, policy)].metrics.per_device_cpu_utilization(
+                60.0, overheads={d: 0.08 for d in DEVICES})
+            rows.append((policy, *("%.0f" % (cpu[d] * 100) for d in DEVICES)))
+        report.table(["policy", *DEVICES], rows, fmt="%6s")
+        report.line("")
+        report.line("Fig. 5 — %s: input frame rate (FPS)" % label)
+        rows = []
+        for policy in POLICIES:
+            rates = results[(app, policy)].input_rates()
+            rows.append((policy, *("%.1f" % rates[d] for d in DEVICES)))
+        report.table(["policy", *DEVICES], rows, fmt="%6s")
+        report.line("")
+
+    face_rr = results[(FACE_APP, "RR")].input_rates()
+    # RR sends an equal amount of data to each device.
+    assert max(face_rr.values()) - min(face_rr.values()) < 0.5
+
+    face_rr_cpu = results[(FACE_APP, "RR")].cpu_utilization()
+    # Weak processor E burns a much larger share than strong I for the
+    # same offered load.
+    assert face_rr_cpu["E"] > 2.5 * face_rr_cpu["I"]
+
+    face_lrs = results[(FACE_APP, "LRS")].input_rates()
+    # LRS minimizes usage of the poor-signal devices B, C, D.
+    weak = (face_lrs["B"] + face_lrs["C"] + face_lrs["D"]) / 3
+    strong = (face_lrs["G"] + face_lrs["H"] + face_lrs["I"]) / 3
+    assert weak < strong / 2.5
+    # ... and of the straggler E.
+    assert face_lrs["E"] < face_lrs["H"] / 2
+
+    face_prs = results[(FACE_APP, "PRS")].input_rates()
+    # *S policies select a subset: most devices see almost no traffic.
+    quiet = sum(1 for rate in face_prs.values() if rate < 1.0)
+    assert quiet >= 4

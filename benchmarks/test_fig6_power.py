@@ -1,0 +1,66 @@
+"""Fig. 6: estimated per-device CPU + Wi-Fi power and swarm aggregates.
+
+Reproduces the paper's utilisation-driven power estimation: per device,
+dynamic CPU power from measured utilisation and Wi-Fi power from the
+measured data rate, with the aggregate printed atop each policy group.
+"""
+
+import pytest
+
+from repro import profiles
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+from conftest import POLICIES
+
+DEVICES = profiles.WORKER_IDS
+
+
+def run_suite():
+    return {(app, policy): run_swarm(
+        scenarios.testbed(app=app, policy=policy, duration=60.0))
+        for app in (FACE_APP, TRANSLATE_APP) for policy in POLICIES}
+
+
+def test_fig6_power(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    paper_aggregate = {
+        FACE_APP: {"RR": 2.35, "PR": 2.45, "LR": 3.44, "PRS": 1.88,
+                   "LRS": 3.67},
+        TRANSLATE_APP: {"RR": 5.44, "PR": 4.60, "LR": 4.35, "PRS": 3.76,
+                        "LRS": 5.17},
+    }
+
+    for app, label in ((FACE_APP, "Face Recognition"),
+                       (TRANSLATE_APP, "Voice Translation")):
+        report.line("Fig. 6 — %s: per-device power (W, cpu+wifi)" % label)
+        rows = []
+        for policy in POLICIES:
+            energy = results[(app, policy)].energy
+            cells = ["%.2f" % energy.per_device[d].total_w for d in DEVICES]
+            rows.append((policy, *cells,
+                         "%.2f" % energy.aggregate_w,
+                         "%.2f" % paper_aggregate[app][policy]))
+        report.table(["policy", *DEVICES, "total", "paper"], rows, fmt="%6s")
+        report.line("")
+
+    face = {policy: results[(FACE_APP, policy)] for policy in POLICIES}
+    # PRS consumes the least power among the selective policies; LRS the
+    # most (it does the most useful work and uses every capable device).
+    assert (face["PRS"].energy.aggregate_w
+            < face["LRS"].energy.aggregate_w)
+    assert face["LRS"].energy.aggregate_w == max(
+        result.energy.aggregate_w for result in face.values())
+    # CPU power dominates Wi-Fi power for these compute-bound apps.
+    lrs = face["LRS"].energy
+    cpu_total = sum(p.cpu_w for p in lrs.per_device.values())
+    wifi_total = sum(p.wifi_w for p in lrs.per_device.values())
+    assert cpu_total > wifi_total
+    # Slow phone E draws disproportionate power per unit of work under RR.
+    rr = face["RR"].energy.per_device
+    completed = face["RR"].metrics
+    e_work = completed.device("E").frames_completed or 1
+    i_work = completed.device("I").frames_completed or 1
+    assert rr["E"].cpu_w / e_work > rr["I"].cpu_w / i_work

@@ -1,0 +1,45 @@
+"""Fig. 7: energy efficiency (FPS per Watt) of the routing policies.
+
+Throughput (Fig. 4) divided by aggregate power (Fig. 6).  Worker
+Selection greatly improves efficiency; LRS is the only policy that also
+meets the real-time rate target, making it preferable overall.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+from conftest import POLICIES
+
+
+def run_suite():
+    return {(app, policy): run_swarm(
+        scenarios.testbed(app=app, policy=policy, duration=60.0))
+        for app in (FACE_APP, TRANSLATE_APP) for policy in POLICIES}
+
+
+def test_fig7_efficiency(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Fig. 7 — efficiency of routing schemes (FPS per Watt)")
+    rows = []
+    for policy in POLICIES:
+        rows.append((policy,
+                     "%.2f" % results[(FACE_APP, policy)].fps_per_watt(),
+                     "%.2f" % results[(TRANSLATE_APP, policy)].fps_per_watt()))
+    report.table(["policy", "face", "translation"], rows)
+
+    face = {p: results[(FACE_APP, p)].fps_per_watt() for p in POLICIES}
+    trans = {p: results[(TRANSLATE_APP, p)].fps_per_watt() for p in POLICIES}
+
+    # Worker Selection (*S) greatly improves energy efficiency.
+    assert face["PRS"] > face["PR"]
+    assert face["LRS"] > face["LR"] * 0.95
+    assert trans["PRS"] > trans["PR"]
+    # LRS clearly beats the RR baseline on both apps.
+    assert face["LRS"] > 1.3 * face["RR"]
+    assert trans["LRS"] > 1.3 * trans["RR"]
+    # Paper: LRS "is slightly worse than PRS in the voice translation app".
+    assert trans["LRS"] <= trans["PRS"] * 1.15

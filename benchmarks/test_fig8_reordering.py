@@ -1,0 +1,73 @@
+"""Fig. 8: tuple arrival order and reorder-buffer playback.
+
+Tuples leave the source in sequence but arrive at the sink shuffled by
+heterogeneity; the sink's one-second reorder buffer restores order.
+Policies with Worker Selection, and LRS in particular, produce smoother
+playback because they use fewer devices with smaller latency variance.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP
+
+from conftest import POLICIES
+
+DURATION = 30.0
+
+
+def inversion_count(seqs):
+    """Number of adjacent out-of-order arrival pairs (disorder metric)."""
+    return sum(1 for a, b in zip(seqs, seqs[1:]) if b < a)
+
+
+def run_suite():
+    out = {}
+    for policy in POLICIES:
+        result = run_swarm(scenarios.testbed(app=FACE_APP, policy=policy,
+                                             duration=DURATION))
+        arrivals = [record.seq for record in result.metrics.arrival_order()]
+        out[policy] = {
+            "result": result,
+            "arrivals": arrivals,
+            "inversions": inversion_count(arrivals),
+            "skipped": result.reorder.total_skipped(),
+            "buffer_delay": result.reorder.mean_buffering_delay() or 0.0,
+        }
+    return out
+
+
+def test_fig8_reordering(benchmark, report):
+    data = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Fig. 8 — ordering of frames at the sink (face recognition,"
+                " 24-frame / 1 s reorder buffer)")
+    rows = []
+    for policy in POLICIES:
+        entry = data[policy]
+        arrived = len(entry["arrivals"])
+        rows.append((policy,
+                     "%d" % arrived,
+                     "%d" % entry["inversions"],
+                     "%.3f" % (entry["inversions"] / max(1, arrived)),
+                     "%d" % entry["skipped"],
+                     "%.0f" % (entry["buffer_delay"] * 1000)))
+    report.table(["policy", "arrived", "inversions", "inv rate",
+                  "skipped", "buf ms"], rows)
+    report.line("")
+    report.line("first 24 arrival seqs per policy (gray dots of Fig. 8):")
+    for policy in POLICIES:
+        report.series(policy, [float(s) for s in data[policy]["arrivals"][:24]])
+
+    # Playback is always monotonic — the Reordering Service's contract.
+    for policy in POLICIES:
+        assert data[policy]["result"].reorder.is_monotonic()
+    # LRS's arrival stream is the most orderly of the latency policies,
+    # and far more orderly than RR's (the paper's scattered gray dots).
+    assert (data["LRS"]["inversions"] / max(1, len(data["LRS"]["arrivals"]))
+            < data["RR"]["inversions"] / max(1, len(data["RR"]["arrivals"])))
+    # Selection reduces skipped (lost-slot) frames vs. the same policy
+    # without selection.
+    assert data["LRS"]["skipped"] <= data["LR"]["skipped"]
+    assert data["LRS"]["skipped"] <= data["RR"]["skipped"]

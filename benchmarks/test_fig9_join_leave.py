@@ -1,0 +1,60 @@
+"""Fig. 9: throughput while devices join and leave at run time.
+
+Joining: B and D compute; G joins mid-run and throughput rises to the
+24 FPS target within about a second.  Leaving: B, G, H compute; G is
+killed; some in-flight frames are lost (13 in the paper) and throughput
+recovers to what the remaining devices sustain within about a second.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.metrics import DROP_DEVICE_LEFT, DROP_LINK_DOWN
+from repro.simulation.swarm import run_swarm
+
+JOIN_TIME = 10.0
+LEAVE_TIME = 15.0
+
+
+def run_both():
+    joining = run_swarm(scenarios.joining(duration=30.0, join_time=JOIN_TIME,
+                                          seed=2))
+    leaving = run_swarm(scenarios.leaving(duration=35.0,
+                                          leave_time=LEAVE_TIME, seed=3))
+    return joining, leaving
+
+
+def test_fig9_join_leave(benchmark, report):
+    joining, leaving = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    join_series = joining.throughput_series()
+    leave_series = leaving.throughput_series()
+    report.line("Fig. 9 — throughput when a device joins / leaves (FPS/s)")
+    report.series("joining (G arrives at t=%ds)" % JOIN_TIME, join_series)
+    report.line("")
+    report.series("leaving (G killed at t=%ds)" % LEAVE_TIME, leave_series)
+    lost = (leaving.metrics.dropped.get(DROP_DEVICE_LEFT, 0)
+            + leaving.metrics.dropped.get(DROP_LINK_DOWN, 0))
+    report.line("")
+    report.line("frames lost in the leave transition: %d (paper: 13)" % lost)
+
+    # Joining: B+D alone cannot reach 24 FPS; with G the system does.
+    before = sum(join_series[5:10]) / 5
+    after = sum(join_series[15:30]) / 15
+    assert before < 21.0
+    assert after > before + 2.0
+    assert max(join_series[int(JOIN_TIME):]) >= 22.0
+    # Recovery is fast: within ~2 s of the join the rate jumped.
+    assert join_series[int(JOIN_TIME) + 2] > before
+
+    # Leaving: a visible dip at the leave, bounded losses, then recovery
+    # to what B+H can sustain.
+    dip_window = leave_series[int(LEAVE_TIME):int(LEAVE_TIME) + 2]
+    steady_before = sum(leave_series[8:14]) / 6
+    assert min(dip_window) < steady_before
+    assert 1 <= lost <= 40
+    recovered = sum(leave_series[25:33]) / 8
+    assert recovered >= 12.0
+    # The departed device serves nothing after the link break is detected.
+    per_device = leaving.metrics.per_device_throughput_series(35.0)
+    assert sum(per_device["G"][int(LEAVE_TIME) + 2:]) == 0.0

@@ -1,0 +1,125 @@
+"""Microbenchmarks of the per-tuple hot paths.
+
+The paper stresses that LRS routing is "fast low complexity ... it only
+requires random number generation" per tuple (Sec. V-A) and that Swing's
+overall overhead is small.  These benches time the per-tuple primitives
+with pytest-benchmark's statistical machinery (many rounds, real
+timings): policy routing, latency bookkeeping, serialization, the
+reorder buffer and the two apps' per-frame compute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.face.detect import FaceDetector
+from repro.apps.face.images import FaceGenerator, FrameSynthesizer
+from repro.apps.face.recognize import EigenfaceRecognizer
+from repro.apps.translate.asr import SpeechRecognizer
+from repro.apps.translate.audio import synthesize_utterance
+from repro.apps.translate.translator import Translator
+from repro.core.latency import AckTracker
+from repro.core.policies import make_policy
+from repro.core.reorder import ReorderBuffer
+from repro.core.tuples import DataTuple
+from repro.runtime.serialization import (decode_tuple, encode_tuple,
+                                         encode_value)
+
+
+@pytest.fixture
+def lrs_policy():
+    policy = make_policy("LRS", seed=0)
+    from repro.core.latency import DownstreamStats
+    stats = {}
+    for index in range(8):
+        downstream = "w%d" % index
+        policy.on_downstream_added(downstream)
+        stats[downstream] = DownstreamStats(downstream_id=downstream,
+                                            latency=0.05 + 0.02 * index)
+    policy.update(stats, input_rate=24.0)
+    return policy
+
+
+def test_bench_lrs_route_per_tuple(benchmark, lrs_policy):
+    """Per-tuple routing decision: must be microseconds."""
+    benchmark(lrs_policy.route)
+
+
+def test_bench_policy_update_round(benchmark, lrs_policy):
+    from repro.core.latency import DownstreamStats
+    stats = {d: DownstreamStats(downstream_id=d, latency=0.1)
+             for d in lrs_policy.downstream_ids()}
+    benchmark(lrs_policy.update, stats, 24.0)
+
+
+def test_bench_ack_tracker_send_ack(benchmark):
+    tracker = AckTracker()
+    tracker.add_downstream("B")
+    state = {"seq": 0}
+
+    def send_and_ack():
+        seq = state["seq"]
+        state["seq"] += 1
+        tracker.record_send(seq, "B", float(seq))
+        tracker.record_ack(seq, float(seq) + 0.1)
+
+    benchmark(send_and_ack)
+
+
+def test_bench_tuple_serialization_roundtrip(benchmark):
+    frame = np.zeros(6000, dtype=np.uint8).tobytes()
+    data = DataTuple(values={"frame": frame, "id": 7}, seq=0)
+
+    def roundtrip():
+        return decode_tuple(encode_tuple(data))
+
+    result = benchmark(roundtrip)
+    assert result.get_value("id") == 7
+
+
+def test_bench_encode_numpy_frame(benchmark):
+    array = np.zeros((112, 200), dtype=np.float32)
+    benchmark(encode_value, array)
+
+
+def test_bench_reorder_buffer_offer(benchmark):
+    buffer = ReorderBuffer(capacity=24)
+    state = {"seq": 0}
+
+    def offer_next():
+        seq = state["seq"]
+        state["seq"] += 1
+        buffer.offer(seq, float(seq))
+
+    benchmark(offer_next)
+
+
+def test_bench_face_detection_per_frame(benchmark):
+    generator = FaceGenerator(4, seed=0)
+    synth = FrameSynthesizer(generator, seed=0)
+    detector = FaceDetector(generator)
+    frame, _ = synth.frame()
+    detections = benchmark(detector.detect, frame)
+    assert detections
+
+
+def test_bench_face_recognition_per_probe(benchmark):
+    generator = FaceGenerator(4, seed=0)
+    recognizer = EigenfaceRecognizer(num_components=16)
+    patches, labels = generator.gallery(samples_per_identity=4)
+    recognizer.train(patches, labels)
+    probe = generator.render(generator.identities[0], jitter=0.3)
+    name = benchmark(recognizer.recognize, probe)
+    assert name is not None
+
+
+def test_bench_speech_recognition_per_utterance(benchmark):
+    recognizer = SpeechRecognizer(Translator().vocabulary())
+    waveform = synthesize_utterance(["the", "red", "car", "runs"], seed=0)
+    words = benchmark(recognizer.recognize, waveform)
+    assert words == ["the", "red", "car", "runs"]
+
+
+def test_bench_translation_per_sentence(benchmark):
+    translator = Translator()
+    text = benchmark(translator.translate, "the red car runs now")
+    assert text == "el coche rojo corre ahora"

@@ -1,0 +1,53 @@
+"""Seed-replication study: how stable are the headline numbers?
+
+The paper reports single testbed sessions; this bench replicates the
+Fig. 4 face experiment across seeds and reports mean ± 95% CI for the
+headline metrics, confirming the LRS-over-RR gap is not a seed artifact.
+"""
+
+import pytest
+
+from repro.simulation import scenarios
+from repro.simulation.replication import compare_policies
+
+SEEDS = [0, 1, 2, 3, 4]
+POLICIES = ["RR", "PR", "LR", "PRS", "LRS"]
+
+
+def run_suite():
+    return compare_policies(
+        lambda policy: scenarios.testbed(policy=policy, duration=60.0),
+        POLICIES, SEEDS)
+
+
+def test_replication_variance(benchmark, report):
+    outcomes = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Replication study — Fig. 4 face metrics over %d seeds"
+                % len(SEEDS))
+    rows = []
+    for policy in POLICIES:
+        replicated = outcomes[policy]
+        throughput = replicated.throughput()
+        latency = replicated.latency_mean()
+        rows.append((policy,
+                     "%.1f ± %.1f" % (throughput.mean,
+                                      throughput.ci95_halfwidth),
+                     "%.2f ± %.2f" % (latency.mean,
+                                      latency.ci95_halfwidth)))
+    report.table(["policy", "thr fps (95% CI)", "latency s (95% CI)"],
+                 rows, fmt="%20s")
+
+    rr = outcomes["RR"]
+    lrs = outcomes["LRS"]
+    # The LRS-over-RR throughput gap holds with confidence: the CIs of
+    # the two policies must not overlap.
+    rr_high = rr.throughput().interval()[1]
+    lrs_low = lrs.throughput().interval()[0]
+    assert lrs_low > rr_high
+    # Latency gap likewise.
+    assert lrs.latency_mean().interval()[1] < rr.latency_mean().interval()[0]
+    # Per-seed, LRS always wins on both metrics.
+    for rr_run, lrs_run in zip(rr.results, lrs.results):
+        assert lrs_run.throughput > rr_run.throughput
+        assert lrs_run.latency.mean < rr_run.latency.mean

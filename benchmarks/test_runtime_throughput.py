@@ -1,0 +1,55 @@
+"""Framework throughput on real threads (the implementation itself).
+
+The other benches measure the *modelled* swarm; this one measures the
+actual Python runtime: how many tuples per second the master/worker
+implementation moves end-to-end through serialization, the fabric,
+dispatch, processing and ACKs — the paper's "negligible overhead" claim
+applied to this codebase.
+"""
+
+import time
+
+import pytest
+
+from repro.core.function_unit import (CollectingSink, IterableSource,
+                                      LambdaUnit)
+from repro.core.graph import GraphBuilder
+from repro.runtime.app_runner import SwingRuntime
+
+ITEMS = 400
+
+
+def build_graph(items=ITEMS):
+    return (GraphBuilder("throughput")
+            .source("src", lambda: IterableSource(
+                [{"x": i, "pad": b"\x00" * 6000} for i in range(items)]))
+            .unit("f", lambda: LambdaUnit(lambda v: {"y": v["x"]}))
+            .sink("snk", CollectingSink)
+            .chain("src", "f", "snk")
+            .build())
+
+
+def drive_runtime():
+    runtime = SwingRuntime(build_graph(), worker_ids=["B", "C"],
+                           policy="LRS", source_rate=100_000.0)
+    started = time.monotonic()
+    results = runtime.run(until_idle=0.4, timeout=120.0)
+    elapsed = time.monotonic() - started
+    return len(results), elapsed
+
+
+def test_runtime_throughput(benchmark, report):
+    delivered, elapsed = benchmark.pedantic(drive_runtime, rounds=1,
+                                            iterations=1)
+    # until_idle adds a fixed 0.4 s tail; subtract it for the rate.
+    active = max(0.05, elapsed - 0.4)
+    rate = delivered / active
+    report.line("Threaded-runtime throughput (6 kB tuples, 2 workers, LRS)")
+    report.line("  delivered %d/%d tuples in %.2f s  ->  %.0f tuples/s"
+                % (delivered, ITEMS, active, rate))
+
+    assert delivered == ITEMS
+    # The framework must comfortably exceed the paper's 24 FPS regime on
+    # commodity hardware — three orders of magnitude of headroom is
+    # normal here; assert a conservative floor.
+    assert rate > 240.0

@@ -1,0 +1,58 @@
+"""Scaling study: throughput and latency vs swarm size.
+
+The paper's motivation: no single phone sustains the 24 FPS target
+(Fig. 1), so devices must aggregate.  This bench grows the swarm one
+device at a time (fastest-first, the order the planner would recruit
+them) and reports when the target is reached and how latency falls.
+"""
+
+import pytest
+
+from repro import profiles
+from repro.simulation.swarm import SwarmConfig, run_swarm
+from repro.simulation.workload import face_workload
+
+#: fastest-first recruitment order (Table-I rates)
+RECRUITMENT = ["H", "I", "G", "B", "F", "D", "C", "E"]
+
+
+def run_suite():
+    out = {}
+    for count in range(1, len(RECRUITMENT) + 1):
+        ids = RECRUITMENT[:count]
+        config = SwarmConfig(workload=face_workload(),
+                             workers=profiles.worker_profiles(ids),
+                             source=profiles.device_profile("A"),
+                             policy="LRS", duration=40.0, seed=1)
+        out[count] = run_swarm(config)
+    return out
+
+
+def test_scaling(benchmark, report):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    report.line("Scaling study — LRS throughput vs swarm size "
+                "(fastest-first recruitment, 24 FPS target)")
+    rows = []
+    for count, result in results.items():
+        steady = result.steady_state_latency(warmup=5.0)
+        rows.append((str(count),
+                     "+" + RECRUITMENT[count - 1],
+                     "%.1f" % result.throughput,
+                     "%.0f" % ((steady.mean if steady else 0) * 1000),
+                     "met" if result.meets_input_rate() else "missed",
+                     "%.2f" % result.energy.aggregate_w))
+    report.table(["devices", "added", "thr fps", "lat ms", "target",
+                  "power W"], rows, fmt="%8s")
+
+    throughputs = [results[count].throughput for count in results]
+    # Throughput grows (weakly) with swarm size until the target caps it.
+    assert throughputs[0] < throughputs[1] < throughputs[2]
+    # One phone is far short of the target (Fig. 1's observation)...
+    assert results[1].throughput < 24.0 * 0.75
+    # ... but a handful of phones reach it.
+    first_met = next(count for count in results
+                     if results[count].meets_input_rate())
+    assert first_met <= 4
+    # Adding devices beyond the target never reduces throughput much.
+    assert min(throughputs[first_met - 1:]) > 21.0

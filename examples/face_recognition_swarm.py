@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Collaborative face recognition — the paper's security-patrol scenario.
+
+A patrol team's phones collaboratively analyze a video stream: one phone
+(A) captures frames, the others run the detector and recognizer units.
+This example runs the full four-unit pipeline (camera -> detector ->
+recognizer -> display) on an in-process swarm with heterogeneous device
+speeds, compares RR with LRS, and scores the recognized names against
+the synthesizer's ground truth.
+
+Run with:  python examples/face_recognition_swarm.py
+"""
+
+import time
+
+from repro.apps.face.pipeline import build_face_graph
+from repro.runtime import SwingRuntime
+
+FRAMES = 40
+#: emulated heterogeneity: extra processing per measured compute second
+#: (B is an old tablet ~25x slower than H)
+SLOWDOWNS = {"B": 25.0, "G": 4.0, "H": 0.0}
+
+
+def score(results, ground_truth):
+    """Fraction of frames whose recognized names match the planted ones."""
+    by_seq = {data.seq: sorted(data.get_value("names")) for data in results}
+    hits = sum(1 for seq, truth in enumerate(ground_truth)
+               if by_seq.get(seq) == truth)
+    return hits / len(ground_truth) if ground_truth else 0.0
+
+
+def run(policy):
+    graph = build_face_graph(num_identities=5, frame_count=FRAMES, seed=7)
+    runtime = SwingRuntime(graph, worker_ids=list(SLOWDOWNS),
+                           policy=policy, source_rate=60.0,
+                           slowdowns=SLOWDOWNS, seed=7)
+    started = time.monotonic()
+    results = runtime.run(until_idle=1.0, timeout=120.0)
+    elapsed = time.monotonic() - started
+    camera = runtime.master.runtime.unit("camera")
+    accuracy = score(results, camera.ground_truth)
+    shares = {worker_id: worker.processed_count
+              for worker_id, worker in runtime.workers.items()}
+    return results, accuracy, elapsed, shares
+
+
+def main():
+    print("Collaborative face recognition on a 3-phone swarm "
+          "(%d frames)" % FRAMES)
+    print("device slowdowns (emulated heterogeneity): %s" % SLOWDOWNS)
+    print()
+    for policy in ("RR", "LRS"):
+        results, accuracy, elapsed, shares = run(policy)
+        print("policy %-3s  frames back: %2d/%d   frame-level accuracy: "
+              "%.0f%%   wall: %.1fs" % (policy, len(results), FRAMES,
+                                        accuracy * 100, elapsed))
+        print("            work split: %s" % shares)
+    print()
+    print("LRS measures per-device latency and routes around the slow")
+    print("tablet B, so the stream drains faster at the same accuracy;")
+    print("RR keeps feeding B a third of the frames regardless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package (offline editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Swing: swarm computing for mobile sensing — full reproduction.
+
+A Python reimplementation of the ICDCS 2018 Swing system: a dataflow
+programming model for collaborative mobile sensing apps, the LRS
+distributed resource-management algorithm with its four baselines, a
+threaded master/worker runtime, a calibrated discrete-event swarm
+simulator, and the paper's two sensing applications (face recognition
+and voice translation) built on numpy.
+
+Quickstart::
+
+    from repro.simulation import scenarios, run_swarm
+
+    result = run_swarm(scenarios.testbed(policy="LRS"))
+    print(result.throughput, result.latency.mean)
+"""
+
+from repro import core, planner, profiles, simulation, tools
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "planner", "profiles", "simulation", "tools",
+           "__version__"]

@@ -1,0 +1,5 @@
+"""The paper's two sensing applications, built on the Swing API."""
+
+from repro.apps import face, translate
+
+__all__ = ["face", "translate"]

@@ -1,0 +1,19 @@
+"""Face-recognition sensing app (detector + eigenfaces recognizer)."""
+
+from repro.apps.face.detect import Detection, FaceDetector, build_template, crop
+from repro.apps.face.images import (FACE_SIZE, FRAME_HEIGHT, FRAME_WIDTH,
+                                    FaceGenerator, FacePlacement,
+                                    FrameSynthesizer, Identity, decode_frame,
+                                    encode_frame)
+from repro.apps.face.pipeline import (CameraSource, DisplaySink,
+                                      FaceDetectorUnit, FaceRecognizerUnit,
+                                      build_face_graph)
+from repro.apps.face.recognize import EigenfaceRecognizer
+
+__all__ = [
+    "CameraSource", "Detection", "DisplaySink", "EigenfaceRecognizer",
+    "FACE_SIZE", "FRAME_HEIGHT", "FRAME_WIDTH", "FaceDetector",
+    "FaceDetectorUnit", "FaceGenerator", "FacePlacement", "FaceRecognizerUnit",
+    "FrameSynthesizer", "Identity", "build_face_graph", "build_template",
+    "crop", "decode_frame", "encode_frame",
+]

@@ -1,0 +1,112 @@
+"""Face recognition: eigenfaces (PCA) + nearest neighbour.
+
+Stands in for OpenCV's FaceRecognizer (paper Sec. VI-A).  Training
+computes a PCA basis over a gallery of labelled face patches via SVD;
+recognition projects a probe patch into the eigenspace and returns the
+nearest gallery identity, or ``None`` when the distance exceeds the
+rejection threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SwingError
+
+
+class EigenfaceRecognizer:
+    """PCA-subspace nearest-neighbour face identification."""
+
+    def __init__(self, num_components: int = 16,
+                 reject_distance: Optional[float] = None) -> None:
+        if num_components < 1:
+            raise SwingError("need at least one principal component")
+        self.num_components = num_components
+        self.reject_distance = reject_distance
+        self._mean: Optional[np.ndarray] = None
+        self._basis: Optional[np.ndarray] = None
+        self._gallery: Optional[np.ndarray] = None
+        self._labels: List[str] = []
+        self._patch_shape: Optional[Tuple[int, int]] = None
+
+    @property
+    def trained(self) -> bool:
+        return self._basis is not None
+
+    def train(self, patches: np.ndarray, labels: Sequence[str]) -> None:
+        """Fit the eigenspace from (n, h, w) patches and their labels."""
+        if patches.ndim != 3:
+            raise SwingError("training patches must be a (n, h, w) stack")
+        if len(patches) != len(labels):
+            raise SwingError("every training patch needs a label")
+        if len(patches) < 2:
+            raise SwingError("need at least two training patches")
+        n = len(patches)
+        self._patch_shape = patches.shape[1:]
+        flat = patches.reshape(n, -1).astype(np.float64)
+        self._mean = flat.mean(axis=0)
+        centered = flat - self._mean
+        # SVD of the centered gallery: rows of vt are the eigenfaces.
+        _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.num_components, vt.shape[0])
+        self._basis = vt[:k]
+        self._gallery = centered @ self._basis.T
+        self._labels = list(labels)
+
+    def project(self, patch: np.ndarray) -> np.ndarray:
+        """Coordinates of *patch* in the eigenface space."""
+        self._require_trained()
+        if patch.shape != self._patch_shape:
+            raise SwingError("probe shape %r does not match gallery %r"
+                             % (patch.shape, self._patch_shape))
+        flat = patch.reshape(-1).astype(np.float64)
+        return (flat - self._mean) @ self._basis.T
+
+    def recognize(self, patch: np.ndarray) -> Optional[str]:
+        """Best-matching identity, or None if rejected as unknown."""
+        name, _distance = self.recognize_with_distance(patch)
+        return name
+
+    def recognize_with_distance(self, patch: np.ndarray
+                                ) -> Tuple[Optional[str], float]:
+        projection = self.project(patch)
+        distances = np.linalg.norm(self._gallery - projection, axis=1)
+        best = int(np.argmin(distances))
+        distance = float(distances[best])
+        if self.reject_distance is not None and distance > self.reject_distance:
+            return None, distance
+        return self._labels[best], distance
+
+    def enroll(self, patches: np.ndarray, label: str) -> None:
+        """Add a new identity to the database at run time.
+
+        New gallery patches are projected into the *existing* eigenspace
+        (no retraining — the basis generalizes across faces), so a swarm
+        can enroll a person mid-stream without redeploying units.
+        """
+        self._require_trained()
+        if patches.ndim == 2:
+            patches = patches[None, :, :]
+        if patches.ndim != 3:
+            raise SwingError("enroll patches must be (h, w) or (n, h, w)")
+        if not label:
+            raise SwingError("enroll needs a non-empty label")
+        projections = np.stack([self.project(patch) for patch in patches])
+        self._gallery = np.vstack([self._gallery, projections])
+        self._labels.extend([label] * len(patches))
+
+    def known_labels(self) -> List[str]:
+        """Distinct identities currently in the database."""
+        return sorted(set(self._labels))
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise SwingError("recognizer used before training")
+
+    def reconstruct(self, patch: np.ndarray) -> np.ndarray:
+        """Round-trip a patch through the eigenspace (diagnostics)."""
+        projection = self.project(patch)
+        flat = projection @ self._basis + self._mean
+        return flat.reshape(self._patch_shape)

@@ -1,0 +1,24 @@
+"""Voice-translation sensing app (recognizer + EN->ES translator)."""
+
+from repro.apps.translate.asr import SpeechRecognizer, recognition_accuracy
+from repro.apps.translate.audio import (GAP_SECONDS, SAMPLE_RATE,
+                                        SEGMENT_SECONDS, SEGMENTS_PER_WORD,
+                                        decode_audio, encode_audio,
+                                        synthesize_utterance, synthesize_word,
+                                        word_signature)
+from repro.apps.translate.pipeline import (MicrophoneSource,
+                                           SpeechRecognizerUnit, SubtitleSink,
+                                           TranslatorUnit,
+                                           build_translation_graph,
+                                           default_phrases)
+from repro.apps.translate.translator import (LEXICON, LexEntry, Translator,
+                                             spanish_plural)
+
+__all__ = [
+    "GAP_SECONDS", "LEXICON", "LexEntry", "MicrophoneSource", "SAMPLE_RATE",
+    "SEGMENTS_PER_WORD", "SEGMENT_SECONDS", "SpeechRecognizer",
+    "SpeechRecognizerUnit", "SubtitleSink", "Translator", "TranslatorUnit",
+    "build_translation_graph", "decode_audio", "default_phrases",
+    "encode_audio", "recognition_accuracy", "spanish_plural",
+    "synthesize_utterance", "synthesize_word", "word_signature",
+]

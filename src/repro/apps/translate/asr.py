@@ -1,0 +1,123 @@
+"""Speech recognition over synthetic audio.
+
+Stands in for CMU PocketSphinx (paper Sec. VI-A).  The pipeline is the
+classic keyword-spotting shape: short-time energy segments the utterance
+into word regions, each region is split into tone segments, an FFT per
+segment extracts the dominant frequency, and the tone sequence is
+matched to the nearest vocabulary signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.translate.audio import (SAMPLE_RATE, SEGMENT_SECONDS,
+                                        SEGMENTS_PER_WORD, word_signature)
+from repro.core.exceptions import SwingError
+
+_FRAME = int(SAMPLE_RATE * 0.010)  # 10 ms analysis frames
+
+
+class SpeechRecognizer:
+    """Energy segmentation + spectral matching against a vocabulary.
+
+    Voice-activity detection adapts to the noise floor: the threshold is
+    the larger of ``energy_threshold`` (quiet rooms) and
+    ``floor_factor`` times the utterance's quietest-decile frame energy
+    (an estimate of the background noise between words), so the
+    recognizer keeps working on noisy captures.
+    """
+
+    def __init__(self, vocabulary: Sequence[str],
+                 energy_threshold: float = 0.05,
+                 max_distance: float = 180.0,
+                 floor_factor: float = 1.8) -> None:
+        if not vocabulary:
+            raise SwingError("vocabulary must not be empty")
+        if floor_factor < 1.0:
+            raise SwingError("floor factor must be >= 1")
+        self.vocabulary = sorted(set(word.lower() for word in vocabulary))
+        self.energy_threshold = energy_threshold
+        self.max_distance = max_distance
+        self.floor_factor = floor_factor
+        self._signatures = np.array([word_signature(word)
+                                     for word in self.vocabulary])
+
+    # -- public API --------------------------------------------------------
+    def recognize(self, waveform: np.ndarray) -> List[str]:
+        """Recognize an utterance into its word sequence."""
+        regions = self._voiced_regions(waveform)
+        words = []
+        for start, end in regions:
+            word = self._classify(waveform[start:end])
+            if word is not None:
+                words.append(word)
+        return words
+
+    # -- segmentation ------------------------------------------------------
+    def _voiced_regions(self, waveform: np.ndarray) -> List[Tuple[int, int]]:
+        """(start, end) sample ranges with sustained energy."""
+        if waveform.ndim != 1:
+            raise SwingError("waveform must be 1-D")
+        count = len(waveform) // _FRAME
+        if count == 0:
+            return []
+        frames = waveform[:count * _FRAME].reshape(count, _FRAME)
+        energy = np.sqrt(np.mean(frames ** 2, axis=1))
+        # The quietest tenth of frames lie in the inter-word gaps.
+        noise_floor = float(np.percentile(energy, 10))
+        threshold = max(self.energy_threshold,
+                        self.floor_factor * noise_floor)
+        voiced = energy > threshold
+        regions = []
+        start = None
+        for index, flag in enumerate(voiced):
+            if flag and start is None:
+                start = index
+            elif not flag and start is not None:
+                regions.append((start * _FRAME, index * _FRAME))
+                start = None
+        if start is not None:
+            regions.append((start * _FRAME, count * _FRAME))
+        # Drop spurious blips shorter than half a tone segment.
+        minimum = int(SAMPLE_RATE * SEGMENT_SECONDS / 2)
+        return [(s, e) for s, e in regions if e - s >= minimum]
+
+    # -- classification ----------------------------------------------------
+    def _classify(self, waveform: np.ndarray) -> Optional[str]:
+        tones = self._tone_sequence(waveform)
+        if tones is None:
+            return None
+        distances = np.abs(self._signatures - tones).mean(axis=1)
+        best = int(np.argmin(distances))
+        if distances[best] > self.max_distance:
+            return None
+        return self.vocabulary[best]
+
+    def _tone_sequence(self, waveform: np.ndarray) -> Optional[np.ndarray]:
+        """Dominant frequency of each equal division of the word region."""
+        if len(waveform) < SEGMENTS_PER_WORD * 8:
+            return None
+        pieces = np.array_split(waveform, SEGMENTS_PER_WORD)
+        tones = []
+        for piece in pieces:
+            windowed = piece * np.hanning(len(piece))
+            spectrum = np.abs(np.fft.rfft(windowed))
+            spectrum[0] = 0.0  # ignore DC
+            peak = int(np.argmax(spectrum))
+            tones.append(peak * SAMPLE_RATE / len(piece))
+        return np.array(tones)
+
+
+def recognition_accuracy(recognizer: SpeechRecognizer,
+                         utterances: Sequence[Tuple[Sequence[str], np.ndarray]]
+                         ) -> float:
+    """Word-level accuracy over (truth_words, waveform) pairs."""
+    correct = total = 0
+    for truth, waveform in utterances:
+        recognized = recognizer.recognize(waveform)
+        total += len(truth)
+        correct += sum(1 for a, b in zip(truth, recognized) if a == b)
+    return correct / total if total else 0.0

@@ -1,0 +1,140 @@
+"""Voice-translation app as Swing function units (paper Sec. VI-A).
+
+Four units: a microphone source reading audio frames, a speech
+recognizer turning audio into English words (PocketSphinx substitute),
+a translator producing Spanish (Apertium substitute), and a display
+sink.  ``build_translation_graph`` wires them into an AppGraph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.apps.translate.asr import SpeechRecognizer
+from repro.apps.translate.audio import (decode_audio, encode_audio,
+                                        synthesize_utterance)
+from repro.apps.translate.translator import Translator
+from repro.core.function_unit import FunctionUnit, SinkUnit, SourceUnit
+from repro.core.graph import AppGraph, GraphBuilder
+from repro.core.tuples import DataTuple, TupleSchema
+
+AUDIO_SCHEMA = TupleSchema.of("audio")
+WORDS_SCHEMA = TupleSchema.of("words")
+TEXT_SCHEMA = TupleSchema.of("text")
+
+#: default words-per-utterance of the synthetic speaker
+UTTERANCE_WORDS = 4
+
+
+def default_phrases(count: int, seed: int = 0,
+                    words_per_phrase: int = UTTERANCE_WORDS) -> List[List[str]]:
+    """Deterministic English phrases drawn from the translator lexicon."""
+    rng = random.Random(seed)
+    vocabulary = Translator().vocabulary()
+    templates = [
+        ["the", "{adj}", "{noun}", "is", "here"],
+        ["a", "{adj}", "{noun}", "{verb}", "now"],
+        ["the", "{noun}", "{verb}", "the", "{noun}"],
+        ["my", "{noun}", "is", "very", "{adj}"],
+        ["we", "need", "the", "{noun}"],
+    ]
+    adjectives = ["red", "big", "small", "good", "fast", "slow", "new", "old"]
+    nouns = ["car", "house", "phone", "camera", "dog", "book", "city",
+             "battery", "signal", "friend"]
+    verbs = ["runs", "works", "speaks", "helps", "comes", "goes"]
+    phrases = []
+    for _ in range(count):
+        template = rng.choice(templates)
+        phrase = []
+        for slot in template:
+            if slot == "{adj}":
+                phrase.append(rng.choice(adjectives))
+            elif slot == "{noun}":
+                phrase.append(rng.choice(nouns))
+            elif slot == "{verb}":
+                phrase.append(rng.choice(verbs))
+            else:
+                phrase.append(slot)
+        phrases.append([word for word in phrase if word in vocabulary
+                        or word in verbs])
+    return phrases
+
+
+class MicrophoneSource(SourceUnit):
+    """Unit A: produces PCM audio frames of synthetic utterances."""
+
+    def __init__(self, phrases: Optional[Sequence[Sequence[str]]] = None,
+                 frame_count: int = 24, seed: int = 0,
+                 noise: float = 0.01) -> None:
+        super().__init__()
+        if phrases is None:
+            phrases = default_phrases(frame_count, seed=seed)
+        self._phrases = [list(phrase) for phrase in phrases][:frame_count]
+        self._index = 0
+        self._noise = noise
+        self._seed = seed
+        self.ground_truth: List[List[str]] = []
+
+    def generate(self) -> Optional[DataTuple]:
+        if self._index >= len(self._phrases):
+            return None
+        phrase = self._phrases[self._index]
+        waveform = synthesize_utterance(phrase, noise=self._noise,
+                                        seed=self._seed + self._index)
+        self.ground_truth.append(list(phrase))
+        data = DataTuple(values={"audio": encode_audio(waveform)},
+                         seq=self._index, schema=AUDIO_SCHEMA,
+                         created_at=self.context.now())
+        self._index += 1
+        return data
+
+
+class SpeechRecognizerUnit(FunctionUnit):
+    """Unit B: recognizes audio frames into English words."""
+
+    def __init__(self, vocabulary: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        if vocabulary is None:
+            vocabulary = Translator().vocabulary()
+        self._recognizer = SpeechRecognizer(vocabulary)
+
+    def process_data(self, data: DataTuple) -> None:
+        waveform = decode_audio(data.get_value("audio"))
+        words = self._recognizer.recognize(waveform)
+        self.send(data.derive({"words": words}, schema=WORDS_SCHEMA))
+
+
+class TranslatorUnit(FunctionUnit):
+    """Unit C: translates English words into Spanish text."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._translator = Translator()
+
+    def process_data(self, data: DataTuple) -> None:
+        text = self._translator.translate(data.get_value("words"))
+        self.send(data.derive({"text": text}, schema=TEXT_SCHEMA))
+
+
+class SubtitleSink(SinkUnit):
+    """Unit D: displays the translated text."""
+
+    def subtitles(self) -> List[str]:
+        return [data.get_value("text") for data in self.results]
+
+
+def build_translation_graph(frame_count: int = 24, seed: int = 0,
+                            noise: float = 0.01) -> AppGraph:
+    """The paper's four-unit voice-translation dataflow graph."""
+    return (GraphBuilder("voice-translation")
+            .source("microphone",
+                    lambda: MicrophoneSource(frame_count=frame_count,
+                                             seed=seed, noise=noise),
+                    output_schema=AUDIO_SCHEMA)
+            .unit("recognizer", SpeechRecognizerUnit,
+                  output_schema=WORDS_SCHEMA)
+            .unit("translator", TranslatorUnit, output_schema=TEXT_SCHEMA)
+            .sink("display", SubtitleSink)
+            .chain("microphone", "recognizer", "translator", "display")
+            .build())

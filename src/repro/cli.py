@@ -1,0 +1,213 @@
+"""Command-line interface for running Swing experiments.
+
+Usage::
+
+    python -m repro testbed --policy LRS --app face --duration 60
+    python -m repro compare --app face --seeds 0 1 2
+    python -m repro single --device E --rate 24
+    python -m repro dynamics --mode leave
+    python -m repro cloudlet --policy LRS
+
+Each subcommand runs a calibrated simulation and prints a summary table;
+exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policies import EXTENSION_POLICY_NAMES, POLICY_NAMES
+from repro.simulation import scenarios
+from repro.simulation.replication import compare_policies
+from repro.simulation.swarm import SwarmResult, run_swarm
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+from repro.tools import format_latency, format_table, sparkline
+
+APP_ALIASES = {"face": FACE_APP, "translation": TRANSLATE_APP,
+               "translate": TRANSLATE_APP}
+ALL_POLICIES = POLICY_NAMES + EXTENSION_POLICY_NAMES
+
+
+def _app(name: str) -> str:
+    try:
+        return APP_ALIASES[name]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            "unknown app %r (expected face|translation)" % name) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swing (ICDCS'18) reproduction: swarm experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    testbed = sub.add_parser("testbed",
+                             help="the Sec. VI-B routing-comparison testbed")
+    testbed.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    testbed.add_argument("--app", type=_app, default="face")
+    testbed.add_argument("--duration", type=float, default=60.0)
+    testbed.add_argument("--seed", type=int, default=0)
+    testbed.add_argument("--csv", metavar="PATH", default=None,
+                         help="write the per-frame trace to PATH")
+
+    compare = sub.add_parser("compare",
+                             help="all five policies, replicated over seeds")
+    compare.add_argument("--app", type=_app, default="face")
+    compare.add_argument("--duration", type=float, default=60.0)
+    compare.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    single = sub.add_parser("single",
+                            help="stream to one device (Sec. III)")
+    single.add_argument("--device", default="B")
+    single.add_argument("--rate", type=float, default=24.0)
+    single.add_argument("--duration", type=float, default=10.0)
+    single.add_argument("--signal", default="good",
+                        choices=["good", "fair", "poor"])
+
+    dynamics = sub.add_parser("dynamics",
+                              help="join / leave / move experiments "
+                                   "(Sec. VI-C)")
+    dynamics.add_argument("--mode", required=True,
+                          choices=["join", "leave", "move"])
+    dynamics.add_argument("--seed", type=int, default=0)
+
+    cloudlet = sub.add_parser("cloudlet",
+                              help="testbed plus a cloudlet VM (Sec. II)")
+    cloudlet.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    cloudlet.add_argument("--app", type=_app, default="face")
+    cloudlet.add_argument("--duration", type=float, default=60.0)
+
+    return parser
+
+
+def _print_result(result: SwarmResult) -> None:
+    latency = result.latency
+    rows = [
+        ("throughput", "%.1f FPS" % result.throughput),
+        ("target", "%.1f FPS (%s)" % (
+            result.config.workload.input_rate,
+            "met" if result.meets_input_rate() else "missed")),
+        ("latency mean", format_latency(latency.mean) if latency else "n/a"),
+        ("latency max", format_latency(latency.maximum) if latency else "n/a"),
+        ("frames lost", str(result.frames_lost)),
+        ("aggregate power", "%.2f W" % result.energy.aggregate_w),
+        ("efficiency", "%.2f FPS/W" % result.fps_per_watt()),
+    ]
+    print(format_table(["metric", "value"], rows, min_width=16))
+    rates = result.input_rates()
+    print()
+    print(format_table(["device", "input FPS", "cpu %"],
+                       [(device_id, "%.1f" % rates[device_id],
+                         "%.0f" % (100 * cpu))
+                        for device_id, cpu in
+                        sorted(result.cpu_utilization().items())]))
+
+
+def cmd_testbed(args) -> int:
+    result = run_swarm(scenarios.testbed(app=args.app, policy=args.policy,
+                                         duration=args.duration,
+                                         seed=args.seed))
+    print("testbed: %s under %s for %.0fs"
+          % (args.app, args.policy, args.duration))
+    _print_result(result)
+    if args.csv:
+        result.metrics.write_csv(args.csv)
+        print("\nper-frame trace written to %s" % args.csv)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    outcomes = compare_policies(
+        lambda policy: scenarios.testbed(app=args.app, policy=policy,
+                                         duration=args.duration),
+        POLICY_NAMES, args.seeds)
+    rows = []
+    for policy in POLICY_NAMES:
+        replicated = outcomes[policy]
+        throughput = replicated.throughput()
+        latency = replicated.latency_mean()
+        efficiency = replicated.fps_per_watt()
+        rows.append((policy,
+                     "%.1f ± %.1f" % (throughput.mean,
+                                      throughput.ci95_halfwidth),
+                     "%.2f ± %.2f" % (latency.mean, latency.ci95_halfwidth),
+                     "%.2f" % efficiency.mean))
+    print("policy comparison: %s, %d seeds" % (args.app, len(args.seeds)))
+    print(format_table(["policy", "thr FPS", "lat s", "FPS/W"], rows))
+    return 0
+
+
+def cmd_single(args) -> int:
+    from repro.simulation.network import rssi_for_region
+    config = scenarios.single_device(args.device, input_rate=args.rate,
+                                     duration=args.duration,
+                                     rssi=rssi_for_region(args.signal))
+    result = run_swarm(config)
+    decomposition = result.metrics.delay_decomposition()
+    print("single device %s at %.0f FPS (%s signal) for %.0fs"
+          % (args.device, args.rate, args.signal, args.duration))
+    print(format_table(
+        ["metric", "value"],
+        [("completed", "%d frames" % len(result.metrics.completed_frames())),
+         ("throughput", "%.1f FPS" % result.throughput),
+         ("transmission", format_latency(decomposition["transmission"])),
+         ("queuing", format_latency(decomposition["queuing"])),
+         ("processing", format_latency(decomposition["processing"]))],
+        min_width=14))
+    return 0
+
+
+def cmd_dynamics(args) -> int:
+    if args.mode == "join":
+        result = run_swarm(scenarios.joining(seed=args.seed))
+        note = "G joins at t=10s"
+    elif args.mode == "leave":
+        result = run_swarm(scenarios.leaving(seed=args.seed))
+        note = "G killed at t=15s"
+    else:
+        result = run_swarm(scenarios.moving(seed=args.seed))
+        note = "G walks good->fair->poor"
+    series = result.throughput_series()
+    print("dynamics/%s (%s)" % (args.mode, note))
+    print("throughput: [%s] peak %.0f FPS"
+          % (sparkline(series, peak=28.0), max(series)))
+    print("frames lost: %d" % result.frames_lost)
+    return 0
+
+
+def cmd_cloudlet(args) -> int:
+    baseline = run_swarm(scenarios.testbed(app=args.app, policy=args.policy,
+                                           duration=args.duration))
+    assisted = run_swarm(scenarios.cloudlet_mode(app=args.app,
+                                                 policy=args.policy,
+                                                 duration=args.duration))
+    rows = []
+    for label, result in (("phones only", baseline),
+                          ("with cloudlet", assisted)):
+        rows.append((label, "%.1f" % result.throughput,
+                     format_latency(result.latency.mean),
+                     "%.2f W" % result.energy.aggregate_w))
+    print("cloudlet mode: %s under %s" % (args.app, args.policy))
+    print(format_table(["setup", "thr FPS", "latency", "power"], rows))
+    return 0
+
+
+COMMANDS = {
+    "testbed": cmd_testbed,
+    "compare": cmd_compare,
+    "single": cmd_single,
+    "dynamics": cmd_dynamics,
+    "cloudlet": cmd_cloudlet,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

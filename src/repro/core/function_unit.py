@@ -1,0 +1,187 @@
+"""Function-unit programming API.
+
+The paper's programming model divides an app into *function units* — graph
+vertices that receive a data tuple, compute, and emit a result tuple to
+their downstream units (Sec. IV-A).  Developers subclass
+:class:`FunctionUnit` and implement :meth:`FunctionUnit.process_data`,
+emitting results through the :class:`UnitContext` passed at activation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.exceptions import RuntimeStateError
+from repro.core.tuples import DataTuple, TupleSchema
+
+
+class UnitContext:
+    """Runtime services available to a function unit instance.
+
+    A context is bound when the unit is activated on a device.  ``emit``
+    forwards an output tuple to the hosting runtime, which routes it to the
+    downstream function units according to the active policy.
+    """
+
+    def __init__(self, unit_name: str, instance_id: str,
+                 emit: Callable[[DataTuple], None],
+                 now: Callable[[], float]) -> None:
+        self.unit_name = unit_name
+        self.instance_id = instance_id
+        self._emit = emit
+        self._now = now
+        self.emitted_count = 0
+
+    def emit(self, data: DataTuple) -> None:
+        """Send *data* toward the downstream function units."""
+        self.emitted_count += 1
+        self._emit(data)
+
+    def now(self) -> float:
+        """Current time on the hosting device's clock (seconds)."""
+        return self._now()
+
+
+class FunctionUnit:
+    """Base class for user-defined function units (paper: FunctionUnitAPI).
+
+    Lifecycle: ``on_start`` once when activated, ``process_data`` per input
+    tuple, ``on_stop`` once at shutdown.  Sources override ``generate``
+    instead of ``process_data``; the runtime drives them at the configured
+    input rate.
+    """
+
+    def __init__(self) -> None:
+        self._context: Optional[UnitContext] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def bind(self, context: UnitContext) -> None:
+        self._context = context
+
+    @property
+    def context(self) -> UnitContext:
+        if self._context is None:
+            raise RuntimeStateError("function unit used before activation")
+        return self._context
+
+    def on_start(self) -> None:
+        """Hook called once when the unit is activated on a device."""
+
+    def on_stop(self) -> None:
+        """Hook called once when the unit is deactivated."""
+
+    # -- data plane ------------------------------------------------------
+    def process_data(self, data: DataTuple) -> None:
+        """Handle one incoming tuple.  Subclasses must override."""
+        raise NotImplementedError
+
+    def send(self, data: DataTuple) -> None:
+        """Emit *data* to the downstream units (paper: ``send(output)``)."""
+        self.context.emit(data)
+
+
+class SourceUnit(FunctionUnit):
+    """A unit with no upstream: produces tuples instead of consuming them."""
+
+    def process_data(self, data: DataTuple) -> None:
+        raise RuntimeStateError("source units do not accept input tuples")
+
+    def generate(self) -> Optional[DataTuple]:
+        """Produce the next tuple, or ``None`` when the stream is exhausted."""
+        raise NotImplementedError
+
+
+class SinkUnit(FunctionUnit):
+    """A unit with no downstream: terminal consumer of result tuples."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.results: List[DataTuple] = []
+
+    def process_data(self, data: DataTuple) -> None:
+        self.results.append(data)
+
+
+class LambdaUnit(FunctionUnit):
+    """Wrap a plain function ``values -> values`` as a function unit.
+
+    Convenient for tests and small pipelines::
+
+        unit = LambdaUnit(lambda values: {"out": values["in"] * 2})
+    """
+
+    def __init__(self, fn: Callable[[Dict[str, Any]], Dict[str, Any]],
+                 output_schema: Optional[TupleSchema] = None) -> None:
+        super().__init__()
+        self._fn = fn
+        self._output_schema = output_schema
+
+    def process_data(self, data: DataTuple) -> None:
+        result = self._fn(dict(data.values))
+        self.send(data.derive(result, schema=self._output_schema))
+
+
+class IterableSource(SourceUnit):
+    """Source unit that replays tuples from an in-memory iterable."""
+
+    def __init__(self, payloads, schema: Optional[TupleSchema] = None) -> None:
+        super().__init__()
+        self._iterator = iter(payloads)
+        self._schema = schema
+        self._seq = 0
+
+    def generate(self) -> Optional[DataTuple]:
+        try:
+            values = next(self._iterator)
+        except StopIteration:
+            return None
+        data = DataTuple(values=dict(values), seq=self._seq, schema=self._schema,
+                         created_at=self.context.now())
+        self._seq += 1
+        return data
+
+
+class CollectingSink(SinkUnit):
+    """Sink that records results and exposes simple accessors for tests."""
+
+    def values(self, key: str) -> List[Any]:
+        return [data.get_value(key) for data in self.results]
+
+    def sequences(self) -> List[int]:
+        return [data.seq for data in self.results]
+
+
+class ReorderingSink(SinkUnit):
+    """Sink with the paper's Reordering Service built in (Sec. IV-C).
+
+    Arriving results are buffered and *played back* in sequence order;
+    ``playback`` holds the ordered tuples ready for display while
+    ``results`` (inherited) keeps the raw arrival order.  The buffer is
+    sized as a timespan of the source rate, defaulting to the paper's
+    one second.
+    """
+
+    def __init__(self, source_rate: float = 24.0,
+                 timespan: float = 1.0) -> None:
+        super().__init__()
+        from repro.core.reorder import ReorderBuffer
+        self._buffer = ReorderBuffer.for_rate(source_rate, timespan=timespan)
+        self._by_seq: Dict[int, DataTuple] = {}
+        self.playback: List[DataTuple] = []
+
+    def process_data(self, data: DataTuple) -> None:
+        super().process_data(data)
+        self._by_seq.setdefault(data.seq, data)
+        for record in self._buffer.offer(data.seq, self.context.now()):
+            if record.seq in self._by_seq:
+                self.playback.append(self._by_seq[record.seq])
+
+    def on_stop(self) -> None:
+        """Flush everything still buffered at shutdown."""
+        for record in self._buffer.flush(0.0):
+            if record.seq in self._by_seq:
+                self.playback.append(self._by_seq[record.seq])
+
+    @property
+    def skipped(self) -> int:
+        return self._buffer.total_skipped()

@@ -1,0 +1,243 @@
+"""Latency estimation (paper Sec. V-B).
+
+The upstream attaches a timestamp to each tuple; the downstream ACKs with
+the original timestamp after processing.  The upstream computes a latency
+sample ``now - timestamp`` covering transmission + queuing + processing
+(ACK return time is negligible) and folds it into a moving average per
+downstream.  Downstreams also piggyback their measured processing delay on
+the ACK, which is what processing-delay-based policies (PR/PRS) consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Optional
+
+from repro.core.exceptions import PolicyError
+
+
+class MovingAverageEstimator:
+    """Fixed-window moving average over the most recent samples."""
+
+    def __init__(self, window: int = 20) -> None:
+        if window < 1:
+            raise PolicyError("moving-average window must be >= 1")
+        self._window = window
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._total = 0.0
+
+    def observe(self, sample: float) -> None:
+        if sample < 0:
+            raise PolicyError("latency samples must be non-negative")
+        if len(self._samples) == self._samples.maxlen:
+            self._total -= self._samples[0]
+        self._samples.append(sample)
+        self._total += sample
+
+    @property
+    def value(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return self._total / len(self._samples)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._total = 0.0
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average: ``v = (1-a)*v + a*sample``."""
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise PolicyError("EWMA alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._value: Optional[float] = None
+        self._count = 0
+
+    def observe(self, sample: float) -> None:
+        if sample < 0:
+            raise PolicyError("latency samples must be non-negative")
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = (1.0 - self._alpha) * self._value + self._alpha * sample
+        self._count += 1
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    @property
+    def sample_count(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._value = None
+        self._count = 0
+
+
+def make_estimator(kind: str = "moving-average", **kwargs):
+    """Estimator factory: ``"moving-average"`` (paper default) or ``"ewma"``."""
+    if kind == "moving-average":
+        return MovingAverageEstimator(**kwargs)
+    if kind == "ewma":
+        return EwmaEstimator(**kwargs)
+    raise PolicyError("unknown estimator kind %r" % kind)
+
+
+@dataclass
+class DownstreamStats:
+    """Per-downstream observations consumed by routing policies."""
+
+    downstream_id: str
+    latency: Optional[float] = None          # end-to-end L_i, seconds
+    processing_delay: Optional[float] = None  # W_i, seconds
+    alive: bool = True
+    acked_count: int = 0
+    sent_count: int = 0
+
+    @property
+    def service_rate(self) -> Optional[float]:
+        """mu_i = 1 / L_i (tuples per second); None until first sample."""
+        if self.latency is None or self.latency <= 0.0:
+            return None
+        return 1.0 / self.latency
+
+
+@dataclass
+class _PendingSend:
+    seq: int
+    downstream_id: str
+    sent_at: float
+
+
+class AckTracker:
+    """Tracks in-flight tuples per downstream and maintains estimators.
+
+    One tracker lives at each upstream function unit.  ``record_send`` /
+    ``record_ack`` implement the timestamp-echo protocol of Sec. V-B;
+    ``stats`` produces the :class:`DownstreamStats` snapshot policies run
+    on.  Stale in-flight entries older than ``timeout`` are dropped (lost
+    tuples, e.g. a device that left mid-stream).
+    """
+
+    def __init__(self, estimator_kind: str = "moving-average",
+                 timeout: float = 10.0, **estimator_kwargs) -> None:
+        self._estimator_kind = estimator_kind
+        self._estimator_kwargs = dict(estimator_kwargs)
+        self._timeout = timeout
+        self._latency: Dict[str, object] = {}
+        self._processing: Dict[str, object] = {}
+        self._pending: Dict[int, _PendingSend] = {}
+        self._sent: Dict[str, int] = {}
+        self._acked: Dict[str, int] = {}
+        self._alive: Dict[str, bool] = {}
+
+    # -- membership ------------------------------------------------------
+    def add_downstream(self, downstream_id: str) -> None:
+        if downstream_id in self._latency:
+            return
+        self._latency[downstream_id] = make_estimator(
+            self._estimator_kind, **self._estimator_kwargs)
+        self._processing[downstream_id] = make_estimator(
+            self._estimator_kind, **self._estimator_kwargs)
+        self._sent[downstream_id] = 0
+        self._acked[downstream_id] = 0
+        self._alive[downstream_id] = True
+
+    def remove_downstream(self, downstream_id: str) -> None:
+        self._latency.pop(downstream_id, None)
+        self._processing.pop(downstream_id, None)
+        self._sent.pop(downstream_id, None)
+        self._acked.pop(downstream_id, None)
+        self._alive.pop(downstream_id, None)
+        self._pending = {seq: pending for seq, pending in self._pending.items()
+                         if pending.downstream_id != downstream_id}
+
+    def mark_dead(self, downstream_id: str) -> None:
+        if downstream_id in self._alive:
+            self._alive[downstream_id] = False
+
+    def downstream_ids(self) -> Iterable[str]:
+        return list(self._latency)
+
+    # -- data plane ------------------------------------------------------
+    def record_send(self, seq: int, downstream_id: str, now: float) -> None:
+        if downstream_id not in self._latency:
+            self.add_downstream(downstream_id)
+        self._pending[seq] = _PendingSend(seq, downstream_id, now)
+        self._sent[downstream_id] += 1
+
+    def record_ack(self, seq: int, now: float,
+                   processing_delay: Optional[float] = None) -> Optional[float]:
+        """Fold in the ACK for *seq*; return the latency sample, if matched."""
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return None
+        downstream_id = pending.downstream_id
+        if downstream_id not in self._latency:
+            return None
+        sample = max(0.0, now - pending.sent_at)
+        self._latency[downstream_id].observe(sample)
+        if processing_delay is not None:
+            self._processing[downstream_id].observe(max(0.0, processing_delay))
+        self._acked[downstream_id] += 1
+        return sample
+
+    def expire_pending(self, now: float) -> int:
+        """Drop in-flight entries older than the timeout; return the count."""
+        stale = [seq for seq, pending in self._pending.items()
+                 if now - pending.sent_at > self._timeout]
+        for seq in stale:
+            del self._pending[seq]
+        return len(stale)
+
+    def pending_count(self, downstream_id: Optional[str] = None) -> int:
+        if downstream_id is None:
+            return len(self._pending)
+        return sum(1 for pending in self._pending.values()
+                   if pending.downstream_id == downstream_id)
+
+    # -- snapshots -------------------------------------------------------
+    def stats(self) -> Dict[str, DownstreamStats]:
+        """Snapshot of every known downstream for the policy layer."""
+        snapshot = {}
+        for downstream_id, estimator in self._latency.items():
+            snapshot[downstream_id] = DownstreamStats(
+                downstream_id=downstream_id,
+                latency=estimator.value,
+                processing_delay=self._processing[downstream_id].value,
+                alive=self._alive[downstream_id],
+                acked_count=self._acked[downstream_id],
+                sent_count=self._sent[downstream_id],
+            )
+        return snapshot
+
+
+class RateMeter:
+    """Measures the incoming tuple rate Lambda over a sliding window."""
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise PolicyError("rate meter window must be positive")
+        self._window = window
+        self._arrivals: Deque[float] = deque()
+
+    def observe(self, now: float) -> None:
+        self._arrivals.append(now)
+        self._evict(now)
+
+    def rate(self, now: float) -> float:
+        """Arrivals per second over the last window."""
+        self._evict(now)
+        return len(self._arrivals) / self._window
+
+    def _evict(self, now: float) -> None:
+        while self._arrivals and now - self._arrivals[0] > self._window:
+            self._arrivals.popleft()

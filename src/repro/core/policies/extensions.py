@@ -1,0 +1,126 @@
+"""Extension policies beyond the paper's five.
+
+The paper's discussion (Sec. V-C) frames LRS as one point in a spectrum
+of resource-management policies its framework enables.  This module adds
+two classic alternatives for comparison studies:
+
+* **JSQ** — join-shortest-queue: route each tuple to the downstream with
+  the fewest un-ACKed tuples in flight.  Uses instantaneous backlog
+  instead of smoothed latency; reacts faster but needs per-tuple state.
+* **WRR** — weighted round robin over static capability weights: the
+  "offline profiling" strawman — deterministic shares proportional to
+  nominal device rates, no runtime adaptation at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.exceptions import PolicyError, RoutingError
+from repro.core.latency import DownstreamStats
+from repro.core.policies.base import PolicyDecision, RoutingPolicy
+
+
+class JoinShortestQueuePolicy(RoutingPolicy):
+    """JSQ: route to the downstream with the smallest in-flight backlog.
+
+    The backlog counter is maintained from the same send/ACK events LRS
+    uses — call :meth:`on_sent` / :meth:`on_acked` from the hosting
+    runtime (the simulator and dispatcher do this automatically through
+    ``route()`` and the tracker callbacks below).
+    """
+
+    name = "JSQ"
+    uses_selection = False
+
+    def __init__(self, seed: Optional[int] = None, **kwargs) -> None:
+        super().__init__(seed=seed, probe_every=1, probe_tuples=0)
+        self._in_flight: Dict[str, int] = {}
+
+    def on_downstream_added(self, downstream_id: str) -> None:
+        super().on_downstream_added(downstream_id)
+        self._in_flight.setdefault(downstream_id, 0)
+
+    def on_downstream_removed(self, downstream_id: str) -> None:
+        super().on_downstream_removed(downstream_id)
+        self._in_flight.pop(downstream_id, None)
+
+    def on_sent(self, downstream_id: str) -> None:
+        if downstream_id in self._in_flight:
+            self._in_flight[downstream_id] += 1
+
+    def on_acked(self, downstream_id: str) -> None:
+        if downstream_id in self._in_flight:
+            self._in_flight[downstream_id] = max(
+                0, self._in_flight[downstream_id] - 1)
+
+    def backlog(self, downstream_id: str) -> int:
+        return self._in_flight.get(downstream_id, 0)
+
+    def compute_decision(self, stats: Mapping[str, DownstreamStats],
+                         input_rate: float) -> PolicyDecision:
+        alive = sorted(stats)
+        # Advisory equal weights; routing itself is backlog-driven.
+        share = 1.0 / len(alive) if alive else 0.0
+        return PolicyDecision(selected=alive,
+                              weights={ds: share for ds in alive})
+
+    def route(self) -> str:
+        alive = self._alive_ids()
+        if not alive:
+            raise RoutingError("JSQ policy has no downstreams")
+        choice = min(alive, key=lambda ds: (self._in_flight.get(ds, 0), ds))
+        self.on_sent(choice)
+        return choice
+
+
+class WeightedRoundRobinPolicy(RoutingPolicy):
+    """WRR: fixed shares proportional to offline capability weights.
+
+    ``capabilities`` maps downstream id -> nominal service rate; unknown
+    downstreams get the mean capability.  No adaptation at run time —
+    the baseline that shows why Swing needs online estimates.
+    """
+
+    name = "WRR"
+    uses_selection = False
+
+    def __init__(self, seed: Optional[int] = None,
+                 capabilities: Optional[Mapping[str, float]] = None,
+                 **kwargs) -> None:
+        super().__init__(seed=seed, probe_every=1, probe_tuples=0)
+        if capabilities is not None and any(v <= 0
+                                            for v in capabilities.values()):
+            raise PolicyError("capabilities must be positive rates")
+        self._capabilities = dict(capabilities or {})
+
+    def _capability(self, downstream_id: str) -> float:
+        if downstream_id in self._capabilities:
+            return self._capabilities[downstream_id]
+        if self._capabilities:
+            return (sum(self._capabilities.values())
+                    / len(self._capabilities))
+        return 1.0
+
+    def on_downstream_added(self, downstream_id: str) -> None:
+        super().on_downstream_added(downstream_id)
+        self._rebuild_table()
+
+    def on_downstream_removed(self, downstream_id: str) -> None:
+        super().on_downstream_removed(downstream_id)
+        self._rebuild_table()
+
+    def _rebuild_table(self) -> None:
+        alive = self._alive_ids()
+        if alive:
+            self._table.set_weights({ds: self._capability(ds)
+                                     for ds in alive})
+
+    def compute_decision(self, stats: Mapping[str, DownstreamStats],
+                         input_rate: float) -> PolicyDecision:
+        alive = sorted(stats)
+        weights = {ds: self._capability(ds) for ds in alive}
+        total = sum(weights.values()) or 1.0
+        return PolicyDecision(selected=alive,
+                              weights={ds: w / total
+                                       for ds, w in weights.items()})

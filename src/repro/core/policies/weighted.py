@@ -1,0 +1,111 @@
+"""The four weighted policies: PR, LR, PRS, LRS (paper Sec. V / VI-B).
+
+All four share one structure — a *delay signal* (end-to-end latency L_i or
+processing delay W_i) turned into inverse-delay routing weights, with
+Worker Selection optionally restricting the candidate set to the minimum
+fastest prefix that meets the input rate:
+
+========  ============  =================
+policy    delay signal  worker selection
+========  ============  =================
+PR        W_i           no
+LR        L_i           no
+PRS       W_i           yes
+LRS       L_i           yes
+========  ============  =================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.latency import DownstreamStats
+from repro.core.policies.base import (PolicyDecision, RoutingPolicy,
+                                      weights_from_delays)
+from repro.core.selection import select_min_prefix
+
+
+class WeightedPolicy(RoutingPolicy):
+    """Inverse-delay weighted routing with optional worker selection."""
+
+    #: which DownstreamStats field drives the weights
+    delay_attribute = "latency"
+    uses_selection = False
+
+    def __init__(self, seed: Optional[int] = None,
+                 probe_every: int = 5, probe_tuples: int = 4,
+                 probe_spacing: int = 3) -> None:
+        super().__init__(seed=seed, probe_every=probe_every,
+                         probe_tuples=probe_tuples,
+                         probe_spacing=probe_spacing)
+
+    def _delays(self, stats: Mapping[str, DownstreamStats]) -> Dict[str, Optional[float]]:
+        return {ds: getattr(stat, self.delay_attribute)
+                for ds, stat in stats.items()}
+
+    def compute_decision(self, stats: Mapping[str, DownstreamStats],
+                         input_rate: float) -> PolicyDecision:
+        delays = self._delays(stats)
+        if self.uses_selection:
+            candidates = self._select(delays, input_rate)
+        else:
+            candidates = sorted(delays)
+        weights = weights_from_delays({ds: delays[ds] for ds in candidates})
+        return PolicyDecision(selected=sorted(candidates), weights=weights)
+
+    def _select(self, delays: Dict[str, Optional[float]],
+                input_rate: float) -> list:
+        """Worker Selection over measured service rates mu_i = 1/delay_i.
+
+        Unmeasured downstreams are included only when the measured ones
+        cannot meet the input rate (they may be needed, and must be probed
+        into measurability).
+        """
+        rates = {ds: 1.0 / delay for ds, delay in delays.items()
+                 if delay is not None and delay > 0.0}
+        unknown = sorted(ds for ds, delay in delays.items()
+                         if delay is None or delay <= 0.0)
+        if not rates:
+            return sorted(delays)
+        chosen = select_min_prefix(rates, input_rate)
+        if sum(rates[ds] for ds in chosen) < input_rate:
+            return sorted(set(chosen) | set(unknown))
+        return chosen
+
+
+class ProcessingDelayRoutingPolicy(WeightedPolicy):
+    """PR: processing-delay-based routing, no worker selection.
+
+    Routes toward the most computationally capable devices regardless of
+    their network position — the energy-oriented alternative discussed in
+    Sec. V-C, which the evaluation shows failing to meet the rate target
+    when capable devices sit on weak links.
+    """
+
+    name = "PR"
+    delay_attribute = "processing_delay"
+    uses_selection = False
+
+
+class LatencyRoutingPolicy(WeightedPolicy):
+    """LR: latency-based routing, no worker selection."""
+
+    name = "LR"
+    delay_attribute = "latency"
+    uses_selection = False
+
+
+class ProcessingDelaySelectionPolicy(WeightedPolicy):
+    """PRS: processing-delay-based routing with worker selection."""
+
+    name = "PRS"
+    delay_attribute = "processing_delay"
+    uses_selection = True
+
+
+class LatencyRoutingSelectionPolicy(WeightedPolicy):
+    """LRS: the paper's algorithm — latency routing + worker selection."""
+
+    name = "LRS"
+    delay_attribute = "latency"
+    uses_selection = True

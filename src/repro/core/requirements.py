@@ -1,0 +1,53 @@
+"""Application performance requirements.
+
+The programmer "can also define performance requirements that affect
+resource allocation and task scheduling, e.g., the maximum input data rate
+that needs to be sustained by an app" (paper Sec. IV-A).  The input-rate
+target is the Lambda the Worker Selection step must cover; the latency
+target is advisory and used by monitoring to flag violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.exceptions import SwingError
+
+#: minimum frame rate for smooth video playback (paper Sec. I)
+SMOOTH_VIDEO_FPS = 24.0
+
+
+@dataclass(frozen=True)
+class PerformanceRequirement:
+    """Target rates and bounds an app declares for its deployment."""
+
+    input_rate: float = SMOOTH_VIDEO_FPS   # tuples per second
+    max_latency: Optional[float] = None    # seconds, advisory
+    reorder_timespan: float = 1.0          # seconds of buffering at the sink
+
+    def __post_init__(self) -> None:
+        if self.input_rate <= 0:
+            raise SwingError("input rate must be positive")
+        if self.max_latency is not None and self.max_latency <= 0:
+            raise SwingError("max latency must be positive")
+        if self.reorder_timespan <= 0:
+            raise SwingError("reorder timespan must be positive")
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between successive source tuples."""
+        return 1.0 / self.input_rate
+
+    def reorder_capacity(self) -> int:
+        """Reorder-buffer length: the timespan's worth of tuples."""
+        return max(1, int(round(self.input_rate * self.reorder_timespan)))
+
+    def meets_rate(self, achieved_rate: float, tolerance: float = 0.02) -> bool:
+        """True when *achieved_rate* satisfies the target within tolerance."""
+        return achieved_rate >= self.input_rate * (1.0 - tolerance)
+
+    def meets_latency(self, achieved_latency: float) -> bool:
+        if self.max_latency is None:
+            return True
+        return achieved_latency <= self.max_latency

@@ -1,0 +1,175 @@
+"""Data tuples exchanged between function units.
+
+The paper models a stream element as a *tuple*: "a list of serializable data
+structures, such as a bitmap image, a matrix of floating-point values or a
+text string" (Sec. IV-A).  We represent a tuple as named values plus
+metadata used by the resource-management layer (sequence number, source
+timestamp and per-hop timing samples used for latency decomposition).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple as TupleType
+
+from repro.core.exceptions import SchemaError
+
+_seq_counter = itertools.count()
+
+
+def _next_seq() -> int:
+    return next(_seq_counter)
+
+
+@dataclass(frozen=True)
+class TupleSchema:
+    """Declares the named fields a tuple must carry.
+
+    Mirrors the paper's API where the programmer declares the tuple
+    structure up front (``tuple.add("value1")``).
+    """
+
+    fields: TupleType[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise SchemaError("a tuple schema needs at least one field")
+        if len(set(self.fields)) != len(self.fields):
+            raise SchemaError("duplicate field names in schema: %r" % (self.fields,))
+        for name in self.fields:
+            if not isinstance(name, str) or not name:
+                raise SchemaError("field names must be non-empty strings")
+
+    @classmethod
+    def of(cls, *names: str) -> "TupleSchema":
+        """Build a schema from field names: ``TupleSchema.of("frame", "id")``."""
+        return cls(tuple(names))
+
+    def validate(self, values: Dict[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless *values* matches this schema."""
+        missing = [name for name in self.fields if name not in values]
+        if missing:
+            raise SchemaError("tuple missing fields %r" % (missing,))
+        extra = [name for name in values if name not in self.fields]
+        if extra:
+            raise SchemaError("tuple has undeclared fields %r" % (extra,))
+
+
+@dataclass
+class HopTiming:
+    """Timing samples collected as a tuple crosses one hop.
+
+    All times are seconds on the clock of the measuring component.  The
+    decomposition matches Fig. 2 of the paper: transmission, queuing and
+    processing delay.
+    """
+
+    device_id: str = ""
+    unit_name: str = ""
+    sent_at: float = 0.0
+    received_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def transmission_delay(self) -> float:
+        return max(0.0, self.received_at - self.sent_at)
+
+    @property
+    def queuing_delay(self) -> float:
+        return max(0.0, self.started_at - self.received_at)
+
+    @property
+    def processing_delay(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def total_delay(self) -> float:
+        return max(0.0, self.finished_at - self.sent_at)
+
+
+@dataclass
+class DataTuple:
+    """A stream element: named values plus routing/timing metadata."""
+
+    values: Dict[str, Any]
+    seq: int = field(default_factory=_next_seq)
+    created_at: float = 0.0
+    schema: Optional[TupleSchema] = None
+    hops: List[HopTiming] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.schema is not None:
+            self.schema.validate(self.values)
+
+    def get_value(self, key: str) -> Any:
+        """Return the value stored under *key* (paper: ``data.getValue``)."""
+        try:
+            return self.values[key]
+        except KeyError:
+            raise SchemaError("tuple %d has no field %r" % (self.seq, key)) from None
+
+    def derive(self, values: Dict[str, Any], schema: Optional[TupleSchema] = None) -> "DataTuple":
+        """Create the downstream tuple produced from this one.
+
+        The derived tuple keeps the sequence number, creation timestamp and
+        accumulated hop history so end-to-end delay and ordering are
+        preserved across function units (paper: ``data.setValues``).
+        """
+        return DataTuple(
+            values=dict(values),
+            seq=self.seq,
+            created_at=self.created_at,
+            schema=schema,
+            hops=list(self.hops),
+        )
+
+    @property
+    def total_delay(self) -> float:
+        """Cumulative delay recorded across every hop so far."""
+        return sum(hop.total_delay for hop in self.hops)
+
+    def payload_size(self) -> int:
+        """Approximate serialized payload size in bytes.
+
+        Used by the network models to charge transmission time.  Sizes are
+        computed structurally so simulation payloads (plain bytes / arrays /
+        strings) are charged realistically.
+        """
+        return sum(_sizeof(value) for value in self.values.values())
+
+
+def _sizeof(value: Any) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(_sizeof(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(_sizeof(k) + _sizeof(v) for k, v in value.items())
+    nbytes = getattr(value, "nbytes", None)  # numpy arrays
+    if nbytes is not None:
+        return int(nbytes)
+    return 64  # arbitrary object: charge a flat overhead
+
+
+def make_stream(payloads: Iterable[Dict[str, Any]], schema: Optional[TupleSchema] = None,
+                start_time: float = 0.0, interval: float = 0.0) -> List[DataTuple]:
+    """Build an ordered list of tuples with evenly spaced creation times."""
+    stream = []
+    for index, values in enumerate(payloads):
+        stream.append(
+            DataTuple(values=dict(values), seq=index, schema=schema,
+                      created_at=start_time + index * interval)
+        )
+    return stream

@@ -1,0 +1,125 @@
+"""Offline swarm capacity planning.
+
+The runtime Worker Selection step answers "which downstreams should
+carry this stream *right now*" from measured rates; this module answers
+the deployment-time questions a user asks *before* forming a swarm:
+
+* how many (and which) of my devices must participate to sustain an
+  app's input rate;
+* what utilisation, power draw and battery life to expect per device;
+* whether the target is feasible at all with the devices at hand.
+
+It applies the same minimum-prefix selection rule (paper Sec. V-A) to
+nominal device rates, discounted by the framework overhead and an
+optional safety headroom for jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.exceptions import SwingError
+from repro.core.selection import select_min_prefix
+from repro.simulation.device import DeviceProfile
+
+
+@dataclass(frozen=True)
+class DevicePlan:
+    """Planned contribution of one device."""
+
+    device_id: str
+    share_rate: float       # frames per second assigned
+    utilization: float      # expected busy fraction
+    power_w: float          # expected dynamic power draw
+    battery_hours: float    # expected battery life at that draw
+
+
+@dataclass(frozen=True)
+class SwarmPlan:
+    """The outcome of planning one deployment."""
+
+    app: str
+    target_rate: float
+    feasible: bool
+    devices: List[DevicePlan]
+    total_power_w: float
+
+    @property
+    def device_ids(self) -> List[str]:
+        return [plan.device_id for plan in self.devices]
+
+    @property
+    def fps_per_watt(self) -> float:
+        if self.total_power_w <= 0:
+            return 0.0
+        achieved = sum(plan.share_rate for plan in self.devices)
+        return achieved / self.total_power_w
+
+
+def effective_rate(profile: DeviceProfile, app: str,
+                   headroom: float = 0.15) -> float:
+    """A device's plannable service rate for *app*.
+
+    The nominal Table-I rate, minus the framework's CPU overhead, minus a
+    jitter/thermal ``headroom`` fraction kept in reserve.
+    """
+    if not 0.0 <= headroom < 1.0:
+        raise SwingError("headroom must be in [0, 1)")
+    usable = (1.0 - profile.framework_overhead) * (1.0 - headroom)
+    return profile.service_rate(app) * usable
+
+
+def plan_swarm(profiles: Mapping[str, DeviceProfile], app: str,
+               target_rate: float, headroom: float = 0.15) -> SwarmPlan:
+    """Choose the minimal device set sustaining *target_rate* for *app*.
+
+    Devices are selected fastest-first (minimum-prefix rule); the load is
+    then split proportionally to each selected device's effective rate —
+    the static analogue of LRS's inverse-latency weights.
+    """
+    if target_rate <= 0:
+        raise SwingError("target rate must be positive")
+    if not profiles:
+        raise SwingError("no devices to plan over")
+    rates = {device_id: effective_rate(profile, app, headroom)
+             for device_id, profile in profiles.items()}
+    selected = select_min_prefix(rates, target_rate)
+    capacity = sum(rates[device_id] for device_id in selected)
+    feasible = capacity >= target_rate
+    served = min(target_rate, capacity)
+
+    plans = []
+    total_power = 0.0
+    for device_id in selected:
+        profile = profiles[device_id]
+        share = served * rates[device_id] / capacity if capacity else 0.0
+        utilization = min(1.0, share * profile.base_delay(app)
+                          + profile.framework_overhead)
+        power = profile.power.cpu_power(utilization)
+        battery = (profile.power.battery_wh
+                   / (profile.power.idle_w + power)) if \
+            (profile.power.idle_w + power) > 0 else float("inf")
+        plans.append(DevicePlan(device_id=device_id, share_rate=share,
+                                utilization=utilization, power_w=power,
+                                battery_hours=battery))
+        total_power += power
+    return SwarmPlan(app=app, target_rate=target_rate, feasible=feasible,
+                     devices=plans, total_power_w=total_power)
+
+
+def minimum_devices_for(profiles: Mapping[str, DeviceProfile], app: str,
+                        target_rate: float,
+                        headroom: float = 0.15) -> Optional[int]:
+    """How many devices a feasible plan needs (None when infeasible)."""
+    plan = plan_swarm(profiles, app, target_rate, headroom=headroom)
+    return len(plan.devices) if plan.feasible else None
+
+
+def feasibility_frontier(profiles: Mapping[str, DeviceProfile], app: str,
+                         rates: Sequence[float],
+                         headroom: float = 0.15) -> Dict[float, Optional[int]]:
+    """Device count needed at each target rate (None = infeasible)."""
+    return {rate: minimum_devices_for(profiles, app, rate,
+                                      headroom=headroom)
+            for rate in rates}

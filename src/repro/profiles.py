@@ -1,0 +1,135 @@
+"""The paper's testbed device catalogue (Table I + Sec. III).
+
+Nine devices: A (Galaxy S3) acts as source/master; B..I run workers.  The
+face-recognition processing delays are the paper's measured values
+(Table I, second row).  The paper gives no per-device numbers for the
+voice-translation app; its per-frame compute (PocketSphinx recognition +
+Apertium translation on a 72 kB audio segment) is far heavier than one
+video frame, so we scale each device's delay by
+:data:`TRANSLATION_COMPUTE_SCALE` (see DESIGN.md) — preserving the same
+relative heterogeneity, which is what the routing policies react to.
+
+Power profiles follow the paper's offline-profiling method: an idle draw,
+a peak-CPU dynamic draw and a peak-Wi-Fi dynamic draw per device, with
+older/slower devices less energy-efficient per unit work (the paper's
+observation about phone E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.device import DeviceProfile, PowerProfile
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+#: multiplier from a device's face-recognition delay to its
+#: voice-translation delay (speech recognition + translation per 72 kB
+#: audio segment)
+TRANSLATION_COMPUTE_SCALE = 6.0
+
+#: Table I, second row: mean per-frame face-recognition delay in seconds
+FACE_DELAYS_S: Dict[str, float] = {
+    "A": 0.0850,  # Galaxy S3 (source/master; delay used only if it computes)
+    "B": 0.0929,  # Galaxy Nexus
+    "C": 0.1216,  # Insignia7 tablet
+    "D": 0.1677,  # NeuTab7 tablet
+    "E": 0.4634,  # Galaxy S
+    "F": 0.1664,  # DragonTouch tablet
+    "G": 0.0822,  # Galaxy Nexus
+    "H": 0.0713,  # LG Nexus 4
+    "I": 0.0780,  # Galaxy Note 2
+}
+
+MODELS: Dict[str, str] = {
+    "A": "Galaxy S3",
+    "B": "Galaxy Nexus",
+    "C": "Insignia7",
+    "D": "NeuTab7",
+    "E": "Galaxy S",
+    "F": "DragonTouch",
+    "G": "Galaxy Nexus",
+    "H": "LG Nexus 4",
+    "I": "Galaxy Note 2",
+}
+
+#: Table I, third row: reported integer throughput (inverse delays)
+TABLE1_THROUGHPUT_FPS: Dict[str, int] = {
+    "B": 10, "C": 8, "D": 6, "E": 2, "F": 5, "G": 12, "H": 13, "I": 12,
+}
+
+#: (idle_w, peak_cpu_w, peak_wifi_w, battery_wh) per device
+_POWER: Dict[str, tuple] = {
+    "A": (0.33, 1.25, 0.60, 7.77),
+    "B": (0.35, 1.10, 0.65, 6.48),
+    "C": (0.40, 1.20, 0.70, 9.00),
+    "D": (0.40, 1.25, 0.70, 8.00),
+    "E": (0.30, 1.35, 0.75, 5.55),  # oldest device: least efficient per frame
+    "F": (0.38, 1.20, 0.70, 8.00),
+    "G": (0.35, 1.10, 0.65, 6.48),
+    "H": (0.32, 1.30, 0.60, 7.77),
+    "I": (0.33, 1.25, 0.60, 11.40),
+}
+
+SOURCE_ID = "A"
+WORKER_IDS: List[str] = ["B", "C", "D", "E", "F", "G", "H", "I"]
+
+#: devices the paper places at locations of poor Wi-Fi signal (Sec. VI-B)
+POOR_SIGNAL_IDS: List[str] = ["B", "C", "D"]
+
+
+def device_profile(device_id: str) -> DeviceProfile:
+    """Build the catalogue profile for one device (A..I)."""
+    if device_id not in FACE_DELAYS_S:
+        raise SimulationError("unknown device %r (expected A..I)" % device_id)
+    face_delay = FACE_DELAYS_S[device_id]
+    idle_w, peak_cpu_w, peak_wifi_w, battery_wh = _POWER[device_id]
+    return DeviceProfile(
+        device_id=device_id,
+        model=MODELS[device_id],
+        processing_delay={
+            FACE_APP: face_delay,
+            TRANSLATE_APP: face_delay * TRANSLATION_COMPUTE_SCALE,
+        },
+        power=PowerProfile(idle_w=idle_w, peak_cpu_w=peak_cpu_w,
+                           peak_wifi_w=peak_wifi_w, battery_wh=battery_wh),
+    )
+
+
+def worker_profiles(ids: List[str] = None) -> Dict[str, DeviceProfile]:
+    """Profiles for the worker devices (default: all of B..I)."""
+    return {device_id: device_profile(device_id)
+            for device_id in (ids if ids is not None else WORKER_IDS)}
+
+
+#: per-frame face-recognition delay of a cloudlet VM (paper Sec. II:
+#: Swing "does support cloudlet mode through Android virtual machines");
+#: a server-class VM is ~5x faster than the fastest phone
+CLOUDLET_FACE_DELAY_S = 0.014
+
+
+def cloudlet_profile(cloudlet_id: str = "CL") -> DeviceProfile:
+    """A wall-powered cloudlet VM reachable over the same WLAN.
+
+    Far faster than any phone and effectively unconstrained on energy
+    (huge battery capacity models wall power); its power draw still
+    counts toward swarm totals so energy comparisons stay honest.
+    """
+    face_delay = CLOUDLET_FACE_DELAY_S
+    return DeviceProfile(
+        device_id=cloudlet_id,
+        model="Cloudlet VM",
+        processing_delay={
+            FACE_APP: face_delay,
+            TRANSLATE_APP: face_delay * TRANSLATION_COMPUTE_SCALE,
+        },
+        power=PowerProfile(idle_w=8.0, peak_cpu_w=25.0, peak_wifi_w=2.0,
+                           battery_wh=1e6),
+        cores=8,
+        framework_overhead=0.02,
+        throttles=False,
+    )
+
+
+def all_profiles() -> Dict[str, DeviceProfile]:
+    return {device_id: device_profile(device_id) for device_id in FACE_DELAYS_S}

@@ -1,0 +1,175 @@
+"""High-level entry point: run a Swing app on an in-process swarm.
+
+:class:`SwingRuntime` wires the whole workflow of Fig. 3 together: it
+creates a master (device A) and a set of worker threads, lets workers
+join via discovery, deploys the dataflow graph, starts the sources, and
+collects ordered results from the sink.  Per-worker ``slowdowns``
+emulate device heterogeneity on one development machine.
+
+Example::
+
+    runtime = SwingRuntime(graph, worker_ids=["B", "G", "H"],
+                           policy="LRS", source_rate=12.0)
+    results = runtime.run(until_idle=2.0)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import DeploymentError, RuntimeStateError
+from repro.core.function_unit import SinkUnit
+from repro.core.graph import AppGraph
+from repro.core.reorder import ReorderBuffer
+from repro.core.requirements import PerformanceRequirement
+from repro.core.tuples import DataTuple
+from repro.runtime.fabric import InProcFabric
+from repro.runtime.master import Master
+from repro.runtime.worker import WorkerRuntime
+
+
+class SwingRuntime:
+    """Build, run and tear down a complete in-process swarm.
+
+    ``requirement`` (a :class:`PerformanceRequirement`) takes precedence
+    over ``source_rate`` and also sizes the sink-side reorder buffer —
+    the programmer-declared performance contract of paper Sec. IV-A.
+    """
+
+    def __init__(self, graph: AppGraph, worker_ids: Sequence[str],
+                 master_id: str = "A", policy: str = "LRS",
+                 source_rate: float = 24.0,
+                 requirement: Optional[PerformanceRequirement] = None,
+                 slowdowns: Optional[Dict[str, float]] = None,
+                 control_interval: float = 0.25,
+                 seed: Optional[int] = None) -> None:
+        if master_id in worker_ids:
+            raise RuntimeStateError("master id must not collide with workers")
+        if not worker_ids:
+            raise RuntimeStateError("a swarm needs at least one worker")
+        self.graph = graph
+        self.requirement = requirement or PerformanceRequirement(
+            input_rate=source_rate)
+        source_rate = self.requirement.input_rate
+        self.fabric = InProcFabric()
+        self.master = Master(master_id, self.fabric, graph, policy=policy,
+                             source_rate=source_rate, seed=seed,
+                             control_interval=control_interval)
+        slowdowns = slowdowns or {}
+        self.workers: Dict[str, WorkerRuntime] = {}
+        for worker_id in worker_ids:
+            self.workers[worker_id] = WorkerRuntime(
+                worker_id, self.fabric, graph, policy=policy,
+                slowdown=slowdowns.get(worker_id, 0.0), seed=seed,
+                control_interval=control_interval)
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Launch threads, join workers, deploy and start the app."""
+        if self._running:
+            raise RuntimeStateError("runtime already started")
+        self.master.runtime.start()
+        for worker in self.workers.values():
+            worker.start()
+            worker.join_master(self.master.master_id)
+        self._await_membership()
+        self.master.deploy()
+        self._await_deployment()
+        self.master.start()
+        self._running = True
+
+    def _await_membership(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        expected = set(self.workers)
+        while time.monotonic() < deadline:
+            if expected <= set(self.master.worker_ids):
+                return
+            time.sleep(0.005)
+        missing = expected - set(self.master.worker_ids)
+        raise DeploymentError("workers never joined: %r" % sorted(missing))
+
+    def _await_deployment(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        runtimes = [self.master.runtime] + list(self.workers.values())
+        for runtime in runtimes:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not runtime.deployed.wait(timeout=remaining):
+                raise DeploymentError("deployment timed out on %s"
+                                      % runtime.worker_id)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self.master.stop()
+        for worker in self.workers.values():
+            worker.stop()
+        self.master.runtime.stop()
+        self.fabric.close()
+        self._running = False
+
+    # -- convenience -------------------------------------------------------
+    def sink_unit(self) -> SinkUnit:
+        """The sink instance (hosted on the master device)."""
+        sinks = self.graph.sinks()
+        if len(sinks) != 1:
+            raise DeploymentError("expected exactly one sink, found %d"
+                                  % len(sinks))
+        unit = self.master.runtime.unit(sinks[0].name)
+        if not isinstance(unit, SinkUnit):
+            raise DeploymentError("sink unit is not a SinkUnit")
+        return unit
+
+    def run(self, until_idle: float = 1.0, timeout: float = 60.0,
+            reorder: bool = True) -> List[DataTuple]:
+        """Start, wait for the stream to drain, stop, return sink results.
+
+        The stream is considered drained once the sink has received no
+        new result for *until_idle* seconds.  Results are replayed
+        through a reorder buffer sized at one second of the source rate
+        (paper Sec. IV-C) unless ``reorder=False``.
+        """
+        self.start()
+        sink = self.sink_unit()
+        deadline = time.monotonic() + timeout
+        last_count = -1
+        last_change = time.monotonic()
+        while time.monotonic() < deadline:
+            count = len(sink.results)
+            now = time.monotonic()
+            if count != last_count:
+                last_count = count
+                last_change = now
+            elif count > 0 and now - last_change >= until_idle:
+                break
+            time.sleep(0.02)
+        self.stop()
+        results = list(sink.results)
+        if not reorder:
+            return results
+        return order_results(results, self.requirement.input_rate,
+                             timespan=self.requirement.reorder_timespan)
+
+    def meets_requirement(self, achieved_rate: float) -> bool:
+        """Did *achieved_rate* satisfy the declared performance contract?"""
+        return self.requirement.meets_rate(achieved_rate)
+
+    def __enter__(self) -> "SwingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def order_results(results: List[DataTuple], source_rate: float,
+                  timespan: float = 1.0) -> List[DataTuple]:
+    """Replay *results* through the Reordering Service's buffer."""
+    buffer = ReorderBuffer.for_rate(max(source_rate, 1.0), timespan=timespan)
+    by_seq = {}
+    playback = []
+    for index, data in enumerate(results):
+        by_seq.setdefault(data.seq, data)
+        playback.extend(buffer.offer(data.seq, float(index)))
+    playback.extend(buffer.flush(float(len(results))))
+    return [by_seq[record.seq] for record in playback if record.seq in by_seq]

@@ -1,0 +1,191 @@
+"""Transport channels between runtime threads and processes.
+
+Two implementations behind one interface:
+
+* :class:`InProcChannel` — a thread-safe queue pair for threads in one
+  process (the common case: one Python process simulating a swarm of
+  worker threads, like Swing's co-located master/worker threads).
+* :class:`TcpChannel` — real localhost TCP sockets with length-prefixed
+  framing, exercising the same code path an Android deployment would.
+
+Channels move opaque byte payloads; serialization is layered above.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from repro.core.exceptions import RuntimeStateError, SerializationError
+
+_LENGTH = struct.Struct(">I")
+
+#: refuse absurd frames rather than allocating unbounded memory
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ChannelClosed(RuntimeStateError):
+    """Raised when reading from or writing to a closed channel."""
+
+
+class Channel:
+    """Bidirectional, message-oriented transport endpoint."""
+
+    def send(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        """Next message; raises :class:`ChannelClosed` at end of stream,
+        :class:`TimeoutError` when *timeout* elapses."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class InProcChannel(Channel):
+    """One endpoint of an in-process channel pair."""
+
+    _SENTINEL = object()
+
+    def __init__(self, outbox: "queue.Queue", inbox: "queue.Queue") -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = threading.Event()
+
+    @classmethod
+    def pair(cls) -> Tuple["InProcChannel", "InProcChannel"]:
+        """Create two connected endpoints."""
+        a_to_b: "queue.Queue" = queue.Queue()
+        b_to_a: "queue.Queue" = queue.Queue()
+        return cls(a_to_b, b_to_a), cls(b_to_a, a_to_b)
+
+    def send(self, payload: bytes) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed("send on closed channel")
+        self._outbox.put(payload)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if self._closed.is_set():
+            raise ChannelClosed("recv on closed channel")
+        try:
+            item = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("channel recv timed out") from None
+        if item is self._SENTINEL:
+            self._closed.set()
+            raise ChannelClosed("peer closed the channel")
+        return item
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._outbox.put(self._SENTINEL)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class TcpChannel(Channel):
+    """Length-prefixed framing over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 5.0) -> "TcpChannel":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise ChannelClosed("send on closed channel")
+        if len(payload) > MAX_FRAME_BYTES:
+            raise SerializationError("frame exceeds maximum size")
+        try:
+            with self._send_lock:
+                self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+        except OSError as error:
+            self._closed = True
+            raise ChannelClosed("send failed: %s" % error) from error
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if self._closed:
+            raise ChannelClosed("recv on closed channel")
+        with self._recv_lock:
+            try:
+                self._sock.settimeout(timeout)
+                header = self._recv_exact(_LENGTH.size)
+                (length,) = _LENGTH.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise SerializationError("peer announced oversized frame")
+                return self._recv_exact(length)
+            except socket.timeout:
+                raise TimeoutError("channel recv timed out") from None
+            except OSError as error:
+                self._closed = True
+                raise ChannelClosed("recv failed: %s" % error) from error
+            finally:
+                try:
+                    self._sock.settimeout(None)
+                except OSError:
+                    pass
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                self._closed = True
+                raise ChannelClosed("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class TcpListener:
+    """Accepts incoming :class:`TcpChannel` connections (master side)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+
+    def accept(self, timeout: Optional[float] = None) -> TcpChannel:
+        self._sock.settimeout(timeout)
+        try:
+            sock, _peer = self._sock.accept()
+        except socket.timeout:
+            raise TimeoutError("no incoming connection") from None
+        sock.settimeout(None)
+        return TcpChannel(sock)
+
+    def close(self) -> None:
+        self._sock.close()

@@ -1,0 +1,127 @@
+"""Discovery Service (paper Sec. IV-C).
+
+On Android the master registers a Network Service (NSD) and workers'
+background services connect upon discovering it.  Here:
+
+* :class:`LocalDiscovery` — an in-process registry for thread swarms;
+* :class:`UdpDiscovery` — the master periodically broadcasts a beacon
+  (service name + TCP address) on a loopback UDP port; workers listen
+  until they hear it.  This is the same announce/listen pattern NSD
+  provides, implemented on primitives available everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.exceptions import DiscoveryError
+
+DEFAULT_BEACON_PORT = 48_800
+
+
+class LocalDiscovery:
+    """Process-local service registry with blocking lookup."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, object] = {}
+        self._condition = threading.Condition()
+
+    def announce(self, service_name: str, address: object) -> None:
+        """Register *service_name* at *address* (any picklable token)."""
+        with self._condition:
+            self._services[service_name] = address
+            self._condition.notify_all()
+
+    def withdraw(self, service_name: str) -> None:
+        with self._condition:
+            self._services.pop(service_name, None)
+
+    def lookup(self, service_name: str, timeout: float = 5.0) -> object:
+        """Block until *service_name* is announced; raise on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while service_name not in self._services:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DiscoveryError("service %r not found within %.1fs"
+                                         % (service_name, timeout))
+                self._condition.wait(timeout=remaining)
+            return self._services[service_name]
+
+
+class UdpBeacon:
+    """Master side: periodically broadcast the service address."""
+
+    def __init__(self, service_name: str, address: Tuple[str, int],
+                 beacon_port: int = DEFAULT_BEACON_PORT,
+                 interval: float = 0.2) -> None:
+        self.service_name = service_name
+        self.address = address
+        self.beacon_port = beacon_port
+        self.interval = interval
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._running = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._running.set()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="udp-beacon", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        payload = json.dumps({
+            "service": self.service_name,
+            "host": self.address[0],
+            "port": self.address[1],
+        }).encode("utf-8")
+        while self._running.is_set():
+            try:
+                self._sock.sendto(payload, ("127.0.0.1", self.beacon_port))
+            except OSError:
+                pass
+            time.sleep(self.interval)
+
+    def stop(self) -> None:
+        self._running.clear()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._sock.close()
+
+
+def listen_for_beacon(service_name: str,
+                      beacon_port: int = DEFAULT_BEACON_PORT,
+                      timeout: float = 5.0) -> Tuple[str, int]:
+    """Worker side: block until the service's beacon is heard."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        sock.bind(("127.0.0.1", beacon_port))
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DiscoveryError("no beacon for %r within %.1fs"
+                                     % (service_name, timeout))
+            sock.settimeout(remaining)
+            try:
+                payload, _peer = sock.recvfrom(4096)
+            except socket.timeout:
+                raise DiscoveryError("no beacon for %r within %.1fs"
+                                     % (service_name, timeout)) from None
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if decoded.get("service") == service_name:
+                return str(decoded["host"]), int(decoded["port"])
+    finally:
+        sock.close()

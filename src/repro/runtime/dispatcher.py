@@ -1,0 +1,172 @@
+"""Upstream dispatcher: applies a routing policy on the real runtime.
+
+One dispatcher lives at every hosted function unit that has downstream
+units.  It owns the unit's routing policy, the ACK tracker feeding it
+latency estimates (paper Sec. V-B), and the once-per-second policy
+update; :meth:`UpstreamDispatcher.dispatch` is called for every tuple
+the unit emits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.exceptions import RoutingError
+from repro.core.latency import AckTracker, RateMeter
+from repro.core.policies import PolicyDecision, make_policy
+from repro.core.tuples import DataTuple
+from repro.runtime import messages
+from repro.runtime.serialization import encode_tuple
+
+#: an instance is addressed as "unit@worker"
+InstanceId = str
+
+
+def instance_id(unit_name: str, worker_id: str) -> InstanceId:
+    return "%s@%s" % (unit_name, worker_id)
+
+
+def split_instance(instance: InstanceId) -> Tuple[str, str]:
+    unit_name, _, worker_id = instance.partition("@")
+    if not unit_name or not worker_id:
+        raise RoutingError("malformed instance id %r" % instance)
+    return unit_name, worker_id
+
+
+class UpstreamDispatcher:
+    """Routes one unit's output tuples across downstream instances."""
+
+    def __init__(self, unit_name: str,
+                 send: Callable[[str, messages.Message], None],
+                 policy: str = "LRS", seed: Optional[int] = None,
+                 control_interval: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 edge: Optional[str] = None) -> None:
+        self.unit_name = unit_name
+        self.edge = edge or unit_name
+        self._send = send
+        self._clock = clock
+        self._control_interval = control_interval
+        self._policy = make_policy(policy, seed=seed)
+        self._tracker = AckTracker()
+        self._rate = RateMeter(window=1.0)
+        self._lock = threading.Lock()
+        self._last_update = clock()
+        self._downstreams: Dict[InstanceId, Tuple[str, str]] = {}
+        self.dispatched = 0
+        self.ack_count = 0
+
+    # -- membership --------------------------------------------------------
+    def set_downstreams(self, instances) -> None:
+        """Reconcile the downstream instance set (deploy updates)."""
+        desired = {inst: split_instance(inst) for inst in instances}
+        with self._lock:
+            for instance in list(self._downstreams):
+                if instance not in desired:
+                    self._remove(instance)
+            for instance, parts in desired.items():
+                if instance not in self._downstreams:
+                    self._downstreams[instance] = parts
+                    self._tracker.add_downstream(instance)
+                    self._policy.on_downstream_added(instance)
+
+    def add_downstream(self, instance: InstanceId) -> None:
+        with self._lock:
+            if instance in self._downstreams:
+                return
+            self._downstreams[instance] = split_instance(instance)
+            self._tracker.add_downstream(instance)
+            self._policy.on_downstream_added(instance)
+
+    def remove_downstream(self, instance: InstanceId) -> None:
+        with self._lock:
+            self._remove(instance)
+
+    def _remove(self, instance: InstanceId) -> None:
+        self._downstreams.pop(instance, None)
+        self._tracker.remove_downstream(instance)
+        if instance in self._policy.downstream_ids():
+            self._policy.on_downstream_removed(instance)
+
+    def downstream_instances(self):
+        with self._lock:
+            return sorted(self._downstreams)
+
+    # -- data plane ----------------------------------------------------------
+    def dispatch(self, data: DataTuple) -> Optional[InstanceId]:
+        """Route one tuple; returns the chosen instance (None if lost)."""
+        now = self._clock()
+        with self._lock:
+            self._rate.observe(now)
+            self._maybe_update(now)
+            try:
+                instance = self._policy.route()
+            except RoutingError:
+                return None
+            parts = self._downstreams.get(instance)
+            if parts is None:
+                return None
+            unit_name, worker_id = parts
+            self._tracker.record_send(data.seq, instance, now)
+        payload = encode_tuple(data)
+        message = messages.data_message(unit_name, payload, data.seq, now)
+        message.payload["edge"] = self.edge
+        try:
+            self._send(worker_id, message)
+        except Exception:
+            # Broken link: remove the downstream and re-route (Sec. IV-C).
+            self.remove_downstream(instance)
+            with self._lock:
+                try:
+                    fallback = self._policy.route()
+                except RoutingError:
+                    return None
+                fallback_parts = self._downstreams.get(fallback)
+                if fallback_parts is None:
+                    return None
+            message = messages.data_message(fallback_parts[0], payload,
+                                            data.seq, self._clock())
+            message.payload["edge"] = self.edge
+            try:
+                self._send(fallback_parts[1], message)
+            except Exception:
+                return None
+            instance = fallback
+        self.dispatched += 1
+        return instance
+
+    def on_ack(self, seq: int, processing_delay: float) -> None:
+        """Fold a downstream's timestamp echo into the estimators."""
+        now = self._clock()
+        with self._lock:
+            sample = self._tracker.record_ack(seq, now, processing_delay)
+            if sample is not None:
+                self.ack_count += 1
+
+    # -- control plane ---------------------------------------------------
+    def _maybe_update(self, now: float) -> PolicyDecision:
+        if now - self._last_update >= self._control_interval:
+            self._last_update = now
+            self._tracker.expire_pending(now)
+            return self._policy.update(self._tracker.stats(),
+                                       self._rate.rate(now))
+        return self._policy.last_decision
+
+    def force_update(self) -> PolicyDecision:
+        """Run a policy round immediately (tests, shutdown reporting)."""
+        now = self._clock()
+        with self._lock:
+            self._last_update = now
+            self._tracker.expire_pending(now)
+            return self._policy.update(self._tracker.stats(),
+                                       self._rate.rate(now))
+
+    @property
+    def policy(self):
+        return self._policy
+
+    def stats(self):
+        with self._lock:
+            return self._tracker.stats()

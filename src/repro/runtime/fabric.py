@@ -1,0 +1,189 @@
+"""Message fabric: named endpoints exchanging framed messages.
+
+The runtime addresses peers by worker ID, not by socket: a *fabric*
+binds IDs to transports.  Two fabrics are provided:
+
+* :class:`InProcFabric` — queue-backed mailboxes for worker threads in
+  one process (Swing's threads co-located on devices);
+* :class:`TcpFabric` — each endpoint runs a TCP listener; peers dial
+  each other lazily and identify themselves with a hello frame, giving
+  the direct worker-to-worker connections of the paper's Step 3.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.exceptions import DiscoveryError, RuntimeStateError
+from repro.runtime.channels import ChannelClosed, TcpChannel, TcpListener
+from repro.runtime.messages import Message
+from repro.runtime.serialization import decode_value, encode_value
+
+
+class Mailbox:
+    """Inbound message queue of one endpoint."""
+
+    def __init__(self, owner_id: str) -> None:
+        self.owner_id = owner_id
+        self._queue: "queue.Queue" = queue.Queue()
+
+    def put(self, sender_id: str, message: Message) -> None:
+        self._queue.put((sender_id, message))
+
+    def get(self, timeout: Optional[float] = None) -> Tuple[str, Message]:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("mailbox %r empty" % self.owner_id) from None
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+
+class Fabric:
+    """Abstract endpoint directory + message transport."""
+
+    def register(self, endpoint_id: str) -> Mailbox:
+        raise NotImplementedError
+
+    def send(self, sender_id: str, target_id: str, message: Message) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (no-op for in-process fabrics)."""
+
+
+class InProcFabric(Fabric):
+    """Thread-safe in-process fabric; delivery is immediate."""
+
+    def __init__(self) -> None:
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._lock = threading.Lock()
+
+    def register(self, endpoint_id: str) -> Mailbox:
+        with self._lock:
+            if endpoint_id in self._mailboxes:
+                raise RuntimeStateError("endpoint %r already registered"
+                                        % endpoint_id)
+            mailbox = Mailbox(endpoint_id)
+            self._mailboxes[endpoint_id] = mailbox
+            return mailbox
+
+    def unregister(self, endpoint_id: str) -> None:
+        with self._lock:
+            self._mailboxes.pop(endpoint_id, None)
+
+    def send(self, sender_id: str, target_id: str, message: Message) -> None:
+        with self._lock:
+            mailbox = self._mailboxes.get(target_id)
+        if mailbox is None:
+            raise ChannelClosed("endpoint %r is gone" % target_id)
+        mailbox.put(sender_id, message)
+
+    def endpoint_ids(self):
+        with self._lock:
+            return sorted(self._mailboxes)
+
+
+class TcpFabric(Fabric):
+    """Direct TCP mesh: one listener per endpoint, lazy dialing.
+
+    The first frame on every dialed connection is a hello carrying the
+    dialer's endpoint ID, so the acceptor can attribute inbound traffic.
+    """
+
+    def __init__(self, endpoint_id: str, host: str = "127.0.0.1") -> None:
+        self.endpoint_id = endpoint_id
+        self._listener = TcpListener(host=host, port=0)
+        self.address: Tuple[str, int] = self._listener.address
+        self._mailbox = Mailbox(endpoint_id)
+        self._directory: Dict[str, Tuple[str, int]] = {}
+        self._outgoing: Dict[str, TcpChannel] = {}
+        self._lock = threading.Lock()
+        self._running = True
+        self._threads = []
+        accept_thread = threading.Thread(target=self._accept_loop,
+                                         name="fabric-accept:%s" % endpoint_id,
+                                         daemon=True)
+        accept_thread.start()
+        self._threads.append(accept_thread)
+
+    # -- directory ---------------------------------------------------------
+    def learn(self, endpoint_id: str, address: Tuple[str, int]) -> None:
+        """Record where *endpoint_id* listens (from master's DEPLOY)."""
+        with self._lock:
+            self._directory[endpoint_id] = (str(address[0]), int(address[1]))
+
+    def register(self, endpoint_id: str) -> Mailbox:
+        if endpoint_id != self.endpoint_id:
+            raise RuntimeStateError("a TcpFabric hosts exactly one endpoint")
+        return self._mailbox
+
+    # -- data path -----------------------------------------------------------
+    def send(self, sender_id: str, target_id: str, message: Message) -> None:
+        if target_id == self.endpoint_id:
+            # Local delivery (e.g. the master deploying to itself).
+            self._mailbox.put(sender_id, message)
+            return
+        channel = self._channel_to(target_id)
+        try:
+            channel.send(message.encode())
+        except ChannelClosed:
+            with self._lock:
+                self._outgoing.pop(target_id, None)
+            raise
+
+    def _channel_to(self, target_id: str) -> TcpChannel:
+        with self._lock:
+            channel = self._outgoing.get(target_id)
+            if channel is not None and not channel.closed:
+                return channel
+            address = self._directory.get(target_id)
+        if address is None:
+            raise DiscoveryError("no known address for endpoint %r" % target_id)
+        channel = TcpChannel.connect(address[0], address[1])
+        channel.send(encode_value({"hello": self.endpoint_id}))
+        with self._lock:
+            self._outgoing[target_id] = channel
+        return channel
+
+    # -- accept path ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                channel = self._listener.accept(timeout=0.25)
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            reader = threading.Thread(target=self._read_loop, args=(channel,),
+                                      name="fabric-read:%s" % self.endpoint_id,
+                                      daemon=True)
+            reader.start()
+            self._threads.append(reader)
+
+    def _read_loop(self, channel: TcpChannel) -> None:
+        try:
+            hello = decode_value(channel.recv(timeout=5.0))
+            peer_id = hello.get("hello") if isinstance(hello, dict) else None
+            if not isinstance(peer_id, str):
+                channel.close()
+                return
+            while self._running:
+                frame = channel.recv(timeout=None)
+                self._mailbox.put(peer_id, Message.decode(frame))
+        except (ChannelClosed, TimeoutError, OSError):
+            pass
+        finally:
+            channel.close()
+
+    def close(self) -> None:
+        self._running = False
+        self._listener.close()
+        with self._lock:
+            for channel in self._outgoing.values():
+                channel.close()
+            self._outgoing.clear()

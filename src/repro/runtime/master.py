@@ -1,0 +1,222 @@
+"""Master: deploys the app graph and coordinates the swarm.
+
+"The master deploys the app dataflow graph by assigning function units
+and connecting devices ... The master thread is responsible only for
+control, bootstrapping connections and sending start/stop commands.  It
+can co-locate on the same device with worker threads." (paper Sec. IV-B)
+
+The master here owns its own :class:`~repro.runtime.worker.WorkerRuntime`
+(so sources and sinks can live on the master device, like phone A in the
+evaluation) plus the control logic: placement planning, JOIN handling
+(deploy to the newcomer, refresh upstream routing tables) and LEAVE
+handling (drop the departed instances everywhere).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import DeploymentError
+from repro.core.graph import AppGraph
+from repro.runtime import messages
+from repro.runtime.dispatcher import instance_id
+from repro.runtime.fabric import Fabric
+from repro.runtime.worker import WorkerRuntime
+
+
+@dataclass
+class Placement:
+    """Which workers host each logical function unit.
+
+    The default (:meth:`Placement.default`) puts sources and sinks on the
+    master device and replicates every compute unit on all workers —
+    matching the paper's deployments (phone A sources and displays; the
+    rest compute).
+    """
+
+    assignments: Dict[str, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls, graph: AppGraph, master_id: str,
+                worker_ids: Sequence[str]) -> "Placement":
+        assignments: Dict[str, List[str]] = {}
+        for spec in graph.sources() + graph.sinks():
+            assignments[spec.name] = [master_id]
+        compute_hosts = sorted(worker_ids) or [master_id]
+        for spec in graph.compute_units():
+            assignments[spec.name] = list(compute_hosts)
+        return cls(assignments)
+
+    def workers_for(self, unit_name: str) -> List[str]:
+        try:
+            return list(self.assignments[unit_name])
+        except KeyError:
+            raise DeploymentError("no placement for unit %r" % unit_name) from None
+
+    def add_worker(self, graph: AppGraph, worker_id: str) -> None:
+        """Activate all compute units on a newly joined worker."""
+        for spec in graph.compute_units():
+            hosts = self.assignments.setdefault(spec.name, [])
+            if worker_id not in hosts:
+                hosts.append(worker_id)
+                hosts.sort()
+
+    def remove_worker(self, worker_id: str) -> None:
+        for hosts in self.assignments.values():
+            if worker_id in hosts:
+                hosts.remove(worker_id)
+
+    def units_on(self, worker_id: str) -> List[str]:
+        return sorted(name for name, hosts in self.assignments.items()
+                      if worker_id in hosts)
+
+    def instances_of(self, unit_name: str) -> List[str]:
+        return [instance_id(unit_name, worker)
+                for worker in self.workers_for(unit_name)]
+
+
+class Master:
+    """Coordinates deployment, membership and execution of one app."""
+
+    def __init__(self, master_id: str, fabric: Fabric, graph: AppGraph,
+                 policy: str = "LRS", source_rate: float = 24.0,
+                 seed: Optional[int] = None,
+                 control_interval: float = 1.0,
+                 heartbeat_timeout: float = 0.0) -> None:
+        graph.validate()
+        if heartbeat_timeout < 0:
+            raise DeploymentError("heartbeat timeout must be >= 0")
+        self.master_id = master_id
+        self.fabric = fabric
+        self.graph = graph
+        self.policy = policy
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._workers: List[str] = []
+        self._last_heartbeat: Dict[str, float] = {}
+        self._detector: Optional[threading.Thread] = None
+        self._detector_running = threading.Event()
+        self.placement: Optional[Placement] = None
+        self.runtime = WorkerRuntime(
+            master_id, fabric, graph, policy=policy, source_rate=source_rate,
+            seed=seed, control_interval=control_interval,
+            control_handler=self._on_control)
+        self.started = False
+        if heartbeat_timeout > 0:
+            self._detector_running.set()
+            self._detector = threading.Thread(
+                target=self._detect_failures,
+                name="failure-detector:%s" % master_id, daemon=True)
+            self._detector.start()
+
+    # -- membership --------------------------------------------------------
+    def _on_control(self, sender_id: str, message: messages.Message) -> None:
+        if message.kind == messages.JOIN:
+            self._last_heartbeat[message.payload["worker_id"]] = \
+                time.monotonic()
+            self.handle_join(message.payload["worker_id"])
+        elif message.kind == messages.LEAVE:
+            self.handle_leave(message.payload["worker_id"])
+        elif message.kind == messages.HEARTBEAT:
+            self._last_heartbeat[message.payload["worker_id"]] = \
+                time.monotonic()
+
+    def _detect_failures(self) -> None:
+        """Evict workers whose heartbeats stopped (broken link / crash)."""
+        while self._detector_running.is_set():
+            time.sleep(self.heartbeat_timeout / 2.0)
+            now = time.monotonic()
+            stale = [worker_id for worker_id in self.worker_ids
+                     if now - self._last_heartbeat.get(worker_id, now)
+                     > self.heartbeat_timeout]
+            for worker_id in stale:
+                self.handle_leave(worker_id)
+
+    def handle_join(self, worker_id: str) -> None:
+        """Involve a new device as soon as it connects (Sec. IV-C)."""
+        with self._lock:
+            if worker_id in self._workers:
+                return
+            self._workers.append(worker_id)
+            if self.placement is None:
+                return  # not deployed yet; the worker waits for deploy()
+            self.placement.add_worker(self.graph, worker_id)
+            self._send_deploy(worker_id)
+            self._refresh_upstreams()
+            if self.started:
+                self.fabric.send(self.master_id, worker_id,
+                                 messages.start_message())
+
+    def handle_leave(self, worker_id: str) -> None:
+        """Remove a departed device's instances from all routing tables."""
+        with self._lock:
+            if worker_id in self._workers:
+                self._workers.remove(worker_id)
+            if self.placement is None:
+                return
+            self.placement.remove_worker(worker_id)
+            self._refresh_upstreams()
+
+    @property
+    def worker_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._workers)
+
+    # -- deployment --------------------------------------------------------
+    def deploy(self, worker_ids: Optional[Sequence[str]] = None) -> None:
+        """Compute the placement and push DEPLOY to every device."""
+        with self._lock:
+            if worker_ids is not None:
+                for worker_id in worker_ids:
+                    if worker_id not in self._workers:
+                        self._workers.append(worker_id)
+            self.placement = Placement.default(self.graph, self.master_id,
+                                               self._workers)
+            for worker_id in [self.master_id] + self._workers:
+                self._send_deploy(worker_id)
+
+    def _send_deploy(self, worker_id: str) -> None:
+        assert self.placement is not None
+        unit_names = self.placement.units_on(worker_id)
+        downstream_map = {}
+        for unit_name in unit_names:
+            for downstream_unit in self.graph.downstreams(unit_name):
+                edge = WorkerRuntime.edge_key(unit_name, downstream_unit)
+                downstream_map[edge] = self.placement.instances_of(downstream_unit)
+        self.fabric.send(self.master_id, worker_id,
+                         messages.deploy_message(worker_id, unit_names,
+                                                 downstream_map))
+
+    def _refresh_upstreams(self) -> None:
+        """Re-send DEPLOY everywhere so routing tables reflect membership."""
+        assert self.placement is not None
+        for worker_id in [self.master_id] + self._workers:
+            self._send_deploy(worker_id)
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> None:
+        """Instruct source devices to begin sensing (Fig. 3 step 4)."""
+        with self._lock:
+            if self.placement is None:
+                raise DeploymentError("deploy() must run before start()")
+            self.started = True
+            for worker_id in [self.master_id] + self._workers:
+                self.fabric.send(self.master_id, worker_id,
+                                 messages.start_message())
+
+    def stop(self) -> None:
+        self._detector_running.clear()
+        if self._detector is not None:
+            self._detector.join(timeout=2.0)
+            self._detector = None
+        with self._lock:
+            self.started = False
+            for worker_id in list(self._workers):
+                try:
+                    self.fabric.send(self.master_id, worker_id,
+                                     messages.stop_message())
+                except Exception:
+                    continue

@@ -1,0 +1,99 @@
+"""Control- and data-plane message envelopes.
+
+Every frame on a channel is one envelope: a message kind plus a payload
+dict, encoded with the binary tuple codec.  The kinds mirror the Swing
+workflow (Fig. 3): workers JOIN, the master DEPLOYs function units and
+peer addresses, START/STOP drive execution, DATA carries tuples, ACK
+carries the timestamp echo + measured processing delay back upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.exceptions import SerializationError
+from repro.runtime.serialization import decode_value, encode_value
+
+JOIN = "join"
+WELCOME = "welcome"
+DEPLOY = "deploy"
+START = "start"
+STOP = "stop"
+DATA = "data"
+ACK = "ack"
+HEARTBEAT = "heartbeat"
+LEAVE = "leave"
+
+_KINDS = frozenset({JOIN, WELCOME, DEPLOY, START, STOP, DATA, ACK,
+                    HEARTBEAT, LEAVE})
+
+
+@dataclass
+class Message:
+    """One framed message: a kind tag and a payload dictionary."""
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SerializationError("unknown message kind %r" % self.kind)
+
+    def encode(self) -> bytes:
+        return encode_value({"kind": self.kind, "payload": self.payload})
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        decoded = decode_value(data)
+        if not isinstance(decoded, dict) or "kind" not in decoded:
+            raise SerializationError("malformed message frame")
+        return cls(kind=decoded["kind"], payload=decoded.get("payload", {}))
+
+
+def join_message(worker_id: str) -> Message:
+    return Message(JOIN, {"worker_id": worker_id})
+
+
+def welcome_message(worker_id: str) -> Message:
+    return Message(WELCOME, {"worker_id": worker_id})
+
+
+def deploy_message(worker_id: str, unit_names: list,
+                   downstream_map: Dict[str, list]) -> Message:
+    """Assign *unit_names* to a worker and describe its downstream peers.
+
+    ``downstream_map`` maps each assigned unit name to the list of
+    (unit, worker) instance IDs it must route results to.
+    """
+    return Message(DEPLOY, {
+        "worker_id": worker_id,
+        "unit_names": list(unit_names),
+        "downstream_map": {name: list(ids)
+                           for name, ids in downstream_map.items()},
+    })
+
+
+def start_message() -> Message:
+    return Message(START)
+
+
+def stop_message() -> Message:
+    return Message(STOP)
+
+
+def data_message(unit_name: str, payload: bytes, seq: int,
+                 sent_at: float) -> Message:
+    """A tuple bound for *unit_name* on the receiving worker."""
+    return Message(DATA, {"unit": unit_name, "tuple": payload,
+                          "seq": seq, "sent_at": sent_at})
+
+
+def ack_message(seq: int, sent_at: float, processing_delay: float) -> Message:
+    """The timestamp echo of paper Sec. V-B, with W_i piggybacked."""
+    return Message(ACK, {"seq": seq, "sent_at": sent_at,
+                         "processing_delay": processing_delay})
+
+
+def leave_message(worker_id: str) -> Message:
+    return Message(LEAVE, {"worker_id": worker_id})

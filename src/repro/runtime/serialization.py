@@ -1,0 +1,199 @@
+"""Serialization Service (paper Sec. IV-C).
+
+SEEP serializes tuples with Kryo; Swing extends it so customized objects
+(image containers, sensor vectors, audio segments) are transformed into
+byte arrays at the sender and reconstructed at the receiver.  We
+implement a compact, self-describing binary codec from scratch — no
+pickle, so a malicious peer cannot execute code through the data plane.
+
+Supported value types: None, bool, int, float, str, bytes, list, tuple,
+dict (string keys), and numpy arrays.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SerializationError
+from repro.core.tuples import DataTuple
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+_TAG_NDARRAY = b"a"
+
+#: guards against hostile or corrupt length prefixes
+MAX_ENCODED_BYTES = 256 * 1024 * 1024
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value into the self-describing binary format."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        out.append(struct.pack(">q", value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(struct.pack(">I", len(data)))
+        out.append(data)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(_TAG_BYTES)
+        out.append(struct.pack(">I", len(data)))
+        out.append(data)
+    elif isinstance(value, list):
+        out.append(_TAG_LIST)
+        out.append(struct.pack(">I", len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out.append(struct.pack(">I", len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out.append(struct.pack(">I", len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError("dict keys must be strings, got %r"
+                                         % type(key).__name__)
+            _encode_into(key, out)
+            _encode_into(item, out)
+    elif isinstance(value, np.ndarray):
+        dtype = value.dtype.str.encode("ascii")
+        shape = value.shape
+        payload = np.ascontiguousarray(value).tobytes()
+        out.append(_TAG_NDARRAY)
+        out.append(struct.pack(">B", len(dtype)))
+        out.append(dtype)
+        out.append(struct.pack(">B", len(shape)))
+        out.append(struct.pack(">%dq" % len(shape), *shape) if shape else b"")
+        out.append(struct.pack(">I", len(payload)))
+        out.append(payload)
+    elif isinstance(value, (np.integer,)):
+        _encode_into(int(value), out)
+    elif isinstance(value, (np.floating,)):
+        _encode_into(float(value), out)
+    else:
+        raise SerializationError("cannot serialize value of type %r"
+                                 % type(value).__name__)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self.pos + count > len(self.data):
+            raise SerializationError("truncated payload")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def unpack(self, fmt: str) -> Tuple:
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.take(size))
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a value produced by :func:`encode_value`."""
+    reader = _Reader(data)
+    value = _decode_from(reader)
+    if reader.pos != len(data):
+        raise SerializationError("%d trailing bytes after value"
+                                 % (len(data) - reader.pos))
+    return value
+
+
+def _decode_from(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return reader.unpack(">q")[0]
+    if tag == _TAG_FLOAT:
+        return reader.unpack(">d")[0]
+    if tag == _TAG_STR:
+        (length,) = reader.unpack(">I")
+        return reader.take(length).decode("utf-8")
+    if tag == _TAG_BYTES:
+        (length,) = reader.unpack(">I")
+        return reader.take(length)
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = reader.unpack(">I")
+        items = [_decode_from(reader) for _ in range(count)]
+        return items if tag == _TAG_LIST else tuple(items)
+    if tag == _TAG_DICT:
+        (count,) = reader.unpack(">I")
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader)
+            result[key] = _decode_from(reader)
+        return result
+    if tag == _TAG_NDARRAY:
+        (dtype_len,) = reader.unpack(">B")
+        dtype = np.dtype(reader.take(dtype_len).decode("ascii"))
+        (ndim,) = reader.unpack(">B")
+        shape = reader.unpack(">%dq" % ndim) if ndim else ()
+        (length,) = reader.unpack(">I")
+        payload = reader.take(length)
+        expected = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        if shape and length != expected:
+            raise SerializationError("array payload size mismatch")
+        array = np.frombuffer(payload, dtype=dtype)
+        return array.reshape(shape) if shape else array.reshape(())
+    raise SerializationError("unknown type tag %r" % tag)
+
+
+def encode_tuple(data: DataTuple) -> bytes:
+    """Serialize a :class:`DataTuple` (values + routing metadata)."""
+    body = encode_value({
+        "seq": data.seq,
+        "created_at": data.created_at,
+        "values": data.values,
+    })
+    if len(body) > MAX_ENCODED_BYTES:
+        raise SerializationError("tuple exceeds maximum encoded size")
+    return body
+
+
+def decode_tuple(payload: bytes) -> DataTuple:
+    """Reconstruct a :class:`DataTuple` from :func:`encode_tuple` output."""
+    decoded = decode_value(payload)
+    if not isinstance(decoded, dict) or not {"seq", "created_at", "values"} <= set(decoded):
+        raise SerializationError("payload is not an encoded tuple")
+    return DataTuple(values=decoded["values"], seq=decoded["seq"],
+                     created_at=decoded["created_at"])

@@ -1,0 +1,286 @@
+"""Worker runtime: one thread hosting function-unit instances.
+
+A worker corresponds to one device in the swarm.  It receives DEPLOY
+from the master naming the function units to activate (every device has
+the whole app installed — Fig. 3 step 3), processes DATA messages with
+the hosted units, returns ACKs carrying the measured processing delay,
+and runs an :class:`~repro.runtime.dispatcher.UpstreamDispatcher` for
+every hosted unit that has downstream units.
+
+``slowdown`` emulates device heterogeneity on a shared development
+machine: processing sleeps for ``slowdown * measured_compute`` extra
+seconds, scaling a fast host down to a phone-like service rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.exceptions import DeploymentError, RuntimeStateError
+from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
+from repro.core.graph import AppGraph
+from repro.core.tuples import DataTuple
+from repro.runtime import messages
+from repro.runtime.dispatcher import UpstreamDispatcher, instance_id
+from repro.runtime.fabric import Fabric, Mailbox
+from repro.runtime.serialization import decode_tuple
+
+
+class WorkerRuntime:
+    """Hosts and drives function units on one swarm endpoint."""
+
+    def __init__(self, worker_id: str, fabric: Fabric, graph: AppGraph,
+                 policy: str = "LRS", slowdown: float = 0.0,
+                 source_rate: float = 24.0, seed: Optional[int] = None,
+                 control_interval: float = 1.0,
+                 control_handler: Optional[Callable] = None,
+                 heartbeat_interval: float = 0.0,
+                 heartbeat_target: Optional[str] = None) -> None:
+        if slowdown < 0:
+            raise RuntimeStateError("slowdown must be non-negative")
+        if heartbeat_interval < 0:
+            raise RuntimeStateError("heartbeat interval must be >= 0")
+        self.worker_id = worker_id
+        self.fabric = fabric
+        self.graph = graph
+        self.policy_name = policy
+        self.slowdown = slowdown
+        self.source_rate = source_rate
+        self.seed = seed
+        self.control_interval = control_interval
+        self._control_handler = control_handler
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_target = heartbeat_target
+        self._mailbox: Mailbox = fabric.register(worker_id)
+        self._units: Dict[str, FunctionUnit] = {}
+        self._dispatchers: Dict[str, UpstreamDispatcher] = {}
+        self._running = threading.Event()
+        self._started = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._source_threads: List[threading.Thread] = []
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self.processed_count = 0
+        self.deployed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeStateError("worker %s already started" % self.worker_id)
+        self._running.set()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="worker:%s" % self.worker_id,
+                                        daemon=True)
+        self._thread.start()
+        if self.heartbeat_interval > 0 and self.heartbeat_target:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="heartbeat:%s" % self.worker_id, daemon=True)
+            self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        """Periodic liveness beacon toward the master (Background Service)."""
+        while self._running.is_set():
+            try:
+                self.fabric.send(
+                    self.worker_id, self.heartbeat_target,
+                    messages.Message(messages.HEARTBEAT,
+                                     {"worker_id": self.worker_id}))
+            except Exception:
+                pass  # the master may be momentarily unreachable
+            time.sleep(self.heartbeat_interval)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._running.clear()
+        self._started.clear()
+        for thread in self._source_threads:
+            thread.join(timeout=timeout)
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=timeout)
+            self._heartbeat_thread = None
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        for unit in self._units.values():
+            unit.on_stop()
+
+    def join_master(self, master_id: str) -> None:
+        """Announce this worker to the master (Fig. 3 step 2)."""
+        self.fabric.send(self.worker_id, master_id,
+                         messages.join_message(self.worker_id))
+
+    # -- main loop ---------------------------------------------------------
+    def _loop(self) -> None:
+        while self._running.is_set():
+            try:
+                sender_id, message = self._mailbox.get(timeout=0.05)
+            except TimeoutError:
+                continue
+            try:
+                self._handle(sender_id, message)
+            except Exception:
+                # A poison message must not kill the device's service.
+                continue
+
+    def _handle(self, sender_id: str, message: messages.Message) -> None:
+        if message.kind == messages.DEPLOY:
+            self._on_deploy(message)
+        elif message.kind == messages.DATA:
+            self._on_data(sender_id, message)
+        elif message.kind == messages.ACK:
+            self._on_ack(message)
+        elif message.kind == messages.START:
+            self._on_start()
+        elif message.kind == messages.STOP:
+            self._running.clear()
+            self._started.clear()
+        elif self._control_handler is not None:
+            self._control_handler(sender_id, message)
+
+    # -- deployment ----------------------------------------------------------
+    def _on_deploy(self, message: messages.Message) -> None:
+        unit_names = message.payload.get("unit_names", [])
+        downstream_map = message.payload.get("downstream_map", {})
+        for name in unit_names:
+            if name not in self._units:
+                self._activate(name)
+        for name in list(self._units):
+            if name not in unit_names:
+                self._deactivate(name)
+        for edge, instances in downstream_map.items():
+            dispatcher = self._dispatchers.get(edge)
+            if dispatcher is not None:
+                dispatcher.set_downstreams(instances)
+        self.deployed.set()
+
+    @staticmethod
+    def edge_key(unit_name: str, downstream_unit: str) -> str:
+        """Dispatcher key for the logical edge unit -> downstream_unit."""
+        return "%s>%s" % (unit_name, downstream_unit)
+
+    def _activate(self, unit_name: str) -> None:
+        spec = self.graph.unit(unit_name)
+        unit = spec.factory()
+        if not isinstance(unit, FunctionUnit):
+            raise DeploymentError("factory for %r did not build a FunctionUnit"
+                                  % unit_name)
+        downstream_units = self.graph.downstreams(unit_name)
+        edge_dispatchers = []
+        for downstream_unit in downstream_units:
+            # One dispatcher per logical edge: a tuple goes to EVERY
+            # downstream unit, routed among that unit's device replicas.
+            key = self.edge_key(unit_name, downstream_unit)
+            dispatcher = UpstreamDispatcher(
+                unit_name,
+                send=lambda target, msg: self.fabric.send(self.worker_id,
+                                                          target, msg),
+                policy=self.policy_name, seed=self.seed,
+                control_interval=self.control_interval, edge=key)
+            self._dispatchers[key] = dispatcher
+            edge_dispatchers.append(dispatcher)
+        emit = self._make_emit(edge_dispatchers)
+        context = UnitContext(unit_name=unit_name,
+                              instance_id=instance_id(unit_name, self.worker_id),
+                              emit=emit, now=time.monotonic)
+        unit.bind(context)
+        unit.on_start()
+        self._units[unit_name] = unit
+
+    def _make_emit(self, dispatchers):
+        def _emit(data: DataTuple) -> None:
+            for dispatcher in dispatchers:
+                dispatcher.dispatch(data)
+        return _emit
+
+    def _deactivate(self, unit_name: str) -> None:
+        unit = self._units.pop(unit_name, None)
+        if unit is not None:
+            unit.on_stop()
+        prefix = "%s>" % unit_name
+        for key in [key for key in self._dispatchers if key.startswith(prefix)]:
+            del self._dispatchers[key]
+
+    # -- data plane ------------------------------------------------------
+    def _on_data(self, sender_id: str, message: messages.Message) -> None:
+        unit_name = message.payload["unit"]
+        unit = self._units.get(unit_name)
+        if unit is None:
+            return
+        data = decode_tuple(message.payload["tuple"])
+        started = time.monotonic()
+        unit.process_data(data)
+        elapsed = time.monotonic() - started
+        if self.slowdown > 0.0:
+            time.sleep(self.slowdown * max(elapsed, 1e-6))
+            elapsed = time.monotonic() - started
+        self.processed_count += 1
+        ack = messages.ack_message(message.payload["seq"],
+                                   message.payload["sent_at"], elapsed)
+        ack.payload["edge"] = message.payload.get("edge", "")
+        try:
+            self.fabric.send(self.worker_id, sender_id, ack)
+        except Exception:
+            pass  # the upstream is gone; nothing to acknowledge
+
+    def _on_ack(self, message: messages.Message) -> None:
+        dispatcher = self._dispatchers.get(message.payload.get("edge", ""))
+        if dispatcher is not None:
+            dispatcher.on_ack(message.payload["seq"],
+                              message.payload["processing_delay"])
+
+    # -- sources ------------------------------------------------------------
+    def _on_start(self) -> None:
+        if self._started.is_set():
+            return
+        self._started.set()
+        for unit_name, unit in self._units.items():
+            if isinstance(unit, SourceUnit):
+                thread = threading.Thread(
+                    target=self._pump_source, args=(unit_name, unit),
+                    name="source:%s@%s" % (unit_name, self.worker_id),
+                    daemon=True)
+                thread.start()
+                self._source_threads.append(thread)
+
+    def _pump_source(self, unit_name: str, unit: SourceUnit) -> None:
+        interval = 1.0 / self.source_rate if self.source_rate > 0 else 0.0
+        while self._running.is_set() and self._started.is_set():
+            started = time.monotonic()
+            data = unit.generate()
+            if data is None:
+                break
+            unit.context.emit(data)  # fans out to every downstream edge
+            if interval > 0:
+                leftover = interval - (time.monotonic() - started)
+                if leftover > 0:
+                    time.sleep(leftover)
+
+    # -- introspection -----------------------------------------------------
+    def unit(self, unit_name: str) -> FunctionUnit:
+        try:
+            return self._units[unit_name]
+        except KeyError:
+            raise DeploymentError("unit %r not deployed on %s"
+                                  % (unit_name, self.worker_id)) from None
+
+    def hosted_units(self) -> List[str]:
+        return sorted(self._units)
+
+    def dispatcher(self, unit_name: str,
+                   downstream_unit: Optional[str] = None) -> UpstreamDispatcher:
+        """The dispatcher for ``unit_name`` (qualified by edge if needed)."""
+        if downstream_unit is not None:
+            key = self.edge_key(unit_name, downstream_unit)
+            if key in self._dispatchers:
+                return self._dispatchers[key]
+            raise DeploymentError("edge %r not deployed on %s"
+                                  % (key, self.worker_id))
+        prefix = "%s>" % unit_name
+        matches = [d for key, d in self._dispatchers.items()
+                   if key.startswith(prefix)]
+        if len(matches) != 1:
+            raise DeploymentError(
+                "unit %r has %d dispatchers on %s; qualify the edge"
+                % (unit_name, len(matches), self.worker_id))
+        return matches[0]

@@ -1,0 +1,114 @@
+"""Replicated experiments: run a scenario across seeds, report statistics.
+
+One simulation run is one testbed session; credible comparisons need
+replications.  :func:`replicate` runs a config factory across seeds and
+summarises any scalar metric with mean, standard deviation and a normal
+95% confidence interval — the machinery the benchmark harness and
+examples use for variance-aware claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.swarm import SwarmConfig, SwarmResult, run_swarm
+
+#: two-sided 95% normal quantile
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one scalar metric over replications."""
+
+    name: str
+    samples: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = (sum((value - mean) ** 2 for value in self.samples)
+                    / (len(self.samples) - 1))
+        return math.sqrt(variance)
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return _Z95 * self.stddev / math.sqrt(len(self.samples))
+
+    def interval(self) -> tuple:
+        half = self.ci95_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    def welch_t(self, other: "MetricSummary") -> float:
+        """Welch's t statistic against another summary.
+
+        |t| > ~2 indicates the means differ at roughly 95% confidence;
+        returns ``inf`` when both spreads are zero but the means differ.
+        """
+        se_sq = (self.stddev ** 2 / max(1, self.count)
+                 + other.stddev ** 2 / max(1, other.count))
+        diff = self.mean - other.mean
+        if se_sq == 0.0:
+            return float("inf") if diff else 0.0
+        return diff / math.sqrt(se_sq)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return "%s = %.3f ± %.3f (n=%d)" % (self.name, self.mean,
+                                            self.ci95_halfwidth, self.count)
+
+
+@dataclass
+class ReplicatedResult:
+    """All runs of one scenario plus metric summaries."""
+
+    results: List[SwarmResult]
+
+    def summarize(self, name: str,
+                  metric: Callable[[SwarmResult], float]) -> MetricSummary:
+        return MetricSummary(name=name,
+                             samples=tuple(metric(result)
+                                           for result in self.results))
+
+    def throughput(self) -> MetricSummary:
+        return self.summarize("throughput_fps", lambda r: r.throughput)
+
+    def latency_mean(self) -> MetricSummary:
+        return self.summarize("latency_s",
+                              lambda r: r.latency.mean if r.latency else 0.0)
+
+    def aggregate_power(self) -> MetricSummary:
+        return self.summarize("power_w", lambda r: r.energy.aggregate_w)
+
+    def fps_per_watt(self) -> MetricSummary:
+        return self.summarize("fps_per_watt", lambda r: r.fps_per_watt())
+
+
+def replicate(config: SwarmConfig, seeds: Sequence[int]) -> ReplicatedResult:
+    """Run *config* once per seed (everything else held fixed)."""
+    if not seeds:
+        raise SimulationError("need at least one seed")
+    results = [run_swarm(replace(config, seed=seed)) for seed in seeds]
+    return ReplicatedResult(results=results)
+
+
+def compare_policies(make_config: Callable[[str], SwarmConfig],
+                     policies: Sequence[str],
+                     seeds: Sequence[int]) -> Dict[str, ReplicatedResult]:
+    """Replicate one scenario under several policies."""
+    return {policy: replicate(make_config(policy), seeds)
+            for policy in policies}

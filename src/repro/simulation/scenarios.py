@@ -1,0 +1,157 @@
+"""Canned experiment scenarios matching the paper's evaluation setups.
+
+Each function returns a ready-to-run :class:`~repro.simulation.swarm.SwarmConfig`
+for one of the paper's experiments; the benchmark harness and examples
+build on these so the exact testbed layouts live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro import profiles
+from repro.core.exceptions import SimulationError
+from repro.simulation.mobility import MobilityPlan, MobilityTrace
+from repro.simulation.network import (RSSI_FAIR, RSSI_GOOD, RSSI_POOR,
+                                      rssi_for_region)
+from repro.simulation.swarm import (JoinEvent, LeaveEvent, SwarmConfig,
+                                    UNBOUNDED_QUEUE)
+from repro.simulation.workload import (FACE_APP, TRANSLATE_APP, Workload,
+                                       face_workload, translation_workload)
+
+
+def workload_for_app(app: str, input_rate: Optional[float] = None) -> Workload:
+    """The paper's workload for *app*, optionally at a custom rate."""
+    if app == FACE_APP:
+        return face_workload() if input_rate is None else face_workload(input_rate)
+    if app == TRANSLATE_APP:
+        return (translation_workload() if input_rate is None
+                else translation_workload(input_rate))
+    raise SimulationError("unknown app %r" % app)
+
+
+def single_device(worker_id: str, app: str = FACE_APP,
+                  input_rate: float = 24.0, duration: float = 5.0,
+                  rssi: float = RSSI_GOOD, background_load: float = 0.0,
+                  seed: int = 0, bounded_queue: bool = False) -> SwarmConfig:
+    """A sends frames to one worker — the Sec. III characterization setup.
+
+    With ``bounded_queue=False`` the source queue is unbounded so the
+    Fig. 1 delay build-up is visible.
+    """
+    window_bytes = 65536 if bounded_queue else 1 << 30
+    return SwarmConfig(
+        workload=workload_for_app(app, input_rate),
+        workers=profiles.worker_profiles([worker_id]),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy="RR",
+        duration=duration,
+        seed=seed,
+        rssi={worker_id: rssi},
+        background_load={worker_id: background_load},
+        source_queue_frames=None if bounded_queue else UNBOUNDED_QUEUE,
+        socket_window_bytes=window_bytes,
+        # Table I / Figs. 1-2 report the paper's measured per-frame
+        # delays, which the device profiles already encode; thermal
+        # drift would double-count it.
+        thermal_throttling=False,
+    )
+
+
+def testbed(app: str = FACE_APP, policy: str = "LRS",
+            duration: float = 60.0, seed: int = 0,
+            worker_ids: Optional[Sequence[str]] = None,
+            poor_signal_ids: Optional[Sequence[str]] = None) -> SwarmConfig:
+    """The Sec. VI-B routing-comparison testbed.
+
+    Nine devices; A is source+master, B..I run workers, and B, C, D sit at
+    locations of poor Wi-Fi signal.
+    """
+    ids = list(worker_ids) if worker_ids is not None else list(profiles.WORKER_IDS)
+    poor = list(poor_signal_ids) if poor_signal_ids is not None \
+        else [device_id for device_id in profiles.POOR_SIGNAL_IDS if device_id in ids]
+    rssi = {device_id: (RSSI_POOR if device_id in poor else RSSI_GOOD)
+            for device_id in ids}
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(ids),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        rssi=rssi,
+    )
+
+
+def cloudlet_mode(app: str = FACE_APP, policy: str = "LRS",
+                  duration: float = 60.0, seed: int = 0,
+                  worker_ids: Optional[Sequence[str]] = None,
+                  cloudlet_id: str = "CL") -> SwarmConfig:
+    """The Sec. VI-B testbed plus a wall-powered cloudlet VM.
+
+    Models the paper's "cloudlet mode": when fixed infrastructure is
+    available, Swing treats the cloudlet as one more (very fast) worker —
+    the routing policies need no changes.
+    """
+    config = testbed(app=app, policy=policy, duration=duration, seed=seed,
+                     worker_ids=worker_ids)
+    workers = dict(config.workers)
+    workers[cloudlet_id] = profiles.cloudlet_profile(cloudlet_id)
+    rssi = dict(config.rssi)
+    rssi[cloudlet_id] = RSSI_GOOD
+    config.workers = workers
+    config.rssi = rssi
+    return config
+
+
+def joining(app: str = FACE_APP, duration: float = 30.0, seed: int = 0,
+            initial_ids: Sequence[str] = ("B", "D"),
+            joiner_id: str = "G", join_time: float = 10.0) -> SwarmConfig:
+    """Fig. 9 (left): B and D compute; G joins mid-run."""
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(list(initial_ids)),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy="LRS",
+        duration=duration,
+        seed=seed,
+        joins=(JoinEvent(time=join_time, device_id=joiner_id),),
+    )
+
+
+def leaving(app: str = FACE_APP, duration: float = 35.0, seed: int = 0,
+            initial_ids: Sequence[str] = ("B", "G", "H"),
+            leaver_id: str = "G", leave_time: float = 15.0) -> SwarmConfig:
+    """Fig. 9 (right): B, G, H compute; G is killed mid-run."""
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(list(initial_ids)),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy="LRS",
+        duration=duration,
+        seed=seed,
+        leaves=(LeaveEvent(time=leave_time, device_id=leaver_id),),
+    )
+
+
+def moving(app: str = FACE_APP, duration: float = 180.0, seed: int = 0,
+           worker_ids: Sequence[str] = ("B", "G", "H"),
+           mover_id: str = "G", dwell: float = 60.0,
+           regions: Sequence[str] = ("good", "fair", "poor")) -> SwarmConfig:
+    """Fig. 10: B, G, H compute under LRS; G walks away from the AP,
+    visiting the good / fair / poor signal regions for a minute each."""
+    plan = MobilityPlan()
+    for device_id in worker_ids:
+        if device_id == mover_id:
+            plan.add(MobilityTrace.walk(device_id, list(regions), dwell))
+        else:
+            plan.add(MobilityTrace.stationary(device_id, RSSI_GOOD))
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(list(worker_ids)),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy="LRS",
+        duration=duration,
+        seed=seed,
+        mobility=plan,
+    )

@@ -1,0 +1,552 @@
+"""Swarm experiment harness.
+
+Wires the full system together on the discrete-event engine: a source
+device generating sensed frames, a dispatcher applying a routing policy
+with ACK-driven latency estimation, heterogeneous worker devices behind
+wireless links of varying quality, a sink with a reorder buffer, and the
+control loop updating the policy every second — plus runtime dynamics
+(devices joining, leaving abruptly, and moving between signal regions).
+
+This reproduces the paper's testbed workflow (Fig. 3, step 4 onward) with
+the Android devices and 802.11n WLAN replaced by the calibrated models in
+:mod:`repro.simulation.device` and :mod:`repro.simulation.network`.
+
+Transport semantics mirror SEEP over TCP: one dispatcher thread performs
+blocking socket writes, each connection buffers up to a socket window's
+worth of bytes, and a write to a connection whose window is full blocks
+— head-of-line blocking every tuple behind it.  A straggling or
+weak-signal downstream therefore throttles the whole dispatch loop,
+which is exactly the effect the paper's Worker Selection and
+latency-based routing exist to avoid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import RoutingError, SimulationError
+from repro.core.latency import AckTracker, RateMeter
+from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
+from repro.core.reorder import ReorderBuffer
+from repro.simulation.device import CpuModel, DeviceProfile, ThermalThrottle
+from repro.simulation.energy import EnergyReport, PowerEstimator
+from repro.simulation.engine import Simulator, Store
+from repro.simulation.metrics import (DROP_CONN_OVERFLOW, DROP_DEVICE_LEFT,
+                                      DROP_LINK_DOWN, DROP_SOURCE_QUEUE,
+                                      LatencyStats, MetricsCollector)
+from repro.simulation.mobility import MobilityPlan
+from repro.simulation.network import Network, RSSI_GOOD
+from repro.simulation.rng import RngRegistry
+from repro.simulation.workload import ACK_BYTES, Workload
+
+#: sentinel for an unbounded source egress queue (Fig. 1 style experiments)
+UNBOUNDED_QUEUE = 0
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """A device launching Swing and joining mid-run (paper Sec. VI-C)."""
+
+    time: float
+    device_id: str
+    rssi: float = RSSI_GOOD
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """A device abruptly terminating Swing mid-run (paper Sec. VI-C)."""
+
+    time: float
+    device_id: str
+
+
+@dataclass(frozen=True)
+class BackgroundLoadEvent:
+    """Another app starting/stopping on a device mid-run (paper Sec. III:
+    dynamism from 'changes in applications running in the devices')."""
+
+    time: float
+    device_id: str
+    load: float  # new background CPU load in [0, 1]
+
+
+@dataclass
+class SwarmConfig:
+    """Everything that defines one swarm experiment."""
+
+    workload: Workload
+    workers: Mapping[str, DeviceProfile]
+    source: DeviceProfile
+    policy: str = "LRS"
+    duration: float = 60.0
+    seed: int = 0
+    #: initial RSSI per worker; absent workers default to a good signal
+    rssi: Mapping[str, float] = field(default_factory=dict)
+    #: background CPU load per worker in [0, 1]
+    background_load: Mapping[str, float] = field(default_factory=dict)
+    #: source egress queue length in frames; ``None`` = 2 s of the input
+    #: rate (a real-time source drops stale frames); ``UNBOUNDED_QUEUE``
+    #: disables dropping (used for the Fig. 1 delay build-up experiment)
+    source_queue_frames: Optional[int] = None
+    #: per-connection in-flight window in bytes (send+receive socket
+    #: buffers); at least one frame always fits
+    socket_window_bytes: int = 32768
+    #: time for an upstream to detect a broken link and re-route
+    detection_delay: float = 0.5
+    control_interval: float = 1.0
+    probe_every: int = 5
+    probe_tuples: int = 4
+    probe_spacing: int = 3
+    estimator: str = "moving-average"
+    estimator_window: int = 20
+    #: lognormal sigma of per-frame service-time noise (Android-level
+    #: scheduling/GC variability)
+    jitter_sigma: float = 0.30
+    #: sustained-load thermal throttling (set False to disable, e.g. for
+    #: the short single-device characterization runs)
+    thermal_throttling: bool = True
+    joins: Sequence[JoinEvent] = ()
+    leaves: Sequence[LeaveEvent] = ()
+    background_events: Sequence[BackgroundLoadEvent] = ()
+    mobility: Optional[MobilityPlan] = None
+    reorder_timespan: float = 1.0
+
+    def resolved_source_queue(self) -> Optional[int]:
+        """Source queue capacity for the engine (None = unbounded)."""
+        if self.source_queue_frames is None:
+            return max(1, int(round(2.0 * self.workload.input_rate)))
+        if self.source_queue_frames == UNBOUNDED_QUEUE:
+            return None
+        if self.source_queue_frames < 0:
+            raise SimulationError("source queue length must be >= 0")
+        return self.source_queue_frames
+
+    def window_frames(self) -> int:
+        """Per-connection in-flight window in whole frames.
+
+        At least two frames always fit (TCP keeps a window's worth of
+        data in flight even for segments larger than the buffer), so
+        transfers pipeline rather than turning fully synchronous.
+        """
+        return max(2, self.socket_window_bytes // self.workload.frame_bytes)
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise SimulationError("duration must be positive")
+        if self.socket_window_bytes < 1:
+            raise SimulationError("socket window must be >= 1 byte")
+        if self.detection_delay < 0:
+            raise SimulationError("detection delay must be non-negative")
+        if not self.workers and not self.joins:
+            raise SimulationError("a swarm needs at least one worker")
+        for event in self.joins:
+            if event.device_id in self.workers:
+                raise SimulationError(
+                    "device %s both initial and joining" % event.device_id)
+
+
+@dataclass
+class _Frame:
+    seq: int
+    created_at: float
+
+
+class _WorkerNode:
+    """One worker device: windowed connection + processing loop."""
+
+    def __init__(self, swarm: "SwarmSimulation", profile: DeviceProfile,
+                 background_load: float) -> None:
+        self.swarm = swarm
+        self.profile = profile
+        self.device_id = profile.device_id
+        self.cpu = CpuModel(profile, swarm.config.workload.app,
+                            background_load=background_load)
+        sim = swarm.sim
+        self.ingress = Store(sim, capacity=None,
+                             name="ingress:%s" % self.device_id)
+        # Socket-window tokens: the dispatcher takes one per in-flight
+        # frame; the worker returns it when it reads the frame to process.
+        window = swarm.config.window_frames()
+        self.credits = Store(sim, capacity=window,
+                             name="credits:%s" % self.device_id)
+        for _ in range(window):
+            self.credits.try_put(True)
+        self.alive = True
+        self.joined_at = sim.now
+        self.left_at: Optional[float] = None
+        self.current_seq: Optional[int] = None
+        self.thermal: Optional[ThermalThrottle] = (
+            ThermalThrottle()
+            if swarm.config.thermal_throttling and profile.throttles
+            else None)
+        self.process = sim.process(self._run(),
+                                   name="worker:%s" % self.device_id)
+
+    def _run(self):
+        swarm = self.swarm
+        sim = swarm.sim
+        counters = swarm.metrics.device(self.device_id)
+        while self.alive:
+            frame = yield self.ingress.get()
+            self.credits.try_put(True)  # socket slot freed by the read
+            record = swarm.metrics.frame(frame.seq, frame.created_at)
+            record.proc_started_at = sim.now
+            self.current_seq = frame.seq
+            jitter = swarm.rngs.lognormal_jitter(
+                "service:%s" % self.device_id, swarm.config.jitter_sigma)
+            service = self.cpu.service_time(jitter)
+            if self.thermal is not None:
+                self.thermal.update(sim.now)
+                service /= self.thermal.speed_factor()
+                self.thermal.record_busy(service)
+            counters.busy_time += service
+            yield sim.timeout(service)
+            record.proc_finished_at = sim.now
+            counters.frames_completed += 1
+            self.current_seq = None
+            self._send_result(frame, service)
+
+    def _send_result(self, frame: _Frame, processing_delay: float) -> None:
+        """Queue the result (which doubles as the ACK) back to the sink."""
+        swarm = self.swarm
+        link = swarm.network.link(self.device_id)
+        if not link.up:
+            return
+        radio = swarm.network.radio(self.device_id)
+        result_bytes = swarm.config.workload.result_bytes + ACK_BYTES
+        delivered = radio.connection(link).send(result_bytes)
+
+        def _on_delivered(_event) -> None:
+            if self.alive and swarm.network.link(self.device_id).up:
+                swarm._deliver_result(frame, processing_delay)
+
+        delivered.add_callback(_on_delivered)
+
+
+class SwarmSimulation:
+    """Builds and runs one swarm experiment from a :class:`SwarmConfig`."""
+
+    def __init__(self, config: SwarmConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.network = Network(self.sim)
+        self.metrics = MetricsCollector()
+        policy_name = config.policy.upper()
+        policy_kwargs = {}
+        if policy_name in ("PR", "LR", "PRS", "LRS"):
+            policy_kwargs = {"probe_every": config.probe_every,
+                             "probe_tuples": config.probe_tuples,
+                             "probe_spacing": config.probe_spacing}
+        elif policy_name == "WRR":
+            # Offline-profiled capability weights: nominal device rates.
+            policy_kwargs = {"capabilities": {
+                device_id: profile.service_rate(config.workload.app)
+                for device_id, profile in config.workers.items()}}
+        self.policy: RoutingPolicy = make_policy(
+            config.policy, seed=self.rngs.root_seed, **policy_kwargs)
+        estimator_kwargs = {}
+        if config.estimator == "moving-average":
+            estimator_kwargs["window"] = config.estimator_window
+        self.tracker = AckTracker(estimator_kind=config.estimator,
+                                  **estimator_kwargs)
+        self.rate_meter = RateMeter(window=1.0)
+        self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
+                                              timespan=config.reorder_timespan)
+        self.decisions: List[Tuple[float, PolicyDecision]] = []
+        self.nodes: Dict[str, _WorkerNode] = {}
+        self._departed: Dict[str, _WorkerNode] = {}
+        self._all_profiles: Dict[str, DeviceProfile] = {}
+        self._next_seq = 0
+        self._egress = Store(self.sim, capacity=config.resolved_source_queue(),
+                             name="egress:%s" % config.source.device_id)
+        self._build()
+
+    # -- construction ----------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        self.network.attach(config.source.device_id, rssi=RSSI_GOOD)
+        for device_id, profile in sorted(config.workers.items()):
+            rssi = config.rssi.get(device_id, RSSI_GOOD)
+            if config.mobility is not None:
+                rssi = config.mobility.initial_rssi(device_id, rssi)
+            self._add_worker(profile, rssi)
+        self.sim.process(self._source(), name="source")
+        self.sim.process(self._dispatch(), name="dispatcher")
+        self.sim.process(self._control(), name="control")
+        for join in config.joins:
+            self.sim.schedule(join.time, self._make_join(join))
+        for leave in config.leaves:
+            self.sim.schedule(leave.time,
+                              lambda device_id=leave.device_id:
+                              self._remove_worker(device_id))
+        for event in config.background_events:
+            self.sim.schedule(event.time,
+                              lambda event=event:
+                              self._set_background_load(event.device_id,
+                                                        event.load))
+        if config.mobility is not None:
+            for when, device_id, rssi in config.mobility.events():
+                self.sim.schedule(
+                    when, lambda device_id=device_id, rssi=rssi:
+                    self._set_rssi(device_id, rssi))
+
+    def _make_join(self, join: JoinEvent):
+        def _do_join() -> None:
+            profile = self._profile_for(join.device_id)
+            self._add_worker(profile, join.rssi)
+        return _do_join
+
+    def _profile_for(self, device_id: str) -> DeviceProfile:
+        if device_id in self._all_profiles:
+            return self._all_profiles[device_id]
+        # Joining devices come from the paper's catalogue.
+        from repro.profiles import device_profile
+        return device_profile(device_id)
+
+    def _add_worker(self, profile: DeviceProfile, rssi: float) -> None:
+        device_id = profile.device_id
+        if device_id in self.nodes:
+            raise SimulationError("device %s already in the swarm" % device_id)
+        self._all_profiles[device_id] = profile
+        if device_id in self.network.device_ids():
+            self.network.reattach(device_id, rssi=rssi)
+        else:
+            self.network.attach(device_id, rssi=rssi)
+        background = self.config.background_load.get(device_id, 0.0)
+        node = _WorkerNode(self, profile, background)
+        self.nodes[device_id] = node
+        self._departed.pop(device_id, None)
+        self.metrics.device(device_id)
+        self.tracker.add_downstream(device_id)
+        self.policy.on_downstream_added(device_id)
+
+    def _remove_worker(self, device_id: str) -> None:
+        node = self.nodes.pop(device_id, None)
+        if node is None:
+            return
+        node.alive = False
+        node.left_at = self.sim.now
+        self._departed[device_id] = node
+        node.process.kill()
+        self.network.detach(device_id)
+        if node.current_seq is not None:
+            self.metrics.drop(node.current_seq, DROP_DEVICE_LEFT)
+        for frame in node.ingress.drain():
+            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+        # Unblock a dispatcher head-of-line-blocked on this connection.
+        for _ in range(self.config.window_frames()):
+            node.credits.try_put(True)
+        # The upstream only notices the broken connection after a delay,
+        # during which it keeps routing tuples into the void (Sec. VI-C).
+        self.sim.schedule(self.config.detection_delay,
+                          lambda: self._on_link_break(device_id))
+
+    def _on_link_break(self, device_id: str) -> None:
+        if device_id in self.policy.downstream_ids():
+            self.policy.on_downstream_removed(device_id)
+        self.tracker.remove_downstream(device_id)
+
+    def _set_rssi(self, device_id: str, rssi: float) -> None:
+        self.network.link(device_id).set_rssi(rssi)
+
+    def _set_background_load(self, device_id: str, load: float) -> None:
+        node = self.nodes.get(device_id)
+        if node is not None:
+            node.cpu.set_background_load(load)
+
+    # -- processes -------------------------------------------------------
+    def _source(self):
+        gaps = self.config.workload.interarrival_times(
+            self.rngs.stream("arrivals"))
+        while True:
+            seq = self._next_seq
+            self._next_seq += 1
+            now = self.sim.now
+            self.metrics.frame(seq, now)
+            self.rate_meter.observe(now)
+            if not self._egress.try_put(_Frame(seq=seq, created_at=now)):
+                self.metrics.drop(seq, DROP_SOURCE_QUEUE)
+            yield self.sim.timeout(next(gaps))
+
+    def _dispatch(self):
+        config = self.config
+        source_radio = self.network.radio(config.source.device_id)
+        while True:
+            frame = yield self._egress.get()
+            record = self.metrics.frame(frame.seq, frame.created_at)
+            record.dispatched_at = self.sim.now
+            try:
+                destination = self.policy.route()
+            except RoutingError:
+                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                continue
+            node = self.nodes.get(destination)
+            if node is None or not node.alive:
+                # Routed to a device that already left: the tuple is lost.
+                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                continue
+            record.device_id = destination
+            # The paper's timestamp is attached when the tuple leaves the
+            # upstream unit: the sample covers this connection's buffer,
+            # the air, the downstream queue and its processing.
+            self.tracker.record_send(frame.seq, destination, self.sim.now)
+            # Blocking socket write: wait for a window slot on this
+            # connection, head-of-line blocking every frame behind us.
+            yield node.credits.get()
+            if not node.alive:
+                self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+                continue
+            record.tx_started_at = self.sim.now
+            link = self.network.link(destination)
+            delivered = source_radio.connection(link).send(
+                config.workload.frame_bytes)
+            delivered.add_callback(
+                lambda _event, frame=frame, destination=destination:
+                self._on_frame_delivered(frame, destination))
+
+    def _on_frame_delivered(self, frame: _Frame, destination: str) -> None:
+        record = self.metrics.frame(frame.seq, frame.created_at)
+        node = self.nodes.get(destination)
+        link = self.network.link(destination)
+        if node is None or not node.alive or not link.up:
+            # Delivered into the void: the device left mid-flight.
+            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+            return
+        record.tx_finished_at = self.sim.now
+        counters = self.metrics.device(destination)
+        counters.frames_received += 1
+        counters.bytes_received += self.config.workload.frame_bytes
+        node.ingress.try_put(frame)
+
+    def _control(self):
+        while True:
+            yield self.sim.timeout(self.config.control_interval)
+            now = self.sim.now
+            self.tracker.expire_pending(now)
+            stats = self.tracker.stats()
+            input_rate = self.rate_meter.rate(now)
+            decision = self.policy.update(stats, input_rate)
+            self.decisions.append((now, decision))
+
+    # -- sink --------------------------------------------------------------
+    def _deliver_result(self, frame: _Frame, processing_delay: float) -> None:
+        now = self.sim.now
+        record = self.metrics.frame(frame.seq, frame.created_at)
+        record.sink_arrived_at = now
+        self.tracker.record_ack(frame.seq, now,
+                                processing_delay=processing_delay)
+        on_acked = getattr(self.policy, "on_acked", None)
+        if on_acked is not None and record.device_id:
+            on_acked(record.device_id)  # backlog-driven policies (JSQ)
+        for playback in self.reorder.offer(frame.seq, now):
+            played = self.metrics.frames.get(playback.seq)
+            if played is not None:
+                played.played_at = playback.played_at
+
+    # -- running -----------------------------------------------------------
+    def run(self) -> "SwarmResult":
+        self.sim.run(self.config.duration)
+        for playback in self.reorder.flush(self.config.duration):
+            record = self.metrics.frames.get(playback.seq)
+            if record is not None:
+                record.played_at = playback.played_at
+        self._finalize_counters()
+        return SwarmResult.from_simulation(self)
+
+    def _finalize_counters(self) -> None:
+        end = self.config.duration
+        for device_id in self._all_profiles:
+            counters = self.metrics.device(device_id)
+            node = self.nodes.get(device_id) or self._departed.get(device_id)
+            if node is None:
+                continue
+            left = node.left_at if node.left_at is not None else end
+            counters.participating_time = max(0.0, left - node.joined_at)
+
+    def worker_profiles(self) -> Dict[str, DeviceProfile]:
+        return dict(self._all_profiles)
+
+
+@dataclass
+class SwarmResult:
+    """Everything the paper's figures need from one experiment run."""
+
+    config: SwarmConfig
+    metrics: MetricsCollector
+    energy: EnergyReport
+    throughput: float
+    latency: Optional[LatencyStats]
+    decisions: List[Tuple[float, PolicyDecision]]
+    reorder: ReorderBuffer
+    frames_lost: int
+
+    @classmethod
+    def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
+        config = swarm.config
+        duration = config.duration
+        metrics = swarm.metrics
+        profiles = swarm.worker_profiles()
+        overheads = {device_id: profile.framework_overhead
+                     for device_id, profile in profiles.items()}
+        cpu = metrics.per_device_cpu_utilization(duration, overheads=overheads)
+        transferred = {}
+        for device_id in profiles:
+            counters = metrics.device(device_id)
+            transferred[device_id] = (
+                counters.bytes_received
+                + counters.frames_completed
+                * (config.workload.result_bytes + ACK_BYTES))
+        estimator = PowerEstimator(profiles)
+        energy = estimator.estimate(cpu, transferred, duration)
+        return cls(
+            config=config,
+            metrics=metrics,
+            energy=energy,
+            throughput=metrics.throughput(duration),
+            latency=metrics.latency_stats(),
+            decisions=list(swarm.decisions),
+            reorder=swarm.reorder,
+            frames_lost=metrics.loss_count(),
+        )
+
+    # -- convenience views used by the benchmark harness -------------------
+    @property
+    def duration(self) -> float:
+        return self.config.duration
+
+    def cpu_utilization(self) -> Dict[str, float]:
+        return self.metrics.per_device_cpu_utilization(self.duration)
+
+    def input_rates(self) -> Dict[str, float]:
+        return self.metrics.per_device_input_rate(self.duration)
+
+    def fps_per_watt(self) -> float:
+        return self.energy.fps_per_watt(self.throughput)
+
+    def throughput_series(self, bin_width: float = 1.0) -> List[float]:
+        return self.metrics.throughput_series(self.duration, bin_width)
+
+    def meets_input_rate(self, tolerance: float = 0.10) -> bool:
+        return self.throughput >= self.config.workload.input_rate * (1.0 - tolerance)
+
+    def steady_state_latency(self, warmup: float = 5.0) -> Optional[LatencyStats]:
+        """Latency stats excluding frames created during the warm-up."""
+        return self.metrics.latency_stats(after=warmup)
+
+    def steady_state_throughput(self, warmup: float = 5.0) -> float:
+        """Completions per second after the warm-up period."""
+        horizon = self.duration - warmup
+        if horizon <= 0:
+            return 0.0
+        completed = sum(1 for record in self.metrics.completed_frames()
+                        if record.sink_arrived_at >= warmup)
+        return completed / horizon
+
+
+def run_swarm(config: SwarmConfig) -> SwarmResult:
+    """Build and run one experiment; the main simulation entry point."""
+    return SwarmSimulation(config).run()

@@ -1,0 +1,82 @@
+"""Small presentation helpers shared by examples, CLI and benchmarks.
+
+Terminal-friendly rendering only — no plotting dependencies: sparklines
+for time series and fixed-width tables for per-policy comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.exceptions import SwingError
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], peak: Optional[float] = None) -> str:
+    """Render a series as a fixed-alphabet intensity strip."""
+    values = list(values)
+    if not values:
+        return ""
+    top = peak if peak is not None else max(values)
+    if top <= 0:
+        return " " * len(values)
+    cells = []
+    for value in values:
+        level = int(max(0.0, min(1.0, value / top)) * (len(_SPARK_LEVELS) - 1))
+        cells.append(_SPARK_LEVELS[level])
+    return "".join(cells)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 min_width: int = 6) -> str:
+    """Left-padded fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise SwingError("row width %d != header width %d"
+                             % (len(row), len(headers)))
+    widths = [max(min_width, len(header),
+                  *(len(row[index]) for row in rows)) if rows
+              else max(min_width, len(header))
+              for index, header in enumerate(headers)]
+    lines = [" ".join(header.rjust(width)
+                      for header, width in zip(headers, widths))]
+    lines.append(" ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(" ".join(cell.rjust(width)
+                              for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rate(value: float) -> str:
+    return "%.1f FPS" % value
+
+
+def format_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.2f s" % seconds
+    return "%.0f ms" % (seconds * 1000.0)
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40) -> List[str]:
+    """ASCII histogram lines for a latency distribution."""
+    values = list(values)
+    if not values:
+        return ["(no samples)"]
+    if bins < 1:
+        raise SwingError("need at least one bin")
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    top = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        edge = low + span * index / bins
+        bar = "#" * int(round(width * count / top)) if top else ""
+        lines.append("%8.3f | %-*s %d" % (edge, width, bar, count))
+    return lines

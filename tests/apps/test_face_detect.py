@@ -1,0 +1,117 @@
+"""Tests for the sliding-window face detector."""
+
+import numpy as np
+import pytest
+
+from repro.apps.face.detect import (Detection, FaceDetector,
+                                    _non_maximum_suppression, build_template,
+                                    crop)
+from repro.apps.face.images import FaceGenerator, FrameSynthesizer
+from repro.core.exceptions import SwingError
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FaceGenerator(4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def detector(generator):
+    return FaceDetector(generator)
+
+
+class TestDetection:
+    def test_iou_identical(self):
+        d = Detection(x=0, y=0, size=10, score=1.0)
+        assert d.iou(d) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        a = Detection(x=0, y=0, size=10, score=1.0)
+        b = Detection(x=100, y=100, size=10, score=1.0)
+        assert a.iou(b) == 0.0
+
+    def test_iou_partial_overlap(self):
+        a = Detection(x=0, y=0, size=10, score=1.0)
+        b = Detection(x=5, y=0, size=10, score=1.0)
+        assert 0.0 < a.iou(b) < 1.0
+
+    def test_box(self):
+        assert Detection(x=3, y=4, size=5, score=0.5).box() == (3, 4, 5, 5)
+
+
+class TestTemplate:
+    def test_template_zero_mean_unit_norm(self, generator):
+        template = build_template(generator)
+        assert abs(template.mean()) < 1e-6
+        assert np.linalg.norm(template) == pytest.approx(1.0, abs=1e-5)
+
+
+class TestDetector:
+    def test_detects_planted_face(self, generator, detector):
+        synth = FrameSynthesizer(generator, seed=1)
+        frame, placements = synth.frame(face_count=1)
+        detections = detector.detect(frame)
+        assert detections
+        p = placements[0]
+        best = detections[0]
+        assert abs(best.x - p.x) <= detector.stride * 2
+        assert abs(best.y - p.y) <= detector.stride * 2
+
+    def test_no_faces_no_detections(self, generator, detector):
+        synth = FrameSynthesizer(generator, seed=2)
+        frame, _ = synth.frame(face_count=0)
+        assert detector.detect(frame) == []
+
+    def test_detects_multiple_faces(self, generator, detector):
+        synth = FrameSynthesizer(generator, seed=3)
+        found = 0
+        planted = 0
+        for _ in range(5):
+            frame, placements = synth.frame(face_count=2)
+            detections = detector.detect(frame)
+            planted += len(placements)
+            for p in placements:
+                if any(abs(d.x - p.x) <= 8 and abs(d.y - p.y) <= 8
+                       for d in detections):
+                    found += 1
+        assert found >= planted * 0.8
+
+    def test_detections_sorted_by_score(self, generator, detector):
+        synth = FrameSynthesizer(generator, seed=4)
+        frame, _ = synth.frame(face_count=2)
+        detections = detector.detect(frame)
+        scores = [d.score for d in detections]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_image_smaller_than_window(self, detector):
+        tiny = np.zeros((8, 8), dtype=np.float32)
+        assert detector.detect(tiny) == []
+
+    def test_non_2d_rejected(self, detector):
+        with pytest.raises(SwingError):
+            detector.detect(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_invalid_parameters(self, generator):
+        with pytest.raises(SwingError):
+            FaceDetector(generator, threshold=0.0)
+        with pytest.raises(SwingError):
+            FaceDetector(generator, stride=0)
+
+    def test_crop_returns_detection_window(self, generator, detector):
+        synth = FrameSynthesizer(generator, seed=5)
+        frame, _ = synth.frame(face_count=1)
+        detections = detector.detect(frame)
+        patch = crop(frame, detections[0])
+        assert patch.shape == (detections[0].size, detections[0].size)
+
+
+class TestNonMaximumSuppression:
+    def test_overlapping_suppressed(self):
+        candidates = [Detection(0, 0, 10, 0.9), Detection(1, 1, 10, 0.8)]
+        kept = _non_maximum_suppression(candidates)
+        assert len(kept) == 1
+        assert kept[0].score == 0.9
+
+    def test_disjoint_kept(self):
+        candidates = [Detection(0, 0, 10, 0.9), Detection(50, 50, 10, 0.8)]
+        assert len(_non_maximum_suppression(candidates)) == 2

@@ -1,0 +1,117 @@
+"""Tests for synthetic face imagery."""
+
+import numpy as np
+import pytest
+
+from repro.apps.face.images import (FACE_SIZE, FRAME_HEIGHT, FRAME_WIDTH,
+                                    FaceGenerator, FrameSynthesizer,
+                                    decode_frame, encode_frame)
+from repro.core.exceptions import SwingError
+
+
+class TestFaceGenerator:
+    def test_identities_deterministic_per_seed(self):
+        first = FaceGenerator(4, seed=1)
+        second = FaceGenerator(4, seed=1)
+        assert [i.name for i in first.identities] == \
+            [i.name for i in second.identities]
+        assert np.allclose(first.identities[0].as_vector(),
+                           second.identities[0].as_vector())
+
+    def test_distinct_identities_differ(self):
+        generator = FaceGenerator(4, seed=1)
+        a, b = generator.identities[:2]
+        assert not np.allclose(a.as_vector(), b.as_vector())
+
+    def test_render_shape_and_range(self):
+        generator = FaceGenerator(2, seed=0)
+        patch = generator.render(generator.identities[0])
+        assert patch.shape == (FACE_SIZE, FACE_SIZE)
+        assert patch.dtype == np.float32
+        assert 0.0 <= patch.min() and patch.max() <= 1.0
+
+    def test_render_has_facial_structure(self):
+        generator = FaceGenerator(2, seed=0)
+        patch = generator.render(generator.identities[0], noise=0.0)
+        center = patch[FACE_SIZE // 2 - 4:FACE_SIZE // 2 + 4,
+                       FACE_SIZE // 2 - 4:FACE_SIZE // 2 + 4]
+        corner = patch[:4, :4]
+        assert center.mean() > corner.mean()  # head brighter than background
+
+    def test_jitter_varies_rendering(self):
+        generator = FaceGenerator(2, seed=0)
+        identity = generator.identities[0]
+        a = generator.render(identity, jitter=0.8)
+        b = generator.render(identity, jitter=0.8)
+        assert not np.array_equal(a, b)
+
+    def test_gallery_has_labels_per_patch(self):
+        generator = FaceGenerator(3, seed=0)
+        patches, labels = generator.gallery(samples_per_identity=4)
+        assert patches.shape == (12, FACE_SIZE, FACE_SIZE)
+        assert len(labels) == 12
+        assert len(set(labels)) == 3
+
+    def test_lookup_identity(self):
+        generator = FaceGenerator(2, seed=0)
+        assert generator.identity("person-01").name == "person-01"
+        with pytest.raises(SwingError):
+            generator.identity("nobody")
+
+    def test_zero_identities_rejected(self):
+        with pytest.raises(SwingError):
+            FaceGenerator(0)
+
+
+class TestFrameSynthesizer:
+    def test_frame_shape(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        frame, placements = synth.frame()
+        assert frame.shape == (FRAME_HEIGHT, FRAME_WIDTH)
+        assert len(placements) == 1
+
+    def test_placements_inside_frame(self):
+        synth = FrameSynthesizer(FaceGenerator(4, seed=0), seed=0)
+        for _ in range(10):
+            _frame, placements = synth.frame(face_count=2)
+            for placement in placements:
+                assert 0 <= placement.x <= FRAME_WIDTH - placement.size
+                assert 0 <= placement.y <= FRAME_HEIGHT - placement.size
+
+    def test_empty_frame(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        _frame, placements = synth.frame(face_count=0)
+        assert placements == []
+
+    def test_stream_yields_count(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        assert len(list(synth.stream(5))) == 5
+
+    def test_face_region_matches_rendered_patch_brightness(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        frame, placements = synth.frame(face_count=1)
+        p = placements[0]
+        region = frame[p.y:p.y + p.size, p.x:p.x + p.size]
+        assert region.std() > 0.1  # faces are high-contrast vs background
+
+
+class TestFrameCodec:
+    def test_roundtrip_close(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        frame, _ = synth.frame()
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.shape == frame.shape
+        assert np.abs(decoded - frame).max() <= 1.0 / 255.0 + 1e-6
+
+    def test_encoded_size_fixed(self):
+        synth = FrameSynthesizer(FaceGenerator(2, seed=0), seed=0)
+        frame, _ = synth.frame()
+        assert len(encode_frame(frame)) == FRAME_HEIGHT * FRAME_WIDTH
+
+    def test_decode_wrong_size_rejected(self):
+        with pytest.raises(SwingError):
+            decode_frame(b"short")
+
+    def test_encode_requires_2d(self):
+        with pytest.raises(SwingError):
+            encode_frame(np.zeros((2, 2, 3), dtype=np.float32))

@@ -1,0 +1,143 @@
+"""Tests for the eigenfaces recognizer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.face.images import FaceGenerator
+from repro.apps.face.recognize import EigenfaceRecognizer
+from repro.core.exceptions import SwingError
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FaceGenerator(5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trained(generator):
+    recognizer = EigenfaceRecognizer(num_components=16)
+    patches, labels = generator.gallery(samples_per_identity=8)
+    recognizer.train(patches, labels)
+    return recognizer
+
+
+class TestTraining:
+    def test_trained_flag(self, generator):
+        recognizer = EigenfaceRecognizer()
+        assert not recognizer.trained
+        patches, labels = generator.gallery(samples_per_identity=2)
+        recognizer.train(patches, labels)
+        assert recognizer.trained
+
+    def test_use_before_training_rejected(self):
+        recognizer = EigenfaceRecognizer()
+        with pytest.raises(SwingError):
+            recognizer.recognize(np.zeros((32, 32)))
+
+    def test_label_count_mismatch_rejected(self, generator):
+        patches, labels = generator.gallery(samples_per_identity=2)
+        with pytest.raises(SwingError):
+            EigenfaceRecognizer().train(patches, labels[:-1])
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(SwingError):
+            EigenfaceRecognizer().train(np.zeros((4, 16)), ["a"] * 4)
+
+    def test_too_few_patches_rejected(self):
+        with pytest.raises(SwingError):
+            EigenfaceRecognizer().train(np.zeros((1, 8, 8)), ["a"])
+
+    def test_invalid_components(self):
+        with pytest.raises(SwingError):
+            EigenfaceRecognizer(num_components=0)
+
+
+class TestRecognition:
+    def test_recognizes_training_identities(self, generator, trained):
+        correct = 0
+        probes = 20
+        for index in range(probes):
+            identity = generator.identities[index % len(generator.identities)]
+            patch = generator.render(identity, jitter=0.4)
+            if trained.recognize(patch) == identity.name:
+                correct += 1
+        assert correct >= probes * 0.7
+
+    def test_projection_dimension(self, trained):
+        patch = np.zeros((32, 32), dtype=np.float32)
+        assert trained.project(patch).shape == (16,)
+
+    def test_shape_mismatch_rejected(self, trained):
+        with pytest.raises(SwingError):
+            trained.recognize(np.zeros((8, 8)))
+
+    def test_reject_distance_returns_none(self, generator):
+        recognizer = EigenfaceRecognizer(num_components=8,
+                                         reject_distance=1e-9)
+        patches, labels = generator.gallery(samples_per_identity=3)
+        recognizer.train(patches, labels)
+        noise = np.random.default_rng(0).random((32, 32)).astype(np.float32)
+        assert recognizer.recognize(noise) is None
+
+    def test_recognize_with_distance(self, generator, trained):
+        patch = generator.render(generator.identities[0], jitter=0.2)
+        name, distance = trained.recognize_with_distance(patch)
+        assert name is not None
+        assert distance >= 0.0
+
+    def test_reconstruction_close_to_original(self, generator, trained):
+        identity = generator.identities[0]
+        patch = generator.render(identity, jitter=0.0, noise=0.0)
+        reconstructed = trained.reconstruct(patch)
+        error = np.abs(reconstructed - patch).mean()
+        assert error < 0.15  # eigenspace captures most structure
+
+    def test_component_cap(self, generator):
+        recognizer = EigenfaceRecognizer(num_components=10_000)
+        patches, labels = generator.gallery(samples_per_identity=2)
+        recognizer.train(patches, labels)
+        # Cannot have more components than training samples.
+        assert recognizer.project(patches[0]).shape[0] <= len(labels)
+
+
+class TestEnrollment:
+    def test_enroll_new_identity_recognized(self, generator):
+        # Train on the first 4 identities only; enroll the 5th online.
+        recognizer = EigenfaceRecognizer(num_components=16)
+        known = generator.identities[:4]
+        patches, labels = [], []
+        for identity in known:
+            for _ in range(6):
+                patches.append(generator.render(identity, jitter=0.5))
+                labels.append(identity.name)
+        recognizer.train(np.stack(patches), labels)
+
+        newcomer = generator.identities[4]
+        gallery = np.stack([generator.render(newcomer, jitter=0.4)
+                            for _ in range(6)])
+        recognizer.enroll(gallery, newcomer.name)
+        assert newcomer.name in recognizer.known_labels()
+
+        hits = sum(1 for _ in range(10)
+                   if recognizer.recognize(
+                       generator.render(newcomer, jitter=0.3))
+                   == newcomer.name)
+        assert hits >= 6
+
+    def test_enroll_single_patch(self, generator, trained):
+        import copy
+        recognizer = copy.deepcopy(trained)
+        patch = generator.render(generator.identities[0])
+        recognizer.enroll(patch, "guest")
+        assert "guest" in recognizer.known_labels()
+
+    def test_enroll_before_training_rejected(self):
+        recognizer = EigenfaceRecognizer()
+        with pytest.raises(SwingError):
+            recognizer.enroll(np.zeros((2, 8, 8)), "x")
+
+    def test_enroll_validation(self, trained):
+        with pytest.raises(SwingError):
+            trained.enroll(np.zeros((2, 2, 8, 8)), "x")
+        with pytest.raises(SwingError):
+            trained.enroll(np.zeros((32, 32)), "")

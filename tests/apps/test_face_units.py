@@ -1,0 +1,107 @@
+"""Unit-level tests of the face app's function units (no runtime)."""
+
+import pytest
+
+from repro.apps.face.images import FaceGenerator, FrameSynthesizer, encode_frame
+from repro.apps.face.pipeline import (CameraSource, DisplaySink,
+                                      FaceDetectorUnit, FaceRecognizerUnit)
+from repro.core.function_unit import UnitContext
+from repro.core.tuples import DataTuple
+
+
+def bind(unit):
+    emitted = []
+    unit.bind(UnitContext(unit_name="u", instance_id="u@X",
+                          emit=emitted.append, now=lambda: 0.0))
+    return emitted
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FaceGenerator(4, seed=9)
+
+
+class TestCameraSource:
+    def test_emits_encoded_frames_then_exhausts(self, generator):
+        source = CameraSource(generator, frame_count=3, seed=9)
+        bind(source)
+        frames = [source.generate() for _ in range(4)]
+        assert frames[3] is None
+        assert all(isinstance(f.get_value("frame"), bytes)
+                   for f in frames[:3])
+        assert [f.seq for f in frames[:3]] == [0, 1, 2]
+        assert len(source.ground_truth) == 3
+
+    def test_ground_truth_names_valid(self, generator):
+        source = CameraSource(generator, frame_count=2, seed=9)
+        bind(source)
+        source.generate()
+        known = {identity.name for identity in generator.identities}
+        for names in source.ground_truth:
+            assert set(names) <= known
+
+
+class TestDetectorUnit:
+    def test_finds_planted_face_box(self, generator):
+        synth = FrameSynthesizer(generator, seed=9)
+        image, placements = synth.frame(face_count=1)
+        unit = FaceDetectorUnit(generator)
+        emitted = bind(unit)
+        unit.process_data(DataTuple(values={
+            "frame": encode_frame(image),
+            "height": image.shape[0], "width": image.shape[1]}, seq=0))
+        boxes = emitted[0].get_value("boxes")
+        assert boxes
+        x, y, _size = boxes[0]
+        assert abs(x - placements[0].x) <= 8
+        assert abs(y - placements[0].y) <= 8
+
+    def test_empty_frame_gives_empty_boxes(self, generator):
+        synth = FrameSynthesizer(generator, seed=10)
+        image, _ = synth.frame(face_count=0)
+        unit = FaceDetectorUnit(generator)
+        emitted = bind(unit)
+        unit.process_data(DataTuple(values={
+            "frame": encode_frame(image),
+            "height": image.shape[0], "width": image.shape[1]}, seq=0))
+        assert emitted[0].get_value("boxes") == []
+
+
+class TestRecognizerUnit:
+    def test_names_planted_identity(self, generator):
+        synth = FrameSynthesizer(generator, seed=11)
+        hits = 0
+        unit = FaceRecognizerUnit(generator)
+        emitted = bind(unit)
+        for index in range(6):
+            image, placements = synth.frame(face_count=1)
+            placement = placements[0]
+            unit.process_data(DataTuple(values={
+                "frame": encode_frame(image),
+                "height": image.shape[0], "width": image.shape[1],
+                "boxes": [[placement.x, placement.y, placement.size]]},
+                seq=index))
+            if emitted[-1].get_value("names") == [placement.name]:
+                hits += 1
+        assert hits >= 4  # eigenfaces are imperfect but mostly right
+
+    def test_out_of_bounds_box_skipped(self, generator):
+        synth = FrameSynthesizer(generator, seed=12)
+        image, _ = synth.frame(face_count=0)
+        unit = FaceRecognizerUnit(generator)
+        emitted = bind(unit)
+        unit.process_data(DataTuple(values={
+            "frame": encode_frame(image),
+            "height": image.shape[0], "width": image.shape[1],
+            "boxes": [[image.shape[1] - 5, image.shape[0] - 5, 32]]},
+            seq=0))
+        assert emitted[0].get_value("names") == []
+
+
+class TestDisplaySink:
+    def test_collects_names(self):
+        sink = DisplaySink()
+        bind(sink)
+        sink.process_data(DataTuple(values={"names": ["person-01"]}, seq=0))
+        sink.process_data(DataTuple(values={"names": []}, seq=1))
+        assert sink.recognized_names() == [["person-01"], []]

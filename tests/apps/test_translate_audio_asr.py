@@ -1,0 +1,139 @@
+"""Tests for synthetic speech audio and the recognizer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.translate.asr import SpeechRecognizer, recognition_accuracy
+from repro.apps.translate.audio import (GAP_SECONDS, SAMPLE_RATE,
+                                        SEGMENT_SECONDS, SEGMENTS_PER_WORD,
+                                        decode_audio, encode_audio,
+                                        synthesize_utterance, synthesize_word,
+                                        word_signature)
+from repro.apps.translate.translator import Translator
+from repro.core.exceptions import SwingError
+
+
+class TestWordSignature:
+    def test_deterministic(self):
+        assert word_signature("house") == word_signature("house")
+
+    def test_case_insensitive(self):
+        assert word_signature("House") == word_signature("house")
+
+    def test_has_expected_length(self):
+        assert len(word_signature("car")) == SEGMENTS_PER_WORD
+
+    def test_distinct_words_usually_differ(self):
+        words = ["car", "house", "dog", "phone", "water", "street"]
+        signatures = {word_signature(word) for word in words}
+        assert len(signatures) == len(words)
+
+    def test_frequencies_in_band(self):
+        for tone in word_signature("battery"):
+            assert 400.0 <= tone <= 3400.0
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(SwingError):
+            word_signature("")
+
+
+class TestSynthesis:
+    def test_word_duration(self):
+        waveform = synthesize_word("car")
+        expected = int(SAMPLE_RATE * SEGMENT_SECONDS) * SEGMENTS_PER_WORD
+        assert len(waveform) == expected
+
+    def test_utterance_longer_than_words(self):
+        one = synthesize_utterance(["car"])
+        two = synthesize_utterance(["car", "house"])
+        assert len(two) > len(one)
+
+    def test_empty_utterance_rejected(self):
+        with pytest.raises(SwingError):
+            synthesize_utterance([])
+
+    def test_waveform_bounded(self):
+        waveform = synthesize_utterance(["car", "dog"], noise=0.05)
+        assert np.abs(waveform).max() < 1.5
+
+
+class TestAudioCodec:
+    def test_roundtrip_close(self):
+        waveform = synthesize_utterance(["house"])
+        decoded = decode_audio(encode_audio(waveform))
+        assert np.abs(decoded - np.clip(waveform, -1, 1)).max() < 1e-3
+
+    def test_pcm_size(self):
+        waveform = synthesize_word("car")
+        assert len(encode_audio(waveform)) == 2 * len(waveform)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(SwingError):
+            decode_audio(b"\x00")
+
+
+class TestSpeechRecognizer:
+    @pytest.fixture(scope="class")
+    def recognizer(self):
+        return SpeechRecognizer(Translator().vocabulary())
+
+    def test_single_word(self, recognizer):
+        waveform = synthesize_utterance(["house"], seed=1)
+        assert recognizer.recognize(waveform) == ["house"]
+
+    def test_multi_word_sequence(self, recognizer):
+        phrase = ["the", "red", "car", "runs"]
+        waveform = synthesize_utterance(phrase, seed=2)
+        assert recognizer.recognize(waveform) == phrase
+
+    def test_robust_to_noise(self, recognizer):
+        phrase = ["my", "phone", "works"]
+        waveform = synthesize_utterance(phrase, noise=0.05, seed=3)
+        assert recognizer.recognize(phrase and waveform) == phrase
+
+    def test_adaptive_vad_handles_loud_noise_floor(self, recognizer):
+        # Noise floor above the absolute threshold: the adaptive
+        # quietest-decile estimate must keep segmentation working.
+        phrase = ["the", "big", "house"]
+        waveform = synthesize_utterance(phrase, noise=0.10, seed=4)
+        assert recognizer.recognize(waveform) == phrase
+
+    def test_floor_factor_validated(self):
+        from repro.core.exceptions import SwingError
+        with pytest.raises(SwingError):
+            SpeechRecognizer(["car"], floor_factor=0.5)
+
+    def test_silence_recognized_as_nothing(self, recognizer):
+        silence = np.zeros(SAMPLE_RATE, dtype=np.float32)
+        assert recognizer.recognize(silence) == []
+
+    def test_pure_noise_rejected(self, recognizer):
+        noise = (np.random.default_rng(0)
+                 .normal(0, 0.02, SAMPLE_RATE).astype(np.float32))
+        assert recognizer.recognize(noise) == []
+
+    def test_accuracy_metric(self, recognizer):
+        utterances = []
+        for index, phrase in enumerate([["big", "dog"], ["old", "house"]]):
+            utterances.append((phrase,
+                               synthesize_utterance(phrase, seed=index)))
+        assert recognition_accuracy(recognizer, utterances) == 1.0
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(SwingError):
+            SpeechRecognizer([])
+
+    def test_non_1d_rejected(self, recognizer):
+        with pytest.raises(SwingError):
+            recognizer.recognize(np.zeros((10, 10)))
+
+    def test_word_level_accuracy_high(self, recognizer):
+        from repro.apps.translate.pipeline import default_phrases
+        phrases = default_phrases(15, seed=9)
+        correct = total = 0
+        for index, phrase in enumerate(phrases):
+            recognized = recognizer.recognize(
+                synthesize_utterance(phrase, seed=index))
+            total += len(phrase)
+            correct += sum(1 for a, b in zip(phrase, recognized) if a == b)
+        assert correct / total >= 0.9

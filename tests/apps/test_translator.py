@@ -1,0 +1,114 @@
+"""Tests for the rule-based EN->ES translator."""
+
+import pytest
+
+from repro.apps.translate.translator import (LEXICON, Translator,
+                                             spanish_plural)
+from repro.core.exceptions import SwingError
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return Translator()
+
+
+class TestLexicalTranslation:
+    def test_simple_words(self, translator):
+        assert translator.translate("hello") == "hola"
+        assert translator.translate("water") == "agua"
+
+    def test_sentence_word_by_word(self, translator):
+        assert translator.translate("we need water") == \
+            "nosotros necesita agua"
+
+    def test_verb_third_person_s(self, translator):
+        assert translator.translate("he runs") == "él corre"
+
+    def test_punctuation_stripped(self, translator):
+        assert translator.translate("hello.") == "hola"
+
+    def test_case_insensitive(self, translator):
+        assert translator.translate("Hello") == "hola"
+
+    def test_unknown_word_marked(self, translator):
+        assert translator.translate("xylophone") == "<xylophone>"
+
+    def test_unknown_word_unmarked_mode(self):
+        translator = Translator(mark_unknown=False)
+        assert translator.translate("xylophone") == "xylophone"
+
+    def test_accepts_word_lists(self, translator):
+        assert translator.translate(["the", "dog"]) == "el perro"
+
+
+class TestAdjectiveReordering:
+    def test_adjective_follows_noun(self, translator):
+        assert translator.translate("red car") == "coche rojo"
+
+    def test_article_adjective_noun(self, translator):
+        assert translator.translate("the red car") == "el coche rojo"
+
+    def test_gender_agreement_feminine(self, translator):
+        assert translator.translate("the red house") == "la casa roja"
+
+    def test_invariant_adjective(self, translator):
+        assert translator.translate("the big house") == "la casa grande"
+
+    def test_adjective_without_noun_stays(self, translator):
+        assert translator.translate("he is fast") == "él es rápido"
+
+
+class TestArticleAgreement:
+    def test_masculine_definite(self, translator):
+        assert translator.translate("the dog") == "el perro"
+
+    def test_feminine_definite(self, translator):
+        assert translator.translate("the house") == "la casa"
+
+    def test_plural_definite(self, translator):
+        assert translator.translate("the dogs") == "los perros"
+        assert translator.translate("the houses") == "las casas"
+
+    def test_indefinite(self, translator):
+        assert translator.translate("a dog") == "un perro"
+        assert translator.translate("a house") == "una casa"
+
+
+class TestPlurals:
+    def test_regular_noun_plural(self, translator):
+        assert translator.translate("dogs") == "perros"
+
+    def test_es_plural(self, translator):
+        assert "señal" in translator.translate("signal")
+
+    def test_irregular_plural(self, translator):
+        assert translator.translate("the women") == "las mujeres"
+        assert translator.translate("the men") == "los hombres"
+
+    def test_consonant_final_plural_rule(self):
+        assert spanish_plural("señal") == "señales"
+        assert spanish_plural("casa") == "casas"
+
+    def test_empty_plural_rejected(self):
+        with pytest.raises(SwingError):
+            spanish_plural("")
+
+    def test_plural_adjective_agreement(self, translator):
+        assert translator.translate("the small dogs") == \
+            "los perros pequeños"
+
+
+class TestVocabulary:
+    def test_vocabulary_covers_lexicon(self, translator):
+        vocabulary = translator.vocabulary()
+        assert set(vocabulary) == set(LEXICON)
+        assert len(vocabulary) > 80
+
+    def test_full_sentences(self, translator):
+        cases = {
+            "the red car runs now": "el coche rojo corre ahora",
+            "my house is very big": "mi casa es muy grande",
+            "we need the new phone": "nosotros necesita el teléfono nuevo",
+        }
+        for english, spanish in cases.items():
+            assert translator.translate(english) == spanish

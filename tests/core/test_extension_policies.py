@@ -1,0 +1,142 @@
+"""Tests for the extension policies (JSQ, WRR)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.exceptions import PolicyError, RoutingError
+from repro.core.latency import DownstreamStats
+from repro.core.policies import (EXTENSION_POLICY_NAMES,
+                                 JoinShortestQueuePolicy,
+                                 WeightedRoundRobinPolicy, make_policy)
+
+
+class TestRegistry:
+    def test_extension_names_registered(self):
+        for name in EXTENSION_POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_extensions_not_in_paper_list(self):
+        from repro.core.policies import POLICY_NAMES
+        assert not set(EXTENSION_POLICY_NAMES) & set(POLICY_NAMES)
+
+
+class TestJoinShortestQueue:
+    def test_routes_to_emptiest_backlog(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        first = policy.route()   # ties break by id: a
+        second = policy.route()  # a has backlog 1 -> b
+        assert {first, second} == {"a", "b"}
+
+    def test_acks_free_backlog(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        policy.route()  # a: 1
+        policy.route()  # b: 1
+        policy.on_acked("a")
+        assert policy.route() == "a"
+
+    def test_backlog_never_negative(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("a")
+        policy.on_acked("a")
+        assert policy.backlog("a") == 0
+
+    def test_slow_downstream_starved(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("fast")
+        policy.on_downstream_added("slow")
+        counts = Counter()
+        for _ in range(100):
+            choice = policy.route()
+            counts[choice] += 1
+            if choice == "fast":
+                policy.on_acked("fast")  # fast ACKs immediately
+        assert counts["fast"] > 90
+        assert counts["slow"] <= 2  # only while probing an empty backlog
+
+    def test_removed_member_not_routed(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        policy.on_downstream_removed("a")
+        assert all(policy.route() == "b" for _ in range(5))
+
+    def test_no_members_raises(self):
+        with pytest.raises(RoutingError):
+            JoinShortestQueuePolicy(seed=0).route()
+
+    def test_update_selects_alive(self):
+        policy = JoinShortestQueuePolicy(seed=0)
+        policy.on_downstream_added("a")
+        stats = {"a": DownstreamStats(downstream_id="a", latency=0.1)}
+        decision = policy.update(stats, input_rate=5.0)
+        assert decision.selected == ["a"]
+
+
+class TestWeightedRoundRobin:
+    def test_weights_proportional_to_capabilities(self):
+        policy = WeightedRoundRobinPolicy(
+            seed=0, capabilities={"fast": 9.0, "slow": 1.0})
+        policy.on_downstream_added("fast")
+        policy.on_downstream_added("slow")
+        counts = Counter(policy.route() for _ in range(2000))
+        assert counts["fast"] > counts["slow"] * 5
+
+    def test_unknown_member_gets_mean_capability(self):
+        policy = WeightedRoundRobinPolicy(seed=0, capabilities={"a": 4.0})
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("mystery")
+        decision = policy.update(
+            {"a": DownstreamStats(downstream_id="a"),
+             "mystery": DownstreamStats(downstream_id="mystery")},
+            input_rate=5.0)
+        assert decision.weights["mystery"] == pytest.approx(
+            decision.weights["a"])
+
+    def test_no_capabilities_uniform(self):
+        policy = WeightedRoundRobinPolicy(seed=0)
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        decision = policy.update(
+            {d: DownstreamStats(downstream_id=d) for d in ("a", "b")},
+            input_rate=5.0)
+        assert decision.weights["a"] == decision.weights["b"]
+
+    def test_invalid_capability_rejected(self):
+        with pytest.raises(PolicyError):
+            WeightedRoundRobinPolicy(capabilities={"a": 0.0})
+
+    def test_static_despite_latency_changes(self):
+        policy = WeightedRoundRobinPolicy(
+            seed=0, capabilities={"a": 1.0, "b": 1.0})
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        # Report awful latency for a; WRR must not care.
+        decision = policy.update(
+            {"a": DownstreamStats(downstream_id="a", latency=99.0),
+             "b": DownstreamStats(downstream_id="b", latency=0.01)},
+            input_rate=5.0)
+        assert decision.weights["a"] == pytest.approx(decision.weights["b"])
+
+
+class TestExtensionsInSimulation:
+    def test_jsq_meets_target_on_fast_trio(self):
+        from repro import profiles
+        from repro.simulation.swarm import SwarmConfig, run_swarm
+        from repro.simulation.workload import face_workload
+        config = SwarmConfig(workload=face_workload(),
+                             workers=profiles.worker_profiles(["G", "H", "I"]),
+                             source=profiles.device_profile("A"),
+                             policy="JSQ", duration=15.0, seed=0)
+        result = run_swarm(config)
+        assert result.throughput > 20.0
+
+    def test_wrr_runs_on_testbed(self):
+        from repro.simulation import scenarios
+        from repro.simulation.swarm import run_swarm
+        result = run_swarm(scenarios.testbed(policy="WRR", duration=15.0))
+        assert result.throughput > 5.0

@@ -1,0 +1,140 @@
+"""Tests for the function-unit programming API."""
+
+import pytest
+
+from repro.core.exceptions import RuntimeStateError
+from repro.core.function_unit import (CollectingSink, FunctionUnit,
+                                      IterableSource, LambdaUnit, SinkUnit,
+                                      SourceUnit, UnitContext)
+from repro.core.tuples import DataTuple, TupleSchema
+
+
+def bind(unit, emitted=None, clock=None):
+    emitted = emitted if emitted is not None else []
+    times = iter(clock or [0.0] * 1000)
+    context = UnitContext(unit_name="u", instance_id="u@X",
+                          emit=emitted.append, now=lambda: next(times))
+    unit.bind(context)
+    return emitted
+
+
+class TestUnitContext:
+    def test_emit_counts(self):
+        unit = LambdaUnit(lambda values: values)
+        emitted = bind(unit)
+        unit.process_data(DataTuple(values={"x": 1}, seq=0))
+        assert unit.context.emitted_count == 1
+        assert len(emitted) == 1
+
+    def test_unbound_unit_raises(self):
+        unit = LambdaUnit(lambda values: values)
+        with pytest.raises(RuntimeStateError):
+            unit.process_data(DataTuple(values={"x": 1}, seq=0))
+
+    def test_now_uses_supplied_clock(self):
+        unit = IterableSource([{"x": 1}])
+        bind(unit, clock=[42.0])
+        data = unit.generate()
+        assert data.created_at == 42.0
+
+
+class TestBaseClassContracts:
+    def test_process_data_abstract(self):
+        unit = FunctionUnit()
+        bind(unit)
+        with pytest.raises(NotImplementedError):
+            unit.process_data(DataTuple(values={}))
+
+    def test_source_rejects_input(self):
+        source = IterableSource([])
+        bind(source)
+        with pytest.raises(RuntimeStateError):
+            source.process_data(DataTuple(values={"x": 1}, seq=0))
+
+    def test_source_generate_abstract(self):
+        source = SourceUnit()
+        bind(source)
+        with pytest.raises(NotImplementedError):
+            source.generate()
+
+    def test_lifecycle_hooks_are_noops(self):
+        unit = SinkUnit()
+        unit.on_start()
+        unit.on_stop()
+
+
+class TestLambdaUnit:
+    def test_transforms_and_forwards(self):
+        unit = LambdaUnit(lambda values: {"y": values["x"] * 2})
+        emitted = bind(unit)
+        unit.process_data(DataTuple(values={"x": 3}, seq=9))
+        assert emitted[0].get_value("y") == 6
+        assert emitted[0].seq == 9
+
+    def test_output_schema_enforced(self):
+        unit = LambdaUnit(lambda values: {"wrong": 1},
+                          output_schema=TupleSchema.of("y"))
+        bind(unit)
+        with pytest.raises(Exception):
+            unit.process_data(DataTuple(values={"x": 1}, seq=0))
+
+
+class TestIterableSource:
+    def test_generates_in_order_then_exhausts(self):
+        source = IterableSource([{"x": 1}, {"x": 2}])
+        bind(source)
+        assert source.generate().get_value("x") == 1
+        assert source.generate().get_value("x") == 2
+        assert source.generate() is None
+
+    def test_sequence_numbers(self):
+        source = IterableSource([{"x": i} for i in range(3)])
+        bind(source)
+        assert [source.generate().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_accepts_generators(self):
+        source = IterableSource(({"x": i} for i in range(2)))
+        bind(source)
+        assert source.generate() is not None
+
+
+class TestCollectingSink:
+    def test_collects_values_and_sequences(self):
+        sink = CollectingSink()
+        bind(sink)
+        sink.process_data(DataTuple(values={"v": "a"}, seq=5))
+        sink.process_data(DataTuple(values={"v": "b"}, seq=6))
+        assert sink.values("v") == ["a", "b"]
+        assert sink.sequences() == [5, 6]
+
+
+class TestReorderingSink:
+    def _sink(self, rate=10.0, timespan=1.0):
+        from repro.core.function_unit import ReorderingSink
+        sink = ReorderingSink(source_rate=rate, timespan=timespan)
+        bind(sink)
+        return sink
+
+    def test_playback_in_sequence_order(self):
+        sink = self._sink()
+        for seq in (2, 0, 1, 3):
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        assert [data.seq for data in sink.playback] == [0, 1, 2, 3]
+
+    def test_raw_results_keep_arrival_order(self):
+        sink = self._sink()
+        for seq in (2, 0, 1):
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        assert [data.seq for data in sink.results] == [2, 0, 1]
+
+    def test_on_stop_flushes_gapped_tail(self):
+        sink = self._sink()
+        sink.process_data(DataTuple(values={"v": 5}, seq=5))
+        assert sink.playback == []  # waiting for 0..4
+        sink.on_stop()
+        assert [data.seq for data in sink.playback] == [5]
+        assert sink.skipped == 5
+
+    def test_capacity_follows_rate_and_timespan(self):
+        sink = self._sink(rate=24.0, timespan=2.0)
+        assert sink._buffer.capacity == 48

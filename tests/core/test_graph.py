@@ -1,0 +1,203 @@
+"""Tests for application dataflow graphs."""
+
+import pytest
+
+from repro.core.exceptions import GraphError, GraphValidationError
+from repro.core.function_unit import (CollectingSink, IterableSource,
+                                      LambdaUnit)
+from repro.core.graph import AppGraph, FunctionUnitSpec, GraphBuilder
+
+
+def _source():
+    return IterableSource([])
+
+
+def _compute():
+    return LambdaUnit(lambda values: values)
+
+
+def chain_graph():
+    return (GraphBuilder("chain")
+            .source("src", _source)
+            .unit("f1", _compute)
+            .unit("f2", _compute)
+            .sink("snk", CollectingSink)
+            .chain("src", "f1", "f2", "snk")
+            .build())
+
+
+class TestFunctionUnitSpec:
+    def test_roles(self):
+        spec = FunctionUnitSpec("s", _source, role="source")
+        assert spec.is_source and not spec.is_sink
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(GraphError):
+            FunctionUnitSpec("x", _compute, role="weird")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            FunctionUnitSpec("", _compute)
+
+
+class TestGraphConstruction:
+    def test_duplicate_unit_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("a", _compute))
+        with pytest.raises(GraphError):
+            graph.add_unit(FunctionUnitSpec("a", _compute))
+
+    def test_connect_unknown_unit_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("a", _compute))
+        with pytest.raises(GraphError):
+            graph.connect("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("a", _compute))
+        with pytest.raises(GraphError):
+            graph.connect("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("a", _compute))
+        graph.add_unit(FunctionUnitSpec("b", _compute))
+        graph.connect("a", "b")
+        with pytest.raises(GraphError):
+            graph.connect("a", "b")
+
+
+class TestQueries:
+    def test_up_and_downstreams(self):
+        graph = chain_graph()
+        assert graph.downstreams("src") == ["f1"]
+        assert graph.upstreams("f2") == ["f1"]
+        assert graph.downstreams("snk") == []
+        assert graph.upstreams("src") == []
+
+    def test_sources_and_sinks(self):
+        graph = chain_graph()
+        assert [s.name for s in graph.sources()] == ["src"]
+        assert [s.name for s in graph.sinks()] == ["snk"]
+
+    def test_compute_units(self):
+        graph = chain_graph()
+        assert sorted(s.name for s in graph.compute_units()) == ["f1", "f2"]
+
+    def test_edges(self):
+        graph = chain_graph()
+        assert ("src", "f1") in graph.edges()
+        assert len(graph.edges()) == 3
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(GraphError):
+            chain_graph().unit("nope")
+
+
+class TestValidation:
+    def test_valid_chain_passes(self):
+        chain_graph().validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            AppGraph().validate()
+
+    def test_missing_source_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+        with pytest.raises(GraphValidationError, match="no source"):
+            graph.validate()
+
+    def test_missing_sink_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("src", _source, role="source"))
+        with pytest.raises(GraphValidationError, match="no sink"):
+            graph.validate()
+
+    def test_unreachable_unit_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("src", _source, role="source"))
+        graph.add_unit(FunctionUnitSpec("f", _compute))
+        graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+        graph.connect("src", "snk")
+        graph.connect("f", "snk")
+        with pytest.raises(GraphValidationError, match="unreachable"):
+            graph.validate()
+
+    def test_dead_end_unit_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("src", _source, role="source"))
+        graph.add_unit(FunctionUnitSpec("f", _compute))
+        graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+        graph.connect("src", "f")
+        graph.connect("src", "snk")
+        with pytest.raises(GraphValidationError, match="dead end"):
+            graph.validate()
+
+    def test_source_with_upstream_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("s1", _source, role="source"))
+        graph.add_unit(FunctionUnitSpec("s2", _source, role="source"))
+        graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+        graph.connect("s1", "s2")
+        graph.connect("s2", "snk")
+        with pytest.raises(GraphValidationError, match="upstream"):
+            graph.validate()
+
+    def test_cycle_rejected(self):
+        graph = AppGraph()
+        graph.add_unit(FunctionUnitSpec("src", _source, role="source"))
+        graph.add_unit(FunctionUnitSpec("a", _compute))
+        graph.add_unit(FunctionUnitSpec("b", _compute))
+        graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+        graph.connect("src", "a")
+        graph.connect("a", "b")
+        graph.connect("b", "a")
+        graph.connect("b", "snk")
+        with pytest.raises(GraphValidationError, match="cycle"):
+            graph.topological_order()
+
+
+class TestTopology:
+    def test_topological_order_of_chain(self):
+        assert chain_graph().topological_order() == ["src", "f1", "f2", "snk"]
+
+    def test_stages_of_chain(self):
+        assert chain_graph().stages() == ["src", "f1", "f2", "snk"]
+
+    def test_stages_rejects_fan_out(self):
+        graph = (GraphBuilder("fan")
+                 .source("src", _source)
+                 .unit("a", _compute)
+                 .unit("b", _compute)
+                 .sink("snk", CollectingSink)
+                 .connect("src", "a").connect("src", "b")
+                 .connect("a", "snk").connect("b", "snk")
+                 .build())
+        with pytest.raises(GraphError):
+            graph.stages()
+
+    def test_diamond_topological_order(self):
+        graph = (GraphBuilder("diamond")
+                 .source("src", _source)
+                 .unit("a", _compute)
+                 .unit("b", _compute)
+                 .sink("snk", CollectingSink)
+                 .connect("src", "a").connect("src", "b")
+                 .connect("a", "snk").connect("b", "snk")
+                 .build())
+        order = graph.topological_order()
+        assert order.index("src") < order.index("a") < order.index("snk")
+        assert order.index("src") < order.index("b") < order.index("snk")
+
+
+class TestBuilder:
+    def test_build_validates(self):
+        builder = GraphBuilder("bad").source("src", _source)
+        with pytest.raises(GraphValidationError):
+            builder.build()
+
+    def test_chain_connects_pairwise(self):
+        graph = chain_graph()
+        assert graph.edges() == [("src", "f1"), ("f1", "f2"), ("f2", "snk")]

@@ -1,0 +1,95 @@
+"""Property-based tests over randomly generated DAGs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import GraphError, GraphValidationError
+from repro.core.function_unit import (CollectingSink, IterableSource,
+                                      LambdaUnit)
+from repro.core.graph import AppGraph, FunctionUnitSpec
+
+
+@st.composite
+def random_dag(draw):
+    """A random layered DAG: source -> layers of compute -> sink.
+
+    Every compute unit gets at least one upstream from an earlier layer
+    and at least one downstream toward a later layer, so the graph is
+    always *valid* by construction.
+    """
+    layer_sizes = draw(st.lists(st.integers(min_value=1, max_value=3),
+                                min_size=1, max_size=4))
+    graph = AppGraph("random")
+    graph.add_unit(FunctionUnitSpec("src", lambda: IterableSource([]),
+                                    role="source"))
+    layers = [["src"]]
+    counter = 0
+    for size in layer_sizes:
+        layer = []
+        for _ in range(size):
+            name = "u%d" % counter
+            counter += 1
+            graph.add_unit(FunctionUnitSpec(
+                name, lambda: LambdaUnit(lambda v: v)))
+            layer.append(name)
+        layers.append(layer)
+    graph.add_unit(FunctionUnitSpec("snk", CollectingSink, role="sink"))
+    layers.append(["snk"])
+    # Wire: each unit gets an upstream from the previous layer and a
+    # downstream to the next; extra random edges forward-only.
+    for previous, layer in zip(layers, layers[1:]):
+        for name in layer:
+            upstream = draw(st.sampled_from(previous))
+            graph.connect(upstream, name)
+    for index, layer in enumerate(layers[:-1]):
+        for name in layer:
+            if not graph.downstreams(name):
+                downstream = draw(st.sampled_from(layers[index + 1]))
+                graph.connect(name, downstream)
+    extra = draw(st.integers(min_value=0, max_value=4))
+    flat = [(i, name) for i, layer in enumerate(layers)
+            for name in layer]
+    for _ in range(extra):
+        li, a = draw(st.sampled_from(flat))
+        lj, b = draw(st.sampled_from(flat))
+        if li < lj and b != "src" and a != "snk" \
+                and b not in graph.downstreams(a):
+            if not (a == "src" and b == "snk"):
+                graph.connect(a, b)
+    return graph
+
+
+class TestRandomDags:
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_constructed_dags_validate(self, graph):
+        graph.validate()
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_respects_edges(self, graph):
+        order = graph.topological_order()
+        position = {name: index for index, name in enumerate(order)}
+        for upstream, downstream in graph.edges():
+            assert position[upstream] < position[downstream]
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_order_contains_every_unit_once(self, graph):
+        order = graph.topological_order()
+        assert sorted(order) == sorted(graph.unit_names)
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_reachability_from_source(self, graph):
+        # validate() guarantees every non-source has an upstream; check
+        # full reachability from the source explicitly.
+        reached = {"src"}
+        frontier = ["src"]
+        while frontier:
+            name = frontier.pop()
+            for downstream in graph.downstreams(name):
+                if downstream not in reached:
+                    reached.add(downstream)
+                    frontier.append(downstream)
+        assert reached == set(graph.unit_names)

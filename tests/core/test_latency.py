@@ -1,0 +1,191 @@
+"""Tests for latency estimation and the ACK tracker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import PolicyError
+from repro.core.latency import (AckTracker, EwmaEstimator,
+                                MovingAverageEstimator, RateMeter,
+                                make_estimator)
+
+
+class TestMovingAverage:
+    def test_empty_has_no_value(self):
+        assert MovingAverageEstimator().value is None
+
+    def test_single_sample(self):
+        est = MovingAverageEstimator()
+        est.observe(2.0)
+        assert est.value == pytest.approx(2.0)
+
+    def test_window_evicts_old_samples(self):
+        est = MovingAverageEstimator(window=2)
+        for sample in (10.0, 2.0, 4.0):
+            est.observe(sample)
+        assert est.value == pytest.approx(3.0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(PolicyError):
+            MovingAverageEstimator().observe(-1.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(PolicyError):
+            MovingAverageEstimator(window=0)
+
+    def test_reset(self):
+        est = MovingAverageEstimator()
+        est.observe(1.0)
+        est.reset()
+        assert est.value is None
+        assert est.sample_count == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_value_within_sample_range(self, samples):
+        est = MovingAverageEstimator(window=10)
+        for sample in samples:
+            est.observe(sample)
+        window = samples[-10:]
+        slack = 1e-9 * (1.0 + max(window))
+        assert min(window) - slack <= est.value <= max(window) + slack
+
+
+class TestEwma:
+    def test_first_sample_taken_verbatim(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.observe(4.0)
+        assert est.value == pytest.approx(4.0)
+
+    def test_blend(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.observe(4.0)
+        est.observe(0.0)
+        assert est.value == pytest.approx(2.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(PolicyError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(PolicyError):
+            EwmaEstimator(alpha=1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_bounded_by_extremes(self, samples, alpha):
+        est = EwmaEstimator(alpha=alpha)
+        for sample in samples:
+            est.observe(sample)
+        slack = 1e-9 * (1.0 + max(samples))
+        assert min(samples) - slack <= est.value <= max(samples) + slack
+
+
+class TestMakeEstimator:
+    def test_kinds(self):
+        assert isinstance(make_estimator("moving-average"),
+                          MovingAverageEstimator)
+        assert isinstance(make_estimator("ewma"), EwmaEstimator)
+
+    def test_unknown_kind(self):
+        with pytest.raises(PolicyError):
+            make_estimator("magic")
+
+
+class TestAckTracker:
+    def test_ack_produces_latency_sample(self):
+        tracker = AckTracker()
+        tracker.add_downstream("B")
+        tracker.record_send(seq=1, downstream_id="B", now=10.0)
+        sample = tracker.record_ack(seq=1, now=10.5)
+        assert sample == pytest.approx(0.5)
+        assert tracker.stats()["B"].latency == pytest.approx(0.5)
+
+    def test_processing_delay_piggybacked(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_ack(1, 0.4, processing_delay=0.1)
+        stats = tracker.stats()["B"]
+        assert stats.processing_delay == pytest.approx(0.1)
+
+    def test_unknown_ack_ignored(self):
+        tracker = AckTracker()
+        assert tracker.record_ack(99, 1.0) is None
+
+    def test_duplicate_ack_ignored(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        assert tracker.record_ack(1, 0.5) is not None
+        assert tracker.record_ack(1, 0.7) is None
+
+    def test_send_auto_registers_downstream(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "new", 0.0)
+        assert "new" in tracker.stats()
+
+    def test_expire_pending_drops_stale(self):
+        tracker = AckTracker(timeout=1.0)
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_send(2, "B", 5.0)
+        assert tracker.expire_pending(now=5.5) == 1
+        assert tracker.pending_count() == 1
+        assert tracker.record_ack(1, 6.0) is None  # expired
+
+    def test_remove_downstream_clears_pending(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        tracker.remove_downstream("B")
+        assert tracker.pending_count() == 0
+        assert "B" not in tracker.stats()
+
+    def test_mark_dead_reflected_in_stats(self):
+        tracker = AckTracker()
+        tracker.add_downstream("B")
+        tracker.mark_dead("B")
+        assert tracker.stats()["B"].alive is False
+
+    def test_counters(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_send(2, "B", 0.1)
+        tracker.record_ack(1, 0.2)
+        stats = tracker.stats()["B"]
+        assert stats.sent_count == 2
+        assert stats.acked_count == 1
+
+    def test_pending_count_per_downstream(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_send(2, "C", 0.0)
+        assert tracker.pending_count("B") == 1
+        assert tracker.pending_count() == 2
+
+    def test_service_rate_inverse_latency(self):
+        tracker = AckTracker()
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_ack(1, 0.25)
+        assert tracker.stats()["B"].service_rate == pytest.approx(4.0)
+
+    def test_service_rate_none_without_samples(self):
+        tracker = AckTracker()
+        tracker.add_downstream("B")
+        assert tracker.stats()["B"].service_rate is None
+
+
+class TestRateMeter:
+    def test_rate_counts_recent_arrivals(self):
+        meter = RateMeter(window=1.0)
+        for t in (0.0, 0.2, 0.4, 0.6):
+            meter.observe(t)
+        assert meter.rate(0.6) == pytest.approx(4.0)
+
+    def test_old_arrivals_evicted(self):
+        meter = RateMeter(window=1.0)
+        meter.observe(0.0)
+        meter.observe(2.0)
+        assert meter.rate(2.0) == pytest.approx(1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(PolicyError):
+            RateMeter(window=0.0)
+
+    def test_empty_rate_zero(self):
+        assert RateMeter().rate(5.0) == 0.0

@@ -1,0 +1,220 @@
+"""Tests for the five routing policies (RR, PR, LR, PRS, LRS)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import PolicyError, RoutingError
+from repro.core.latency import DownstreamStats
+from repro.core.policies import (POLICY_NAMES, make_policy,
+                                 weights_from_delays)
+from repro.core.policies.base import ProbeScheduler
+
+
+def stats_for(latencies=None, processing=None, alive=None):
+    """Build a DownstreamStats map from simple dicts."""
+    latencies = latencies or {}
+    processing = processing or {}
+    alive = alive or {}
+    ids = set(latencies) | set(processing) | set(alive)
+    return {
+        downstream: DownstreamStats(
+            downstream_id=downstream,
+            latency=latencies.get(downstream),
+            processing_delay=processing.get(downstream),
+            alive=alive.get(downstream, True))
+        for downstream in ids
+    }
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_make_each_policy(self, name):
+        assert make_policy(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("lrs").name == "LRS"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PolicyError):
+            make_policy("FIFO")
+
+
+class TestWeightsFromDelays:
+    def test_inverse_delay(self):
+        weights = weights_from_delays({"a": 0.1, "b": 0.2})
+        assert weights["a"] == pytest.approx(2 * weights["b"])
+
+    def test_unknown_gets_mean_inverse(self):
+        weights = weights_from_delays({"a": 0.1, "b": None})
+        assert weights["b"] == pytest.approx(weights["a"])
+
+    def test_all_unknown_uniform(self):
+        weights = weights_from_delays({"a": None, "b": None})
+        assert weights["a"] == weights["b"]
+
+
+class TestRoundRobin:
+    def test_cycles_over_members(self):
+        policy = make_policy("RR")
+        for member in ("x", "y", "z"):
+            policy.on_downstream_added(member)
+        picks = [policy.route() for _ in range(6)]
+        assert picks[:3] == sorted(picks[:3])
+        assert Counter(picks) == {"x": 2, "y": 2, "z": 2}
+
+    def test_no_members_raises(self):
+        with pytest.raises(RoutingError):
+            make_policy("RR").route()
+
+    def test_removed_member_not_routed(self):
+        policy = make_policy("RR")
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        policy.on_downstream_removed("a")
+        assert all(policy.route() == "b" for _ in range(4))
+
+    def test_update_selects_all_alive(self):
+        policy = make_policy("RR")
+        policy.on_downstream_added("a")
+        policy.on_downstream_added("b")
+        decision = policy.update(stats_for(latencies={"a": 0.1, "b": 9.0}),
+                                 input_rate=10.0)
+        assert decision.selected == ["a", "b"]
+        assert decision.weights["a"] == decision.weights["b"]
+
+
+class TestWeightedPolicies:
+    def _policy_with_members(self, name, latencies, processing=None):
+        policy = make_policy(name, seed=1, probe_tuples=0)
+        for member in latencies:
+            policy.on_downstream_added(member)
+        policy.update(stats_for(latencies=latencies,
+                                processing=processing or {}), input_rate=10.0)
+        return policy
+
+    def test_lr_prefers_low_latency(self):
+        policy = self._policy_with_members(
+            "LR", {"fast": 0.1, "slow": 1.0})
+        counts = Counter(policy.route() for _ in range(2000))
+        assert counts["fast"] > counts["slow"] * 5
+
+    def test_pr_uses_processing_delay_not_latency(self):
+        policy = make_policy("PR", seed=1, probe_tuples=0)
+        policy.on_downstream_added("weak_link")
+        policy.on_downstream_added("slow_cpu")
+        # weak_link: terrible latency but great CPU; slow_cpu the reverse.
+        policy.update(stats_for(latencies={"weak_link": 2.0, "slow_cpu": 0.2},
+                                processing={"weak_link": 0.05,
+                                            "slow_cpu": 0.5}),
+                      input_rate=10.0)
+        counts = Counter(policy.route() for _ in range(2000))
+        assert counts["weak_link"] > counts["slow_cpu"] * 5
+
+    def test_lrs_selects_min_prefix(self):
+        policy = make_policy("LRS", seed=1, probe_tuples=0)
+        for member in ("a", "b", "c"):
+            policy.on_downstream_added(member)
+        decision = policy.update(
+            stats_for(latencies={"a": 0.1, "b": 0.125, "c": 1.0}),
+            input_rate=15.0)
+        # mu = 10, 8, 1 -> a+b = 18 >= 15, c excluded
+        assert decision.selected == ["a", "b"]
+
+    def test_lrs_fallback_selects_all_when_unsatisfiable(self):
+        policy = make_policy("LRS", seed=1, probe_tuples=0)
+        for member in ("a", "b"):
+            policy.on_downstream_added(member)
+        decision = policy.update(stats_for(latencies={"a": 1.0, "b": 1.0}),
+                                 input_rate=100.0)
+        assert decision.selected == ["a", "b"]
+
+    def test_prs_selects_by_processing_delay(self):
+        policy = make_policy("PRS", seed=1, probe_tuples=0)
+        for member in ("a", "b", "c"):
+            policy.on_downstream_added(member)
+        decision = policy.update(
+            stats_for(latencies={"a": 9.0, "b": 9.0, "c": 9.0},
+                      processing={"a": 0.1, "b": 0.2, "c": 0.9}),
+            input_rate=12.0)
+        assert decision.selected == ["a", "b"]
+
+    def test_selection_includes_unmeasured_when_short(self):
+        policy = make_policy("LRS", seed=1, probe_tuples=0)
+        for member in ("known", "unknown"):
+            policy.on_downstream_added(member)
+        decision = policy.update(stats_for(latencies={"known": 1.0,
+                                                      "unknown": None}),
+                                 input_rate=50.0)
+        assert "unknown" in decision.selected
+
+    def test_dead_member_excluded(self):
+        policy = make_policy("LRS", seed=1, probe_tuples=0)
+        for member in ("a", "b"):
+            policy.on_downstream_added(member)
+        decision = policy.update(
+            stats_for(latencies={"a": 0.1, "b": 0.1},
+                      alive={"a": True, "b": False}),
+            input_rate=5.0)
+        assert decision.selected == ["a"]
+
+    def test_route_only_selected(self):
+        policy = make_policy("LRS", seed=3, probe_tuples=0)
+        for member in ("fast", "slow"):
+            policy.on_downstream_added(member)
+        policy.update(stats_for(latencies={"fast": 0.1, "slow": 10.0}),
+                      input_rate=5.0)
+        assert all(policy.route() == "fast" for _ in range(100))
+
+    @pytest.mark.parametrize("name", ["PR", "LR", "PRS", "LRS"])
+    def test_new_member_routable_before_any_stats(self, name):
+        policy = make_policy(name, seed=0)
+        policy.on_downstream_added("only")
+        assert policy.route() == "only"
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_join_mid_stream_gets_share(self, name):
+        policy = make_policy(name, seed=0, probe_tuples=0) \
+            if name != "RR" else make_policy(name, seed=0)
+        policy.on_downstream_added("old")
+        policy.update(stats_for(latencies={"old": 0.1},
+                                processing={"old": 0.1}), input_rate=1.0)
+        policy.on_downstream_added("new")
+        counts = Counter(policy.route() for _ in range(500))
+        assert counts["new"] > 0
+
+    def test_leave_then_rejoin(self):
+        policy = make_policy("LRS", seed=0)
+        policy.on_downstream_added("a")
+        policy.on_downstream_removed("a")
+        policy.on_downstream_added("a")
+        assert policy.route() == "a"
+
+
+class TestProbeScheduler:
+    def test_probe_fires_every_n_rounds(self):
+        probe = ProbeScheduler(probe_every=3, probe_tuples=2, probe_spacing=1)
+        fired = [probe.on_update_round() for _ in range(6)]
+        assert fired == [False, False, True, False, False, True]
+
+    def test_probe_tuples_consumed_with_spacing(self):
+        probe = ProbeScheduler(probe_every=1, probe_tuples=2, probe_spacing=2)
+        probe.on_update_round()
+        picks = [probe.consume() for _ in range(6)]
+        assert picks == [True, False, True, False, False, False]
+
+    def test_disabled_probing(self):
+        probe = ProbeScheduler(probe_every=1, probe_tuples=0)
+        assert probe.on_update_round() is False
+        assert probe.consume() is False
+
+    def test_policy_probes_unselected_members(self):
+        policy = make_policy("LRS", seed=2, probe_every=1, probe_tuples=4,
+                             probe_spacing=1)
+        for member in ("fast", "slow"):
+            policy.on_downstream_added(member)
+        policy.update(stats_for(latencies={"fast": 0.1, "slow": 10.0}),
+                      input_rate=5.0)
+        picks = [policy.route() for _ in range(8)]
+        assert "slow" in picks  # probing keeps slow's estimate fresh

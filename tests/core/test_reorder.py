@@ -1,0 +1,132 @@
+"""Tests for the sink reorder buffer (paper Sec. IV-C / Fig. 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reorder import ReorderBuffer
+
+
+def offer_all(buffer, seqs):
+    released = []
+    for when, seq in enumerate(seqs):
+        released.extend(buffer.offer(seq, float(when)))
+    return released
+
+
+class TestBasicOrdering:
+    def test_in_order_released_immediately(self):
+        buffer = ReorderBuffer(capacity=4)
+        released = offer_all(buffer, [0, 1, 2])
+        assert [r.seq for r in released] == [0, 1, 2]
+
+    def test_out_of_order_buffered_until_gap_fills(self):
+        buffer = ReorderBuffer(capacity=4)
+        assert buffer.offer(1, 0.0) == []
+        released = buffer.offer(0, 1.0)
+        assert [r.seq for r in released] == [0, 1]
+
+    def test_playback_is_monotonic(self):
+        buffer = ReorderBuffer(capacity=4)
+        offer_all(buffer, [3, 0, 2, 1, 5, 4])
+        assert buffer.is_monotonic()
+
+    def test_capacity_forces_release_with_gap(self):
+        buffer = ReorderBuffer(capacity=2)
+        released = offer_all(buffer, [5, 6, 7])
+        # seq 0..4 never arrive; the full buffer forces 5 out.
+        assert released[0].seq == 5
+        assert released[0].skipped_gap == 5
+
+    def test_stale_arrival_dropped(self):
+        buffer = ReorderBuffer(capacity=1)
+        offer_all(buffer, [3, 4])  # forces next_seq past 0
+        assert buffer.offer(0, 9.0) == []
+        assert buffer.stale_drops == 1
+
+    def test_duplicate_ignored(self):
+        buffer = ReorderBuffer(capacity=4)
+        buffer.offer(2, 0.0)
+        buffer.offer(2, 1.0)
+        assert buffer.duplicates == 1
+        assert len(buffer) == 1
+
+    def test_flush_releases_everything_in_order(self):
+        buffer = ReorderBuffer(capacity=10)
+        offer_all(buffer, [4, 2, 8])
+        records = buffer.flush(now=10.0)
+        assert [r.seq for r in records] == [2, 4, 8]
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(capacity=0)
+
+
+class TestSizing:
+    def test_for_rate_uses_timespan(self):
+        buffer = ReorderBuffer.for_rate(24.0, timespan=1.0)
+        assert buffer.capacity == 24
+
+    def test_for_rate_minimum_one(self):
+        assert ReorderBuffer.for_rate(0.2, timespan=1.0).capacity == 1
+
+    def test_for_rate_custom_timespan(self):
+        assert ReorderBuffer.for_rate(10.0, timespan=2.0).capacity == 20
+
+
+class TestMetrics:
+    def test_buffering_delay_measured(self):
+        buffer = ReorderBuffer(capacity=4)
+        buffer.offer(1, 0.0)          # waits for 0
+        released = buffer.offer(0, 3.0)
+        by_seq = {r.seq: r for r in released}
+        assert by_seq[1].buffering_delay == pytest.approx(3.0)
+        assert by_seq[0].buffering_delay == pytest.approx(0.0)
+
+    def test_mean_buffering_delay(self):
+        buffer = ReorderBuffer(capacity=4)
+        assert buffer.mean_buffering_delay() is None
+        offer_all(buffer, [0, 1])
+        assert buffer.mean_buffering_delay() == pytest.approx(0.0)
+
+    def test_total_skipped(self):
+        buffer = ReorderBuffer(capacity=1)
+        offer_all(buffer, [2, 5])
+        buffer.flush(9.0)
+        assert buffer.total_skipped() == 4  # 0,1 before 2; 3,4 before 5
+
+
+class TestPropertyBased:
+    @given(st.permutations(list(range(20))),
+           st.integers(min_value=1, max_value=30))
+    def test_monotonic_for_any_permutation(self, seqs, capacity):
+        buffer = ReorderBuffer(capacity=capacity)
+        offer_all(buffer, seqs)
+        buffer.flush(float(len(seqs)))
+        assert buffer.is_monotonic()
+
+    @given(st.permutations(list(range(15))))
+    def test_large_buffer_recovers_perfect_order(self, seqs):
+        buffer = ReorderBuffer(capacity=15)
+        released = offer_all(buffer, seqs)
+        released.extend(buffer.flush(99.0))
+        assert [r.seq for r in released] == list(range(15))
+        assert buffer.total_skipped() == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=80),
+           st.integers(min_value=1, max_value=10))
+    def test_never_releases_duplicate_seq(self, seqs, capacity):
+        buffer = ReorderBuffer(capacity=capacity)
+        released = offer_all(buffer, seqs)
+        released.extend(buffer.flush(999.0))
+        out = [r.seq for r in released]
+        assert len(out) == len(set(out))
+
+    @given(st.permutations(list(range(12))),
+           st.integers(min_value=1, max_value=12))
+    def test_everything_offered_is_released_or_stale(self, seqs, capacity):
+        buffer = ReorderBuffer(capacity=capacity)
+        released = offer_all(buffer, seqs)
+        released.extend(buffer.flush(99.0))
+        assert len(released) + buffer.stale_drops == len(seqs)

@@ -1,0 +1,47 @@
+"""Tests for performance requirements."""
+
+import pytest
+
+from repro.core.exceptions import SwingError
+from repro.core.requirements import SMOOTH_VIDEO_FPS, PerformanceRequirement
+
+
+class TestPerformanceRequirement:
+    def test_default_is_smooth_video(self):
+        requirement = PerformanceRequirement()
+        assert requirement.input_rate == SMOOTH_VIDEO_FPS == 24.0
+
+    def test_frame_interval(self):
+        assert PerformanceRequirement(input_rate=10.0).frame_interval == 0.1
+
+    def test_reorder_capacity_rounds_rate_times_timespan(self):
+        requirement = PerformanceRequirement(input_rate=24.0,
+                                             reorder_timespan=1.0)
+        assert requirement.reorder_capacity() == 24
+
+    def test_reorder_capacity_minimum_one(self):
+        requirement = PerformanceRequirement(input_rate=0.3)
+        assert requirement.reorder_capacity() == 1
+
+    def test_meets_rate_with_tolerance(self):
+        requirement = PerformanceRequirement(input_rate=24.0)
+        assert requirement.meets_rate(23.6)
+        assert not requirement.meets_rate(20.0)
+
+    def test_meets_latency(self):
+        requirement = PerformanceRequirement(max_latency=1.0)
+        assert requirement.meets_latency(0.9)
+        assert not requirement.meets_latency(1.1)
+
+    def test_no_latency_bound_always_met(self):
+        assert PerformanceRequirement().meets_latency(999.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"input_rate": 0.0},
+        {"input_rate": -1.0},
+        {"max_latency": 0.0},
+        {"reorder_timespan": 0.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(SwingError):
+            PerformanceRequirement(**kwargs)

@@ -1,0 +1,133 @@
+"""Tests for routing tables and weighted sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import RoutingError
+from repro.core.routing import (RoundRobinCycler, RoutingTable,
+                                normalize_weights)
+
+
+class TestNormalizeWeights:
+    def test_sums_to_one(self):
+        weights = normalize_weights({"a": 2.0, "b": 6.0})
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["b"] == pytest.approx(0.75)
+
+    def test_all_zero_becomes_uniform(self):
+        weights = normalize_weights({"a": 0.0, "b": 0.0})
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_negative_rejected(self):
+        with pytest.raises(RoutingError):
+            normalize_weights({"a": -1.0})
+
+    def test_empty(self):
+        assert normalize_weights({}) == {}
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=3),
+                           st.floats(min_value=0, max_value=1e9),
+                           min_size=1, max_size=10))
+    def test_always_normalized(self, raw):
+        weights = normalize_weights(raw)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+
+class TestRoutingTable:
+    def test_choose_respects_weights(self):
+        table = RoutingTable({"a": 0.9, "b": 0.1})
+        rng = random.Random(42)
+        counts = Counter(table.choose(rng) for _ in range(5000))
+        assert counts["a"] > counts["b"] * 4
+
+    def test_single_entry_always_chosen(self):
+        table = RoutingTable({"only": 1.0})
+        rng = random.Random(0)
+        assert all(table.choose(rng) == "only" for _ in range(20))
+
+    def test_empty_table_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable().choose(random.Random(0))
+
+    def test_add_with_zero_weight_keeps_proportions(self):
+        table = RoutingTable({"a": 0.5, "b": 0.5})
+        table.add("c")
+        assert table.weight("a") == pytest.approx(0.5)
+        assert table.weight("c") == 0.0
+
+    def test_add_with_positive_weight_renormalizes(self):
+        table = RoutingTable({"a": 1.0})
+        table.add("b", weight=1.0)
+        assert table.weight("a") == pytest.approx(0.5)
+
+    def test_remove_renormalizes(self):
+        table = RoutingTable({"a": 0.5, "b": 0.25, "c": 0.25})
+        table.remove("a")
+        assert table.weight("b") == pytest.approx(0.5)
+        assert sum(table.weights.values()) == pytest.approx(1.0)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable({"a": 1.0}).remove("ghost")
+
+    def test_contains_and_len(self):
+        table = RoutingTable({"a": 1.0, "b": 1.0})
+        assert "a" in table and "ghost" not in table
+        assert len(table) == 2
+
+    def test_weight_unknown_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable({"a": 1.0}).weight("ghost")
+
+    def test_zero_weight_never_chosen_among_positive(self):
+        table = RoutingTable({"a": 1.0, "b": 0.0})
+        rng = random.Random(7)
+        assert all(table.choose(rng) == "a" for _ in range(200))
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=3),
+                           st.floats(min_value=0.01, max_value=100.0),
+                           min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=2**31))
+    def test_choose_returns_member(self, raw, seed):
+        table = RoutingTable(raw)
+        assert table.choose(random.Random(seed)) in raw
+
+    def test_empirical_distribution_matches_weights(self):
+        table = RoutingTable({"a": 1.0, "b": 2.0, "c": 1.0})
+        rng = random.Random(123)
+        counts = Counter(table.choose(rng) for _ in range(8000))
+        assert counts["b"] / 8000 == pytest.approx(0.5, abs=0.03)
+        assert counts["a"] / 8000 == pytest.approx(0.25, abs=0.03)
+
+
+class TestRoundRobinCycler:
+    def test_strict_rotation(self):
+        cycler = RoundRobinCycler(["b", "a", "c"])
+        picks = [cycler.next() for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_empty_raises(self):
+        with pytest.raises(RoutingError):
+            RoundRobinCycler().next()
+
+    def test_set_ids_keeps_position(self):
+        cycler = RoundRobinCycler(["a", "b", "c"])
+        cycler.next()  # a
+        cycler.set_ids(["b", "c", "d"])
+        assert cycler.next() == "b"
+
+    def test_membership_change_resets_when_current_gone(self):
+        cycler = RoundRobinCycler(["a", "b"])
+        cycler.next()  # a; next would be b
+        cycler.set_ids(["c", "d"])
+        assert cycler.next() == "c"
+
+    def test_each_member_visited_once_per_cycle(self):
+        members = ["w%d" % i for i in range(5)]
+        cycler = RoundRobinCycler(members)
+        cycle = [cycler.next() for _ in range(5)]
+        assert sorted(cycle) == sorted(members)

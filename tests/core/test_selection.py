@@ -1,0 +1,85 @@
+"""Tests for Worker Selection (paper Sec. V-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.selection import (WorkerSelector, select_all,
+                                  select_min_prefix)
+
+RATES = {"B": 10.0, "C": 8.0, "D": 6.0, "E": 2.0, "H": 13.0}
+
+
+class TestSelectMinPrefix:
+    def test_takes_fastest_first(self):
+        assert select_min_prefix(RATES, target_rate=12.0) == ["H"]
+
+    def test_minimum_prefix_meets_target(self):
+        selected = select_min_prefix(RATES, target_rate=24.0)
+        assert selected == ["H", "B", "C"]
+        assert sum(RATES[d] for d in selected) >= 24.0
+
+    def test_unsatisfiable_selects_all(self):
+        selected = select_min_prefix(RATES, target_rate=1000.0)
+        assert sorted(selected) == sorted(RATES)
+
+    def test_exact_boundary(self):
+        assert select_min_prefix({"a": 5.0, "b": 5.0}, 10.0) == ["a", "b"]
+
+    def test_zero_target_selects_single_fastest(self):
+        assert select_min_prefix(RATES, 0.0) == ["H"]
+
+    def test_empty_rates(self):
+        assert select_min_prefix({}, 5.0) == []
+
+    def test_tie_broken_by_id(self):
+        assert select_min_prefix({"x": 3.0, "a": 3.0}, 2.0) == ["a"]
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.floats(min_value=0.01, max_value=100.0),
+                           min_size=1, max_size=12),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_minimality_invariant(self, rates, target):
+        selected = select_min_prefix(rates, target)
+        total = sum(rates[d] for d in selected)
+        all_total = sum(rates.values())
+        if total >= target and target > 0 and len(selected) > 1:
+            # Dropping the slowest selected unit must violate the target:
+            # otherwise the selection was not minimal.
+            without_last = total - rates[selected[-1]]
+            assert without_last < target
+        if all_total < target:
+            assert sorted(selected) == sorted(rates)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.floats(min_value=0.01, max_value=100.0),
+                           min_size=1, max_size=12),
+           st.floats(min_value=0.01, max_value=500.0))
+    def test_selected_are_fastest(self, rates, target):
+        selected = select_min_prefix(rates, target)
+        if sorted(selected) == sorted(rates):
+            return
+        slowest_selected = min(rates[d] for d in selected)
+        unselected = set(rates) - set(selected)
+        assert all(rates[d] <= slowest_selected for d in unselected)
+
+
+class TestSelectAll:
+    def test_returns_everything_sorted(self):
+        assert select_all(RATES, 1.0) == sorted(RATES)
+
+
+class TestWorkerSelector:
+    def test_without_selection_returns_all(self):
+        selector = WorkerSelector(use_selection=False)
+        assert selector.select({"a": 1.0, "b": None}, 10.0) == ["a", "b"]
+
+    def test_with_selection_uses_min_prefix(self):
+        selector = WorkerSelector(use_selection=True)
+        rates = {"fast": 20.0, "slow": 1.0}
+        assert selector.select(rates, 10.0) == ["fast"]
+
+    def test_unknown_units_included_when_short(self):
+        selector = WorkerSelector(use_selection=True)
+        rates = {"fast": 5.0, "mystery": None}
+        selected = selector.select(rates, 10.0)
+        assert "mystery" in selected

@@ -1,0 +1,143 @@
+"""Tests for the tuple data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import SchemaError
+from repro.core.tuples import DataTuple, HopTiming, TupleSchema, make_stream
+
+
+class TestTupleSchema:
+    def test_of_builds_schema(self):
+        schema = TupleSchema.of("frame", "id")
+        assert schema.fields == ("frame", "id")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema(())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema.of("a", "a")
+
+    def test_non_string_field_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema((1,))  # type: ignore[arg-type]
+
+    def test_empty_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema.of("")
+
+    def test_validate_accepts_exact_fields(self):
+        TupleSchema.of("a", "b").validate({"a": 1, "b": 2})
+
+    def test_validate_rejects_missing(self):
+        with pytest.raises(SchemaError, match="missing"):
+            TupleSchema.of("a", "b").validate({"a": 1})
+
+    def test_validate_rejects_extra(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            TupleSchema.of("a").validate({"a": 1, "b": 2})
+
+
+class TestDataTuple:
+    def test_get_value(self):
+        data = DataTuple(values={"x": 42})
+        assert data.get_value("x") == 42
+
+    def test_get_missing_value_raises(self):
+        data = DataTuple(values={"x": 42})
+        with pytest.raises(SchemaError):
+            data.get_value("y")
+
+    def test_schema_enforced_at_construction(self):
+        with pytest.raises(SchemaError):
+            DataTuple(values={"x": 1}, schema=TupleSchema.of("y"))
+
+    def test_derive_preserves_seq_and_created_at(self):
+        data = DataTuple(values={"x": 1}, seq=7, created_at=3.5)
+        child = data.derive({"y": 2})
+        assert child.seq == 7
+        assert child.created_at == 3.5
+        assert child.get_value("y") == 2
+
+    def test_derive_copies_values(self):
+        payload = {"y": [1, 2]}
+        data = DataTuple(values={"x": 1}, seq=0)
+        child = data.derive(payload)
+        payload["z"] = 3
+        assert "z" not in child.values
+
+    def test_derive_accumulates_hops(self):
+        data = DataTuple(values={"x": 1}, seq=0)
+        data.hops.append(HopTiming(sent_at=0.0, received_at=1.0,
+                                   started_at=1.5, finished_at=2.0))
+        child = data.derive({"y": 2})
+        assert len(child.hops) == 1
+        assert child.total_delay == pytest.approx(2.0)
+
+    def test_auto_seq_monotonic(self):
+        a = DataTuple(values={"x": 1})
+        b = DataTuple(values={"x": 2})
+        assert b.seq > a.seq
+
+
+class TestPayloadSize:
+    def test_bytes_size(self):
+        assert DataTuple(values={"b": b"12345"}).payload_size() == 5
+
+    def test_string_utf8_size(self):
+        assert DataTuple(values={"s": "héllo"}).payload_size() == 6
+
+    def test_numbers(self):
+        assert DataTuple(values={"i": 3}).payload_size() == 8
+        assert DataTuple(values={"f": 1.5}).payload_size() == 8
+        assert DataTuple(values={"t": True}).payload_size() == 1
+        assert DataTuple(values={"n": None}).payload_size() == 1
+
+    def test_numpy_array_uses_nbytes(self):
+        array = np.zeros((4, 4), dtype=np.float64)
+        assert DataTuple(values={"a": array}).payload_size() == 128
+
+    def test_containers_recursive(self):
+        size = DataTuple(values={"l": [b"123", b"4567"]}).payload_size()
+        assert size == 8 + 3 + 4
+
+    def test_multiple_fields_sum(self):
+        data = DataTuple(values={"a": b"12", "b": "xyz"})
+        assert data.payload_size() == 5
+
+
+class TestHopTiming:
+    def test_decomposition(self):
+        hop = HopTiming(sent_at=1.0, received_at=1.4, started_at=1.9,
+                        finished_at=2.4)
+        assert hop.transmission_delay == pytest.approx(0.4)
+        assert hop.queuing_delay == pytest.approx(0.5)
+        assert hop.processing_delay == pytest.approx(0.5)
+        assert hop.total_delay == pytest.approx(1.4)
+
+    def test_negative_clamped_to_zero(self):
+        hop = HopTiming(sent_at=2.0, received_at=1.0)
+        assert hop.transmission_delay == 0.0
+
+
+class TestMakeStream:
+    def test_sequential_seq_and_spacing(self):
+        stream = make_stream([{"x": i} for i in range(3)], interval=0.5)
+        assert [t.seq for t in stream] == [0, 1, 2]
+        assert [t.created_at for t in stream] == [0.0, 0.5, 1.0]
+
+    def test_schema_applied(self):
+        with pytest.raises(SchemaError):
+            make_stream([{"x": 1}], schema=TupleSchema.of("y"))
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_length_and_monotonic_times(self, count, interval):
+        stream = make_stream([{"x": i} for i in range(count)],
+                             interval=interval)
+        assert len(stream) == count
+        times = [t.created_at for t in stream]
+        assert times == sorted(times)

@@ -1,0 +1,131 @@
+"""Tests for in-process and TCP channels."""
+
+import threading
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.runtime.channels import (ChannelClosed, InProcChannel, TcpChannel,
+                                    TcpListener)
+
+
+class TestInProcChannel:
+    def test_bidirectional_pair(self):
+        a, b = InProcChannel.pair()
+        a.send(b"ping")
+        assert b.recv(timeout=1.0) == b"ping"
+        b.send(b"pong")
+        assert a.recv(timeout=1.0) == b"pong"
+
+    def test_fifo_order(self):
+        a, b = InProcChannel.pair()
+        for index in range(5):
+            a.send(bytes([index]))
+        received = [b.recv(timeout=1.0) for _ in range(5)]
+        assert received == [bytes([index]) for index in range(5)]
+
+    def test_recv_timeout(self):
+        a, b = InProcChannel.pair()
+        with pytest.raises(TimeoutError):
+            b.recv(timeout=0.01)
+
+    def test_close_propagates_to_peer(self):
+        a, b = InProcChannel.pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=1.0)
+        assert b.closed
+
+    def test_send_on_closed_raises(self):
+        a, _b = InProcChannel.pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send(b"late")
+
+
+class TestTcpChannel:
+    def _connected_pair(self):
+        listener = TcpListener()
+        results = {}
+
+        def _accept():
+            results["server"] = listener.accept(timeout=5.0)
+
+        thread = threading.Thread(target=_accept, daemon=True)
+        thread.start()
+        client = TcpChannel.connect(*listener.address)
+        thread.join(timeout=5.0)
+        listener.close()
+        return client, results["server"]
+
+    def test_framed_roundtrip(self):
+        client, server = self._connected_pair()
+        try:
+            client.send(b"hello")
+            assert server.recv(timeout=2.0) == b"hello"
+            server.send(b"world" * 1000)
+            assert client.recv(timeout=2.0) == b"world" * 1000
+        finally:
+            client.close()
+            server.close()
+
+    def test_empty_frame(self):
+        client, server = self._connected_pair()
+        try:
+            client.send(b"")
+            assert server.recv(timeout=2.0) == b""
+        finally:
+            client.close()
+            server.close()
+
+    def test_binary_safety(self):
+        client, server = self._connected_pair()
+        try:
+            payload = bytes(range(256)) * 16
+            client.send(payload)
+            assert server.recv(timeout=2.0) == payload
+        finally:
+            client.close()
+            server.close()
+
+    def test_recv_timeout(self):
+        client, server = self._connected_pair()
+        try:
+            with pytest.raises(TimeoutError):
+                server.recv(timeout=0.05)
+        finally:
+            client.close()
+            server.close()
+
+    def test_peer_close_detected(self):
+        client, server = self._connected_pair()
+        client.close()
+        with pytest.raises(ChannelClosed):
+            server.recv(timeout=2.0)
+        server.close()
+
+    def test_send_after_close_raises(self):
+        client, server = self._connected_pair()
+        client.close()
+        with pytest.raises(ChannelClosed):
+            client.send(b"late")
+        server.close()
+
+    def test_listener_accept_timeout(self):
+        listener = TcpListener()
+        try:
+            with pytest.raises(TimeoutError):
+                listener.accept(timeout=0.05)
+        finally:
+            listener.close()
+
+    def test_oversized_frame_rejected_by_sender(self):
+        client, server = self._connected_pair()
+        try:
+            from repro.runtime import channels
+            huge = b"x" * (channels.MAX_FRAME_BYTES + 1)
+            with pytest.raises(SerializationError):
+                client.send(huge)
+        finally:
+            client.close()
+            server.close()

@@ -1,0 +1,67 @@
+"""Tests for discovery services."""
+
+import threading
+
+import pytest
+
+from repro.core.exceptions import DiscoveryError
+from repro.runtime.discovery import (LocalDiscovery, UdpBeacon,
+                                     listen_for_beacon)
+
+
+class TestLocalDiscovery:
+    def test_announce_then_lookup(self):
+        discovery = LocalDiscovery()
+        discovery.announce("swing-master", ("127.0.0.1", 9000))
+        assert discovery.lookup("swing-master") == ("127.0.0.1", 9000)
+
+    def test_lookup_blocks_until_announced(self):
+        discovery = LocalDiscovery()
+
+        def _announce_later():
+            discovery.announce("late", "addr")
+
+        thread = threading.Timer(0.05, _announce_later)
+        thread.start()
+        assert discovery.lookup("late", timeout=2.0) == "addr"
+        thread.join()
+
+    def test_lookup_timeout(self):
+        discovery = LocalDiscovery()
+        with pytest.raises(DiscoveryError):
+            discovery.lookup("ghost", timeout=0.05)
+
+    def test_withdraw(self):
+        discovery = LocalDiscovery()
+        discovery.announce("svc", "addr")
+        discovery.withdraw("svc")
+        with pytest.raises(DiscoveryError):
+            discovery.lookup("svc", timeout=0.05)
+
+
+class TestUdpBeacon:
+    def test_beacon_heard_by_listener(self):
+        beacon = UdpBeacon("swing-test", ("127.0.0.1", 12345),
+                           beacon_port=48_911, interval=0.05)
+        beacon.start()
+        try:
+            address = listen_for_beacon("swing-test", beacon_port=48_911,
+                                        timeout=5.0)
+            assert address == ("127.0.0.1", 12345)
+        finally:
+            beacon.stop()
+
+    def test_listener_ignores_other_services(self):
+        beacon = UdpBeacon("other-app", ("127.0.0.1", 1), beacon_port=48_912,
+                           interval=0.05)
+        beacon.start()
+        try:
+            with pytest.raises(DiscoveryError):
+                listen_for_beacon("swing-test", beacon_port=48_912,
+                                  timeout=0.3)
+        finally:
+            beacon.stop()
+
+    def test_no_beacon_times_out(self):
+        with pytest.raises(DiscoveryError):
+            listen_for_beacon("nothing", beacon_port=48_913, timeout=0.1)

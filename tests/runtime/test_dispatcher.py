@@ -1,0 +1,140 @@
+"""Tests for the runtime upstream dispatcher."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.tuples import DataTuple
+from repro.runtime import messages
+from repro.runtime.dispatcher import (UpstreamDispatcher, instance_id,
+                                      split_instance)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestInstanceIds:
+    def test_roundtrip(self):
+        assert split_instance(instance_id("det", "B")) == ("det", "B")
+
+    def test_malformed_rejected(self):
+        from repro.core.exceptions import RoutingError
+        with pytest.raises(RoutingError):
+            split_instance("nounit")
+        with pytest.raises(RoutingError):
+            split_instance("@B")
+
+
+def make_dispatcher(policy="RR", sent=None, fail_targets=(), clock=None):
+    sent = sent if sent is not None else []
+    fail_targets = set(fail_targets)
+
+    def send(worker_id, message):
+        if worker_id in fail_targets:
+            raise ConnectionError("link down")
+        sent.append((worker_id, message))
+
+    dispatcher = UpstreamDispatcher("src", send=send, policy=policy, seed=1,
+                                    control_interval=0.5,
+                                    clock=clock or FakeClock())
+    return dispatcher, sent
+
+
+class TestDispatch:
+    def test_routes_to_downstream_instance(self):
+        dispatcher, sent = make_dispatcher()
+        dispatcher.set_downstreams(["det@B"])
+        result = dispatcher.dispatch(DataTuple(values={"x": 1}, seq=0))
+        assert result == "det@B"
+        worker_id, message = sent[0]
+        assert worker_id == "B"
+        assert message.kind == messages.DATA
+        assert message.payload["unit"] == "det"
+        assert message.payload["edge"] == "src"
+
+    def test_round_robin_across_instances(self):
+        dispatcher, sent = make_dispatcher()
+        dispatcher.set_downstreams(["det@B", "det@C"])
+        for seq in range(4):
+            dispatcher.dispatch(DataTuple(values={"x": 1}, seq=seq))
+        workers = Counter(worker for worker, _ in sent)
+        assert workers == {"B": 2, "C": 2}
+
+    def test_no_downstreams_returns_none(self):
+        dispatcher, _sent = make_dispatcher()
+        assert dispatcher.dispatch(DataTuple(values={}, seq=0)) is None
+
+    def test_broken_link_falls_back(self):
+        dispatcher, sent = make_dispatcher(fail_targets={"B"})
+        dispatcher.set_downstreams(["det@B", "det@C"])
+        for seq in range(6):
+            dispatcher.dispatch(DataTuple(values={}, seq=seq))
+        assert all(worker == "C" for worker, _ in sent)
+        # The dead instance was evicted from the routing table.
+        assert dispatcher.downstream_instances() == ["det@C"]
+
+    def test_all_links_broken_returns_none(self):
+        dispatcher, sent = make_dispatcher(fail_targets={"B", "C"})
+        dispatcher.set_downstreams(["det@B", "det@C"])
+        assert dispatcher.dispatch(DataTuple(values={}, seq=0)) is None
+        assert sent == []
+
+
+class TestAcks:
+    def test_ack_updates_latency_stats(self):
+        clock = FakeClock()
+        dispatcher, _sent = make_dispatcher(policy="LRS", clock=clock)
+        dispatcher.set_downstreams(["det@B"])
+        dispatcher.dispatch(DataTuple(values={}, seq=0))
+        clock.advance(0.3)
+        dispatcher.on_ack(seq=0, processing_delay=0.1)
+        stats = dispatcher.stats()["det@B"]
+        assert stats.latency == pytest.approx(0.3)
+        assert stats.processing_delay == pytest.approx(0.1)
+        assert dispatcher.ack_count == 1
+
+    def test_unknown_ack_ignored(self):
+        dispatcher, _sent = make_dispatcher()
+        dispatcher.set_downstreams(["det@B"])
+        dispatcher.on_ack(seq=123, processing_delay=0.1)
+        assert dispatcher.ack_count == 0
+
+
+class TestControl:
+    def test_policy_updates_on_interval(self):
+        clock = FakeClock()
+        dispatcher, _sent = make_dispatcher(policy="LRS", clock=clock)
+        dispatcher.set_downstreams(["det@fast", "det@slow"])
+        # Feed asymmetric latencies.
+        for seq in range(20):
+            target = dispatcher.dispatch(DataTuple(values={}, seq=seq))
+            clock.advance(0.01 if target == "det@fast" else 0.2)
+            dispatcher.on_ack(seq=seq, processing_delay=0.01)
+        clock.advance(1.0)
+        decision = dispatcher.force_update()
+        # With Worker Selection the slow instance may be excluded entirely.
+        assert decision.weights["det@fast"] > decision.weights.get(
+            "det@slow", 0.0)
+        assert "det@fast" in decision.selected
+
+    def test_membership_reconciliation(self):
+        dispatcher, _sent = make_dispatcher()
+        dispatcher.set_downstreams(["det@B", "det@C"])
+        dispatcher.set_downstreams(["det@C", "det@D"])
+        assert dispatcher.downstream_instances() == ["det@C", "det@D"]
+
+    def test_add_remove_individual(self):
+        dispatcher, _sent = make_dispatcher()
+        dispatcher.add_downstream("det@B")
+        dispatcher.add_downstream("det@B")  # idempotent
+        assert dispatcher.downstream_instances() == ["det@B"]
+        dispatcher.remove_downstream("det@B")
+        assert dispatcher.downstream_instances() == []

@@ -1,0 +1,119 @@
+"""Tests for message fabrics."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import RuntimeStateError
+from repro.runtime import messages
+from repro.runtime.channels import ChannelClosed
+from repro.runtime.fabric import InProcFabric, TcpFabric
+
+
+class TestInProcFabric:
+    def test_send_and_receive(self):
+        fabric = InProcFabric()
+        fabric.register("A")
+        mailbox_b = fabric.register("B")
+        fabric.send("A", "B", messages.start_message())
+        sender, message = mailbox_b.get(timeout=1.0)
+        assert sender == "A"
+        assert message.kind == messages.START
+
+    def test_double_register_rejected(self):
+        fabric = InProcFabric()
+        fabric.register("A")
+        with pytest.raises(RuntimeStateError):
+            fabric.register("A")
+
+    def test_send_to_unknown_raises(self):
+        fabric = InProcFabric()
+        fabric.register("A")
+        with pytest.raises(ChannelClosed):
+            fabric.send("A", "ghost", messages.start_message())
+
+    def test_unregister(self):
+        fabric = InProcFabric()
+        fabric.register("A")
+        fabric.register("B")
+        fabric.unregister("B")
+        with pytest.raises(ChannelClosed):
+            fabric.send("A", "B", messages.start_message())
+
+    def test_endpoint_ids(self):
+        fabric = InProcFabric()
+        fabric.register("B")
+        fabric.register("A")
+        assert fabric.endpoint_ids() == ["A", "B"]
+
+    def test_mailbox_timeout(self):
+        fabric = InProcFabric()
+        mailbox = fabric.register("A")
+        with pytest.raises(TimeoutError):
+            mailbox.get(timeout=0.01)
+
+
+class TestTcpFabric:
+    def test_mesh_roundtrip(self):
+        alpha = TcpFabric("alpha")
+        beta = TcpFabric("beta")
+        try:
+            alpha.learn("beta", beta.address)
+            beta.learn("alpha", alpha.address)
+            mailbox_beta = beta.register("beta")
+            alpha.send("alpha", "beta", messages.start_message())
+            sender, message = mailbox_beta.get(timeout=3.0)
+            assert sender == "alpha"
+            assert message.kind == messages.START
+        finally:
+            alpha.close()
+            beta.close()
+
+    def test_bidirectional_after_learning(self):
+        alpha = TcpFabric("alpha")
+        beta = TcpFabric("beta")
+        try:
+            alpha.learn("beta", beta.address)
+            beta.learn("alpha", alpha.address)
+            mailbox_alpha = alpha.register("alpha")
+            beta.send("beta", "alpha",
+                      messages.join_message("beta"))
+            sender, message = mailbox_alpha.get(timeout=3.0)
+            assert sender == "beta"
+            assert message.payload["worker_id"] == "beta"
+        finally:
+            alpha.close()
+            beta.close()
+
+    def test_unknown_target_raises(self):
+        alpha = TcpFabric("alpha")
+        try:
+            from repro.core.exceptions import DiscoveryError
+            with pytest.raises(DiscoveryError):
+                alpha.send("alpha", "nowhere", messages.start_message())
+        finally:
+            alpha.close()
+
+    def test_single_endpoint_per_fabric(self):
+        alpha = TcpFabric("alpha")
+        try:
+            with pytest.raises(RuntimeStateError):
+                alpha.register("other")
+        finally:
+            alpha.close()
+
+    def test_many_messages_in_order(self):
+        alpha = TcpFabric("alpha")
+        beta = TcpFabric("beta")
+        try:
+            alpha.learn("beta", beta.address)
+            mailbox = beta.register("beta")
+            for seq in range(20):
+                alpha.send("alpha", "beta",
+                           messages.data_message("u", b"x", seq, 0.0))
+            seqs = [mailbox.get(timeout=3.0)[1].payload["seq"]
+                    for _ in range(20)]
+            assert seqs == list(range(20))
+        finally:
+            alpha.close()
+            beta.close()

@@ -1,0 +1,74 @@
+"""Fuzzing the codec and message layer: hostile bytes must fail cleanly.
+
+A malicious or corrupted peer can write anything into a socket; the only
+acceptable outcomes are a decoded value or :class:`SerializationError` —
+never a crash, hang, or huge allocation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import SerializationError, SwingError
+from repro.runtime.messages import Message
+from repro.runtime.serialization import decode_tuple, decode_value
+
+
+class TestDecodeFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_decode_value_never_crashes(self, data):
+        try:
+            decode_value(data)
+        except SerializationError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(max_size=200))
+    def test_decode_tuple_never_crashes(self, data):
+        try:
+            decode_tuple(data)
+        except SerializationError:
+            pass
+
+    @given(st.binary(max_size=200))
+    def test_message_decode_never_crashes(self, data):
+        try:
+            Message.decode(data)
+        except SerializationError:
+            pass
+
+    def test_huge_declared_string_rejected_without_allocation(self):
+        # Tag 's' + 4-byte length claiming 4 GiB, then nothing.
+        hostile = b"s" + (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(SerializationError):
+            decode_value(hostile)
+
+    def test_huge_declared_list_rejected(self):
+        hostile = b"l" + (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(SerializationError):
+            decode_value(hostile)
+
+    def test_nested_bombs_bounded(self):
+        # Deeply nested lists each claiming one element then truncating.
+        hostile = b"l\x00\x00\x00\x01" * 50
+        with pytest.raises(SerializationError):
+            decode_value(hostile)
+
+
+class TestDecodeFrameFuzz:
+    @given(st.binary(max_size=64))
+    def test_face_frame_decoder_rejects_wrong_sizes(self, data):
+        from repro.apps.face.images import FRAME_HEIGHT, FRAME_WIDTH, decode_frame
+        if len(data) == FRAME_HEIGHT * FRAME_WIDTH:
+            return  # valid size: accepted
+        with pytest.raises(SwingError):
+            decode_frame(data)
+
+    @given(st.binary(max_size=64))
+    def test_audio_decoder_only_rejects_odd_lengths(self, data):
+        from repro.apps.translate.audio import decode_audio
+        if len(data) % 2:
+            with pytest.raises(SwingError):
+                decode_audio(data)
+        else:
+            waveform = decode_audio(data)
+            assert len(waveform) == len(data) // 2

@@ -1,0 +1,58 @@
+"""Tests for control/data message envelopes."""
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.runtime import messages
+from repro.runtime.messages import Message
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        message = Message(messages.DATA, {"seq": 1, "tuple": b"x"})
+        decoded = Message.decode(message.encode())
+        assert decoded.kind == messages.DATA
+        assert decoded.payload == {"seq": 1, "tuple": b"x"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            Message("gossip")
+
+    def test_malformed_frame_rejected(self):
+        from repro.runtime.serialization import encode_value
+        with pytest.raises(SerializationError):
+            Message.decode(encode_value([1, 2]))
+
+
+class TestConstructors:
+    def test_join(self):
+        message = messages.join_message("B")
+        assert message.kind == messages.JOIN
+        assert message.payload["worker_id"] == "B"
+
+    def test_deploy_carries_units_and_downstreams(self):
+        message = messages.deploy_message(
+            "B", ["detector"], {"detector>recognizer": ["recognizer@C"]})
+        assert message.payload["unit_names"] == ["detector"]
+        assert message.payload["downstream_map"] == {
+            "detector>recognizer": ["recognizer@C"]}
+
+    def test_data_message(self):
+        message = messages.data_message("detector", b"payload", seq=3,
+                                        sent_at=1.5)
+        assert message.payload["unit"] == "detector"
+        assert message.payload["seq"] == 3
+        assert message.payload["sent_at"] == 1.5
+
+    def test_ack_echoes_timestamp(self):
+        message = messages.ack_message(seq=3, sent_at=1.5,
+                                       processing_delay=0.25)
+        assert message.payload["sent_at"] == 1.5
+        assert message.payload["processing_delay"] == 0.25
+
+    def test_all_constructors_encode(self):
+        for message in (messages.join_message("B"),
+                        messages.welcome_message("B"),
+                        messages.start_message(), messages.stop_message(),
+                        messages.leave_message("B")):
+            assert Message.decode(message.encode()).kind == message.kind

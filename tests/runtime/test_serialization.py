@@ -1,0 +1,143 @@
+"""Tests for the binary tuple codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.exceptions import SerializationError
+from repro.core.tuples import DataTuple
+from repro.runtime.serialization import (decode_tuple, decode_value,
+                                         encode_tuple, encode_value)
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [None, True, False, 0, -5, 2**40,
+                                       0.0, -1.5, 3.14159])
+    def test_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_string_unicode(self):
+        assert roundtrip("héllo wörld ✓") == "héllo wörld ✓"
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\x01\xff") == b"\x00\x01\xff"
+
+    def test_bytearray_decodes_as_bytes(self):
+        assert roundtrip(bytearray(b"abc")) == b"abc"
+
+    def test_numpy_scalars_coerced(self):
+        assert roundtrip(np.int32(7)) == 7
+        assert roundtrip(np.float64(1.5)) == 1.5
+
+
+class TestContainers:
+    def test_list(self):
+        assert roundtrip([1, "two", b"3", None]) == [1, "two", b"3", None]
+
+    def test_tuple_preserved(self):
+        assert roundtrip((1, 2)) == (1, 2)
+
+    def test_nested(self):
+        value = {"a": [1, {"b": (2.5, None)}], "c": b"x"}
+        assert roundtrip(value) == value
+
+    def test_empty_containers(self):
+        assert roundtrip([]) == []
+        assert roundtrip({}) == {}
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value({1: "a"})
+
+
+class TestArrays:
+    @pytest.mark.parametrize("dtype", ["uint8", "int32", "float32", "float64"])
+    def test_dtype_roundtrip(self, dtype):
+        array = np.arange(12, dtype=dtype).reshape(3, 4)
+        result = roundtrip(array)
+        assert result.dtype == array.dtype
+        assert np.array_equal(result, array)
+
+    def test_zero_dim_array(self):
+        array = np.float64(3.5)
+        result = roundtrip(np.asarray(array))
+        assert result.shape == ()
+        assert float(result) == 3.5
+
+    def test_empty_array(self):
+        array = np.zeros((0, 3), dtype=np.float32)
+        result = roundtrip(array)
+        assert result.shape == (0, 3)
+
+    def test_non_contiguous_array(self):
+        array = np.arange(16).reshape(4, 4)[::2, ::2]
+        assert np.array_equal(roundtrip(array), array)
+
+    @given(npst.arrays(dtype=st.sampled_from([np.uint8, np.float32]),
+                       shape=npst.array_shapes(max_dims=3, max_side=8)))
+    def test_arbitrary_arrays(self, array):
+        result = roundtrip(array)
+        assert result.shape == array.shape
+        assert np.array_equal(result, array, equal_nan=True)
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+
+    def test_truncated_payload_rejected(self):
+        data = encode_value("hello")
+        with pytest.raises(SerializationError):
+            decode_value(data[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value(encode_value(1) + b"junk")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value(b"Z")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value(b"")
+
+
+class TestTupleCodec:
+    def test_tuple_roundtrip(self):
+        data = DataTuple(values={"frame": b"\x01\x02", "name": "x"},
+                         seq=42, created_at=1.25)
+        result = decode_tuple(encode_tuple(data))
+        assert result.seq == 42
+        assert result.created_at == 1.25
+        assert result.values == data.values
+
+    def test_tuple_with_array_payload(self):
+        array = np.ones((8, 8), dtype=np.float32)
+        data = DataTuple(values={"matrix": array}, seq=0)
+        result = decode_tuple(encode_tuple(data))
+        assert np.array_equal(result.get_value("matrix"), array)
+
+    def test_non_tuple_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_tuple(encode_value([1, 2, 3]))
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(min_value=-2**60, max_value=2**60),
+                  st.text(max_size=30), st.binary(max_size=30),
+                  st.booleans(), st.none(),
+                  st.floats(allow_nan=False, allow_infinity=False)),
+        max_size=6),
+        st.integers(min_value=0, max_value=2**31))
+    def test_arbitrary_tuples_roundtrip(self, values, seq):
+        data = DataTuple(values=values, seq=seq, created_at=0.5)
+        result = decode_tuple(encode_tuple(data))
+        assert result.values == values
+        assert result.seq == seq

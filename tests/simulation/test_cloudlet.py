@@ -1,0 +1,61 @@
+"""Tests for cloudlet mode (paper Sec. II)."""
+
+import pytest
+
+from repro import profiles
+from repro.simulation import scenarios
+from repro.simulation.swarm import run_swarm
+from repro.simulation.workload import FACE_APP
+
+
+class TestCloudletProfile:
+    def test_faster_than_every_phone(self):
+        cloudlet = profiles.cloudlet_profile()
+        fastest_phone = profiles.device_profile("H")
+        assert (cloudlet.service_rate(FACE_APP)
+                > 3 * fastest_phone.service_rate(FACE_APP))
+
+    def test_does_not_thermal_throttle(self):
+        assert profiles.cloudlet_profile().throttles is False
+        assert profiles.device_profile("H").throttles is True
+
+    def test_wall_powered(self):
+        cloudlet = profiles.cloudlet_profile()
+        assert cloudlet.power.battery_wh > 1e3
+
+    def test_custom_id(self):
+        assert profiles.cloudlet_profile("edge-1").device_id == "edge-1"
+
+
+class TestCloudletScenario:
+    def test_adds_cloudlet_to_testbed(self):
+        config = scenarios.cloudlet_mode()
+        assert "CL" in config.workers
+        assert len(config.workers) == len(profiles.WORKER_IDS) + 1
+        config.validate()
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        baseline = run_swarm(scenarios.testbed(policy="LRS", duration=25.0))
+        assisted = run_swarm(scenarios.cloudlet_mode(policy="LRS",
+                                                     duration=25.0))
+        return baseline, assisted
+
+    def test_cloudlet_takes_most_load_under_lrs(self, pair):
+        _baseline, assisted = pair
+        rates = assisted.input_rates()
+        assert rates["CL"] == max(rates.values())
+        assert rates["CL"] > 10.0
+
+    def test_cloudlet_cuts_latency(self, pair):
+        baseline, assisted = pair
+        assert assisted.latency.mean < baseline.latency.mean / 2
+
+    def test_target_met_with_cloudlet(self, pair):
+        _baseline, assisted = pair
+        assert assisted.meets_input_rate(tolerance=0.05)
+
+    def test_cloudlet_power_counted(self, pair):
+        _baseline, assisted = pair
+        assert "CL" in assisted.energy.per_device
+        assert assisted.energy.per_device["CL"].cpu_w > 0

@@ -1,0 +1,160 @@
+"""Tests for the device capability and thermal models."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.device import (BACKGROUND_CONTENTION, CpuModel,
+                                     DeviceProfile, MIN_SPEED_FACTOR,
+                                     PowerProfile, ThermalThrottle)
+
+
+def profile(delay=0.1):
+    return DeviceProfile(
+        device_id="X", model="TestPhone",
+        processing_delay={"app": delay},
+        power=PowerProfile(idle_w=0.3, peak_cpu_w=1.0, peak_wifi_w=0.5))
+
+
+class TestDeviceProfile:
+    def test_base_delay_and_rate(self):
+        device = profile(0.1)
+        assert device.base_delay("app") == 0.1
+        assert device.service_rate("app") == pytest.approx(10.0)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SimulationError):
+            profile().base_delay("ghost")
+
+    def test_with_delay_returns_new_profile(self):
+        device = profile(0.1)
+        faster = device.with_delay("app", 0.05)
+        assert faster.base_delay("app") == 0.05
+        assert device.base_delay("app") == 0.1
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceProfile(device_id="X", model="m",
+                          processing_delay={"app": 0.0},
+                          power=PowerProfile(0.3, 1.0, 0.5))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceProfile(device_id="", model="m",
+                          processing_delay={"app": 0.1},
+                          power=PowerProfile(0.3, 1.0, 0.5))
+
+    def test_framework_overhead_bounds(self):
+        with pytest.raises(SimulationError):
+            DeviceProfile(device_id="X", model="m",
+                          processing_delay={"app": 0.1},
+                          power=PowerProfile(0.3, 1.0, 0.5),
+                          framework_overhead=1.5)
+
+
+class TestPowerProfile:
+    def test_cpu_power_scales_with_utilization(self):
+        power = PowerProfile(idle_w=0.3, peak_cpu_w=1.0, peak_wifi_w=0.5)
+        assert power.cpu_power(0.0) == 0.0
+        assert power.cpu_power(0.5) == pytest.approx(0.5)
+        assert power.cpu_power(1.0) == pytest.approx(1.0)
+
+    def test_utilization_clamped(self):
+        power = PowerProfile(0.3, 1.0, 0.5)
+        assert power.cpu_power(2.0) == pytest.approx(1.0)
+        assert power.wifi_power(-1.0) == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerProfile(idle_w=-0.1, peak_cpu_w=1.0, peak_wifi_w=0.5)
+
+
+class TestCpuModel:
+    def test_no_background_load_uses_base_delay(self):
+        cpu = CpuModel(profile(0.1), "app")
+        assert cpu.mean_service_time() == pytest.approx(0.1)
+
+    def test_background_load_inflates_service_time(self):
+        cpu = CpuModel(profile(0.1), "app", background_load=0.5)
+        expected = 0.1 / (1.0 - BACKGROUND_CONTENTION * 0.5)
+        assert cpu.mean_service_time() == pytest.approx(expected)
+
+    def test_full_load_bounded_below_by_min_speed(self):
+        cpu = CpuModel(profile(0.1), "app", background_load=1.0)
+        expected = max(MIN_SPEED_FACTOR, 1.0 - BACKGROUND_CONTENTION)
+        assert cpu.speed_factor == pytest.approx(expected)
+        assert cpu.speed_factor >= MIN_SPEED_FACTOR
+
+    def test_full_load_roughly_six_times_slower(self):
+        # Calibration target from paper Fig. 2 (middle panel).
+        cpu = CpuModel(profile(0.0929), "app", background_load=1.0)
+        ratio = cpu.mean_service_time() / 0.0929
+        assert 5.0 <= ratio <= 8.0
+
+    def test_jitter_multiplies(self):
+        cpu = CpuModel(profile(0.1), "app")
+        assert cpu.service_time(jitter=2.0) == pytest.approx(0.2)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(SimulationError):
+            CpuModel(profile(), "app").service_time(jitter=0.0)
+
+    def test_invalid_background_load(self):
+        with pytest.raises(SimulationError):
+            CpuModel(profile(), "app", background_load=1.5)
+        cpu = CpuModel(profile(), "app")
+        with pytest.raises(SimulationError):
+            cpu.set_background_load(-0.1)
+
+    def test_set_background_load(self):
+        cpu = CpuModel(profile(0.1), "app")
+        cpu.set_background_load(0.5)
+        assert cpu.effective_rate() < 10.0
+
+
+class TestThermalThrottle:
+    def test_cool_device_runs_full_speed(self):
+        thermal = ThermalThrottle()
+        assert thermal.speed_factor() == 1.0
+
+    def test_sustained_full_load_throttles(self):
+        thermal = ThermalThrottle(threshold=0.6, max_slowdown=0.5, tau=5.0)
+        now = 0.0
+        for _ in range(20):
+            now += 1.0
+            thermal.record_busy(1.0)
+            thermal.update(now)
+        assert thermal.utilization_ewma > 0.95
+        assert thermal.speed_factor() == pytest.approx(0.5, abs=0.06)
+
+    def test_light_load_never_throttles(self):
+        thermal = ThermalThrottle(threshold=0.6)
+        now = 0.0
+        for _ in range(20):
+            now += 1.0
+            thermal.record_busy(0.3)
+            thermal.update(now)
+        assert thermal.speed_factor() == 1.0
+
+    def test_recovers_after_cooldown(self):
+        thermal = ThermalThrottle(threshold=0.6, max_slowdown=0.5, tau=2.0)
+        now = 0.0
+        for _ in range(10):
+            now += 1.0
+            thermal.record_busy(1.0)
+            thermal.update(now)
+        throttled = thermal.speed_factor()
+        for _ in range(20):
+            now += 1.0
+            thermal.update(now)
+        assert thermal.speed_factor() > throttled
+        assert thermal.speed_factor() == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            ThermalThrottle(threshold=1.0)
+        with pytest.raises(SimulationError):
+            ThermalThrottle(max_slowdown=1.0)
+        with pytest.raises(SimulationError):
+            ThermalThrottle(tau=0.0)
+        with pytest.raises(SimulationError):
+            ThermalThrottle().record_busy(-1.0)

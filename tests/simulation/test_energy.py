@@ -1,0 +1,75 @@
+"""Tests for the energy estimation model."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.device import DeviceProfile, PowerProfile
+from repro.simulation.energy import (PEAK_WIFI_BANDWIDTH_BPS, DevicePower,
+                                     EnergyReport, PowerEstimator)
+
+
+def profiles():
+    return {
+        "B": DeviceProfile("B", "phone", {"app": 0.1},
+                           PowerProfile(idle_w=0.3, peak_cpu_w=1.0,
+                                        peak_wifi_w=0.5, battery_wh=6.0)),
+        "C": DeviceProfile("C", "tablet", {"app": 0.2},
+                           PowerProfile(idle_w=0.4, peak_cpu_w=2.0,
+                                        peak_wifi_w=0.8, battery_wh=8.0)),
+    }
+
+
+class TestPowerEstimator:
+    def test_cpu_power_proportional_to_utilization(self):
+        estimator = PowerEstimator(profiles())
+        report = estimator.estimate({"B": 0.5, "C": 0.25}, {}, duration=10.0)
+        assert report.per_device["B"].cpu_w == pytest.approx(0.5)
+        assert report.per_device["C"].cpu_w == pytest.approx(0.5)
+
+    def test_wifi_power_from_bandwidth_fraction(self):
+        estimator = PowerEstimator(profiles())
+        # Half the peak bandwidth for the whole run.
+        transferred = {"B": int(PEAK_WIFI_BANDWIDTH_BPS / 8 * 5)}
+        report = estimator.estimate({}, transferred, duration=10.0)
+        assert report.per_device["B"].wifi_w == pytest.approx(0.25)
+
+    def test_missing_devices_draw_zero_dynamic_power(self):
+        estimator = PowerEstimator(profiles())
+        report = estimator.estimate({}, {}, duration=10.0)
+        assert report.per_device["B"].total_w == 0.0
+
+    def test_aggregate_sums_devices(self):
+        estimator = PowerEstimator(profiles())
+        report = estimator.estimate({"B": 1.0, "C": 1.0}, {}, duration=1.0)
+        assert report.aggregate_w == pytest.approx(3.0)
+        assert report.aggregate_energy_j() == pytest.approx(3.0)
+
+    def test_fps_per_watt(self):
+        report = EnergyReport(
+            per_device={"B": DevicePower("B", cpu_w=1.0, wifi_w=1.0)},
+            duration=10.0)
+        assert report.fps_per_watt(10.0) == pytest.approx(5.0)
+
+    def test_fps_per_watt_zero_power(self):
+        report = EnergyReport(per_device={}, duration=1.0)
+        assert report.fps_per_watt(10.0) == 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(SimulationError):
+            PowerEstimator(profiles()).estimate({}, {}, duration=0.0)
+
+    def test_battery_life_two_hours_for_heavy_use(self):
+        # Paper Sec. I: continuous face recognition drains a full battery
+        # in about two hours.
+        estimator = PowerEstimator(profiles())
+        hours = estimator.battery_life_hours("B", average_w=2.7)
+        assert hours == pytest.approx(6.0 / 3.0)
+
+    def test_battery_life_invalid_power(self):
+        profile_map = {
+            "Z": DeviceProfile("Z", "m", {"app": 0.1},
+                               PowerProfile(idle_w=0.0, peak_cpu_w=1.0,
+                                            peak_wifi_w=0.5))}
+        estimator = PowerEstimator(profile_map)
+        with pytest.raises(SimulationError):
+            estimator.battery_life_hours("Z", average_w=-0.0)

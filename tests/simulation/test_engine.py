@@ -1,0 +1,308 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.engine import Resource, Simulator, Store
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run(until=3.0)
+        assert fired == ["a", "b"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run(until=2.0)
+        assert fired == ["first", "second"]
+
+    def test_run_stops_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=1.0)
+        assert fired == []
+        assert sim.now == 1.0
+        sim.run(until=6.0)
+        assert fired == ["late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0,
+                                               lambda: fired.append(sim.now)))
+        sim.run(until=3.0)
+        assert fired == [2.0]
+
+
+class TestEvents:
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event("once")
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(7)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run(until=0.0)
+        assert seen == [7]
+
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        first, second = sim.timeout(1.0, "a"), sim.timeout(2.0, "b")
+        gate = sim.all_of([first, second])
+        results = []
+        gate.add_callback(lambda e: results.append((sim.now, e.value)))
+        sim.run(until=3.0)
+        assert results == [(2.0, ["a", "b"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        gate = sim.all_of([])
+        assert gate.triggered
+
+
+class TestProcesses:
+    def test_process_advances_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(0.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=5.0)
+        assert log == [1.0, 1.5]
+
+    def test_completion_event_carries_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(proc())
+        results = []
+        process.completion.add_callback(lambda e: results.append(e.value))
+        sim.run(until=2.0)
+        assert results == ["done"]
+
+    def test_kill_stops_process(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            while True:
+                yield sim.timeout(1.0)
+                log.append(sim.now)
+
+        process = sim.process(proc())
+        sim.run(until=2.5)
+        process.kill()
+        sim.run(until=10.0)
+        assert log == [1.0, 2.0]
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_timeout_value_passed_into_process(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            value = yield sim.timeout(1.0, "payload")
+            seen.append(value)
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        assert seen == ["payload"]
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        taken = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                taken.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run(until=1.0)
+        assert taken == ["a", "b", "c"]
+
+    def test_get_blocks_until_item(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(2.0, lambda: store.try_put("x"))
+        sim.run(until=3.0)
+        assert got == [(2.0, "x")]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        progress = []
+
+        def producer():
+            yield store.put("a")
+            progress.append("first")
+            yield store.put("b")
+            progress.append("second")
+
+        sim.process(producer())
+        sim.run(until=0.5)
+        assert progress == ["first"]
+
+        def consumer():
+            yield store.get()
+
+        sim.process(consumer())
+        sim.run(until=1.0)
+        assert progress == ["first", "second"]
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.try_put("a") is True
+        assert store.try_put("b") is False
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.try_put("x")
+        assert store.try_get() == "x"
+
+    def test_try_put_hands_to_waiting_getter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        sim.run(until=0.1)
+        store.try_put("direct")
+        sim.run(until=0.2)
+        assert got == ["direct"]
+        assert len(store) == 0
+
+    def test_drain_returns_items_and_unblocks_putters(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            done.append(True)
+
+        sim.process(producer())
+        sim.run(until=0.1)
+        items = store.drain()
+        sim.run(until=0.2)
+        assert items == ["a", "b"]
+        assert done == [True]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def user(name, hold):
+            yield resource.acquire()
+            order.append((sim.now, name, "in"))
+            yield sim.timeout(hold)
+            order.append((sim.now, name, "out"))
+            resource.release()
+
+        sim.process(user("a", 1.0))
+        sim.process(user("b", 1.0))
+        sim.run(until=5.0)
+        assert order == [(0.0, "a", "in"), (1.0, "a", "out"),
+                         (1.0, "b", "in"), (2.0, "b", "out")]
+
+    def test_counted_capacity(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        entered = []
+
+        def user(name):
+            yield resource.acquire()
+            entered.append(name)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for name in ("a", "b", "c"):
+            sim.process(user(name))
+        sim.run(until=0.5)
+        assert entered == ["a", "b"]
+        sim.run(until=1.5)
+        assert entered == ["a", "b", "c"]
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_availability_counters(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        resource.acquire()
+        sim.run(until=0.0)
+        assert resource.in_use == 1
+        assert resource.available == 1

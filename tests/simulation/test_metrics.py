@@ -1,0 +1,192 @@
+"""Tests for metrics collection and aggregation."""
+
+import pytest
+
+from repro.simulation.metrics import (DROP_SOURCE_QUEUE, FrameRecord,
+                                      LatencyStats, MetricsCollector)
+
+
+def completed_frame(metrics, seq, device, created, arrived,
+                    tx=(None, None), proc=(None, None)):
+    record = metrics.frame(seq, created)
+    record.device_id = device
+    record.tx_started_at, record.tx_finished_at = tx
+    record.proc_started_at, record.proc_finished_at = proc
+    record.sink_arrived_at = arrived
+    return record
+
+
+class TestFrameRecord:
+    def test_delay_decomposition(self):
+        record = FrameRecord(seq=0, created_at=0.0, tx_started_at=0.1,
+                             tx_finished_at=0.3, proc_started_at=0.5,
+                             proc_finished_at=0.9, sink_arrived_at=1.0)
+        assert record.source_queue_delay == pytest.approx(0.1)
+        assert record.transmission_delay == pytest.approx(0.2)
+        assert record.queuing_delay == pytest.approx(0.2)
+        assert record.processing_delay == pytest.approx(0.4)
+        assert record.total_delay == pytest.approx(1.0)
+
+    def test_incomplete_frame_has_none_delays(self):
+        record = FrameRecord(seq=0, created_at=0.0)
+        assert record.total_delay is None
+        assert record.transmission_delay is None
+        assert not record.completed
+
+    def test_dropped_frame_not_completed(self):
+        record = FrameRecord(seq=0, created_at=0.0, sink_arrived_at=1.0,
+                             dropped="reason")
+        assert not record.completed
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        stats = LatencyStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.variance == pytest.approx(2.0 / 3.0)
+        assert stats.stddev == pytest.approx((2.0 / 3.0) ** 0.5)
+        assert stats.count == 3
+
+    def test_empty_returns_none(self):
+        assert LatencyStats.from_samples([]) is None
+
+
+class TestMetricsCollector:
+    def test_frame_idempotent(self):
+        metrics = MetricsCollector()
+        first = metrics.frame(1, 0.0)
+        second = metrics.frame(1, 99.0)
+        assert first is second
+        assert metrics.generated == 1
+
+    def test_throughput_counts_completed(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 0, "B", 0.0, 1.0)
+        completed_frame(metrics, 1, "B", 0.5, 1.5)
+        metrics.frame(2, 1.0)  # never completes
+        assert metrics.throughput(duration=10.0) == pytest.approx(0.2)
+
+    def test_drop_tracking(self):
+        metrics = MetricsCollector()
+        metrics.frame(0, 0.0)
+        metrics.drop(0, DROP_SOURCE_QUEUE)
+        assert metrics.loss_count() == 1
+        assert metrics.dropped[DROP_SOURCE_QUEUE] == 1
+        assert not metrics.frames[0].completed
+
+    def test_latency_stats_over_completed(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 0, "B", 0.0, 1.0)
+        completed_frame(metrics, 1, "B", 0.0, 3.0)
+        stats = metrics.latency_stats()
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.count == 2
+
+    def test_per_device_input_rate(self):
+        metrics = MetricsCollector()
+        metrics.device("B").frames_received = 20
+        metrics.device("C").frames_received = 10
+        rates = metrics.per_device_input_rate(duration=10.0)
+        assert rates == {"B": 2.0, "C": 1.0}
+
+    def test_cpu_utilization_with_overhead(self):
+        metrics = MetricsCollector()
+        counters = metrics.device("B")
+        counters.busy_time = 5.0
+        counters.participating_time = 10.0
+        utilization = metrics.per_device_cpu_utilization(
+            duration=10.0, overheads={"B": 0.1})
+        assert utilization["B"] == pytest.approx(0.6)
+
+    def test_cpu_utilization_clamped(self):
+        metrics = MetricsCollector()
+        metrics.device("B").busy_time = 50.0
+        utilization = metrics.per_device_cpu_utilization(duration=10.0)
+        assert utilization["B"] == 1.0
+
+    def test_throughput_series_bins(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 0, "B", 0.0, 0.5)
+        completed_frame(metrics, 1, "B", 0.0, 0.7)
+        completed_frame(metrics, 2, "B", 0.0, 1.5)
+        series = metrics.throughput_series(duration=2.0, bin_width=1.0)
+        assert series == [2.0, 1.0]
+
+    def test_per_device_throughput_series(self):
+        metrics = MetricsCollector()
+        metrics.device("B")
+        metrics.device("C")
+        completed_frame(metrics, 0, "B", 0.0, 0.5)
+        completed_frame(metrics, 1, "C", 0.0, 1.5)
+        series = metrics.per_device_throughput_series(duration=2.0)
+        assert series["B"] == [1.0, 0.0]
+        assert series["C"] == [0.0, 1.0]
+
+    def test_arrival_order_sorted_by_sink_time(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 1, "B", 0.0, 0.9)
+        completed_frame(metrics, 0, "B", 0.0, 1.5)
+        order = [record.seq for record in metrics.arrival_order()]
+        assert order == [1, 0]
+
+    def test_delay_decomposition_means(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 0, "B", 0.0, 1.0,
+                        tx=(0.0, 0.2), proc=(0.4, 0.9))
+        decomposition = metrics.delay_decomposition()
+        assert decomposition["transmission"] == pytest.approx(0.2)
+        assert decomposition["queuing"] == pytest.approx(0.2)
+        assert decomposition["processing"] == pytest.approx(0.5)
+
+    def test_decomposition_empty(self):
+        metrics = MetricsCollector()
+        assert metrics.delay_decomposition() == {
+            "transmission": 0.0, "queuing": 0.0, "processing": 0.0}
+
+    def test_zero_duration_rates(self):
+        metrics = MetricsCollector()
+        metrics.device("B")
+        assert metrics.throughput(0.0) == 0.0
+        assert metrics.per_device_input_rate(0.0)["B"] == 0.0
+
+
+class TestCsvExport:
+    def _collector_with_frames(self):
+        metrics = MetricsCollector()
+        completed_frame(metrics, 0, "B", 0.0, 1.0, tx=(0.1, 0.2),
+                        proc=(0.3, 0.9))
+        metrics.frame(1, 0.5)
+        metrics.drop(1, DROP_SOURCE_QUEUE)
+        return metrics
+
+    def test_header_and_row_count(self):
+        text = self._collector_with_frames().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("seq,device_id,created_at")
+        assert len(lines) == 3  # header + 2 frames
+
+    def test_values_and_empties(self):
+        lines = self._collector_with_frames().to_csv().strip().splitlines()
+        first = lines[1].split(",")
+        assert first[0] == "0"
+        assert first[1] == "B"
+        assert first[8] == "1.000000"   # sink_arrived_at
+        second = lines[2].split(",")
+        assert second[1] == ""          # never dispatched
+        assert second[10] == DROP_SOURCE_QUEUE
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        metrics = self._collector_with_frames()
+        path = tmp_path / "trace.csv"
+        metrics.write_csv(path)
+        assert path.read_text() == metrics.to_csv()
+
+    def test_swarm_result_exports(self):
+        from repro.simulation import scenarios
+        from repro.simulation.swarm import run_swarm
+        result = run_swarm(scenarios.testbed(policy="LRS", duration=5.0,
+                                             worker_ids=["G", "H"]))
+        text = result.metrics.to_csv()
+        assert text.count("\n") > 50  # ~120 frames generated

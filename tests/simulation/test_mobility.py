@@ -1,0 +1,67 @@
+"""Tests for mobility traces."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.mobility import MobilityPlan, MobilityTrace
+from repro.simulation.network import RSSI_FAIR, RSSI_GOOD, RSSI_POOR
+
+
+class TestMobilityTrace:
+    def test_stationary(self):
+        trace = MobilityTrace.stationary("B", RSSI_GOOD)
+        assert trace.rssi_at(0.0) == RSSI_GOOD
+        assert trace.rssi_at(1e6) == RSSI_GOOD
+        assert trace.change_points() == []
+
+    def test_walk_builds_dwell_steps(self):
+        trace = MobilityTrace.walk("G", ["good", "fair", "poor"], dwell=60.0)
+        assert trace.rssi_at(0.0) == RSSI_GOOD
+        assert trace.rssi_at(59.9) == RSSI_GOOD
+        assert trace.rssi_at(60.0) == RSSI_FAIR
+        assert trace.rssi_at(120.0) == RSSI_POOR
+        assert trace.rssi_at(999.0) == RSSI_POOR
+
+    def test_change_points_exclude_t0(self):
+        trace = MobilityTrace.walk("G", ["good", "fair"], dwell=10.0)
+        assert trace.change_points() == [(10.0, RSSI_FAIR)]
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(SimulationError):
+            MobilityTrace("G", ((1.0, RSSI_GOOD),))
+
+    def test_times_strictly_increase(self):
+        with pytest.raises(SimulationError):
+            MobilityTrace("G", ((0.0, RSSI_GOOD), (0.0, RSSI_FAIR)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            MobilityTrace("G", ())
+
+    def test_negative_time_rejected(self):
+        trace = MobilityTrace.stationary("B", RSSI_GOOD)
+        with pytest.raises(SimulationError):
+            trace.rssi_at(-1.0)
+
+    def test_invalid_dwell(self):
+        with pytest.raises(SimulationError):
+            MobilityTrace.walk("G", ["good"], dwell=0.0)
+
+
+class TestMobilityPlan:
+    def test_events_merged_and_sorted(self):
+        plan = (MobilityPlan()
+                .add(MobilityTrace.walk("G", ["good", "poor"], dwell=30.0))
+                .add(MobilityTrace.walk("B", ["good", "fair"], dwell=10.0)))
+        events = plan.events()
+        assert events == [(10.0, "B", RSSI_FAIR), (30.0, "G", RSSI_POOR)]
+
+    def test_duplicate_device_rejected(self):
+        plan = MobilityPlan().add(MobilityTrace.stationary("G", RSSI_GOOD))
+        with pytest.raises(SimulationError):
+            plan.add(MobilityTrace.stationary("G", RSSI_POOR))
+
+    def test_initial_rssi_with_default(self):
+        plan = MobilityPlan().add(MobilityTrace.stationary("G", RSSI_POOR))
+        assert plan.initial_rssi("G", RSSI_GOOD) == RSSI_POOR
+        assert plan.initial_rssi("H", RSSI_GOOD) == RSSI_GOOD

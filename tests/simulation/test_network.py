@@ -1,0 +1,189 @@
+"""Tests for the wireless network model."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.engine import Simulator
+from repro.simulation.network import (Network, PACKET_BYTES, RSSI_FAIR,
+                                      RSSI_GOOD, RSSI_POOR, WirelessLink,
+                                      goodput_for_rssi, rssi_for_region,
+                                      stall_for_rssi)
+
+
+class TestRateCurves:
+    def test_goodput_monotonic_in_rssi(self):
+        rssis = [-30, -50, -60, -65, -70, -75, -80, -90]
+        goodputs = [goodput_for_rssi(rssi) for rssi in rssis]
+        assert all(a >= b for a, b in zip(goodputs, goodputs[1:]))
+
+    def test_stall_monotonic_in_weakness(self):
+        rssis = [-30, -60, -70, -80, -90]
+        stalls = [stall_for_rssi(rssi) for rssi in rssis]
+        assert all(a <= b for a, b in zip(stalls, stalls[1:]))
+
+    def test_clamped_outside_table(self):
+        assert goodput_for_rssi(-10) == goodput_for_rssi(-30)
+        assert goodput_for_rssi(-120) == goodput_for_rssi(-90)
+
+    def test_interpolation_between_anchors(self):
+        mid = goodput_for_rssi(-55)
+        assert goodput_for_rssi(-60) < mid < goodput_for_rssi(-50)
+
+    def test_good_signal_has_no_stall(self):
+        assert stall_for_rssi(RSSI_GOOD) == 0.0
+        assert stall_for_rssi(RSSI_POOR) > 0.1
+
+    def test_region_names(self):
+        assert rssi_for_region("good") == RSSI_GOOD
+        assert rssi_for_region("fair") == RSSI_FAIR
+        assert rssi_for_region("poor") == RSSI_POOR
+        assert rssi_for_region("bad") == RSSI_POOR
+
+    def test_unknown_region(self):
+        with pytest.raises(SimulationError):
+            rssi_for_region("excellent")
+
+
+class TestWirelessLink:
+    def test_packet_time_inverse_goodput(self):
+        link = WirelessLink("B", rssi=RSSI_GOOD)
+        expected = PACKET_BYTES * 8.0 / goodput_for_rssi(RSSI_GOOD)
+        assert link.packet_time() == pytest.approx(expected)
+
+    def test_weak_link_slower(self):
+        good = WirelessLink("G", rssi=RSSI_GOOD)
+        poor = WirelessLink("B", rssi=RSSI_POOR)
+        assert poor.packet_time() > 10 * good.packet_time()
+
+    def test_nominal_transfer_time_includes_stall(self):
+        link = WirelessLink("B", rssi=RSSI_POOR)
+        base = 6000 * 8.0 / link.goodput
+        assert link.nominal_transfer_time(6000) == pytest.approx(
+            base + link.stall)
+
+    def test_set_rssi_changes_rates(self):
+        link = WirelessLink("B", rssi=RSSI_GOOD)
+        before = link.packet_time()
+        link.set_rssi(RSSI_POOR)
+        assert link.packet_time() > before
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            WirelessLink("B").nominal_transfer_time(-1)
+
+
+class TestRadio:
+    def _network_with(self, *attachments):
+        sim = Simulator()
+        network = Network(sim)
+        for device_id, rssi in attachments:
+            network.attach(device_id, rssi=rssi)
+        return sim, network
+
+    def test_single_transfer_time(self):
+        sim, network = self._network_with(("A", RSSI_GOOD), ("B", RSSI_GOOD))
+        radio = network.radio("A")
+        done = []
+        delivered = radio.connection(network.link("B")).send(PACKET_BYTES * 4)
+        delivered.add_callback(lambda e: done.append(sim.now))
+        sim.run(until=1.0)
+        expected = 4 * network.link("B").packet_time()
+        assert done[0] == pytest.approx(expected)
+
+    def test_transfers_serialize_on_one_connection(self):
+        sim, network = self._network_with(("A", RSSI_GOOD), ("B", RSSI_GOOD))
+        radio = network.radio("A")
+        conn = radio.connection(network.link("B"))
+        finish = []
+        for _ in range(2):
+            conn.send(PACKET_BYTES).add_callback(
+                lambda e: finish.append(sim.now))
+        sim.run(until=1.0)
+        packet = network.link("B").packet_time()
+        assert finish[0] == pytest.approx(packet)
+        assert finish[1] == pytest.approx(2 * packet)
+
+    def test_airtime_fairness_protects_fast_flow(self):
+        # A slow destination saturates its connection; a fast destination's
+        # transfer must still complete in roughly its fair-share time, not
+        # be stuck behind the slow flow's packets.
+        sim, network = self._network_with(("A", RSSI_GOOD),
+                                          ("slow", RSSI_POOR),
+                                          ("fast", RSSI_GOOD))
+        radio = network.radio("A")
+        slow_conn = radio.connection(network.link("slow"))
+        fast_conn = radio.connection(network.link("fast"))
+        for _ in range(50):
+            slow_conn.send(PACKET_BYTES * 4)
+        finish = []
+        fast_conn.send(PACKET_BYTES * 4).add_callback(
+            lambda e: finish.append(sim.now))
+        sim.run(until=60.0)
+        assert finish, "fast transfer never completed"
+        # The scheduler is non-preemptive, so the fast transfer may wait
+        # for one in-flight slow packet (+ its frame stall) — but it must
+        # not queue behind the slow connection's whole 50-frame backlog.
+        slow = network.link("slow")
+        bound = (slow.packet_time() + slow.stall
+                 + 10 * network.link("fast").packet_time() + 0.01)
+        assert finish[0] < bound
+
+    def test_stall_charged_once_per_frame(self):
+        sim, network = self._network_with(("A", RSSI_GOOD), ("B", RSSI_POOR))
+        radio = network.radio("A")
+        conn = radio.connection(network.link("B"))
+        finish = []
+        conn.send(PACKET_BYTES * 2).add_callback(lambda e: finish.append(sim.now))
+        sim.run(until=10.0)
+        link = network.link("B")
+        expected = 2 * link.packet_time() + link.stall
+        assert finish[0] == pytest.approx(expected)
+
+    def test_busy_time_and_bytes_accumulate(self):
+        sim, network = self._network_with(("A", RSSI_GOOD), ("B", RSSI_GOOD))
+        radio = network.radio("A")
+        radio.connection(network.link("B")).send(PACKET_BYTES * 3)
+        sim.run(until=1.0)
+        assert radio.bytes_sent == PACKET_BYTES * 3
+        assert radio.busy_time == pytest.approx(
+            3 * network.link("B").packet_time())
+        assert 0 < radio.airtime_fraction(1.0) < 1
+
+    def test_send_zero_bytes_rejected(self):
+        sim, network = self._network_with(("A", RSSI_GOOD), ("B", RSSI_GOOD))
+        conn = network.radio("A").connection(network.link("B"))
+        with pytest.raises(SimulationError):
+            conn.send(0)
+
+
+class TestNetworkDirectory:
+    def test_attach_detach_reattach(self):
+        sim = Simulator()
+        network = Network(sim)
+        link = network.attach("B", rssi=RSSI_GOOD)
+        assert link.up
+        network.detach("B")
+        assert not network.link("B").up
+        network.reattach("B", rssi=RSSI_POOR)
+        assert network.link("B").up
+        assert network.link("B").rssi == RSSI_POOR
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.attach("B")
+        with pytest.raises(SimulationError):
+            network.attach("B")
+
+    def test_unknown_device_rejected(self):
+        network = Network(Simulator())
+        with pytest.raises(SimulationError):
+            network.link("ghost")
+        with pytest.raises(SimulationError):
+            network.radio("ghost")
+
+    def test_device_ids_sorted(self):
+        network = Network(Simulator())
+        network.attach("C")
+        network.attach("A")
+        assert network.device_ids() == ["A", "C"]

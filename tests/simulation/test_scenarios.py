@@ -1,0 +1,87 @@
+"""Tests for the canned paper scenarios."""
+
+import pytest
+
+from repro import profiles
+from repro.core.exceptions import SimulationError
+from repro.simulation import scenarios
+from repro.simulation.network import RSSI_GOOD, RSSI_POOR
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+
+class TestWorkloadForApp:
+    def test_face(self):
+        workload = scenarios.workload_for_app(FACE_APP)
+        assert workload.input_rate == 24.0
+
+    def test_translation(self):
+        workload = scenarios.workload_for_app(TRANSLATE_APP)
+        assert workload.frame_bytes == 72_000
+
+    def test_custom_rate(self):
+        assert scenarios.workload_for_app(FACE_APP, 10.0).input_rate == 10.0
+
+    def test_unknown_app(self):
+        with pytest.raises(SimulationError):
+            scenarios.workload_for_app("weather")
+
+
+class TestTestbed:
+    def test_default_layout_matches_paper(self):
+        config = scenarios.testbed()
+        assert sorted(config.workers) == profiles.WORKER_IDS
+        assert config.source.device_id == "A"
+        for device_id in ("B", "C", "D"):
+            assert config.rssi[device_id] == RSSI_POOR
+        for device_id in ("E", "F", "G", "H", "I"):
+            assert config.rssi[device_id] == RSSI_GOOD
+
+    def test_policy_passthrough(self):
+        assert scenarios.testbed(policy="PR").policy == "PR"
+
+    def test_worker_subset(self):
+        config = scenarios.testbed(worker_ids=["G", "H"])
+        assert sorted(config.workers) == ["G", "H"]
+        assert all(rssi == RSSI_GOOD for rssi in config.rssi.values())
+
+    def test_config_validates(self):
+        scenarios.testbed().validate()
+
+
+class TestSingleDevice:
+    def test_defaults_to_unbounded_queue(self):
+        config = scenarios.single_device("B")
+        assert config.resolved_source_queue() is None
+        assert config.thermal_throttling is False
+
+    def test_bounded_variant(self):
+        config = scenarios.single_device("B", bounded_queue=True)
+        assert config.resolved_source_queue() is not None
+
+    def test_signal_and_load_applied(self):
+        config = scenarios.single_device("B", rssi=RSSI_POOR,
+                                         background_load=0.6)
+        assert config.rssi["B"] == RSSI_POOR
+        assert config.background_load["B"] == 0.6
+
+
+class TestDynamicsScenarios:
+    def test_joining_has_one_join_event(self):
+        config = scenarios.joining()
+        assert len(config.joins) == 1
+        assert config.joins[0].device_id == "G"
+        assert sorted(config.workers) == ["B", "D"]
+
+    def test_leaving_has_one_leave_event(self):
+        config = scenarios.leaving()
+        assert len(config.leaves) == 1
+        assert config.leaves[0].device_id == "G"
+        assert sorted(config.workers) == ["B", "G", "H"]
+
+    def test_moving_builds_walk_for_mover(self):
+        config = scenarios.moving(dwell=60.0)
+        trace = config.mobility.traces["G"]
+        assert trace.rssi_at(0.0) == RSSI_GOOD
+        assert trace.rssi_at(130.0) == RSSI_POOR
+        stationary = config.mobility.traces["B"]
+        assert stationary.change_points() == []

@@ -1,0 +1,56 @@
+"""Tests for workload definitions."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.workload import (FACE_APP, FACE_FRAME_BYTES,
+                                       TRANSLATE_APP, TRANSLATE_FRAME_BYTES,
+                                       Workload, face_workload,
+                                       translation_workload)
+
+
+class TestWorkloadDefinitions:
+    def test_face_matches_paper(self):
+        workload = face_workload()
+        assert workload.app == FACE_APP
+        assert workload.frame_bytes == 6_000   # 6.0 kB (paper Sec. VI-A)
+        assert workload.input_rate == 24.0     # smooth-video target
+
+    def test_translation_matches_paper_frame_size(self):
+        workload = translation_workload()
+        assert workload.app == TRANSLATE_APP
+        assert workload.frame_bytes == 72_000  # 72.0 kB (paper Sec. VI-A)
+
+    def test_frame_interval(self):
+        assert face_workload(input_rate=10.0).frame_interval == 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            Workload(app="x", frame_bytes=0, input_rate=1.0)
+        with pytest.raises(SimulationError):
+            Workload(app="x", frame_bytes=1, input_rate=0.0)
+        with pytest.raises(SimulationError):
+            Workload(app="x", frame_bytes=1, input_rate=1.0,
+                     arrival="bursty")
+
+
+class TestArrivalProcesses:
+    def test_deterministic_gaps_constant(self):
+        workload = face_workload(input_rate=24.0)
+        gaps = list(itertools.islice(workload.interarrival_times(), 10))
+        assert all(gap == pytest.approx(1.0 / 24.0) for gap in gaps)
+
+    def test_poisson_gaps_average_to_rate(self):
+        workload = face_workload(input_rate=20.0, arrival="poisson")
+        rng = random.Random(42)
+        gaps = list(itertools.islice(workload.interarrival_times(rng), 4000))
+        assert sum(gaps) / len(gaps) == pytest.approx(1.0 / 20.0, rel=0.1)
+
+    def test_poisson_gaps_vary(self):
+        workload = face_workload(arrival="poisson")
+        rng = random.Random(1)
+        gaps = list(itertools.islice(workload.interarrival_times(rng), 10))
+        assert len(set(gaps)) > 1

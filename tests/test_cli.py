@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_testbed_defaults(self):
+        args = build_parser().parse_args(["testbed"])
+        assert args.policy == "LRS"
+        assert args.app == "face_recognition"
+        assert args.duration == 60.0
+
+    def test_app_alias_translation(self):
+        args = build_parser().parse_args(["testbed", "--app", "translation"])
+        assert args.app == "voice_translation"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["testbed", "--app", "weather"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["testbed", "--policy", "FIFO"])
+
+    def test_extension_policies_accepted(self):
+        args = build_parser().parse_args(["testbed", "--policy", "JSQ"])
+        assert args.policy == "JSQ"
+
+
+class TestCommands:
+    def test_testbed_summary(self, capsys):
+        assert main(["testbed", "--duration", "8", "--policy", "LRS"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "FPS" in out
+        assert "aggregate power" in out
+
+    def test_single_decomposition(self, capsys):
+        assert main(["single", "--device", "B", "--rate", "4",
+                     "--duration", "5", "--signal", "poor"]) == 0
+        out = capsys.readouterr().out
+        assert "transmission" in out
+        assert "processing" in out
+
+    @pytest.mark.parametrize("mode", ["join", "leave", "move"])
+    def test_dynamics_modes(self, capsys, mode):
+        assert main(["dynamics", "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_compare_with_seeds(self, capsys):
+        assert main(["compare", "--duration", "6", "--seeds", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("RR", "PR", "LR", "PRS", "LRS"):
+            assert policy in out
+        assert "±" in out
+
+    def test_cloudlet(self, capsys):
+        assert main(["cloudlet", "--duration", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "phones only" in out
+        assert "with cloudlet" in out
+
+
+class TestCsvOption:
+    def test_trace_written(self, capsys, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert main(["testbed", "--duration", "5", "--csv", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("seq,device_id")
+        assert text.count("\n") > 50

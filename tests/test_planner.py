@@ -1,0 +1,103 @@
+"""Tests for offline capacity planning."""
+
+import pytest
+
+from repro import profiles
+from repro.core.exceptions import SwingError
+from repro.planner import (effective_rate, feasibility_frontier,
+                           minimum_devices_for, plan_swarm)
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return profiles.worker_profiles()
+
+
+class TestEffectiveRate:
+    def test_below_nominal(self, catalogue):
+        nominal = catalogue["H"].service_rate(FACE_APP)
+        assert effective_rate(catalogue["H"], FACE_APP) < nominal
+
+    def test_headroom_zero_only_overhead(self, catalogue):
+        profile = catalogue["H"]
+        rate = effective_rate(profile, FACE_APP, headroom=0.0)
+        assert rate == pytest.approx(
+            profile.service_rate(FACE_APP)
+            * (1.0 - profile.framework_overhead))
+
+    def test_invalid_headroom(self, catalogue):
+        with pytest.raises(SwingError):
+            effective_rate(catalogue["H"], FACE_APP, headroom=1.0)
+
+
+class TestPlanSwarm:
+    def test_selects_fastest_first(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=10.0)
+        assert plan.feasible
+        assert plan.device_ids[0] == "H"
+
+    def test_minimum_prefix(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=24.0)
+        assert plan.feasible
+        # Dropping the last selected device must break the target.
+        rates = [effective_rate(catalogue[d], FACE_APP)
+                 for d in plan.device_ids]
+        assert sum(rates) >= 24.0
+        assert sum(rates[:-1]) < 24.0
+
+    def test_infeasible_target(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=1000.0)
+        assert not plan.feasible
+        assert sorted(plan.device_ids) == sorted(catalogue)
+
+    def test_shares_sum_to_target(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=24.0)
+        assert sum(p.share_rate for p in plan.devices) == pytest.approx(24.0)
+
+    def test_utilization_bounded(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=24.0)
+        for device in plan.devices:
+            assert 0.0 < device.utilization <= 1.0
+
+    def test_power_and_battery_positive(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=24.0)
+        assert plan.total_power_w > 0
+        for device in plan.devices:
+            assert device.power_w >= 0
+            assert device.battery_hours > 0
+
+    def test_translation_needs_more_devices_than_face_at_same_rate(
+            self, catalogue):
+        face = plan_swarm(catalogue, FACE_APP, target_rate=5.0)
+        translation = plan_swarm(catalogue, TRANSLATE_APP, target_rate=5.0)
+        assert len(translation.devices) > len(face.devices)
+
+    def test_invalid_inputs(self, catalogue):
+        with pytest.raises(SwingError):
+            plan_swarm(catalogue, FACE_APP, target_rate=0.0)
+        with pytest.raises(SwingError):
+            plan_swarm({}, FACE_APP, target_rate=5.0)
+
+    def test_fps_per_watt_positive(self, catalogue):
+        plan = plan_swarm(catalogue, FACE_APP, target_rate=24.0)
+        assert plan.fps_per_watt > 0
+
+
+class TestFrontier:
+    def test_monotonic_device_count(self, catalogue):
+        frontier = feasibility_frontier(catalogue, FACE_APP,
+                                        rates=[5.0, 15.0, 30.0, 50.0])
+        counts = [frontier[rate] for rate in (5.0, 15.0, 30.0, 50.0)
+                  if frontier[rate] is not None]
+        assert counts == sorted(counts)
+
+    def test_impossible_rate_is_none(self, catalogue):
+        assert minimum_devices_for(catalogue, FACE_APP, 1e6) is None
+
+    def test_plan_matches_simulation_feasibility(self, catalogue):
+        # The planner says the fast trio sustains 24 FPS; the simulator
+        # agrees (tests/simulation/test_swarm.py::test_fast_trio...).
+        trio = profiles.worker_profiles(["G", "H", "I"])
+        plan = plan_swarm(trio, FACE_APP, target_rate=24.0, headroom=0.1)
+        assert plan.feasible

@@ -1,0 +1,57 @@
+"""Tests for the Table I device catalogue."""
+
+import pytest
+
+from repro import profiles
+from repro.core.exceptions import SimulationError
+from repro.simulation.workload import FACE_APP, TRANSLATE_APP
+
+
+class TestCatalogue:
+    def test_all_nine_devices_present(self):
+        assert sorted(profiles.FACE_DELAYS_S) == list("ABCDEFGHI")
+
+    def test_table1_delays_encoded(self):
+        # Spot-check against Table I (values in ms).
+        assert profiles.FACE_DELAYS_S["B"] == pytest.approx(0.0929)
+        assert profiles.FACE_DELAYS_S["E"] == pytest.approx(0.4634)
+        assert profiles.FACE_DELAYS_S["H"] == pytest.approx(0.0713)
+
+    def test_table1_throughputs_are_inverse_delays(self):
+        for device_id, fps in profiles.TABLE1_THROUGHPUT_FPS.items():
+            rate = 1.0 / profiles.FACE_DELAYS_S[device_id]
+            # The paper reports floor-ish integers of the inverse delay.
+            assert abs(rate - fps) < 3.0
+
+    def test_fastest_six_times_slowest(self):
+        # Paper Sec. III: H's throughput is ~6x E's.
+        ratio = (profiles.FACE_DELAYS_S["E"] / profiles.FACE_DELAYS_S["H"])
+        assert 5.5 <= ratio <= 7.0
+
+    def test_device_profile_contains_both_apps(self):
+        profile = profiles.device_profile("B")
+        assert profile.base_delay(FACE_APP) == pytest.approx(0.0929)
+        assert profile.base_delay(TRANSLATE_APP) == pytest.approx(
+            0.0929 * profiles.TRANSLATION_COMPUTE_SCALE)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SimulationError):
+            profiles.device_profile("Z")
+
+    def test_worker_profiles_default_excludes_source(self):
+        workers = profiles.worker_profiles()
+        assert sorted(workers) == profiles.WORKER_IDS
+        assert "A" not in workers
+
+    def test_poor_signal_ids_match_paper(self):
+        assert profiles.POOR_SIGNAL_IDS == ["B", "C", "D"]
+
+    def test_all_profiles_have_power(self):
+        for device_id, profile in profiles.all_profiles().items():
+            assert profile.power.peak_cpu_w > 0
+            assert profile.power.peak_wifi_w > 0
+            assert profile.power.battery_wh > 0
+
+    def test_models_named(self):
+        assert profiles.device_profile("H").model == "LG Nexus 4"
+        assert profiles.device_profile("E").model == "Galaxy S"

@@ -1,0 +1,78 @@
+"""Tests for the presentation helpers."""
+
+import pytest
+
+from repro.core.exceptions import SwingError
+from repro.tools import (format_latency, format_rate, format_table,
+                         histogram, sparkline)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotonic_intensity(self):
+        line = sparkline([0.0, 5.0, 10.0], peak=10.0)
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_values_above_peak_clamped(self):
+        line = sparkline([100.0], peak=10.0)
+        assert line == "@"
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["a", "b"], [(1, 2), (3, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "3" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(SwingError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_wide_cells_extend_column(self):
+        text = format_table(["h"], [("a-very-long-cell",)])
+        assert "a-very-long-cell" in text
+
+
+class TestFormatters:
+    def test_format_rate(self):
+        assert format_rate(23.96) == "24.0 FPS"
+
+    def test_format_latency_ms(self):
+        assert format_latency(0.25) == "250 ms"
+
+    def test_format_latency_seconds(self):
+        assert format_latency(2.5) == "2.50 s"
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        lines = histogram([1.0, 2.0, 3.0], bins=5)
+        assert len(lines) == 5
+
+    def test_empty(self):
+        assert histogram([]) == ["(no samples)"]
+
+    def test_counts_sum_to_samples(self):
+        values = [0.1, 0.2, 0.2, 0.9]
+        lines = histogram(values, bins=4)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == len(values)
+
+    def test_invalid_bins(self):
+        with pytest.raises(SwingError):
+            histogram([1.0], bins=0)
