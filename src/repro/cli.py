@@ -7,6 +7,7 @@ Usage::
     python -m repro single --device E --rate 24
     python -m repro dynamics --mode leave
     python -m repro cloudlet --policy LRS
+    python -m repro faults --kill B G --kill-time 10
 
 Each subcommand runs a calibrated simulation and prints a summary table;
 exit code 0 on success.
@@ -52,6 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
     testbed.add_argument("--seed", type=int, default=0)
     testbed.add_argument("--csv", metavar="PATH", default=None,
                          help="write the per-frame trace to PATH")
+    testbed.add_argument("--metrics", action="store_true",
+                         help="print the run's failure/loss counters")
 
     compare = sub.add_parser("compare",
                              help="all five policies, replicated over seeds")
@@ -73,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--mode", required=True,
                           choices=["join", "leave", "move"])
     dynamics.add_argument("--seed", type=int, default=0)
+    dynamics.add_argument("--metrics", action="store_true",
+                          help="print the run's failure/loss counters")
+
+    faults = sub.add_parser("faults",
+                            help="fault injection: silent kills mid-stream "
+                                 "discovered via loss accounting")
+    faults.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    faults.add_argument("--app", type=_app, default="face")
+    faults.add_argument("--duration", type=float, default=30.0)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--kill", nargs="+", default=["B", "G"],
+                        metavar="DEVICE",
+                        help="devices killed silently mid-run")
+    faults.add_argument("--kill-time", type=float, default=10.0)
+    faults.add_argument("--revive-time", type=float, default=None,
+                        help="bring the killed devices back at this time")
+    faults.add_argument("--ack-timeout", type=float, default=2.0)
+    faults.add_argument("--dead-after", type=int, default=3)
 
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
@@ -106,6 +127,16 @@ def _print_result(result: SwarmResult) -> None:
                         sorted(result.cpu_utilization().items())]))
 
 
+def _print_registry(result: SwarmResult) -> None:
+    """Dump the run's counter registry (sent/acked/lost/marked-dead…)."""
+    if result.registry is None:
+        return
+    rendered = result.registry.render()
+    print()
+    print("counters:")
+    print(rendered if rendered else "  (none)")
+
+
 def cmd_testbed(args) -> int:
     result = run_swarm(scenarios.testbed(app=args.app, policy=args.policy,
                                          duration=args.duration,
@@ -113,6 +144,8 @@ def cmd_testbed(args) -> int:
     print("testbed: %s under %s for %.0fs"
           % (args.app, args.policy, args.duration))
     _print_result(result)
+    if args.metrics:
+        _print_registry(result)
     if args.csv:
         result.metrics.write_csv(args.csv)
         print("\nper-frame trace written to %s" % args.csv)
@@ -175,6 +208,36 @@ def cmd_dynamics(args) -> int:
     print("throughput: [%s] peak %.0f FPS"
           % (sparkline(series, peak=28.0), max(series)))
     print("frames lost: %d" % result.frames_lost)
+    if args.metrics:
+        _print_registry(result)
+    return 0
+
+
+def cmd_faults(args) -> int:
+    config = scenarios.fault_injection(
+        app=args.app, policy=args.policy, duration=args.duration,
+        seed=args.seed, kill_ids=tuple(args.kill),
+        kill_time=args.kill_time, revive_time=args.revive_time,
+        ack_timeout=args.ack_timeout, dead_after=args.dead_after)
+    result = run_swarm(config)
+    revive_note = ("" if args.revive_time is None
+                   else ", revived at t=%.0fs" % args.revive_time)
+    print("fault injection: %s killed silently at t=%.0fs%s"
+          % ("/".join(args.kill), args.kill_time, revive_note))
+    series = result.throughput_series()
+    print("throughput: [%s] peak %.0f FPS"
+          % (sparkline(series, peak=28.0), max(series)))
+    print(format_table(
+        ["metric", "value"],
+        [("throughput", "%.1f FPS" % result.throughput),
+         ("frames lost", str(result.frames_lost)),
+         ("lost per downstream",
+          ", ".join("%s=%d" % (device_id, count)
+                    for device_id, count in
+                    sorted(result.lost_by_downstream.items())) or "none"),
+         ("dead at end", ", ".join(result.dead_downstreams) or "none")],
+        min_width=20))
+    _print_registry(result)
     return 0
 
 
@@ -201,6 +264,7 @@ COMMANDS = {
     "single": cmd_single,
     "dynamics": cmd_dynamics,
     "cloudlet": cmd_cloudlet,
+    "faults": cmd_faults,
 }
 
 

@@ -174,13 +174,24 @@ class ReorderingSink(SinkUnit):
         self._by_seq.setdefault(data.seq, data)
         for record in self._buffer.offer(data.seq, self.context.now()):
             if record.seq in self._by_seq:
-                self.playback.append(self._by_seq[record.seq])
+                self.playback.append(self._by_seq.pop(record.seq))
+        self._prune_released()
+
+    def _prune_released(self) -> None:
+        # Drop stash entries the buffer will never release again (played
+        # back or skipped) — a long run must not retain every tuple ever
+        # seen.  Anything below next_seq is settled.
+        next_seq = self._buffer.next_seq
+        for seq in [seq for seq in self._by_seq if seq < next_seq]:
+            del self._by_seq[seq]
 
     def on_stop(self) -> None:
         """Flush everything still buffered at shutdown."""
-        for record in self._buffer.flush(0.0):
+        now = self._context.now() if self._context is not None else 0.0
+        for record in self._buffer.flush(now):
             if record.seq in self._by_seq:
-                self.playback.append(self._by_seq[record.seq])
+                self.playback.append(self._by_seq.pop(record.seq))
+        self._by_seq.clear()
 
     @property
     def skipped(self) -> int:

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Optional
 
+from repro import metrics as metrics_mod
 from repro.core.exceptions import PolicyError
 
 
@@ -101,6 +102,7 @@ class DownstreamStats:
     alive: bool = True
     acked_count: int = 0
     sent_count: int = 0
+    lost_count: int = 0
 
     @property
     def service_rate(self) -> Optional[float]:
@@ -108,6 +110,19 @@ class DownstreamStats:
         if self.latency is None or self.latency <= 0.0:
             return None
         return 1.0 / self.latency
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of resolved sends (acked or expired) that were lost.
+
+        In-flight tuples are excluded — they are not yet evidence either
+        way — so the signal converges quickly after a device departs
+        instead of being diluted by a large pending window.
+        """
+        resolved = self.acked_count + self.lost_count
+        if resolved == 0:
+            return 0.0
+        return self.lost_count / resolved
 
 
 @dataclass
@@ -123,21 +138,37 @@ class AckTracker:
     One tracker lives at each upstream function unit.  ``record_send`` /
     ``record_ack`` implement the timestamp-echo protocol of Sec. V-B;
     ``stats`` produces the :class:`DownstreamStats` snapshot policies run
-    on.  Stale in-flight entries older than ``timeout`` are dropped (lost
-    tuples, e.g. a device that left mid-stream).
+    on.
+
+    Stale in-flight entries older than ``timeout`` are *lost tuples*
+    (e.g. a device that left mid-stream): each expiry is attributed to
+    its downstream's ``lost_count``, and a downstream that accumulates
+    ``dead_after`` consecutive expiry rounds with zero intervening ACKs
+    is marked dead so the policy layer stops routing regular traffic to
+    it.  A later ACK (round-robin probing keeps touching dead members)
+    resurrects the downstream.
     """
 
     def __init__(self, estimator_kind: str = "moving-average",
-                 timeout: float = 10.0, **estimator_kwargs) -> None:
+                 timeout: float = 10.0, dead_after: int = 3,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 **estimator_kwargs) -> None:
+        if dead_after < 1:
+            raise PolicyError("dead_after must be >= 1")
         self._estimator_kind = estimator_kind
         self._estimator_kwargs = dict(estimator_kwargs)
         self._timeout = timeout
+        self._dead_after = dead_after
+        self._registry = registry if registry is not None else metrics_mod.REGISTRY
         self._latency: Dict[str, object] = {}
         self._processing: Dict[str, object] = {}
         self._pending: Dict[int, _PendingSend] = {}
         self._sent: Dict[str, int] = {}
         self._acked: Dict[str, int] = {}
+        self._lost: Dict[str, int] = {}
         self._alive: Dict[str, bool] = {}
+        #: expiry rounds (with >= 1 loss) since the last ACK, per downstream
+        self._expiry_streak: Dict[str, int] = {}
 
     # -- membership ------------------------------------------------------
     def add_downstream(self, downstream_id: str) -> None:
@@ -149,20 +180,29 @@ class AckTracker:
             self._estimator_kind, **self._estimator_kwargs)
         self._sent[downstream_id] = 0
         self._acked[downstream_id] = 0
+        self._lost[downstream_id] = 0
         self._alive[downstream_id] = True
+        self._expiry_streak[downstream_id] = 0
 
     def remove_downstream(self, downstream_id: str) -> None:
         self._latency.pop(downstream_id, None)
         self._processing.pop(downstream_id, None)
         self._sent.pop(downstream_id, None)
         self._acked.pop(downstream_id, None)
+        self._lost.pop(downstream_id, None)
         self._alive.pop(downstream_id, None)
+        self._expiry_streak.pop(downstream_id, None)
         self._pending = {seq: pending for seq, pending in self._pending.items()
                          if pending.downstream_id != downstream_id}
 
     def mark_dead(self, downstream_id: str) -> None:
-        if downstream_id in self._alive:
+        if downstream_id in self._alive and self._alive[downstream_id]:
             self._alive[downstream_id] = False
+            self._registry.increment(metrics_mod.MARKED_DEAD_TOTAL,
+                                     downstream=downstream_id)
+
+    def is_alive(self, downstream_id: str) -> bool:
+        return self._alive.get(downstream_id, False)
 
     def downstream_ids(self) -> Iterable[str]:
         return list(self._latency)
@@ -173,6 +213,8 @@ class AckTracker:
             self.add_downstream(downstream_id)
         self._pending[seq] = _PendingSend(seq, downstream_id, now)
         self._sent[downstream_id] += 1
+        self._registry.increment(metrics_mod.SENT_TOTAL,
+                                 downstream=downstream_id)
 
     def record_ack(self, seq: int, now: float,
                    processing_delay: Optional[float] = None) -> Optional[float]:
@@ -188,15 +230,55 @@ class AckTracker:
         if processing_delay is not None:
             self._processing[downstream_id].observe(max(0.0, processing_delay))
         self._acked[downstream_id] += 1
+        self._expiry_streak[downstream_id] = 0
+        if not self._alive[downstream_id]:
+            # A probe reached a downstream we had given up on: resurrect.
+            self._alive[downstream_id] = True
+            self._registry.increment(metrics_mod.RESURRECTED_TOTAL,
+                                     downstream=downstream_id)
+        self._registry.increment(metrics_mod.ACKED_TOTAL,
+                                 downstream=downstream_id)
         return sample
 
     def expire_pending(self, now: float) -> int:
-        """Drop in-flight entries older than the timeout; return the count."""
+        """Expire in-flight entries older than the timeout.
+
+        Every expired entry is a lost tuple charged to its downstream;
+        a downstream collecting ``dead_after`` consecutive expiry rounds
+        without a single ACK in between is marked dead.  Returns the
+        number of entries expired this round.
+        """
         stale = [seq for seq, pending in self._pending.items()
                  if now - pending.sent_at > self._timeout]
+        expired_by_downstream: Dict[str, int] = {}
         for seq in stale:
-            del self._pending[seq]
+            pending = self._pending.pop(seq)
+            downstream_id = pending.downstream_id
+            if downstream_id not in self._latency:
+                continue
+            self._lost[downstream_id] += 1
+            expired_by_downstream[downstream_id] = \
+                expired_by_downstream.get(downstream_id, 0) + 1
+            self._registry.increment(metrics_mod.LOST_TOTAL,
+                                     downstream=downstream_id)
+        for downstream_id, count in expired_by_downstream.items():
+            self._expiry_streak[downstream_id] += 1
+            if self._expiry_streak[downstream_id] >= self._dead_after:
+                self.mark_dead(downstream_id)
         return len(stale)
+
+    def lost_count(self, downstream_id: Optional[str] = None) -> int:
+        if downstream_id is None:
+            return sum(self._lost.values())
+        return self._lost.get(downstream_id, 0)
+
+    def lost_by_downstream(self) -> Dict[str, int]:
+        return dict(self._lost)
+
+    def pending_downstream(self, seq: int) -> Optional[str]:
+        """The downstream an in-flight *seq* was sent to, if still pending."""
+        pending = self._pending.get(seq)
+        return pending.downstream_id if pending is not None else None
 
     def pending_count(self, downstream_id: Optional[str] = None) -> int:
         if downstream_id is None:
@@ -216,6 +298,7 @@ class AckTracker:
                 alive=self._alive[downstream_id],
                 acked_count=self._acked[downstream_id],
                 sent_count=self._sent[downstream_id],
+                lost_count=self._lost[downstream_id],
             )
         return snapshot
 

@@ -125,6 +125,20 @@ class RoutingPolicy:
         if downstream_id in self._table:
             self._table.remove(downstream_id)
 
+    def mark_dead(self, downstream_id: str) -> None:
+        """Stop routing regular traffic to a failing downstream.
+
+        Unlike :meth:`on_downstream_removed` the member is kept: probing
+        still cycles over it, so a recovered device is observed again and
+        :meth:`update` re-admits it once its stats report it alive.
+        """
+        if not self._members.get(downstream_id, False):
+            return
+        self._members[downstream_id] = False
+        if downstream_id in self._table:
+            self._table.remove(downstream_id)
+        self._refresh_probe_cycler()
+
     def downstream_ids(self) -> List[str]:
         return sorted(self._members)
 
@@ -132,9 +146,12 @@ class RoutingPolicy:
         return sorted(ds for ds, alive in self._members.items() if alive)
 
     def _refresh_probe_cycler(self) -> None:
-        alive = self._alive_ids()
-        if alive:
-            self._probe_cycler.set_ids(alive)
+        # Probe every member, dead ones included: the periodic round-robin
+        # refresh is what notices a departed device coming back (its ACK
+        # resurrects it) and keeps unselected members' estimates fresh.
+        members = sorted(self._members)
+        if members:
+            self._probe_cycler.set_ids(members)
 
     # -- control plane ---------------------------------------------------
     def update(self, stats: Mapping[str, DownstreamStats],

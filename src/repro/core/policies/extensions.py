@@ -110,6 +110,10 @@ class WeightedRoundRobinPolicy(RoutingPolicy):
         super().on_downstream_removed(downstream_id)
         self._rebuild_table()
 
+    def mark_dead(self, downstream_id: str) -> None:
+        super().mark_dead(downstream_id)
+        self._rebuild_table()
+
     def _rebuild_table(self) -> None:
         alive = self._alive_ids()
         if alive:

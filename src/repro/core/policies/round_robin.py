@@ -37,6 +37,12 @@ class RoundRobinPolicy(RoutingPolicy):
         if alive:
             self._cycler.set_ids(alive)
 
+    def mark_dead(self, downstream_id: str) -> None:
+        super().mark_dead(downstream_id)
+        alive = self._alive_ids()
+        if alive:
+            self._cycler.set_ids(alive)
+
     def compute_decision(self, stats: Mapping[str, DownstreamStats],
                          input_rate: float) -> PolicyDecision:
         alive = sorted(stats)

@@ -90,7 +90,12 @@ class RoutingTable:
         if not self._ids:
             raise RoutingError("routing table is empty")
         point = rng.random()
-        index = bisect.bisect_left(self._cumulative, point)
+        # bisect_right maps id i to the half-open interval
+        # [cumulative[i-1], cumulative[i]): a zero-weight downstream owns
+        # an empty interval and can never be drawn, even at the exact
+        # boundary points (rng.random() == 0.0 used to land on index 0
+        # with bisect_left regardless of that entry's weight).
+        index = bisect.bisect_right(self._cumulative, point)
         if index >= len(self._ids):
             index = len(self._ids) - 1
         return self._ids[index]

@@ -1,0 +1,131 @@
+"""Lightweight counter registry for runtime observability.
+
+The failure-detection subsystem (ACK expiry accounting, dispatcher
+retries, health monitoring) emits monotonic counters describing the data
+plane: tuples sent, acked, lost, retried, downstreams marked dead or
+resurrected.  A :class:`MetricsRegistry` collects them with optional
+labels (Prometheus-style ``name{key=value}`` identity), so the CLI and
+the simulation harness can print one coherent accounting table after a
+run.
+
+A process-wide default registry backs components that are not handed an
+explicit one; simulations create a private registry per run so repeated
+experiments never bleed counts into each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: canonical counter names emitted by the runtime / simulation
+SENT_TOTAL = "swing_tuples_sent_total"
+ACKED_TOTAL = "swing_tuples_acked_total"
+LOST_TOTAL = "swing_tuples_lost_total"
+RETRIED_TOTAL = "swing_tuples_retried_total"
+REROUTED_TOTAL = "swing_tuples_rerouted_total"
+MARKED_DEAD_TOTAL = "swing_downstream_marked_dead_total"
+RESURRECTED_TOTAL = "swing_downstream_resurrected_total"
+DROPPED_TOTAL = "swing_frames_dropped_total"
+HEARTBEAT_MISS_TOTAL = "swing_heartbeat_miss_total"
+
+
+def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """One monotonically increasing counter with a fixed label set."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % amount)
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def identity(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join("%s=%s" % (k, v)
+                         for k, v in sorted(self.labels.items()))
+        return "%s{%s}" % (self.name, inner)
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of named, labelled counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = Counter(name, labels)
+                self._counters[key] = counter
+            return counter
+
+    def increment(self, name: str, amount: int = 1, **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def value(self, name: str, **labels: str) -> int:
+        key = (name, _label_key(labels))
+        with self._lock:
+            counter = self._counters.get(key)
+        return counter.value if counter is not None else 0
+
+    def counters(self) -> List[Counter]:
+        with self._lock:
+            return sorted(self._counters.values(),
+                          key=lambda c: c.identity())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat ``identity -> value`` view of every counter."""
+        return {counter.identity(): counter.value
+                for counter in self.counters()}
+
+    def values_by_label(self, name: str, label: str) -> Dict[str, int]:
+        """Per-label-value totals for one counter family.
+
+        ``values_by_label(LOST_TOTAL, "downstream")`` returns the lost
+        count keyed by downstream id — the view the fault-injection
+        acceptance check reads.
+        """
+        totals: Dict[str, int] = {}
+        for counter in self.counters():
+            if counter.name == name and label in counter.labels:
+                key = counter.labels[label]
+                totals[key] = totals.get(key, 0) + counter.value
+        return totals
+
+    def render(self, only: Optional[Iterable[str]] = None) -> str:
+        """Printable dump, one ``identity value`` line per counter."""
+        wanted = set(only) if only is not None else None
+        lines = []
+        for counter in self.counters():
+            if wanted is not None and counter.name not in wanted:
+                continue
+            lines.append("%s %d" % (counter.identity(), counter.value))
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+
+#: process-wide default registry for components not handed a private one
+REGISTRY = MetricsRegistry()

@@ -13,11 +13,13 @@ import threading
 import time
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import metrics as metrics_mod
 from repro.core.exceptions import RoutingError
 from repro.core.latency import AckTracker, RateMeter
 from repro.core.policies import PolicyDecision, make_policy
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
+from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import encode_tuple
 
 #: an instance is addressed as "unit@worker"
@@ -43,14 +45,21 @@ class UpstreamDispatcher:
                  policy: str = "LRS", seed: Optional[int] = None,
                  control_interval: float = 1.0,
                  clock: Callable[[], float] = time.monotonic,
-                 edge: Optional[str] = None) -> None:
+                 edge: Optional[str] = None,
+                 health: Optional[HealthMonitor] = None,
+                 max_send_retries: int = 1,
+                 ack_timeout: float = 10.0,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         self.unit_name = unit_name
         self.edge = edge or unit_name
         self._send = send
         self._clock = clock
         self._control_interval = control_interval
         self._policy = make_policy(policy, seed=seed)
-        self._tracker = AckTracker()
+        self._registry = registry if registry is not None else metrics_mod.REGISTRY
+        self._tracker = AckTracker(timeout=ack_timeout, registry=self._registry)
+        self._health = health
+        self._max_send_retries = max(0, max_send_retries)
         self._rate = RateMeter(window=1.0)
         self._lock = threading.Lock()
         self._last_update = clock()
@@ -94,9 +103,22 @@ class UpstreamDispatcher:
         with self._lock:
             return sorted(self._downstreams)
 
+    def live_instances(self):
+        """Downstream instances not currently marked dead."""
+        with self._lock:
+            return sorted(instance for instance in self._downstreams
+                          if self._tracker.is_alive(instance))
+
     # -- data plane ----------------------------------------------------------
     def dispatch(self, data: DataTuple) -> Optional[InstanceId]:
-        """Route one tuple; returns the chosen instance (None if lost)."""
+        """Route one tuple; returns the chosen instance (None if lost).
+
+        A failed send is retried up to ``max_send_retries`` times (gated
+        by the health monitor's backoff window); once a downstream
+        exhausts its attempts it is marked dead — kept in the membership
+        so probing can resurrect it, but excluded from routing — and the
+        tuple is re-routed to the next live downstream (Sec. IV-C).
+        """
         now = self._clock()
         with self._lock:
             self._rate.observe(now)
@@ -105,45 +127,85 @@ class UpstreamDispatcher:
                 instance = self._policy.route()
             except RoutingError:
                 return None
-            parts = self._downstreams.get(instance)
-            if parts is None:
+            if instance not in self._downstreams:
                 return None
-            unit_name, worker_id = parts
-            self._tracker.record_send(data.seq, instance, now)
         payload = encode_tuple(data)
-        message = messages.data_message(unit_name, payload, data.seq, now)
-        message.payload["edge"] = self.edge
-        try:
-            self._send(worker_id, message)
-        except Exception:
-            # Broken link: remove the downstream and re-route (Sec. IV-C).
-            self.remove_downstream(instance)
-            with self._lock:
-                try:
-                    fallback = self._policy.route()
-                except RoutingError:
-                    return None
-                fallback_parts = self._downstreams.get(fallback)
-                if fallback_parts is None:
-                    return None
-            message = messages.data_message(fallback_parts[0], payload,
-                                            data.seq, self._clock())
+        tried = set()
+        while instance is not None:
+            if self._try_send(instance, payload, data.seq):
+                if tried:
+                    self._registry.increment(metrics_mod.REROUTED_TOTAL,
+                                             downstream=instance)
+                self.dispatched += 1
+                return instance
+            tried.add(instance)
+            self._mark_instance_dead(instance)
+            instance = self._pick_fallback(tried)
+        return None
+
+    def _try_send(self, instance: InstanceId, payload: bytes,
+                  seq: int) -> bool:
+        """Attempt (with bounded retry) to push one tuple at *instance*."""
+        with self._lock:
+            parts = self._downstreams.get(instance)
+        if parts is None:
+            return False
+        unit_name, worker_id = parts
+        attempts = 1 + self._max_send_retries
+        for attempt in range(attempts):
+            if (self._health is not None
+                    and not self._health.should_attempt(worker_id)):
+                break
+            if attempt > 0:
+                self._registry.increment(metrics_mod.RETRIED_TOTAL,
+                                         downstream=instance)
+            now = self._clock()
+            message = messages.data_message(unit_name, payload, seq, now)
             message.payload["edge"] = self.edge
             try:
-                self._send(fallback_parts[1], message)
+                self._send(worker_id, message)
             except Exception:
-                return None
-            instance = fallback
-        self.dispatched += 1
-        return instance
+                if self._health is not None:
+                    self._health.record_failure(worker_id)
+                continue
+            if self._health is not None:
+                self._health.record_success(worker_id)
+            with self._lock:
+                self._tracker.record_send(seq, instance, now)
+            return True
+        return False
+
+    def _mark_instance_dead(self, instance: InstanceId) -> None:
+        with self._lock:
+            self._tracker.mark_dead(instance)
+            self._policy.mark_dead(instance)
+
+    def _pick_fallback(self, tried) -> Optional[InstanceId]:
+        """Next live, not-yet-tried downstream; None when exhausted."""
+        with self._lock:
+            try:
+                candidate = self._policy.route()
+            except RoutingError:
+                candidate = None
+            if (candidate is not None and candidate not in tried
+                    and candidate in self._downstreams):
+                return candidate
+            for instance in sorted(self._downstreams):
+                if instance not in tried and self._tracker.is_alive(instance):
+                    return instance
+        return None
 
     def on_ack(self, seq: int, processing_delay: float) -> None:
         """Fold a downstream's timestamp echo into the estimators."""
         now = self._clock()
         with self._lock:
+            downstream = self._tracker.pending_downstream(seq)
             sample = self._tracker.record_ack(seq, now, processing_delay)
             if sample is not None:
                 self.ack_count += 1
+        if sample is not None and downstream is not None \
+                and self._health is not None:
+            self._health.record_ack(split_instance(downstream)[1])
 
     # -- control plane ---------------------------------------------------
     def _maybe_update(self, now: float) -> PolicyDecision:

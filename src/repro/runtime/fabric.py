@@ -104,12 +104,13 @@ class TcpFabric(Fabric):
         self._outgoing: Dict[str, TcpChannel] = {}
         self._lock = threading.Lock()
         self._running = True
-        self._threads = []
-        accept_thread = threading.Thread(target=self._accept_loop,
-                                         name="fabric-accept:%s" % endpoint_id,
-                                         daemon=True)
-        accept_thread.start()
-        self._threads.append(accept_thread)
+        #: live reader threads mapped to their accepted channels, so
+        #: close() can unblock each blocking recv before joining
+        self._readers: Dict[threading.Thread, TcpChannel] = {}
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name="fabric-accept:%s" % endpoint_id, daemon=True)
+        self._accept_thread.start()
 
     # -- directory ---------------------------------------------------------
     def learn(self, endpoint_id: str, address: Tuple[str, int]) -> None:
@@ -128,13 +129,20 @@ class TcpFabric(Fabric):
             # Local delivery (e.g. the master deploying to itself).
             self._mailbox.put(sender_id, message)
             return
-        channel = self._channel_to(target_id)
-        try:
-            channel.send(message.encode())
-        except ChannelClosed:
-            with self._lock:
-                self._outgoing.pop(target_id, None)
-            raise
+        frame = message.encode()
+        # A cached channel may be stale (peer restarted, NAT rebind); one
+        # fresh dial distinguishes "stale cache" from "peer is gone".
+        for attempt in range(2):
+            channel = self._channel_to(target_id)
+            try:
+                channel.send(frame)
+                return
+            except ChannelClosed:
+                with self._lock:
+                    if self._outgoing.get(target_id) is channel:
+                        self._outgoing.pop(target_id, None)
+                if attempt > 0:
+                    raise
 
     def _channel_to(self, target_id: str) -> TcpChannel:
         with self._lock:
@@ -162,15 +170,20 @@ class TcpFabric(Fabric):
             reader = threading.Thread(target=self._read_loop, args=(channel,),
                                       name="fabric-read:%s" % self.endpoint_id,
                                       daemon=True)
+            with self._lock:
+                # Prune readers that already exited: a long-lived fabric
+                # accepting many short connections must not keep one
+                # thread record per connection ever made.
+                for done in [t for t in self._readers if not t.is_alive()]:
+                    del self._readers[done]
+                self._readers[reader] = channel
             reader.start()
-            self._threads.append(reader)
 
     def _read_loop(self, channel: TcpChannel) -> None:
         try:
             hello = decode_value(channel.recv(timeout=5.0))
             peer_id = hello.get("hello") if isinstance(hello, dict) else None
             if not isinstance(peer_id, str):
-                channel.close()
                 return
             while self._running:
                 frame = channel.recv(timeout=None)
@@ -179,6 +192,13 @@ class TcpFabric(Fabric):
             pass
         finally:
             channel.close()
+            with self._lock:
+                self._readers.pop(threading.current_thread(), None)
+
+    def reader_count(self) -> int:
+        """Live inbound reader threads (introspection for leak tests)."""
+        with self._lock:
+            return sum(1 for t in self._readers if t.is_alive())
 
     def close(self) -> None:
         self._running = False
@@ -187,3 +207,10 @@ class TcpFabric(Fabric):
             for channel in self._outgoing.values():
                 channel.close()
             self._outgoing.clear()
+            readers = dict(self._readers)
+        # Closing each accepted channel unblocks its reader's recv().
+        for channel in readers.values():
+            channel.close()
+        self._accept_thread.join(timeout=2.0)
+        for thread in readers:
+            thread.join(timeout=2.0)

@@ -24,6 +24,7 @@ from repro.core.graph import AppGraph
 from repro.runtime import messages
 from repro.runtime.dispatcher import instance_id
 from repro.runtime.fabric import Fabric
+from repro.runtime.health import HealthMonitor
 from repro.runtime.worker import WorkerRuntime
 
 
@@ -96,7 +97,7 @@ class Master:
         self.heartbeat_timeout = heartbeat_timeout
         self._lock = threading.Lock()
         self._workers: List[str] = []
-        self._last_heartbeat: Dict[str, float] = {}
+        self.health = HealthMonitor(timeout=heartbeat_timeout)
         self._detector: Optional[threading.Thread] = None
         self._detector_running = threading.Event()
         self.placement: Optional[Placement] = None
@@ -115,25 +116,21 @@ class Master:
     # -- membership --------------------------------------------------------
     def _on_control(self, sender_id: str, message: messages.Message) -> None:
         if message.kind == messages.JOIN:
-            self._last_heartbeat[message.payload["worker_id"]] = \
-                time.monotonic()
+            self.health.record_heartbeat(message.payload["worker_id"])
             self.handle_join(message.payload["worker_id"])
         elif message.kind == messages.LEAVE:
             self.handle_leave(message.payload["worker_id"])
         elif message.kind == messages.HEARTBEAT:
-            self._last_heartbeat[message.payload["worker_id"]] = \
-                time.monotonic()
+            self.health.record_heartbeat(message.payload["worker_id"])
 
     def _detect_failures(self) -> None:
         """Evict workers whose heartbeats stopped (broken link / crash)."""
         while self._detector_running.is_set():
             time.sleep(self.heartbeat_timeout / 2.0)
-            now = time.monotonic()
-            stale = [worker_id for worker_id in self.worker_ids
-                     if now - self._last_heartbeat.get(worker_id, now)
-                     > self.heartbeat_timeout]
-            for worker_id in stale:
-                self.handle_leave(worker_id)
+            members = set(self.worker_ids)
+            for worker_id in self.health.check_timeouts():
+                if worker_id in members:
+                    self.handle_leave(worker_id)
 
     def handle_join(self, worker_id: str) -> None:
         """Involve a new device as soon as it connects (Sec. IV-C)."""
@@ -152,6 +149,7 @@ class Master:
 
     def handle_leave(self, worker_id: str) -> None:
         """Remove a departed device's instances from all routing tables."""
+        self.health.forget(worker_id)
         with self._lock:
             if worker_id in self._workers:
                 self._workers.remove(worker_id)

@@ -165,7 +165,12 @@ def _decode_from(reader: _Reader) -> Any:
         return result
     if tag == _TAG_NDARRAY:
         (dtype_len,) = reader.unpack(">B")
-        dtype = np.dtype(reader.take(dtype_len).decode("ascii"))
+        dtype_name = reader.take(dtype_len).decode("ascii")
+        try:
+            dtype = np.dtype(dtype_name)
+        except (TypeError, ValueError) as error:
+            raise SerializationError("bad array dtype %r" % dtype_name) \
+                from error
         (ndim,) = reader.unpack(">B")
         shape = reader.unpack(">%dq" % ndim) if ndim else ()
         (length,) = reader.unpack(">I")
@@ -173,8 +178,11 @@ def _decode_from(reader: _Reader) -> Any:
         expected = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
         if shape and length != expected:
             raise SerializationError("array payload size mismatch")
-        array = np.frombuffer(payload, dtype=dtype)
-        return array.reshape(shape) if shape else array.reshape(())
+        try:
+            array = np.frombuffer(payload, dtype=dtype)
+            return array.reshape(shape) if shape else array.reshape(())
+        except (TypeError, ValueError) as error:
+            raise SerializationError("malformed array payload") from error
     raise SerializationError("unknown type tag %r" % tag)
 
 

@@ -25,6 +25,7 @@ from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.dispatcher import UpstreamDispatcher, instance_id
 from repro.runtime.fabric import Fabric, Mailbox
+from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import decode_tuple
 
 
@@ -37,12 +38,14 @@ class WorkerRuntime:
                  control_interval: float = 1.0,
                  control_handler: Optional[Callable] = None,
                  heartbeat_interval: float = 0.0,
-                 heartbeat_target: Optional[str] = None) -> None:
+                 heartbeat_target: Optional[str] = None,
+                 health: Optional[HealthMonitor] = None) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
         if heartbeat_interval < 0:
             raise RuntimeStateError("heartbeat interval must be >= 0")
         self.worker_id = worker_id
+        self.health = health if health is not None else HealthMonitor()
         self.fabric = fabric
         self.graph = graph
         self.policy_name = policy
@@ -80,16 +83,23 @@ class WorkerRuntime:
             self._heartbeat_thread.start()
 
     def _heartbeat_loop(self) -> None:
-        """Periodic liveness beacon toward the master (Background Service)."""
+        """Periodic liveness beacon toward the master (Background Service).
+
+        Send failures feed the health monitor, whose exponential backoff
+        stretches the beacon interval so a dead link is not hammered
+        with blocking reconnect attempts.
+        """
         while self._running.is_set():
             try:
                 self.fabric.send(
                     self.worker_id, self.heartbeat_target,
                     messages.Message(messages.HEARTBEAT,
                                      {"worker_id": self.worker_id}))
+                self.health.record_success(self.heartbeat_target)
             except Exception:
-                pass  # the master may be momentarily unreachable
-            time.sleep(self.heartbeat_interval)
+                self.health.record_failure(self.heartbeat_target)
+            time.sleep(self.heartbeat_interval
+                       + self.health.backoff_for(self.heartbeat_target))
 
     def stop(self, timeout: float = 5.0) -> None:
         self._running.clear()
@@ -176,7 +186,8 @@ class WorkerRuntime:
                 send=lambda target, msg: self.fabric.send(self.worker_id,
                                                           target, msg),
                 policy=self.policy_name, seed=self.seed,
-                control_interval=self.control_interval, edge=key)
+                control_interval=self.control_interval, edge=key,
+                health=self.health)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)

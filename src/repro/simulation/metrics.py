@@ -15,6 +15,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import metrics as metrics_mod
+
 DROP_SOURCE_QUEUE = "source_queue_full"
 DROP_CONN_OVERFLOW = "connection_overflow"
 DROP_DEVICE_LEFT = "device_left"
@@ -113,11 +115,13 @@ class DeviceCounters:
 class MetricsCollector:
     """Accumulates frame records and per-device counters during a run."""
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         self.frames: Dict[int, FrameRecord] = {}
         self.devices: Dict[str, DeviceCounters] = {}
         self.generated = 0
         self.dropped: Dict[str, int] = defaultdict(int)
+        self.registry = registry if registry is not None else metrics_mod.REGISTRY
 
     # -- recording -------------------------------------------------------
     def frame(self, seq: int, created_at: float) -> FrameRecord:
@@ -140,6 +144,7 @@ class MetricsCollector:
         if record is not None and record.dropped is None:
             record.dropped = reason
         self.dropped[reason] += 1
+        self.registry.increment(metrics_mod.DROPPED_TOTAL, reason=reason)
 
     # -- aggregates ------------------------------------------------------
     def completed_frames(self) -> List[FrameRecord]:

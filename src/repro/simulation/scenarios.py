@@ -14,7 +14,9 @@ from repro.core.exceptions import SimulationError
 from repro.simulation.mobility import MobilityPlan, MobilityTrace
 from repro.simulation.network import (RSSI_FAIR, RSSI_GOOD, RSSI_POOR,
                                       rssi_for_region)
-from repro.simulation.swarm import (JoinEvent, LeaveEvent, SwarmConfig,
+from repro.simulation.swarm import (DeviceKillEvent, DeviceReviveEvent,
+                                    JoinEvent, LeaveEvent, MessageDelayEvent,
+                                    MessageDropEvent, SwarmConfig,
                                     UNBOUNDED_QUEUE)
 from repro.simulation.workload import (FACE_APP, TRANSLATE_APP, Workload,
                                        face_workload, translation_workload)
@@ -131,6 +133,58 @@ def leaving(app: str = FACE_APP, duration: float = 35.0, seed: int = 0,
         duration=duration,
         seed=seed,
         leaves=(LeaveEvent(time=leave_time, device_id=leaver_id),),
+    )
+
+
+def fault_injection(app: str = FACE_APP, policy: str = "LRS",
+                    duration: float = 30.0, seed: int = 0,
+                    worker_ids: Sequence[str] = ("B", "D", "G", "H"),
+                    kill_ids: Sequence[str] = ("B", "G"),
+                    kill_time: float = 10.0,
+                    revive_time: Optional[float] = None,
+                    ack_timeout: float = 2.0, dead_after: int = 3,
+                    drop_window: Optional[float] = None,
+                    delay_window: Optional[float] = None,
+                    extra_delay: float = 0.25) -> SwarmConfig:
+    """Failure-detection stress: kill devices *silently* mid-stream.
+
+    Unlike :func:`leaving` the upstream is never told the connection
+    broke — the killed devices must be discovered purely through lost
+    tuples expiring in the ACK tracker, marked dead within the
+    configured ``ack_timeout`` window, and their traffic share
+    re-routed to the survivors.  Optional extras: revive the devices
+    later (``revive_time``), or overlay message drop / delay windows.
+    """
+    kill_ids = list(kill_ids)
+    unknown = [device_id for device_id in kill_ids
+               if device_id not in worker_ids]
+    if unknown:
+        raise SimulationError("cannot kill devices not in the swarm: %s"
+                              % ", ".join(unknown))
+    if len(kill_ids) >= len(list(worker_ids)):
+        raise SimulationError("at least one worker must survive the faults")
+    faults: list = [DeviceKillEvent(time=kill_time, device_id=device_id)
+                    for device_id in kill_ids]
+    if revive_time is not None:
+        faults.extend(DeviceReviveEvent(time=revive_time,
+                                        device_id=device_id)
+                      for device_id in kill_ids)
+    if drop_window is not None:
+        faults.append(MessageDropEvent(time=kill_time, duration=drop_window,
+                                       drop_prob=0.5))
+    if delay_window is not None:
+        faults.append(MessageDelayEvent(time=kill_time, duration=delay_window,
+                                        extra_delay=extra_delay))
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(list(worker_ids)),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        faults=tuple(faults),
     )
 
 

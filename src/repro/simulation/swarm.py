@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import metrics as metrics_mod
 from repro.core.exceptions import RoutingError, SimulationError
 from repro.core.latency import AckTracker, RateMeter
 from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
@@ -60,6 +61,59 @@ class LeaveEvent:
 
     time: float
     device_id: str
+
+
+@dataclass(frozen=True)
+class DeviceKillEvent:
+    """A device dying *silently*: no LEAVE, no link-break notification.
+
+    Unlike :class:`LeaveEvent` (whose broken connection the upstream
+    notices after ``detection_delay``), a silent kill is only detectable
+    through loss accounting: tuples routed to the dead device expire,
+    its ``lost_count`` grows, and the tracker marks it dead after
+    ``dead_after`` expiry rounds.  This is the fault-injection hook the
+    failure-detection subsystem is tested against.
+    """
+
+    time: float
+    device_id: str
+
+
+@dataclass(frozen=True)
+class DeviceReviveEvent:
+    """A silently-killed device coming back online."""
+
+    time: float
+    device_id: str
+    rssi: float = RSSI_GOOD
+
+
+@dataclass(frozen=True)
+class MessageDropEvent:
+    """Drop (a fraction of) messages involving a device for a window."""
+
+    time: float
+    duration: float
+    drop_prob: float = 1.0
+    device_id: Optional[str] = None  # None = every device
+
+    def active(self, now: float, device_id: str) -> bool:
+        return (self.time <= now < self.time + self.duration
+                and (self.device_id is None or self.device_id == device_id))
+
+
+@dataclass(frozen=True)
+class MessageDelayEvent:
+    """Add latency to messages involving a device for a window."""
+
+    time: float
+    duration: float
+    extra_delay: float
+    device_id: Optional[str] = None  # None = every device
+
+    def active(self, now: float, device_id: str) -> bool:
+        return (self.time <= now < self.time + self.duration
+                and (self.device_id is None or self.device_id == device_id))
 
 
 @dataclass(frozen=True)
@@ -112,6 +166,14 @@ class SwarmConfig:
     background_events: Sequence[BackgroundLoadEvent] = ()
     mobility: Optional[MobilityPlan] = None
     reorder_timespan: float = 1.0
+    #: in-flight tuples older than this are charged as lost
+    ack_timeout: float = 10.0
+    #: consecutive expiry rounds without an ACK before a downstream is
+    #: marked dead (the tracker's failure-detection threshold)
+    dead_after: int = 3
+    #: fault-injection schedule: DeviceKillEvent / DeviceReviveEvent /
+    #: MessageDropEvent / MessageDelayEvent instances
+    faults: Sequence = ()
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -139,6 +201,14 @@ class SwarmConfig:
             raise SimulationError("socket window must be >= 1 byte")
         if self.detection_delay < 0:
             raise SimulationError("detection delay must be non-negative")
+        if self.ack_timeout <= 0:
+            raise SimulationError("ack timeout must be positive")
+        if self.dead_after < 1:
+            raise SimulationError("dead_after must be >= 1")
+        for fault in self.faults:
+            if not isinstance(fault, (DeviceKillEvent, DeviceReviveEvent,
+                                      MessageDropEvent, MessageDelayEvent)):
+                raise SimulationError("unknown fault event %r" % (fault,))
         if not self.workers and not self.joins:
             raise SimulationError("a swarm needs at least one worker")
         for event in self.joins:
@@ -234,7 +304,10 @@ class SwarmSimulation:
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.sim)
-        self.metrics = MetricsCollector()
+        # Private counter registry so concurrent/sequential runs never
+        # bleed sent/acked/lost counts into each other.
+        self.registry = metrics_mod.MetricsRegistry()
+        self.metrics = MetricsCollector(registry=self.registry)
         policy_name = config.policy.upper()
         policy_kwargs = {}
         if policy_name in ("PR", "LR", "PRS", "LRS"):
@@ -252,6 +325,9 @@ class SwarmSimulation:
         if config.estimator == "moving-average":
             estimator_kwargs["window"] = config.estimator_window
         self.tracker = AckTracker(estimator_kind=config.estimator,
+                                  timeout=config.ack_timeout,
+                                  dead_after=config.dead_after,
+                                  registry=self.registry,
                                   **estimator_kwargs)
         self.rate_meter = RateMeter(window=1.0)
         self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
@@ -293,6 +369,17 @@ class SwarmSimulation:
                 self.sim.schedule(
                     when, lambda device_id=device_id, rssi=rssi:
                     self._set_rssi(device_id, rssi))
+        for fault in config.faults:
+            if isinstance(fault, DeviceKillEvent):
+                self.sim.schedule(fault.time,
+                                  lambda fault=fault:
+                                  self._kill_worker(fault.device_id))
+            elif isinstance(fault, DeviceReviveEvent):
+                self.sim.schedule(fault.time,
+                                  lambda fault=fault:
+                                  self._revive_worker(fault.device_id,
+                                                      fault.rssi))
+            # Message drop/delay windows are consulted at delivery time.
 
     def _make_join(self, join: JoinEvent):
         def _do_join() -> None:
@@ -350,6 +437,65 @@ class SwarmSimulation:
             self.policy.on_downstream_removed(device_id)
         self.tracker.remove_downstream(device_id)
 
+    # -- fault injection -------------------------------------------------
+    def _kill_worker(self, device_id: str) -> None:
+        """Silent crash: the upstream gets no notification of any kind.
+
+        Tuples keep flowing to the dead device and into the void until
+        loss accounting (expired in-flight entries) marks it dead —
+        exercising the failure-detection path end to end.
+        """
+        node = self.nodes.pop(device_id, None)
+        if node is None:
+            return
+        node.alive = False
+        node.left_at = self.sim.now
+        self._departed[device_id] = node
+        node.process.kill()
+        self.network.detach(device_id)
+        if node.current_seq is not None:
+            self.metrics.drop(node.current_seq, DROP_DEVICE_LEFT)
+        for frame in node.ingress.drain():
+            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+        # Unblock a dispatcher head-of-line-blocked on this connection.
+        for _ in range(self.config.window_frames()):
+            node.credits.try_put(True)
+        # Deliberately NO _on_link_break here: detection must come from
+        # the tracker, not from a control-plane notification.
+
+    def _revive_worker(self, device_id: str, rssi: float) -> None:
+        """A killed device rejoining; probing resurrects its tracker state."""
+        if device_id in self.nodes:
+            return
+        profile = self._profile_for(device_id)
+        self._all_profiles[device_id] = profile
+        if device_id in self.network.device_ids():
+            self.network.reattach(device_id, rssi=rssi)
+        else:
+            self.network.attach(device_id, rssi=rssi)
+        background = self.config.background_load.get(device_id, 0.0)
+        node = _WorkerNode(self, profile, background)
+        self.nodes[device_id] = node
+        self._departed.pop(device_id, None)
+        self.metrics.device(device_id)
+        self.tracker.add_downstream(device_id)  # no-op if still a member
+        if device_id not in self.policy.downstream_ids():
+            self.policy.on_downstream_added(device_id)
+
+    def _message_fault(self, device_id: str) -> Tuple[bool, float]:
+        """(drop?, extra delay) for a message involving *device_id* now."""
+        now = self.sim.now
+        extra_delay = 0.0
+        for fault in self.config.faults:
+            if isinstance(fault, MessageDropEvent) \
+                    and fault.active(now, device_id):
+                if self.rngs.stream("faults").random() < fault.drop_prob:
+                    return True, 0.0
+            elif isinstance(fault, MessageDelayEvent) \
+                    and fault.active(now, device_id):
+                extra_delay += fault.extra_delay
+        return False, extra_delay
+
     def _set_rssi(self, device_id: str, rssi: float) -> None:
         self.network.link(device_id).set_rssi(rssi)
 
@@ -384,16 +530,19 @@ class SwarmSimulation:
             except RoutingError:
                 self.metrics.drop(frame.seq, DROP_LINK_DOWN)
                 continue
+            record.device_id = destination
+            # The paper's timestamp is attached when the tuple leaves the
+            # upstream unit: the sample covers this connection's buffer,
+            # the air, the downstream queue and its processing.  Recorded
+            # BEFORE the liveness check: the upstream cannot know the
+            # device is gone, and the resulting expiry is exactly how a
+            # silent departure shows up in the loss accounting.
+            self.tracker.record_send(frame.seq, destination, self.sim.now)
             node = self.nodes.get(destination)
             if node is None or not node.alive:
                 # Routed to a device that already left: the tuple is lost.
                 self.metrics.drop(frame.seq, DROP_LINK_DOWN)
                 continue
-            record.device_id = destination
-            # The paper's timestamp is attached when the tuple leaves the
-            # upstream unit: the sample covers this connection's buffer,
-            # the air, the downstream queue and its processing.
-            self.tracker.record_send(frame.seq, destination, self.sim.now)
             # Blocking socket write: wait for a window slot on this
             # connection, head-of-line blocking every frame behind us.
             yield node.credits.get()
@@ -409,6 +558,20 @@ class SwarmSimulation:
                 self._on_frame_delivered(frame, destination))
 
     def _on_frame_delivered(self, frame: _Frame, destination: str) -> None:
+        dropped, extra_delay = self._message_fault(destination)
+        if dropped:
+            # Faulted away in flight; the tracker's pending entry will
+            # expire and charge the loss to this destination.
+            self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+            return
+        if extra_delay > 0.0:
+            self.sim.schedule(extra_delay,
+                              lambda: self._finish_frame_delivery(
+                                  frame, destination))
+            return
+        self._finish_frame_delivery(frame, destination)
+
+    def _finish_frame_delivery(self, frame: _Frame, destination: str) -> None:
         record = self.metrics.frame(frame.seq, frame.created_at)
         node = self.nodes.get(destination)
         link = self.network.link(destination)
@@ -434,6 +597,24 @@ class SwarmSimulation:
 
     # -- sink --------------------------------------------------------------
     def _deliver_result(self, frame: _Frame, processing_delay: float) -> None:
+        record = self.metrics.frame(frame.seq, frame.created_at)
+        if record.device_id:
+            dropped, extra_delay = self._message_fault(record.device_id)
+            if dropped:
+                # The result (and its piggybacked ACK) never arrives: the
+                # upstream will count the tuple as lost when it expires.
+                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                return
+            if extra_delay > 0.0:
+                self.sim.schedule(
+                    extra_delay,
+                    lambda: self._finish_result_delivery(frame,
+                                                         processing_delay))
+                return
+        self._finish_result_delivery(frame, processing_delay)
+
+    def _finish_result_delivery(self, frame: _Frame,
+                                processing_delay: float) -> None:
         now = self.sim.now
         record = self.metrics.frame(frame.seq, frame.created_at)
         record.sink_arrived_at = now
@@ -483,6 +664,12 @@ class SwarmResult:
     decisions: List[Tuple[float, PolicyDecision]]
     reorder: ReorderBuffer
     frames_lost: int
+    #: the run's private counter registry (sent/acked/lost/marked-dead…)
+    registry: Optional[metrics_mod.MetricsRegistry] = None
+    #: per-downstream lost-tuple counts from the upstream's ACK tracker
+    lost_by_downstream: Dict[str, int] = field(default_factory=dict)
+    #: downstreams the tracker had marked dead when the run ended
+    dead_downstreams: List[str] = field(default_factory=list)
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -502,6 +689,7 @@ class SwarmResult:
                 * (config.workload.result_bytes + ACK_BYTES))
         estimator = PowerEstimator(profiles)
         energy = estimator.estimate(cpu, transferred, duration)
+        tracker_stats = swarm.tracker.stats()
         return cls(
             config=config,
             metrics=metrics,
@@ -511,6 +699,10 @@ class SwarmResult:
             decisions=list(swarm.decisions),
             reorder=swarm.reorder,
             frames_lost=metrics.loss_count(),
+            registry=swarm.registry,
+            lost_by_downstream=swarm.tracker.lost_by_downstream(),
+            dead_downstreams=sorted(ds for ds, stat in tracker_stats.items()
+                                    if not stat.alive),
         )
 
     # -- convenience views used by the benchmark harness -------------------

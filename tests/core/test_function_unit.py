@@ -138,3 +138,33 @@ class TestReorderingSink:
     def test_capacity_follows_rate_and_timespan(self):
         sink = self._sink(rate=24.0, timespan=2.0)
         assert sink._buffer.capacity == 48
+
+    def test_stash_pruned_after_playback(self):
+        # Regression: played-back tuples used to stay in _by_seq forever,
+        # retaining every tuple of a long run.
+        sink = self._sink()
+        for seq in range(100):
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        assert len(sink.playback) == 100
+        assert sink._by_seq == {}
+
+    def test_stash_pruned_after_skip(self):
+        # Tuples whose slot was force-skipped (capacity overflow) are
+        # settled too and must not linger in the stash.
+        sink = self._sink(rate=2.0, timespan=1.0)  # capacity 2
+        for seq in (5, 6, 7, 8):  # 0..4 never arrive; overflow skips them
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        late = DataTuple(values={"v": 1}, seq=1)
+        sink.process_data(late)  # arrives after its slot was skipped
+        assert 1 not in sink._by_seq
+        assert all(seq >= sink._buffer.next_seq for seq in sink._by_seq)
+
+    def test_on_stop_clears_stash_and_uses_bound_clock(self):
+        sink = self._sink()
+        bind(sink, clock=[3.5] * 10)
+        sink.process_data(DataTuple(values={"v": 5}, seq=5))
+        sink.on_stop()
+        assert sink._by_seq == {}
+        # The flush timestamp comes from the unit's clock, not a
+        # hardcoded 0.0.
+        assert sink._buffer.playback[-1].played_at == 3.5

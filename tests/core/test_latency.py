@@ -170,6 +170,114 @@ class TestAckTracker:
         assert tracker.stats()["B"].service_rate is None
 
 
+class TestLossAccounting:
+    def test_expiry_charges_lost_count(self):
+        tracker = AckTracker(timeout=1.0)
+        tracker.record_send(1, "B", 0.0)
+        tracker.record_send(2, "C", 0.0)
+        tracker.expire_pending(now=2.0)
+        assert tracker.lost_count("B") == 1
+        assert tracker.lost_count("C") == 1
+        assert tracker.lost_count() == 2
+        assert tracker.lost_by_downstream() == {"B": 1, "C": 1}
+        assert tracker.stats()["B"].lost_count == 1
+
+    def test_ack_after_expiry_returns_none_without_corrupting_counts(self):
+        tracker = AckTracker(timeout=1.0)
+        tracker.record_send(1, "B", 0.0)
+        tracker.expire_pending(now=2.0)
+        assert tracker.record_ack(1, 2.5) is None
+        stats = tracker.stats()["B"]
+        assert stats.sent_count == 1
+        assert stats.acked_count == 0
+        assert stats.lost_count == 1
+        assert stats.latency is None  # no phantom sample
+
+    def test_remove_downstream_purges_pending_and_losses(self):
+        tracker = AckTracker(timeout=1.0)
+        tracker.record_send(1, "B", 0.0)
+        tracker.expire_pending(now=2.0)
+        tracker.record_send(2, "B", 3.0)
+        tracker.remove_downstream("B")
+        assert tracker.pending_count() == 0
+        assert tracker.lost_count("B") == 0
+        assert tracker.expire_pending(now=10.0) == 0
+
+    @pytest.mark.parametrize("acked, lost, expected", [
+        (0, 0, 0.0),   # unresolved: no evidence either way
+        (3, 1, 0.25),
+        (0, 4, 1.0),
+        (9, 1, 0.1),
+    ])
+    def test_loss_rate_table(self, acked, lost, expected):
+        from repro.core.latency import DownstreamStats
+        stats = DownstreamStats(downstream_id="B", acked_count=acked,
+                                lost_count=lost)
+        assert stats.loss_rate == pytest.approx(expected)
+
+    @pytest.mark.parametrize("dead_after, rounds, expect_dead", [
+        (1, 1, True),
+        (3, 2, False),
+        (3, 3, True),
+        (5, 4, False),
+    ])
+    def test_dead_after_threshold(self, dead_after, rounds, expect_dead):
+        tracker = AckTracker(timeout=1.0, dead_after=dead_after)
+        now = 0.0
+        for seq in range(rounds):
+            tracker.record_send(seq, "B", now)
+            now += 2.0
+            tracker.expire_pending(now)
+        assert tracker.is_alive("B") is (not expect_dead)
+        assert tracker.stats()["B"].alive is (not expect_dead)
+
+    def test_intervening_ack_resets_streak(self):
+        tracker = AckTracker(timeout=1.0, dead_after=2)
+        tracker.record_send(1, "B", 0.0)
+        tracker.expire_pending(now=2.0)        # streak 1
+        tracker.record_send(2, "B", 2.0)
+        tracker.record_ack(2, 2.5)             # streak reset
+        tracker.record_send(3, "B", 3.0)
+        tracker.expire_pending(now=5.0)        # streak 1 again
+        assert tracker.is_alive("B")
+
+    def test_ack_resurrects_dead_downstream(self):
+        tracker = AckTracker(timeout=1.0, dead_after=1)
+        tracker.record_send(1, "B", 0.0)
+        tracker.expire_pending(now=2.0)
+        assert not tracker.is_alive("B")
+        tracker.record_send(2, "B", 3.0)       # a probe
+        tracker.record_ack(2, 3.2)
+        assert tracker.is_alive("B")
+
+    def test_invalid_dead_after_rejected(self):
+        with pytest.raises(PolicyError):
+            AckTracker(dead_after=0)
+
+    def test_pending_downstream_lookup(self):
+        tracker = AckTracker()
+        tracker.record_send(7, "B", 0.0)
+        assert tracker.pending_downstream(7) == "B"
+        tracker.record_ack(7, 0.5)
+        assert tracker.pending_downstream(7) is None
+
+    def test_registry_counters_incremented(self):
+        from repro import metrics as metrics_mod
+        registry = metrics_mod.MetricsRegistry()
+        tracker = AckTracker(timeout=1.0, dead_after=1, registry=registry)
+        tracker.record_send(1, "B", 0.0)
+        tracker.expire_pending(now=2.0)
+        assert registry.value(metrics_mod.SENT_TOTAL, downstream="B") == 1
+        assert registry.value(metrics_mod.LOST_TOTAL, downstream="B") == 1
+        assert registry.value(metrics_mod.MARKED_DEAD_TOTAL,
+                              downstream="B") == 1
+        tracker.record_send(2, "B", 3.0)
+        tracker.record_ack(2, 3.5)
+        assert registry.value(metrics_mod.ACKED_TOTAL, downstream="B") == 1
+        assert registry.value(metrics_mod.RESURRECTED_TOTAL,
+                              downstream="B") == 1
+
+
 class TestRateMeter:
     def test_rate_counts_recent_arrivals(self):
         meter = RateMeter(window=1.0)

@@ -53,6 +53,40 @@ class TestRoutingTable:
         with pytest.raises(RoutingError):
             RoutingTable().choose(random.Random(0))
 
+    def test_zero_weight_entry_never_chosen(self):
+        # Regression: with bisect_left a draw of exactly 0.0 landed on
+        # the first id even when its weight was zero.
+        class ZeroRng:
+            def random(self):
+                return 0.0
+
+        table = RoutingTable({"a": 0.0, "b": 1.0})
+        assert table.choose(ZeroRng()) == "b"
+
+    def test_boundary_points_map_to_upper_interval(self):
+        # Intervals are half-open [lo, hi): a draw exactly on a cumulative
+        # boundary belongs to the NEXT id, so zero-weight ids (empty
+        # intervals) are unreachable even at their own boundary.
+        class FixedRng:
+            def __init__(self, value):
+                self.value = value
+
+            def random(self):
+                return self.value
+
+        table = RoutingTable({"a": 0.25, "b": 0.0, "c": 0.75})
+        assert table.choose(FixedRng(0.0)) == "a"
+        assert table.choose(FixedRng(0.25)) == "c"   # b owns []
+        assert table.choose(FixedRng(0.24999)) == "a"
+        assert table.choose(FixedRng(0.999999)) == "c"
+
+    def test_zero_weight_excluded_under_seeded_sampling(self):
+        table = RoutingTable({"a": 0.0, "b": 0.5, "c": 0.5})
+        rng = random.Random(7)
+        drawn = {table.choose(rng) for _ in range(2000)}
+        assert "a" not in drawn
+        assert drawn == {"b", "c"}
+
     def test_add_with_zero_weight_keeps_proportions(self):
         table = RoutingTable({"a": 0.5, "b": 0.5})
         table.add("c")

@@ -78,8 +78,23 @@ class TestDispatch:
         for seq in range(6):
             dispatcher.dispatch(DataTuple(values={}, seq=seq))
         assert all(worker == "C" for worker, _ in sent)
-        # The dead instance was evicted from the routing table.
-        assert dispatcher.downstream_instances() == ["det@C"]
+        # The dead instance stays a member (probing may resurrect it)
+        # but is excluded from live routing.
+        assert dispatcher.downstream_instances() == ["det@B", "det@C"]
+        assert dispatcher.live_instances() == ["det@C"]
+        assert dispatcher.stats()["det@B"].alive is False
+
+    def test_marked_dead_resurrected_by_ack(self):
+        fail_targets = {"B"}
+        dispatcher, sent = make_dispatcher(fail_targets=fail_targets)
+        dispatcher.set_downstreams(["det@B", "det@C"])
+        dispatcher.dispatch(DataTuple(values={}, seq=0))
+        assert dispatcher.live_instances() == ["det@C"]
+        # The link heals and a probe's ACK arrives: B is live again.
+        fail_targets.clear()
+        dispatcher._tracker.record_send(99, "det@B", 0.0)
+        dispatcher.on_ack(seq=99, processing_delay=0.01)
+        assert dispatcher.live_instances() == ["det@B", "det@C"]
 
     def test_all_links_broken_returns_none(self):
         dispatcher, sent = make_dispatcher(fail_targets={"B", "C"})

@@ -102,6 +102,70 @@ class TestTcpFabric:
         finally:
             alpha.close()
 
+    def test_reader_threads_pruned_after_disconnect(self):
+        # Regression: one thread record per connection ever accepted used
+        # to accumulate forever on a long-lived fabric.
+        from repro.runtime.channels import TcpChannel
+        from repro.runtime.serialization import encode_value
+
+        def wait_until(predicate, timeout=3.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if predicate():
+                    return True
+                time.sleep(0.01)
+            return False
+
+        fabric = TcpFabric("hub")
+        try:
+            for round_no in range(5):
+                channel = TcpChannel.connect(*fabric.address)
+                channel.send(encode_value({"hello": "peer%d" % round_no}))
+                assert wait_until(lambda: fabric.reader_count() >= 1)
+                channel.close()
+                assert wait_until(lambda: fabric.reader_count() == 0)
+            assert len(fabric._readers) <= 1
+        finally:
+            fabric.close()
+
+    def test_close_joins_accept_thread(self):
+        fabric = TcpFabric("solo")
+        fabric.close()
+        assert not fabric._accept_thread.is_alive()
+        assert fabric.reader_count() == 0
+
+    def test_close_joins_reader_threads(self):
+        from repro.runtime.channels import TcpChannel
+        from repro.runtime.serialization import encode_value
+        fabric = TcpFabric("hub")
+        channel = TcpChannel.connect(*fabric.address)
+        channel.send(encode_value({"hello": "peer"}))
+        deadline = time.monotonic() + 3.0
+        while fabric.reader_count() < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        readers = list(fabric._readers)
+        fabric.close()
+        assert all(not thread.is_alive() for thread in readers)
+
+    def test_stale_cached_channel_redialed(self):
+        # A peer restarting invalidates the cached outgoing channel; the
+        # next send must re-dial instead of failing.
+        alpha = TcpFabric("alpha")
+        beta = TcpFabric("beta")
+        try:
+            alpha.learn("beta", beta.address)
+            mailbox = beta.register("beta")
+            alpha.send("alpha", "beta", messages.start_message())
+            mailbox.get(timeout=3.0)
+            # Sever the cached channel behind alpha's back.
+            alpha._outgoing["beta"].close()
+            alpha.send("alpha", "beta", messages.stop_message())
+            _sender, message = mailbox.get(timeout=3.0)
+            assert message.kind == messages.STOP
+        finally:
+            alpha.close()
+            beta.close()
+
     def test_many_messages_in_order(self):
         alpha = TcpFabric("alpha")
         beta = TcpFabric("beta")

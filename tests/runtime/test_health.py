@@ -1,0 +1,136 @@
+"""Tests for the runtime peer health monitor."""
+
+import pytest
+
+from repro import metrics as metrics_mod
+from repro.core.exceptions import RuntimeStateError
+from repro.runtime.health import HealthMonitor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_monitor(**kwargs):
+    clock = FakeClock()
+    registry = metrics_mod.MetricsRegistry()
+    kwargs.setdefault("timeout", 1.0)
+    kwargs.setdefault("max_failures", 3)
+    kwargs.setdefault("base_backoff", 0.1)
+    kwargs.setdefault("max_backoff", 1.0)
+    monitor = HealthMonitor(clock=clock, registry=registry, **kwargs)
+    return monitor, clock, registry
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout": -1.0},
+        {"max_failures": 0},
+        {"base_backoff": -0.1},
+        {"base_backoff": 2.0, "max_backoff": 1.0},
+    ])
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(RuntimeStateError):
+            HealthMonitor(**kwargs)
+
+
+class TestFailureCounting:
+    def test_dead_after_max_failures(self):
+        monitor, _clock, registry = make_monitor(max_failures=3)
+        assert monitor.record_failure("B") is False
+        assert monitor.record_failure("B") is False
+        assert monitor.record_failure("B") is True
+        assert monitor.is_dead("B")
+        assert monitor.dead_peers() == ["B"]
+        assert registry.value(metrics_mod.MARKED_DEAD_TOTAL,
+                              downstream="B") == 1
+
+    def test_success_resets_everything(self):
+        monitor, _clock, registry = make_monitor(max_failures=2)
+        monitor.record_failure("B")
+        monitor.record_failure("B")
+        assert monitor.is_dead("B")
+        monitor.record_success("B")
+        assert not monitor.is_dead("B")
+        assert monitor.backoff_for("B") == 0.0
+        assert registry.value(metrics_mod.RESURRECTED_TOTAL,
+                              downstream="B") == 1
+
+    def test_unknown_peer_is_not_dead(self):
+        monitor, _clock, _registry = make_monitor()
+        assert not monitor.is_dead("nobody")
+        assert monitor.should_attempt("nobody")
+
+
+class TestBackoff:
+    def test_backoff_doubles_and_caps(self):
+        monitor, _clock, _registry = make_monitor(base_backoff=0.1,
+                                                  max_backoff=0.35)
+        monitor.record_failure("B")
+        assert monitor.backoff_for("B") == pytest.approx(0.1)
+        monitor.record_failure("B")
+        assert monitor.backoff_for("B") == pytest.approx(0.2)
+        monitor.record_failure("B")
+        assert monitor.backoff_for("B") == pytest.approx(0.35)  # capped
+        monitor.record_failure("B")
+        assert monitor.backoff_for("B") == pytest.approx(0.35)
+
+    def test_should_attempt_gates_on_backoff_window(self):
+        monitor, clock, _registry = make_monitor(base_backoff=0.5)
+        monitor.record_failure("B")
+        assert not monitor.should_attempt("B")
+        clock.advance(0.49)
+        assert not monitor.should_attempt("B")
+        clock.advance(0.02)
+        assert monitor.should_attempt("B")
+
+
+class TestTimeouts:
+    def test_check_timeouts_marks_aged_peers(self):
+        monitor, clock, registry = make_monitor(timeout=1.0)
+        monitor.record_heartbeat("B")
+        monitor.record_heartbeat("C")
+        clock.advance(0.5)
+        monitor.record_heartbeat("C")  # only C stays fresh
+        clock.advance(0.7)
+        assert monitor.check_timeouts() == ["B"]
+        assert monitor.is_dead("B")
+        assert not monitor.is_dead("C")
+        assert registry.value(metrics_mod.HEARTBEAT_MISS_TOTAL,
+                              downstream="B") == 1
+        # Already dead: not reported twice.
+        assert monitor.check_timeouts() == []
+
+    def test_timeout_zero_disables_sweep(self):
+        monitor, clock, _registry = make_monitor(timeout=0.0)
+        monitor.record_heartbeat("B")
+        clock.advance(1000.0)
+        assert monitor.check_timeouts() == []
+
+    def test_ack_age(self):
+        monitor, clock, _registry = make_monitor()
+        assert monitor.ack_age("B") is None
+        monitor.record_ack("B")
+        clock.advance(0.4)
+        assert monitor.ack_age("B") == pytest.approx(0.4)
+
+    def test_forget(self):
+        monitor, _clock, _registry = make_monitor(max_failures=1)
+        monitor.record_failure("B")
+        monitor.forget("B")
+        assert not monitor.is_dead("B")
+        assert monitor.known_peers() == []
+
+    def test_snapshot_is_a_copy(self):
+        monitor, _clock, _registry = make_monitor()
+        monitor.record_failure("B")
+        snapshot = monitor.snapshot()
+        snapshot["B"].consecutive_failures = 99
+        assert monitor.snapshot()["B"].consecutive_failures == 1

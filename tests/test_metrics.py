@@ -1,0 +1,95 @@
+"""Tests for the labelled counter registry."""
+
+import threading
+
+from repro import metrics as metrics_mod
+from repro.metrics import Counter, MetricsRegistry
+
+
+class TestCounter:
+    def test_identity_includes_sorted_labels(self):
+        counter = Counter("x_total", {"b": "2", "a": "1"})
+        assert counter.identity() == "x_total{a=1,b=2}"
+
+    def test_identity_without_labels(self):
+        assert Counter("x_total", {}).identity() == "x_total"
+
+    def test_inc(self):
+        counter = Counter("x_total", {})
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", downstream="B")
+        second = registry.counter("x_total", downstream="B")
+        assert first is second
+
+    def test_distinct_labels_distinct_counters(self):
+        registry = MetricsRegistry()
+        registry.increment("x_total", downstream="B")
+        registry.increment("x_total", downstream="C")
+        registry.increment("x_total", downstream="C")
+        assert registry.value("x_total", downstream="B") == 1
+        assert registry.value("x_total", downstream="C") == 2
+
+    def test_value_of_unknown_counter_is_zero(self):
+        assert MetricsRegistry().value("nope_total", downstream="B") == 0
+
+    def test_values_by_label(self):
+        registry = MetricsRegistry()
+        registry.increment("lost_total", downstream="B")
+        registry.increment("lost_total", downstream="B")
+        registry.increment("lost_total", downstream="G")
+        registry.increment("other_total", downstream="Z")
+        assert registry.values_by_label("lost_total", "downstream") \
+            == {"B": 2, "G": 1}
+
+    def test_render_and_reset(self):
+        registry = MetricsRegistry()
+        registry.increment("x_total", downstream="B")
+        rendered = registry.render()
+        assert "x_total{downstream=B} 1" in rendered
+        registry.reset()
+        assert registry.render() == ""
+
+    def test_render_filter(self):
+        registry = MetricsRegistry()
+        registry.increment("x_total", downstream="B")
+        registry.increment("y_total", downstream="B")
+        rendered = registry.render(only=["y_total"])
+        assert "y_total" in rendered
+        assert "x_total" not in rendered
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.increment("x_total", downstream="B", reason="r")
+        assert registry.snapshot() == {"x_total{downstream=B,reason=r}": 1}
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                registry.increment("x_total", downstream="B")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("x_total", downstream="B") == 8000
+
+    def test_module_constants_are_distinct(self):
+        names = [metrics_mod.SENT_TOTAL, metrics_mod.ACKED_TOTAL,
+                 metrics_mod.LOST_TOTAL, metrics_mod.RETRIED_TOTAL,
+                 metrics_mod.REROUTED_TOTAL, metrics_mod.MARKED_DEAD_TOTAL,
+                 metrics_mod.RESURRECTED_TOTAL, metrics_mod.DROPPED_TOTAL,
+                 metrics_mod.HEARTBEAT_MISS_TOTAL]
+        assert len(set(names)) == len(names)
+
+    def test_global_registry_exists(self):
+        assert isinstance(metrics_mod.REGISTRY, MetricsRegistry)
