@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.controller import PolicyConfig
 from repro.core.policies import EXTENSION_POLICY_NAMES, POLICY_NAMES
 from repro.simulation import scenarios
 from repro.simulation.replication import compare_policies
@@ -92,8 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--kill-time", type=float, default=10.0)
     faults.add_argument("--revive-time", type=float, default=None,
                         help="bring the killed devices back at this time")
+    # Tight ACK timeout so kills are detected within the short run; the
+    # dead-marking threshold is the control plane's shared default.
     faults.add_argument("--ack-timeout", type=float, default=2.0)
-    faults.add_argument("--dead-after", type=int, default=3)
+    faults.add_argument("--dead-after", type=int,
+                        default=PolicyConfig().dead_after)
 
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")

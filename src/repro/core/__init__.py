@@ -1,5 +1,6 @@
 """Core dataflow model and resource-management algorithms (the paper's contribution)."""
 
+from repro.core.controller import AckResult, LrsController, PolicyConfig
 from repro.core.exceptions import (DeploymentError, DiscoveryError, GraphError,
                                    GraphValidationError, PolicyError,
                                    RoutingError, RuntimeStateError, SchemaError,
@@ -22,12 +23,14 @@ from repro.core.selection import WorkerSelector, select_all, select_min_prefix
 from repro.core.tuples import DataTuple, HopTiming, TupleSchema, make_stream
 
 __all__ = [
-    "AppGraph", "AckTracker", "CollectingSink", "DataTuple",
+    "AckResult", "AppGraph", "AckTracker", "CollectingSink", "DataTuple",
     "DeploymentError", "DiscoveryError", "DownstreamStats", "EwmaEstimator",
     "FunctionUnit", "FunctionUnitSpec", "GraphBuilder", "GraphError",
     "GraphValidationError", "HopTiming", "IterableSource", "LambdaUnit",
+    "LrsController",
     "MovingAverageEstimator", "POLICY_NAMES", "PerformanceRequirement",
-    "PlaybackRecord", "PolicyDecision", "PolicyError", "RateMeter",
+    "PlaybackRecord", "PolicyConfig", "PolicyDecision", "PolicyError",
+    "RateMeter",
     "ReorderBuffer", "ReorderingSink", "RoundRobinCycler", "RoutingError",
     "RoutingPolicy",
     "RoutingTable", "RuntimeStateError", "SMOOTH_VIDEO_FPS", "SchemaError",

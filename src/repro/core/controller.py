@@ -1,0 +1,378 @@
+"""Shared LRS control plane (paper Sec. V) behind three narrow ports.
+
+The paper's core algorithm — latency estimation, worker selection, and
+probabilistic routing — is ONE control loop, but this repo used to
+implement it twice: once in the live runtime's dispatcher and once in
+the discrete-event simulator's dispatch/control processes.
+:class:`LrsController` is the single, transport-agnostic home of that
+loop.  It owns:
+
+* the routing policy (built from a :class:`PolicyConfig`),
+* the :class:`~repro.core.latency.AckTracker` feeding it L_i / W_i
+  estimates via the timestamp-echo protocol,
+* the :class:`~repro.core.latency.RateMeter` measuring the input rate,
+* the once-per-interval policy update (expiry sweep included),
+* probe-cycle scheduling (delegated to the policy's
+  :class:`~repro.core.policies.ProbeScheduler`),
+* failure detection: dead-marking on send failure / expiry streaks,
+  resurrection on a probe's ACK,
+* metrics emission (rerouted / update-round / probe-window counters).
+
+It talks to its substrate through three narrow ports:
+
+``Clock``
+    A zero-argument callable returning seconds (``time.monotonic`` in
+    the runtime, ``lambda: sim.now`` on the engine).
+
+``Egress``
+    An object with ``send(downstream_id, seq, context) -> Optional[float]``
+    returning the send timestamp on success and ``None`` on failure; a
+    failed send dead-marks the downstream and triggers a re-route.  The
+    runtime's egress performs health-gated, retried fabric sends; the
+    simulator's egress always succeeds instantly because delivery, loss
+    and delay are modeled by the network.
+
+``MetricSink``
+    A :class:`~repro.metrics.MetricsRegistry`; every counter the control
+    plane emits goes through it.
+
+The hosting adapters decide *when* to call in (``observe_arrival`` /
+``dispatch`` per tuple, ``maybe_update`` lazily or ``update`` from a
+periodic process) but never *what* happens — that is the contract the
+sim/real parity harness in ``tests/integration`` verifies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (Callable, Deque, Dict, Iterable, List, Mapping, Optional,
+                    Tuple, Union)
+
+from repro import metrics as metrics_mod
+from repro.core.exceptions import RoutingError
+from repro.core.latency import AckTracker, DownstreamStats, RateMeter
+from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
+
+#: the Clock port: a zero-argument callable returning seconds
+Clock = Callable[[], float]
+
+#: policies that consume the Sec. V-B probing knobs
+PROBED_POLICIES = frozenset({"PR", "LR", "PRS", "LRS"})
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Everything needed to build one policy + tracker pair, once.
+
+    The single source of truth for policy-construction defaults
+    (estimator window, probe period, failure-detection thresholds).
+    The simulator's :class:`~repro.simulation.swarm.SwarmConfig`, the
+    runtime's :class:`~repro.runtime.dispatcher.UpstreamDispatcher` and
+    the CLI all derive their defaults from here instead of carrying
+    their own copies.
+    """
+
+    policy: str = "LRS"
+    seed: Optional[int] = None
+    #: seconds between policy update rounds (1 s in the paper)
+    control_interval: float = 1.0
+    # -- probing (paper Sec. V-B) ---------------------------------------
+    probe_every: int = 5
+    probe_tuples: int = 4
+    probe_spacing: int = 3
+    # -- latency estimation ---------------------------------------------
+    estimator: str = "moving-average"
+    estimator_window: int = 20
+    #: sliding window of the input-rate meter, seconds
+    rate_window: float = 1.0
+    # -- failure detection -----------------------------------------------
+    #: in-flight tuples older than this are charged as lost
+    ack_timeout: float = 10.0
+    #: consecutive expiry rounds without an ACK before dead-marking
+    dead_after: int = 3
+    #: offline capability weights (WRR only): downstream id -> rate
+    capabilities: Optional[Mapping[str, float]] = None
+
+    def policy_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for this config's policy class."""
+        name = self.policy.upper()
+        if name in PROBED_POLICIES:
+            return {"probe_every": self.probe_every,
+                    "probe_tuples": self.probe_tuples,
+                    "probe_spacing": self.probe_spacing}
+        if name == "WRR" and self.capabilities:
+            return {"capabilities": dict(self.capabilities)}
+        return {}
+
+    def estimator_kwargs(self) -> Dict[str, object]:
+        if self.estimator == "moving-average":
+            return {"window": self.estimator_window}
+        return {}
+
+    def make_policy(self) -> RoutingPolicy:
+        return make_policy(self.policy, seed=self.seed,
+                           **self.policy_kwargs())
+
+    def make_tracker(self, registry: Optional[metrics_mod.MetricsRegistry]
+                     = None) -> AckTracker:
+        return AckTracker(estimator_kind=self.estimator,
+                          timeout=self.ack_timeout,
+                          dead_after=self.dead_after,
+                          registry=registry,
+                          **self.estimator_kwargs())
+
+
+@dataclass(frozen=True)
+class AckResult:
+    """Outcome of folding one ACK into the estimators."""
+
+    downstream_id: str
+    sample: float  # the end-to-end latency sample, seconds
+
+
+class LrsController:
+    """Transport-agnostic routing controller: one per upstream edge.
+
+    Thread-safe: the runtime calls in from dispatch and receive threads
+    concurrently; the simulator from a single engine loop.
+    """
+
+    def __init__(self, config: Optional[PolicyConfig] = None,
+                 clock: Clock = time.monotonic,
+                 egress: Optional[object] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 name: str = "",
+                 max_decisions: Optional[int] = None) -> None:
+        self.config = config if config is not None else PolicyConfig()
+        self.name = name
+        self._clock = clock
+        self._egress = egress
+        self._registry = (registry if registry is not None
+                          else metrics_mod.REGISTRY)
+        self._policy = self.config.make_policy()
+        self._tracker = self.config.make_tracker(self._registry)
+        self._rate = RateMeter(window=self.config.rate_window)
+        self._lock = threading.RLock()
+        self._last_update = clock()
+        #: update-round log: (time, decision); capped when the hosting
+        #: substrate is long-lived (the runtime), unbounded in the
+        #: duration-limited simulator and the parity harness
+        self.decisions: Union[List[Tuple[float, PolicyDecision]],
+                              Deque[Tuple[float, PolicyDecision]]] = (
+            deque(maxlen=max_decisions) if max_decisions else [])
+        self.dispatched = 0
+        self.ack_count = 0
+
+    # -- membership ------------------------------------------------------
+    def add_downstream(self, downstream_id: str) -> None:
+        """Admit a downstream (idempotent; resurrection-safe)."""
+        with self._lock:
+            self._tracker.add_downstream(downstream_id)
+            # No-op when already a member, even a dead-marked one: the
+            # tracker's alive flag, not re-admission, governs routing.
+            self._policy.on_downstream_added(downstream_id)
+
+    def remove_downstream(self, downstream_id: str) -> None:
+        """Forget a downstream entirely (link broke / LEAVE observed)."""
+        with self._lock:
+            self._tracker.remove_downstream(downstream_id)
+            if downstream_id in self._policy.downstream_ids():
+                self._policy.on_downstream_removed(downstream_id)
+
+    def set_downstreams(self, downstream_ids: Iterable[str]) -> None:
+        """Reconcile the member set against a deploy update."""
+        desired = set(downstream_ids)
+        with self._lock:
+            for downstream_id in sorted(self._tracker.downstream_ids()):
+                if downstream_id not in desired:
+                    self.remove_downstream(downstream_id)
+            known = set(self._tracker.downstream_ids())
+            for downstream_id in sorted(desired - known):
+                self.add_downstream(downstream_id)
+
+    def downstream_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tracker.downstream_ids())
+
+    def live_downstreams(self) -> List[str]:
+        """Members not currently marked dead."""
+        with self._lock:
+            return sorted(downstream_id for downstream_id
+                          in self._tracker.downstream_ids()
+                          if self._tracker.is_alive(downstream_id))
+
+    def is_alive(self, downstream_id: str) -> bool:
+        with self._lock:
+            return self._tracker.is_alive(downstream_id)
+
+    # -- data plane ------------------------------------------------------
+    def observe_arrival(self, now: Optional[float] = None) -> None:
+        """Feed one tuple arrival into the input-rate meter (Lambda)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            self._rate.observe(now)
+
+    def select(self) -> Optional[str]:
+        """Route one tuple without sending (adapters that own delivery)."""
+        with self._lock:
+            try:
+                return self._policy.route()
+            except RoutingError:
+                return None
+
+    def record_send(self, seq: int, downstream_id: str,
+                    now: Optional[float] = None) -> None:
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            self._tracker.record_send(seq, downstream_id, now)
+
+    def dispatch(self, seq: int, context: Optional[object] = None
+                 ) -> Optional[str]:
+        """Route + send one tuple; returns the chosen downstream or None.
+
+        A failed egress send dead-marks the downstream — kept in the
+        membership so probing can resurrect it, but excluded from
+        routing — and the tuple is re-routed to the next live member
+        (Sec. IV-C).  ``context`` is passed through to the egress
+        opaquely (the runtime uses it for the encoded payload).
+        """
+        with self._lock:
+            try:
+                chosen = self._policy.route()
+            except RoutingError:
+                return None
+        tried = set()
+        while chosen is not None:
+            sent_at = self._send(chosen, seq, context)
+            if sent_at is not None:
+                self.record_send(seq, chosen, sent_at)
+                if tried:
+                    self._registry.increment(metrics_mod.REROUTED_TOTAL,
+                                             downstream=chosen)
+                self.dispatched += 1
+                return chosen
+            tried.add(chosen)
+            self.mark_dead(chosen)
+            chosen = self._fallback(tried)
+        return None
+
+    def _send(self, downstream_id: str, seq: int,
+              context: Optional[object]) -> Optional[float]:
+        if self._egress is None:
+            return self._clock()
+        return self._egress.send(downstream_id, seq, context)
+
+    def _fallback(self, tried) -> Optional[str]:
+        """Next live, not-yet-tried downstream; None when exhausted."""
+        with self._lock:
+            try:
+                candidate = self._policy.route()
+            except RoutingError:
+                candidate = None
+            if candidate is not None and candidate not in tried:
+                return candidate
+            for downstream_id in sorted(self._tracker.downstream_ids()):
+                if downstream_id not in tried \
+                        and self._tracker.is_alive(downstream_id):
+                    return downstream_id
+        return None
+
+    def mark_dead(self, downstream_id: str) -> None:
+        """Stop routing regular traffic to a failing downstream."""
+        with self._lock:
+            self._tracker.mark_dead(downstream_id)
+            self._policy.mark_dead(downstream_id)
+
+    def on_ack(self, seq: int, processing_delay: Optional[float] = None,
+               now: Optional[float] = None,
+               downstream_hint: Optional[str] = None
+               ) -> Optional[AckResult]:
+        """Fold a downstream's timestamp echo into the estimators.
+
+        ``downstream_hint`` backs backlog-driven policies (JSQ) when the
+        pending entry already expired: the substrate knows where the
+        tuple went even if the tracker gave up on it.
+        """
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            downstream_id = self._tracker.pending_downstream(seq)
+            sample = self._tracker.record_ack(
+                seq, now, processing_delay=processing_delay)
+            if sample is not None:
+                self.ack_count += 1
+            resolved = (downstream_id if downstream_id is not None
+                        else downstream_hint)
+            if resolved is not None:
+                on_acked = getattr(self._policy, "on_acked", None)
+                if on_acked is not None:
+                    on_acked(resolved)
+        if sample is None or downstream_id is None:
+            return None
+        return AckResult(downstream_id=downstream_id, sample=sample)
+
+    # -- control plane ---------------------------------------------------
+    def maybe_update(self, now: Optional[float] = None) -> PolicyDecision:
+        """Lazy once-per-interval policy round (the runtime's trigger)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            if now - self._last_update >= self.config.control_interval:
+                return self._update_locked(now)
+            return self._policy.last_decision
+
+    def update(self, now: Optional[float] = None) -> PolicyDecision:
+        """Run a policy round immediately (periodic processes, tests)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            return self._update_locked(now)
+
+    def _update_locked(self, now: float) -> PolicyDecision:
+        self._last_update = now
+        self._tracker.expire_pending(now)
+        decision = self._policy.update(self._tracker.stats(),
+                                       self._rate.rate(now))
+        self.decisions.append((now, decision))
+        self._registry.increment(metrics_mod.POLICY_UPDATES_TOTAL,
+                                 edge=self.name or "-")
+        if decision.probing:
+            self._registry.increment(metrics_mod.PROBE_WINDOWS_TOTAL,
+                                     edge=self.name or "-")
+        return decision
+
+    # -- snapshots -------------------------------------------------------
+    @property
+    def policy(self) -> RoutingPolicy:
+        return self._policy
+
+    @property
+    def tracker(self) -> AckTracker:
+        return self._tracker
+
+    @property
+    def rate_meter(self) -> RateMeter:
+        return self._rate
+
+    @property
+    def last_decision(self) -> PolicyDecision:
+        return self._policy.last_decision
+
+    def stats(self) -> Dict[str, DownstreamStats]:
+        with self._lock:
+            return self._tracker.stats()
+
+    def lost_by_downstream(self) -> Dict[str, int]:
+        with self._lock:
+            return self._tracker.lost_by_downstream()
+
+    def dead_downstreams(self) -> List[str]:
+        with self._lock:
+            return sorted(downstream_id for downstream_id
+                          in self._tracker.downstream_ids()
+                          if not self._tracker.is_alive(downstream_id))

@@ -10,6 +10,7 @@ the ACK, which is what processing-delay-based policies (PR/PRS) consume.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Optional
@@ -19,7 +20,14 @@ from repro.core.exceptions import PolicyError
 
 
 class MovingAverageEstimator:
-    """Fixed-window moving average over the most recent samples."""
+    """Fixed-window moving average over the most recent samples.
+
+    The running total is maintained incrementally (O(1) per sample),
+    which accumulates floating-point subtraction error over long runs;
+    every ``window`` evictions the total is recomputed exactly from the
+    live deque (amortized O(1)), bounding the drift to one window's
+    worth of rounding.
+    """
 
     def __init__(self, window: int = 20) -> None:
         if window < 1:
@@ -27,14 +35,19 @@ class MovingAverageEstimator:
         self._window = window
         self._samples: Deque[float] = deque(maxlen=window)
         self._total = 0.0
+        self._evictions = 0
 
     def observe(self, sample: float) -> None:
         if sample < 0:
             raise PolicyError("latency samples must be non-negative")
         if len(self._samples) == self._samples.maxlen:
             self._total -= self._samples[0]
+            self._evictions += 1
         self._samples.append(sample)
         self._total += sample
+        if self._evictions >= self._window:
+            self._evictions = 0
+            self._total = math.fsum(self._samples)
 
     @property
     def value(self) -> Optional[float]:
@@ -49,6 +62,7 @@ class MovingAverageEstimator:
     def reset(self) -> None:
         self._samples.clear()
         self._total = 0.0
+        self._evictions = 0
 
 
 class EwmaEstimator:

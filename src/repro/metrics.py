@@ -28,6 +28,8 @@ MARKED_DEAD_TOTAL = "swing_downstream_marked_dead_total"
 RESURRECTED_TOTAL = "swing_downstream_resurrected_total"
 DROPPED_TOTAL = "swing_frames_dropped_total"
 HEARTBEAT_MISS_TOTAL = "swing_heartbeat_miss_total"
+POLICY_UPDATES_TOTAL = "swing_policy_updates_total"
+PROBE_WINDOWS_TOTAL = "swing_probe_windows_total"
 
 
 def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:

@@ -1,10 +1,15 @@
-"""Upstream dispatcher: applies a routing policy on the real runtime.
+"""Upstream dispatcher: the real runtime's adapter over the LRS control plane.
 
 One dispatcher lives at every hosted function unit that has downstream
-units.  It owns the unit's routing policy, the ACK tracker feeding it
-latency estimates (paper Sec. V-B), and the once-per-second policy
-update; :meth:`UpstreamDispatcher.dispatch` is called for every tuple
-the unit emits.
+units.  The routing policy, ACK tracker, rate meter, once-per-second
+policy update, probing, and dead-marking all live in the shared
+:class:`~repro.core.controller.LrsController`; this module only
+translates the threaded runtime's substrate into the controller's three
+ports: ``time.monotonic`` as the Clock, a health-gated, retried fabric
+send as the Egress, and the process's metrics registry as the sink.
+:meth:`UpstreamDispatcher.dispatch` is called for every tuple the unit
+emits; :meth:`UpstreamDispatcher.on_ack` for every timestamp echo that
+returns.
 """
 
 from __future__ import annotations
@@ -14,9 +19,9 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import RoutingError
-from repro.core.latency import AckTracker, RateMeter
-from repro.core.policies import PolicyDecision, make_policy
+from repro.core.policies import PolicyDecision
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.health import HealthMonitor
@@ -24,6 +29,10 @@ from repro.runtime.serialization import encode_tuple
 
 #: an instance is addressed as "unit@worker"
 InstanceId = str
+
+#: update-round history kept per long-lived dispatcher (policy rounds
+#: run ~1/s; the simulator keeps an unbounded log instead)
+DECISION_HISTORY = 256
 
 
 def instance_id(unit_name: str, worker_id: str) -> InstanceId:
@@ -37,67 +46,74 @@ def split_instance(instance: InstanceId) -> Tuple[str, str]:
     return unit_name, worker_id
 
 
+class _FabricEgress:
+    """Egress port: encode-once payloads pushed via health-gated sends."""
+
+    def __init__(self, dispatcher: "UpstreamDispatcher") -> None:
+        self._dispatcher = dispatcher
+
+    def send(self, downstream_id: InstanceId, seq: int,
+             context: Optional[bytes]) -> Optional[float]:
+        return self._dispatcher._try_send(downstream_id, context, seq)
+
+
 class UpstreamDispatcher:
     """Routes one unit's output tuples across downstream instances."""
 
     def __init__(self, unit_name: str,
                  send: Callable[[str, messages.Message], None],
                  policy: str = "LRS", seed: Optional[int] = None,
-                 control_interval: float = 1.0,
+                 control_interval: Optional[float] = None,
                  clock: Callable[[], float] = time.monotonic,
                  edge: Optional[str] = None,
                  health: Optional[HealthMonitor] = None,
                  max_send_retries: int = 1,
-                 ack_timeout: float = 10.0,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
+                 ack_timeout: Optional[float] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 config: Optional[PolicyConfig] = None) -> None:
         self.unit_name = unit_name
         self.edge = edge or unit_name
         self._send = send
         self._clock = clock
-        self._control_interval = control_interval
-        self._policy = make_policy(policy, seed=seed)
+        if config is None:
+            defaults = PolicyConfig()
+            config = PolicyConfig(
+                policy=policy, seed=seed,
+                control_interval=(control_interval
+                                  if control_interval is not None
+                                  else defaults.control_interval),
+                ack_timeout=(ack_timeout if ack_timeout is not None
+                             else defaults.ack_timeout))
         self._registry = registry if registry is not None else metrics_mod.REGISTRY
-        self._tracker = AckTracker(timeout=ack_timeout, registry=self._registry)
         self._health = health
         self._max_send_retries = max(0, max_send_retries)
-        self._rate = RateMeter(window=1.0)
         self._lock = threading.Lock()
-        self._last_update = clock()
         self._downstreams: Dict[InstanceId, Tuple[str, str]] = {}
-        self.dispatched = 0
-        self.ack_count = 0
+        self.controller = LrsController(config, clock=clock,
+                                        egress=_FabricEgress(self),
+                                        registry=self._registry,
+                                        name=self.edge,
+                                        max_decisions=DECISION_HISTORY)
 
     # -- membership --------------------------------------------------------
     def set_downstreams(self, instances) -> None:
         """Reconcile the downstream instance set (deploy updates)."""
-        desired = {inst: split_instance(inst) for inst in instances}
+        desired = {instance: split_instance(instance)
+                   for instance in instances}
         with self._lock:
-            for instance in list(self._downstreams):
-                if instance not in desired:
-                    self._remove(instance)
-            for instance, parts in desired.items():
-                if instance not in self._downstreams:
-                    self._downstreams[instance] = parts
-                    self._tracker.add_downstream(instance)
-                    self._policy.on_downstream_added(instance)
+            self._downstreams = desired
+        self.controller.set_downstreams(sorted(desired))
 
     def add_downstream(self, instance: InstanceId) -> None:
+        parts = split_instance(instance)
         with self._lock:
-            if instance in self._downstreams:
-                return
-            self._downstreams[instance] = split_instance(instance)
-            self._tracker.add_downstream(instance)
-            self._policy.on_downstream_added(instance)
+            self._downstreams[instance] = parts
+        self.controller.add_downstream(instance)
 
     def remove_downstream(self, instance: InstanceId) -> None:
         with self._lock:
-            self._remove(instance)
-
-    def _remove(self, instance: InstanceId) -> None:
-        self._downstreams.pop(instance, None)
-        self._tracker.remove_downstream(instance)
-        if instance in self._policy.downstream_ids():
-            self._policy.on_downstream_removed(instance)
+            self._downstreams.pop(instance, None)
+        self.controller.remove_downstream(instance)
 
     def downstream_instances(self):
         with self._lock:
@@ -105,9 +121,7 @@ class UpstreamDispatcher:
 
     def live_instances(self):
         """Downstream instances not currently marked dead."""
-        with self._lock:
-            return sorted(instance for instance in self._downstreams
-                          if self._tracker.is_alive(instance))
+        return self.controller.live_downstreams()
 
     # -- data plane ----------------------------------------------------------
     def dispatch(self, data: DataTuple) -> Optional[InstanceId]:
@@ -115,41 +129,28 @@ class UpstreamDispatcher:
 
         A failed send is retried up to ``max_send_retries`` times (gated
         by the health monitor's backoff window); once a downstream
-        exhausts its attempts it is marked dead — kept in the membership
-        so probing can resurrect it, but excluded from routing — and the
-        tuple is re-routed to the next live downstream (Sec. IV-C).
+        exhausts its attempts the controller marks it dead — kept in the
+        membership so probing can resurrect it, but excluded from
+        routing — and re-routes the tuple to the next live downstream
+        (Sec. IV-C).
         """
         now = self._clock()
-        with self._lock:
-            self._rate.observe(now)
-            self._maybe_update(now)
-            try:
-                instance = self._policy.route()
-            except RoutingError:
-                return None
-            if instance not in self._downstreams:
-                return None
+        self.controller.observe_arrival(now)
+        self.controller.maybe_update(now)
         payload = encode_tuple(data)
-        tried = set()
-        while instance is not None:
-            if self._try_send(instance, payload, data.seq):
-                if tried:
-                    self._registry.increment(metrics_mod.REROUTED_TOTAL,
-                                             downstream=instance)
-                self.dispatched += 1
-                return instance
-            tried.add(instance)
-            self._mark_instance_dead(instance)
-            instance = self._pick_fallback(tried)
-        return None
+        return self.controller.dispatch(data.seq, context=payload)
 
     def _try_send(self, instance: InstanceId, payload: bytes,
-                  seq: int) -> bool:
-        """Attempt (with bounded retry) to push one tuple at *instance*."""
+                  seq: int) -> Optional[float]:
+        """Attempt (with bounded retry) to push one tuple at *instance*.
+
+        Returns the send timestamp on success, None once the instance
+        exhausts its attempts (or sits inside its backoff window).
+        """
         with self._lock:
             parts = self._downstreams.get(instance)
         if parts is None:
-            return False
+            return None
         unit_name, worker_id = parts
         attempts = 1 + self._max_send_retries
         for attempt in range(attempts):
@@ -170,65 +171,37 @@ class UpstreamDispatcher:
                 continue
             if self._health is not None:
                 self._health.record_success(worker_id)
-            with self._lock:
-                self._tracker.record_send(seq, instance, now)
-            return True
-        return False
-
-    def _mark_instance_dead(self, instance: InstanceId) -> None:
-        with self._lock:
-            self._tracker.mark_dead(instance)
-            self._policy.mark_dead(instance)
-
-    def _pick_fallback(self, tried) -> Optional[InstanceId]:
-        """Next live, not-yet-tried downstream; None when exhausted."""
-        with self._lock:
-            try:
-                candidate = self._policy.route()
-            except RoutingError:
-                candidate = None
-            if (candidate is not None and candidate not in tried
-                    and candidate in self._downstreams):
-                return candidate
-            for instance in sorted(self._downstreams):
-                if instance not in tried and self._tracker.is_alive(instance):
-                    return instance
+            return now
         return None
 
     def on_ack(self, seq: int, processing_delay: float) -> None:
         """Fold a downstream's timestamp echo into the estimators."""
-        now = self._clock()
-        with self._lock:
-            downstream = self._tracker.pending_downstream(seq)
-            sample = self._tracker.record_ack(seq, now, processing_delay)
-            if sample is not None:
-                self.ack_count += 1
-        if sample is not None and downstream is not None \
-                and self._health is not None:
-            self._health.record_ack(split_instance(downstream)[1])
+        result = self.controller.on_ack(seq,
+                                        processing_delay=processing_delay)
+        if result is not None and self._health is not None:
+            self._health.record_ack(split_instance(result.downstream_id)[1])
 
     # -- control plane ---------------------------------------------------
-    def _maybe_update(self, now: float) -> PolicyDecision:
-        if now - self._last_update >= self._control_interval:
-            self._last_update = now
-            self._tracker.expire_pending(now)
-            return self._policy.update(self._tracker.stats(),
-                                       self._rate.rate(now))
-        return self._policy.last_decision
-
     def force_update(self) -> PolicyDecision:
         """Run a policy round immediately (tests, shutdown reporting)."""
-        now = self._clock()
-        with self._lock:
-            self._last_update = now
-            self._tracker.expire_pending(now)
-            return self._policy.update(self._tracker.stats(),
-                                       self._rate.rate(now))
+        return self.controller.update()
 
     @property
     def policy(self):
-        return self._policy
+        return self.controller.policy
+
+    @property
+    def _tracker(self):
+        # Kept for tests/tools that inject tracker state directly.
+        return self.controller.tracker
+
+    @property
+    def dispatched(self) -> int:
+        return self.controller.dispatched
+
+    @property
+    def ack_count(self) -> int:
+        return self.controller.ack_count
 
     def stats(self):
-        with self._lock:
-            return self._tracker.stats()
+        return self.controller.stats()

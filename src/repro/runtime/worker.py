@@ -18,6 +18,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.core.controller import PolicyConfig
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
 from repro.core.graph import AppGraph
@@ -39,7 +40,8 @@ class WorkerRuntime:
                  control_handler: Optional[Callable] = None,
                  heartbeat_interval: float = 0.0,
                  heartbeat_target: Optional[str] = None,
-                 health: Optional[HealthMonitor] = None) -> None:
+                 health: Optional[HealthMonitor] = None,
+                 policy_config: Optional[PolicyConfig] = None) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
         if heartbeat_interval < 0:
@@ -53,6 +55,9 @@ class WorkerRuntime:
         self.source_rate = source_rate
         self.seed = seed
         self.control_interval = control_interval
+        #: optional full control-plane config shared by every edge
+        #: dispatcher; when set it wins over the scalar knobs above
+        self.policy_config = policy_config
         self._control_handler = control_handler
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_target = heartbeat_target
@@ -187,7 +192,7 @@ class WorkerRuntime:
                                                           target, msg),
                 policy=self.policy_name, seed=self.seed,
                 control_interval=self.control_interval, edge=key,
-                health=self.health)
+                health=self.health, config=self.policy_config)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)

@@ -17,14 +17,13 @@ main harness.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.exceptions import RoutingError, SimulationError
-from repro.core.latency import AckTracker, RateMeter
-from repro.core.policies import RoutingPolicy, make_policy
+from repro.core.controller import PolicyConfig
+from repro.core.exceptions import SimulationError
 from repro.core.reorder import ReorderBuffer
+from repro.simulation.control import engine_controller
 from repro.simulation.device import CpuModel, DeviceProfile
 from repro.simulation.engine import Resource, Simulator, Store
 from repro.simulation.network import Network, RSSI_GOOD
@@ -164,7 +163,13 @@ class _StageInstance:
 
 
 class _Router:
-    """Per-upstream-instance policy + tracker + windowed dispatch."""
+    """Per-upstream-instance adapter over the shared LRS control plane.
+
+    Sec. V-A runs LRS at *every* upstream function unit: each stage
+    replica hosts one :class:`~repro.core.controller.LrsController` for
+    the next stage's replicas and only keeps the windowed-dispatch glue
+    here.
+    """
 
     def __init__(self, pipeline: "PipelineSimulation", upstream_id: str,
                  device_id: str, target_stage: int) -> None:
@@ -172,14 +177,14 @@ class _Router:
         self.upstream_id = upstream_id
         self.device_id = device_id
         self.target_stage = target_stage
-        self.policy: RoutingPolicy = make_policy(
-            pipeline.config.policy,
-            seed=pipeline.rngs.root_seed + target_stage)
-        self.tracker = AckTracker()
-        self.rate = RateMeter(window=1.0)
+        self.controller = engine_controller(
+            pipeline.sim,
+            PolicyConfig(policy=pipeline.config.policy,
+                         seed=pipeline.rngs.root_seed + target_stage,
+                         control_interval=pipeline.config.control_interval),
+            name=upstream_id)
         for instance_id in pipeline.stage_instance_ids(target_stage):
-            self.policy.on_downstream_added(instance_id)
-            self.tracker.add_downstream(instance_id)
+            self.controller.add_downstream(instance_id)
         pipeline.routers.append(self)
         pipeline.sim.process(self._control(),
                              name="ctl:%s" % upstream_id)
@@ -189,23 +194,21 @@ class _Router:
         interval = self.pipeline.config.control_interval
         while True:
             yield sim.timeout(interval)
-            self.tracker.expire_pending(sim.now)
-            self.policy.update(self.tracker.stats(), self.rate.rate(sim.now))
+            self.controller.update(sim.now)
 
     def forward(self, frame: _PipeTuple):
         """Process generator: route one tuple to the target stage."""
         pipeline = self.pipeline
         sim = pipeline.sim
-        self.rate.observe(sim.now)
-        try:
-            instance_id = self.policy.route()
-        except RoutingError:
+        self.controller.observe_arrival(sim.now)
+        instance_id = self.controller.select()
+        if instance_id is None:
             return
         target = pipeline.instances.get(instance_id)
         if target is None:
             return
         # Unique per-router pending key: seqs repeat across stages.
-        self.tracker.record_send(frame.seq, instance_id, sim.now)
+        self.controller.record_send(frame.seq, instance_id, sim.now)
         yield target.credits.get()
         payload = pipeline.stage_input_bytes(self.target_stage)
         delivered = pipeline.send_bytes(self.device_id, target.device_id,
@@ -216,8 +219,8 @@ class _Router:
                                             frame.seq))))
 
     def on_ack(self, seq: int, processing_delay: float) -> None:
-        self.tracker.record_ack(seq, self.pipeline.sim.now,
-                                processing_delay=processing_delay)
+        self.controller.on_ack(seq, processing_delay=processing_delay,
+                               now=self.pipeline.sim.now)
 
 
 class PipelineSimulation:

@@ -22,15 +22,15 @@ latency-based routing exist to avoid.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import metrics as metrics_mod
-from repro.core.exceptions import RoutingError, SimulationError
-from repro.core.latency import AckTracker, RateMeter
-from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
+from repro.core.controller import LrsController, PolicyConfig
+from repro.core.exceptions import SimulationError
+from repro.core.policies import PolicyDecision
 from repro.core.reorder import ReorderBuffer
+from repro.simulation.control import engine_controller
 from repro.simulation.device import CpuModel, DeviceProfile, ThermalThrottle
 from repro.simulation.energy import EnergyReport, PowerEstimator
 from repro.simulation.engine import Simulator, Store
@@ -44,6 +44,11 @@ from repro.simulation.workload import ACK_BYTES, Workload
 
 #: sentinel for an unbounded source egress queue (Fig. 1 style experiments)
 UNBOUNDED_QUEUE = 0
+
+#: single source of truth for policy-construction defaults (probe
+#: period, estimator window, failure-detection thresholds): the
+#: simulator's knobs default to exactly what the runtime uses
+_POLICY_DEFAULTS = PolicyConfig()
 
 
 @dataclass(frozen=True)
@@ -149,12 +154,12 @@ class SwarmConfig:
     socket_window_bytes: int = 32768
     #: time for an upstream to detect a broken link and re-route
     detection_delay: float = 0.5
-    control_interval: float = 1.0
-    probe_every: int = 5
-    probe_tuples: int = 4
-    probe_spacing: int = 3
-    estimator: str = "moving-average"
-    estimator_window: int = 20
+    control_interval: float = _POLICY_DEFAULTS.control_interval
+    probe_every: int = _POLICY_DEFAULTS.probe_every
+    probe_tuples: int = _POLICY_DEFAULTS.probe_tuples
+    probe_spacing: int = _POLICY_DEFAULTS.probe_spacing
+    estimator: str = _POLICY_DEFAULTS.estimator
+    estimator_window: int = _POLICY_DEFAULTS.estimator_window
     #: lognormal sigma of per-frame service-time noise (Android-level
     #: scheduling/GC variability)
     jitter_sigma: float = 0.30
@@ -167,13 +172,32 @@ class SwarmConfig:
     mobility: Optional[MobilityPlan] = None
     reorder_timespan: float = 1.0
     #: in-flight tuples older than this are charged as lost
-    ack_timeout: float = 10.0
+    ack_timeout: float = _POLICY_DEFAULTS.ack_timeout
     #: consecutive expiry rounds without an ACK before a downstream is
     #: marked dead (the tracker's failure-detection threshold)
-    dead_after: int = 3
+    dead_after: int = _POLICY_DEFAULTS.dead_after
     #: fault-injection schedule: DeviceKillEvent / DeviceReviveEvent /
     #: MessageDropEvent / MessageDelayEvent instances
     faults: Sequence = ()
+
+    def policy_config(self, seed: Optional[int] = None) -> PolicyConfig:
+        """This experiment's policy knobs as one shared control-plane config."""
+        capabilities = None
+        if self.policy.upper() == "WRR":
+            # Offline-profiled capability weights: nominal device rates.
+            capabilities = {
+                device_id: profile.service_rate(self.workload.app)
+                for device_id, profile in self.workers.items()}
+        return PolicyConfig(policy=self.policy, seed=seed,
+                            control_interval=self.control_interval,
+                            probe_every=self.probe_every,
+                            probe_tuples=self.probe_tuples,
+                            probe_spacing=self.probe_spacing,
+                            estimator=self.estimator,
+                            estimator_window=self.estimator_window,
+                            ack_timeout=self.ack_timeout,
+                            dead_after=self.dead_after,
+                            capabilities=capabilities)
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -308,31 +332,13 @@ class SwarmSimulation:
         # bleed sent/acked/lost counts into each other.
         self.registry = metrics_mod.MetricsRegistry()
         self.metrics = MetricsCollector(registry=self.registry)
-        policy_name = config.policy.upper()
-        policy_kwargs = {}
-        if policy_name in ("PR", "LR", "PRS", "LRS"):
-            policy_kwargs = {"probe_every": config.probe_every,
-                             "probe_tuples": config.probe_tuples,
-                             "probe_spacing": config.probe_spacing}
-        elif policy_name == "WRR":
-            # Offline-profiled capability weights: nominal device rates.
-            policy_kwargs = {"capabilities": {
-                device_id: profile.service_rate(config.workload.app)
-                for device_id, profile in config.workers.items()}}
-        self.policy: RoutingPolicy = make_policy(
-            config.policy, seed=self.rngs.root_seed, **policy_kwargs)
-        estimator_kwargs = {}
-        if config.estimator == "moving-average":
-            estimator_kwargs["window"] = config.estimator_window
-        self.tracker = AckTracker(estimator_kind=config.estimator,
-                                  timeout=config.ack_timeout,
-                                  dead_after=config.dead_after,
-                                  registry=self.registry,
-                                  **estimator_kwargs)
-        self.rate_meter = RateMeter(window=1.0)
+        # The same control plane the live runtime's dispatcher drives,
+        # wired to the engine's clock/egress ports.
+        self.controller: LrsController = engine_controller(
+            self.sim, config.policy_config(seed=self.rngs.root_seed),
+            registry=self.registry, name=config.source.device_id)
         self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
                                               timespan=config.reorder_timespan)
-        self.decisions: List[Tuple[float, PolicyDecision]] = []
         self.nodes: Dict[str, _WorkerNode] = {}
         self._departed: Dict[str, _WorkerNode] = {}
         self._all_profiles: Dict[str, DeviceProfile] = {}
@@ -340,6 +346,23 @@ class SwarmSimulation:
         self._egress = Store(self.sim, capacity=config.resolved_source_queue(),
                              name="egress:%s" % config.source.device_id)
         self._build()
+
+    # -- controller views (kept for tests/tools poking internals) --------
+    @property
+    def policy(self):
+        return self.controller.policy
+
+    @property
+    def tracker(self):
+        return self.controller.tracker
+
+    @property
+    def rate_meter(self):
+        return self.controller.rate_meter
+
+    @property
+    def decisions(self) -> List[Tuple[float, PolicyDecision]]:
+        return self.controller.decisions
 
     # -- construction ----------------------------------------------------
     def _build(self) -> None:
@@ -408,8 +431,7 @@ class SwarmSimulation:
         self.nodes[device_id] = node
         self._departed.pop(device_id, None)
         self.metrics.device(device_id)
-        self.tracker.add_downstream(device_id)
-        self.policy.on_downstream_added(device_id)
+        self.controller.add_downstream(device_id)
 
     def _remove_worker(self, device_id: str) -> None:
         node = self.nodes.pop(device_id, None)
@@ -433,9 +455,7 @@ class SwarmSimulation:
                           lambda: self._on_link_break(device_id))
 
     def _on_link_break(self, device_id: str) -> None:
-        if device_id in self.policy.downstream_ids():
-            self.policy.on_downstream_removed(device_id)
-        self.tracker.remove_downstream(device_id)
+        self.controller.remove_downstream(device_id)
 
     # -- fault injection -------------------------------------------------
     def _kill_worker(self, device_id: str) -> None:
@@ -478,9 +498,9 @@ class SwarmSimulation:
         self.nodes[device_id] = node
         self._departed.pop(device_id, None)
         self.metrics.device(device_id)
-        self.tracker.add_downstream(device_id)  # no-op if still a member
-        if device_id not in self.policy.downstream_ids():
-            self.policy.on_downstream_added(device_id)
+        # No-op if still a member; a dead-marked member stays dead until
+        # a probe's ACK resurrects it.
+        self.controller.add_downstream(device_id)
 
     def _message_fault(self, device_id: str) -> Tuple[bool, float]:
         """(drop?, extra delay) for a message involving *device_id* now."""
@@ -513,7 +533,9 @@ class SwarmSimulation:
             self._next_seq += 1
             now = self.sim.now
             self.metrics.frame(seq, now)
-            self.rate_meter.observe(now)
+            # Lambda is observed at frame creation: a real-time source
+            # measures its own capture rate, not the dispatch rate.
+            self.controller.observe_arrival(now)
             if not self._egress.try_put(_Frame(seq=seq, created_at=now)):
                 self.metrics.drop(seq, DROP_SOURCE_QUEUE)
             yield self.sim.timeout(next(gaps))
@@ -525,19 +547,16 @@ class SwarmSimulation:
             frame = yield self._egress.get()
             record = self.metrics.frame(frame.seq, frame.created_at)
             record.dispatched_at = self.sim.now
-            try:
-                destination = self.policy.route()
-            except RoutingError:
+            # The controller routes and records the send (the paper's
+            # timestamp is attached when the tuple leaves the upstream
+            # unit) BEFORE the liveness check below: the upstream cannot
+            # know the device is gone, and the resulting expiry is
+            # exactly how a silent departure shows up in loss accounting.
+            destination = self.controller.dispatch(frame.seq)
+            if destination is None:
                 self.metrics.drop(frame.seq, DROP_LINK_DOWN)
                 continue
             record.device_id = destination
-            # The paper's timestamp is attached when the tuple leaves the
-            # upstream unit: the sample covers this connection's buffer,
-            # the air, the downstream queue and its processing.  Recorded
-            # BEFORE the liveness check: the upstream cannot know the
-            # device is gone, and the resulting expiry is exactly how a
-            # silent departure shows up in the loss accounting.
-            self.tracker.record_send(frame.seq, destination, self.sim.now)
             node = self.nodes.get(destination)
             if node is None or not node.alive:
                 # Routed to a device that already left: the tuple is lost.
@@ -586,14 +605,14 @@ class SwarmSimulation:
         node.ingress.try_put(frame)
 
     def _control(self):
+        # Eager trigger: the engine has a cheap periodic process, so the
+        # policy round runs on schedule even through idle stretches (the
+        # threaded runtime instead piggybacks ``maybe_update`` on
+        # dispatch).  The round itself — expiry sweep, stats snapshot,
+        # policy update, decision log — is the controller's.
         while True:
             yield self.sim.timeout(self.config.control_interval)
-            now = self.sim.now
-            self.tracker.expire_pending(now)
-            stats = self.tracker.stats()
-            input_rate = self.rate_meter.rate(now)
-            decision = self.policy.update(stats, input_rate)
-            self.decisions.append((now, decision))
+            self.controller.update(self.sim.now)
 
     # -- sink --------------------------------------------------------------
     def _deliver_result(self, frame: _Frame, processing_delay: float) -> None:
@@ -618,11 +637,11 @@ class SwarmSimulation:
         now = self.sim.now
         record = self.metrics.frame(frame.seq, frame.created_at)
         record.sink_arrived_at = now
-        self.tracker.record_ack(frame.seq, now,
-                                processing_delay=processing_delay)
-        on_acked = getattr(self.policy, "on_acked", None)
-        if on_acked is not None and record.device_id:
-            on_acked(record.device_id)  # backlog-driven policies (JSQ)
+        # The hint lets backlog-driven policies (JSQ) decrement their
+        # queue estimate even when the pending entry already expired.
+        self.controller.on_ack(frame.seq, processing_delay=processing_delay,
+                               now=now,
+                               downstream_hint=record.device_id or None)
         for playback in self.reorder.offer(frame.seq, now):
             played = self.metrics.frames.get(playback.seq)
             if played is not None:

@@ -1,0 +1,248 @@
+"""Tests for the shared LRS control plane (LrsController / PolicyConfig)."""
+
+import heapq
+
+import pytest
+
+from repro import metrics as metrics_mod
+from repro.core.controller import AckResult, LrsController, PolicyConfig
+from repro.core.policies import POLICY_NAMES
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestPolicyConfig:
+    def test_probed_policies_get_probe_kwargs(self):
+        config = PolicyConfig(policy="LRS", probe_every=7, probe_tuples=2,
+                              probe_spacing=4)
+        assert config.policy_kwargs() == {"probe_every": 7,
+                                          "probe_tuples": 2,
+                                          "probe_spacing": 4}
+
+    def test_wrr_gets_capabilities(self):
+        config = PolicyConfig(policy="WRR",
+                              capabilities={"a": 2.0, "b": 1.0})
+        assert config.policy_kwargs() == {"capabilities": {"a": 2.0,
+                                                           "b": 1.0}}
+
+    def test_plain_policies_get_no_kwargs(self):
+        for name in ("RR", "JSQ", "WRR"):
+            assert PolicyConfig(policy=name).policy_kwargs() == {}
+
+    def test_estimator_kwargs(self):
+        assert PolicyConfig(estimator_window=7).estimator_kwargs() == \
+            {"window": 7}
+        assert PolicyConfig(estimator="ewma").estimator_kwargs() == {}
+
+    def test_make_policy_builds_every_known_policy(self):
+        for name in POLICY_NAMES:
+            policy = PolicyConfig(policy=name, seed=3).make_policy()
+            policy.on_downstream_added("a")
+            assert policy.route() == "a"
+
+    def test_make_tracker_uses_given_registry(self):
+        registry = metrics_mod.MetricsRegistry()
+        tracker = PolicyConfig().make_tracker(registry)
+        tracker.record_send(1, "a", 0.0)
+        assert registry.value(metrics_mod.SENT_TOTAL, downstream="a") == 1
+
+
+class TestMembership:
+    def _controller(self):
+        return LrsController(PolicyConfig(policy="RR", seed=0),
+                             clock=FakeClock(),
+                             registry=metrics_mod.MetricsRegistry())
+
+    def test_set_downstreams_reconciles(self):
+        controller = self._controller()
+        controller.add_downstream("a")
+        controller.add_downstream("b")
+        controller.set_downstreams(["b", "c"])
+        assert controller.downstream_ids() == ["b", "c"]
+
+    def test_add_is_idempotent_and_keeps_dead_mark(self):
+        controller = self._controller()
+        controller.add_downstream("a")
+        controller.mark_dead("a")
+        controller.add_downstream("a")
+        assert not controller.is_alive("a")
+        assert controller.dead_downstreams() == ["a"]
+
+
+class _FailingEgress:
+    """Egress that fails for a chosen set of downstreams."""
+
+    def __init__(self, clock, failing):
+        self.clock = clock
+        self.failing = set(failing)
+        self.sent = []
+
+    def send(self, downstream_id, seq, context):
+        if downstream_id in self.failing:
+            return None
+        self.sent.append((downstream_id, seq))
+        return self.clock()
+
+
+class TestDispatch:
+    def test_dispatch_records_send_and_ack_round_trip(self):
+        clock = FakeClock()
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=clock,
+                                   registry=metrics_mod.MetricsRegistry())
+        controller.add_downstream("a")
+        chosen = controller.dispatch(1)
+        assert chosen == "a"
+        clock.now = 0.25
+        result = controller.on_ack(1)
+        assert result == AckResult(downstream_id="a", sample=0.25)
+        assert controller.ack_count == 1
+        assert controller.stats()["a"].latency == pytest.approx(0.25)
+
+    def test_failed_send_marks_dead_and_reroutes(self):
+        clock = FakeClock()
+        registry = metrics_mod.MetricsRegistry()
+        egress = _FailingEgress(clock, failing={"a"})
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=clock, egress=egress,
+                                   registry=registry)
+        controller.add_downstream("a")
+        controller.add_downstream("b")
+        chosen = {controller.dispatch(seq) for seq in range(4)}
+        assert chosen == {"b"}
+        assert controller.dead_downstreams() == ["a"]
+        assert registry.value(metrics_mod.REROUTED_TOTAL,
+                              downstream="b") >= 1
+
+    def test_every_send_failing_loses_the_tuple(self):
+        clock = FakeClock()
+        egress = _FailingEgress(clock, failing={"a", "b"})
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=clock, egress=egress,
+                                   registry=metrics_mod.MetricsRegistry())
+        controller.add_downstream("a")
+        controller.add_downstream("b")
+        assert controller.dispatch(1) is None
+        assert controller.dispatched == 0
+        assert controller.dead_downstreams() == ["a", "b"]
+
+    def test_dispatch_without_members_returns_none(self):
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=FakeClock(),
+                                   registry=metrics_mod.MetricsRegistry())
+        assert controller.dispatch(1) is None
+
+
+class TestUpdateCadence:
+    def test_maybe_update_respects_interval(self):
+        clock = FakeClock()
+        controller = LrsController(
+            PolicyConfig(policy="RR", seed=0, control_interval=1.0),
+            clock=clock, registry=metrics_mod.MetricsRegistry())
+        controller.add_downstream("a")
+        controller.maybe_update(0.5)
+        assert len(controller.decisions) == 0
+        controller.maybe_update(1.0)
+        assert len(controller.decisions) == 1
+        controller.maybe_update(1.5)
+        assert len(controller.decisions) == 1
+        controller.update(1.5)  # forced round ignores the interval
+        assert len(controller.decisions) == 2
+
+    def test_update_emits_round_counter(self):
+        registry = metrics_mod.MetricsRegistry()
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=FakeClock(), registry=registry,
+                                   name="s>d")
+        controller.add_downstream("a")
+        controller.update(1.0)
+        controller.update(2.0)
+        assert registry.value(metrics_mod.POLICY_UPDATES_TOTAL,
+                              edge="s>d") == 2
+
+    def test_max_decisions_caps_history(self):
+        controller = LrsController(PolicyConfig(policy="RR", seed=0),
+                                   clock=FakeClock(),
+                                   registry=metrics_mod.MetricsRegistry(),
+                                   max_decisions=3)
+        controller.add_downstream("a")
+        for tick in range(10):
+            controller.update(float(tick))
+        assert len(controller.decisions) == 3
+
+
+class TestProbeRefresh:
+    """An unselected downstream keeps receiving probes, and its latency
+    estimate recovers after a transient slowdown (paper Sec. V-B)."""
+
+    def _run(self, duration, latency_for, config):
+        """Mini event loop: 25 fps arrivals, ACKs echo after a per-
+        downstream delay; policy rounds at every integer second."""
+        clock = FakeClock()
+        controller = LrsController(config, clock=clock,
+                                   registry=metrics_mod.MetricsRegistry())
+        for downstream_id in ("fast1", "fast2", "slow"):
+            controller.add_downstream(downstream_id)
+        events = []  # (time, order, kind, payload)
+        order = 0
+        for i in range(int(duration * 25)):
+            heapq.heappush(events, (0.04 * i + 0.013, order, "tuple", i))
+            order += 1
+        for tick in range(1, int(duration) + 1):
+            heapq.heappush(events, (float(tick), order, "update", None))
+            order += 1
+        sent_log = []  # (time, downstream)
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            clock.now = now
+            if kind == "tuple":
+                controller.observe_arrival(now)
+                chosen = controller.dispatch(payload)
+                assert chosen is not None
+                sent_log.append((now, chosen))
+                heapq.heappush(events, (now + latency_for(chosen, now),
+                                        order, "ack", payload))
+                order += 1
+            elif kind == "ack":
+                controller.on_ack(payload)
+            else:
+                controller.update(now)
+        return controller, sent_log
+
+    def test_unselected_worker_probed_and_estimate_recovers(self):
+        recover_at = 10.0
+
+        def latency_for(downstream_id, now):
+            if downstream_id == "slow" and now < recover_at:
+                return 0.5  # transient slowdown
+            return 0.02
+
+        config = PolicyConfig(policy="LRS", seed=11, estimator_window=5,
+                              probe_every=2, probe_tuples=6,
+                              probe_spacing=1, control_interval=1.0)
+        controller, sent_log = self._run(20.0, latency_for, config)
+
+        # The two fast workers cover the 25 fps input on their own, so
+        # worker selection excludes the slow one from regular routing.
+        settled = [decision for when, decision in controller.decisions
+                   if 4.0 <= when]
+        assert settled, "no policy rounds recorded"
+        assert all("slow" not in decision.selected for decision in settled)
+
+        # ...yet round-robin probing keeps sending it tuples the whole
+        # run: its sent count grows well after it left the selected set.
+        late_probes = [t for t, downstream in sent_log
+                       if downstream == "slow" and t >= recover_at]
+        assert late_probes, "excluded downstream no longer probed"
+
+        # The probe ACKs refresh L_slow: after the slowdown clears, the
+        # estimate converges back to the true 20 ms even though the
+        # worker was never re-selected.
+        final = controller.stats()["slow"]
+        assert final.latency == pytest.approx(0.02, abs=0.01)

@@ -39,6 +39,18 @@ class TestMovingAverage:
         assert est.value is None
         assert est.sample_count == 0
 
+    def test_long_run_drift_bounded(self):
+        # Regression: the incremental running total accumulates float
+        # cancellation error over long runs (1e12-magnitude spikes mixed
+        # with tiny samples left the average ~5e-5 off); the periodic
+        # exact recompute bounds it.
+        est = MovingAverageEstimator(window=20)
+        for i in range(1_000_000):
+            est.observe(1e12 if i % 2 == 0 else 1e-3)
+        for _ in range(40):  # two windows of constants span a recompute
+            est.observe(1.0)
+        assert est.value == pytest.approx(1.0, abs=1e-9)
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=60))
     def test_value_within_sample_range(self, samples):

@@ -1,0 +1,204 @@
+"""Sim/real parity: one recorded trace, two substrates, identical policy.
+
+The tentpole guarantee of the shared control plane: the discrete-event
+simulator and the threaded runtime are *adapters* over the same
+:class:`~repro.core.controller.LrsController`, so replaying one
+tuple+ACK trace through both must yield byte-identical policy behavior —
+the same per-tuple routing choices, the same update-round decisions
+(selected set, routing weights, probe flags, bit-for-bit float equality),
+the same loss accounting, dead-marks and resurrections.
+
+The trace exercises the whole control loop: 25 fps arrivals over three
+downstreams, one of which goes silent mid-run (its in-flight tuples
+expire, it is marked dead after ``dead_after`` expiry rounds) and later
+recovers (a probe's ACK resurrects it).  All event timestamps are
+distinct by construction, so event order is deterministic on both
+substrates.
+"""
+
+import heapq
+
+from repro import metrics as metrics_mod
+from repro.core.controller import PolicyConfig
+from repro.core.tuples import DataTuple
+from repro.runtime.dispatcher import UpstreamDispatcher
+from repro.simulation.control import engine_controller
+from repro.simulation.engine import Simulator
+
+DOWNSTREAMS = ("det@B", "det@C", "det@D")
+#: per-downstream ACK echo delay, chosen so no two trace events collide
+ACK_DELAY = {"det@B": 0.071, "det@C": 0.173, "det@D": 0.059}
+PROCESSING_DELAY = {"det@B": 0.031, "det@C": 0.083, "det@D": 0.027}
+DURATION = 12.0
+FRAME_GAP = 0.04  # 25 fps
+ARRIVAL_OFFSET = 0.013
+#: det@D answers nothing for tuples SENT inside this window
+SILENT_FROM, SILENT_UNTIL = 4.2, 7.7
+
+#: a tight ACK timeout + threshold so the silence is detected mid-trace
+CONFIG = PolicyConfig(policy="LRS", seed=7, ack_timeout=0.5, dead_after=2,
+                      control_interval=1e9)  # updates driven explicitly
+
+
+def _arrival_times():
+    return [FRAME_GAP * i + ARRIVAL_OFFSET
+            for i in range(int(DURATION / FRAME_GAP))
+            if FRAME_GAP * i + ARRIVAL_OFFSET < DURATION]
+
+
+def _tick_times():
+    return [float(tick) for tick in range(1, int(DURATION) + 1)]
+
+
+def _silent(downstream_id, sent_at):
+    return (downstream_id == "det@D"
+            and SILENT_FROM <= sent_at < SILENT_UNTIL)
+
+
+def _canonical_decisions(decisions):
+    return [(when, tuple(sorted(decision.selected)),
+             tuple(sorted(decision.weights.items())), decision.probing)
+            for when, decision in decisions]
+
+
+def _counter_views(registry):
+    views = {}
+    for name in (metrics_mod.SENT_TOTAL, metrics_mod.ACKED_TOTAL,
+                 metrics_mod.LOST_TOTAL, metrics_mod.MARKED_DEAD_TOTAL,
+                 metrics_mod.RESURRECTED_TOTAL):
+        views[name] = registry.values_by_label(name, "downstream")
+    views[metrics_mod.POLICY_UPDATES_TOTAL] = registry.values_by_label(
+        metrics_mod.POLICY_UPDATES_TOTAL, "edge")
+    return views
+
+
+class _Trace:
+    """One substrate's observable policy behavior on the shared trace."""
+
+    def __init__(self, choices, decisions, counters, dead):
+        self.choices = choices
+        self.decisions = decisions
+        self.counters = counters
+        self.dead = dead
+
+
+def _run_runtime_side():
+    """Replay the trace through the real UpstreamDispatcher.
+
+    A heapq mini event loop stands in for the threads: arrivals and
+    policy ticks are seeded up front, ACK echoes are pushed as tuples
+    are dispatched.  The fabric send always succeeds instantly.
+    """
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    registry = metrics_mod.MetricsRegistry()
+    dispatcher = UpstreamDispatcher("det", send=lambda target, message: None,
+                                    clock=clock, registry=registry,
+                                    config=CONFIG)
+    dispatcher.set_downstreams(DOWNSTREAMS)
+
+    events = []
+    order = 0
+    for when in _arrival_times():
+        heapq.heappush(events, (when, order, "tuple", None))
+        order += 1
+    for when in _tick_times():
+        heapq.heappush(events, (when, order, "tick", None))
+        order += 1
+
+    choices = []
+    seq = 0
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if now > DURATION:  # the engine side stops at run(DURATION) too
+            break
+        clock.now = now
+        if kind == "tuple":
+            data = DataTuple(values={"frame": seq}, seq=seq, created_at=now)
+            seq += 1
+            chosen = dispatcher.dispatch(data)
+            choices.append(chosen)
+            if chosen is not None and not _silent(chosen, now):
+                heapq.heappush(events,
+                               (now + ACK_DELAY[chosen], order, "ack",
+                                (data.seq, PROCESSING_DELAY[chosen])))
+                order += 1
+        elif kind == "ack":
+            ack_seq, processing_delay = payload
+            dispatcher.on_ack(ack_seq, processing_delay)
+        else:
+            dispatcher.force_update()
+
+    return _Trace(choices, _canonical_decisions(dispatcher.controller.decisions),
+                  _counter_views(registry),
+                  dispatcher.controller.dead_downstreams())
+
+
+def _run_sim_side():
+    """Replay the trace through the engine adapter on a bare Simulator."""
+    sim = Simulator()
+    registry = metrics_mod.MetricsRegistry()
+    controller = engine_controller(sim, CONFIG, registry=registry,
+                                   name="det")
+    controller.set_downstreams(DOWNSTREAMS)
+
+    choices = []
+    state = {"seq": 0}
+
+    def _arrive():
+        seq = state["seq"]
+        state["seq"] += 1
+        now = sim.now
+        controller.observe_arrival(now)
+        chosen = controller.dispatch(seq)
+        choices.append(chosen)
+        if chosen is not None and not _silent(chosen, now):
+            sim.schedule(ACK_DELAY[chosen],
+                         lambda chosen=chosen, seq=seq:
+                         controller.on_ack(
+                             seq,
+                             processing_delay=PROCESSING_DELAY[chosen],
+                             now=sim.now))
+
+    for when in _arrival_times():
+        sim.schedule(when, _arrive)
+    for when in _tick_times():
+        sim.schedule(when, lambda: controller.update(sim.now))
+    sim.run(DURATION)
+
+    return _Trace(choices, _canonical_decisions(controller.decisions),
+                  _counter_views(registry), controller.dead_downstreams())
+
+
+class TestSimRuntimeParity:
+    def test_trace_event_times_are_unique(self):
+        # The parity contract leans on deterministic event ordering.
+        times = list(_arrival_times()) + list(_tick_times())
+        for arrival in _arrival_times():
+            for delay in ACK_DELAY.values():
+                times.append(arrival + delay)
+        assert len(times) == len(set(times))
+
+    def test_trace_exercises_failure_detection(self):
+        # Guard against the trace silently degenerating: the silent
+        # window must actually kill det@D and probing must revive it.
+        trace = _run_sim_side()
+        assert trace.counters[metrics_mod.MARKED_DEAD_TOTAL] == {"det@D": 1}
+        assert trace.counters[metrics_mod.RESURRECTED_TOTAL] == {"det@D": 1}
+        assert trace.counters[metrics_mod.LOST_TOTAL].get("det@D", 0) > 0
+        assert trace.dead == []  # resurrected before the run ended
+
+    def test_both_substrates_make_identical_policy_decisions(self):
+        runtime = _run_runtime_side()
+        sim = _run_sim_side()
+        assert runtime.choices == sim.choices
+        assert runtime.decisions == sim.decisions  # exact float equality
+        assert runtime.counters == sim.counters
+        assert runtime.dead == sim.dead
