@@ -8,6 +8,7 @@ Usage::
     python -m repro dynamics --mode leave
     python -m repro cloudlet --policy LRS
     python -m repro faults --kill B G --kill-time 10
+    python -m repro overload --ttl 2 --queue-capacity 8
 
 Each subcommand runs a calibrated simulation and prints a summary table;
 exit code 0 on success.
@@ -16,10 +17,12 @@ exit code 0 on success.
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
 from typing import List, Optional
 
 from repro.core.controller import PolicyConfig
+from repro.core.overload import DROP_POLICIES, DROP_OLDEST
 from repro.core.policies import EXTENSION_POLICY_NAMES, POLICY_NAMES
 from repro.simulation import scenarios
 from repro.simulation.replication import compare_policies
@@ -98,6 +101,30 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--ack-timeout", type=float, default=2.0)
     faults.add_argument("--dead-after", type=int,
                         default=PolicyConfig().dead_after)
+
+    overload = sub.add_parser("overload",
+                              help="chaos/soak: sustained overload with "
+                                   "bounded queues, TTL shedding and a "
+                                   "mid-run kill/revive")
+    overload.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    overload.add_argument("--app", type=_app, default="face")
+    overload.add_argument("--duration", type=float, default=30.0)
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--overload-until", type=float, default=14.0,
+                          help="background load lifts at this time")
+    overload.add_argument("--background", type=float, default=0.8,
+                          help="per-worker background CPU load in [0, 1]")
+    overload.add_argument("--ttl", type=float, default=2.0,
+                          help="tuple time-to-live in seconds")
+    overload.add_argument("--queue-capacity", type=int, default=8,
+                          help="bounded worker-ingress capacity in frames")
+    overload.add_argument("--drop-policy", default=DROP_OLDEST,
+                          choices=sorted(DROP_POLICIES))
+    overload.add_argument("--no-kill", action="store_true",
+                          help="skip the mid-overload kill/revive of G")
+    overload.add_argument("--metrics", action="store_true",
+                          help="print the run's shed/loss counters and "
+                               "queue-depth gauges")
 
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
@@ -245,6 +272,47 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_overload(args) -> int:
+    config = scenarios.overload(
+        app=args.app, policy=args.policy, duration=args.duration,
+        seed=args.seed, overload_until=args.overload_until,
+        background=args.background, ttl=args.ttl,
+        queue_capacity=args.queue_capacity, drop_policy=args.drop_policy,
+        kill_id=None if args.no_kill else "G")
+    result = run_swarm(config)
+    print("overload soak: %s under %s, background %.0f%% until t=%.0fs, "
+          "ttl %.1fs, ingress capacity %d (%s)"
+          % (args.app, args.policy, 100 * args.background,
+             args.overload_until, args.ttl, args.queue_capacity,
+             args.drop_policy))
+    series = result.throughput_series()
+    print("throughput: [%s] peak %.0f FPS"
+          % (sparkline(series, peak=28.0), max(series)))
+    completed = result.metrics.completed_frames()
+    early = [record.total_delay for record in completed
+             if record.created_at < args.overload_until]
+    late = [record.total_delay for record in completed
+            if record.created_at >= args.overload_until + 2.0]
+    sheds = ", ".join("%s=%d" % item
+                      for item in sorted(result.shed_by_reason.items()))
+    depths = ", ".join("%s=%d" % item
+                       for item in sorted(result.max_queue_depths.items()))
+    print(format_table(
+        ["metric", "value"],
+        [("throughput", "%.1f FPS" % result.throughput),
+         ("shed by reason", sheds or "none"),
+         ("max queue depth", depths or "none"),
+         ("p50 under overload",
+          format_latency(statistics.median(early)) if early else "n/a"),
+         ("p50 after recovery",
+          format_latency(statistics.median(late)) if late else "n/a"),
+         ("frames lost", str(result.frames_lost))],
+        min_width=20))
+    if args.metrics:
+        _print_registry(result)
+    return 0
+
+
 def cmd_cloudlet(args) -> int:
     baseline = run_swarm(scenarios.testbed(app=args.app, policy=args.policy,
                                            duration=args.duration))
@@ -269,6 +337,7 @@ COMMANDS = {
     "dynamics": cmd_dynamics,
     "cloudlet": cmd_cloudlet,
     "faults": cmd_faults,
+    "overload": cmd_overload,
 }
 
 

@@ -54,6 +54,7 @@ from typing import (Callable, Deque, Dict, Iterable, List, Mapping, Optional,
 from repro import metrics as metrics_mod
 from repro.core.exceptions import RoutingError
 from repro.core.latency import AckTracker, DownstreamStats, RateMeter
+from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
 
 #: the Clock port: a zero-argument callable returning seconds
@@ -95,6 +96,15 @@ class PolicyConfig:
     dead_after: int = 3
     #: offline capability weights (WRR only): downstream id -> rate
     capabilities: Optional[Mapping[str, float]] = None
+    # -- overload protection ----------------------------------------------
+    #: shared shedding/backpressure knobs (``None`` = all mechanisms off);
+    #: both the runtime's dispatchers/workers and the simulator consume
+    #: the same object, so shedding decisions replay identically
+    overload: Optional[OverloadConfig] = None
+
+    def overload_config(self) -> OverloadConfig:
+        """The effective overload knobs (defaults when unset)."""
+        return self.overload if self.overload is not None else OverloadConfig()
 
     def policy_kwargs(self) -> Dict[str, object]:
         """Constructor kwargs for this config's policy class."""
@@ -207,6 +217,20 @@ class LrsController:
     def is_alive(self, downstream_id: str) -> bool:
         with self._lock:
             return self._tracker.is_alive(downstream_id)
+
+    def unsatisfiable(self) -> bool:
+        """True when members exist but every one is dead-marked.
+
+        This is the backpressure signal source admission control
+        observes: dispatching more tuples would only manufacture
+        guaranteed losses, so the source should shed (or throttle)
+        until probing resurrects a downstream.
+        """
+        with self._lock:
+            downstream_ids = self._tracker.downstream_ids()
+            return bool(downstream_ids) and not any(
+                self._tracker.is_alive(downstream_id)
+                for downstream_id in downstream_ids)
 
     # -- data plane ------------------------------------------------------
     def observe_arrival(self, now: Optional[float] = None) -> None:

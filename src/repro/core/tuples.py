@@ -98,6 +98,9 @@ class DataTuple:
     created_at: float = 0.0
     schema: Optional[TupleSchema] = None
     hops: List[HopTiming] = field(default_factory=list)
+    #: absolute deadline on the source's clock (``created_at + ttl``);
+    #: stages drop the tuple instead of processing it past this point
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.schema is not None:
@@ -113,9 +116,10 @@ class DataTuple:
     def derive(self, values: Dict[str, Any], schema: Optional[TupleSchema] = None) -> "DataTuple":
         """Create the downstream tuple produced from this one.
 
-        The derived tuple keeps the sequence number, creation timestamp and
-        accumulated hop history so end-to-end delay and ordering are
-        preserved across function units (paper: ``data.setValues``).
+        The derived tuple keeps the sequence number, creation timestamp,
+        deadline and accumulated hop history so end-to-end delay,
+        ordering and staleness are preserved across function units
+        (paper: ``data.setValues``).
         """
         return DataTuple(
             values=dict(values),
@@ -123,7 +127,12 @@ class DataTuple:
             created_at=self.created_at,
             schema=schema,
             hops=list(self.hops),
+            deadline=self.deadline,
         )
+
+    def expired(self, now: float) -> bool:
+        """Whether this tuple is already past its deadline (if it has one)."""
+        return self.deadline is not None and now > self.deadline
 
     @property
     def total_delay(self) -> float:

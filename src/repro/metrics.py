@@ -24,12 +24,17 @@ ACKED_TOTAL = "swing_tuples_acked_total"
 LOST_TOTAL = "swing_tuples_lost_total"
 RETRIED_TOTAL = "swing_tuples_retried_total"
 REROUTED_TOTAL = "swing_tuples_rerouted_total"
+#: overload protection: tuples shed with reason=expired|queue_full|backpressure
+SHED_TOTAL = "swing_tuples_shed_total"
 MARKED_DEAD_TOTAL = "swing_downstream_marked_dead_total"
 RESURRECTED_TOTAL = "swing_downstream_resurrected_total"
 DROPPED_TOTAL = "swing_frames_dropped_total"
 HEARTBEAT_MISS_TOTAL = "swing_heartbeat_miss_total"
 POLICY_UPDATES_TOTAL = "swing_policy_updates_total"
 PROBE_WINDOWS_TOTAL = "swing_probe_windows_total"
+
+#: gauge: current depth of one named queue (mailbox / sim store)
+QUEUE_DEPTH = "swing_queue_depth"
 
 
 def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
@@ -65,12 +70,40 @@ class Counter:
         return "%s{%s}" % (self.name, inner)
 
 
+class Gauge:
+    """One instantaneous value (queue depth); unlike counters it may fall."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def identity(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join("%s=%s" % (k, v)
+                         for k, v in sorted(self.labels.items()))
+        return "%s{%s}" % (self.name, inner)
+
+
 class MetricsRegistry:
     """Thread-safe get-or-create store of named, labelled counters."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
 
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _label_key(labels))
@@ -90,15 +123,41 @@ class MetricsRegistry:
             counter = self._counters.get(key)
         return counter.value if counter is not None else 0
 
+    # -- gauges ----------------------------------------------------------
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = Gauge(name, labels)
+                self._gauges[key] = gauge
+            return gauge
+
+    def set_gauge(self, name: str, value: int, **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def gauge_value(self, name: str, **labels: str) -> int:
+        key = (name, _label_key(labels))
+        with self._lock:
+            gauge = self._gauges.get(key)
+        return gauge.value if gauge is not None else 0
+
+    def gauges(self) -> List[Gauge]:
+        with self._lock:
+            return sorted(self._gauges.values(), key=lambda g: g.identity())
+
     def counters(self) -> List[Counter]:
         with self._lock:
             return sorted(self._counters.values(),
                           key=lambda c: c.identity())
 
     def snapshot(self) -> Dict[str, int]:
-        """Flat ``identity -> value`` view of every counter."""
-        return {counter.identity(): counter.value
+        """Flat ``identity -> value`` view of every counter and gauge."""
+        view = {counter.identity(): counter.value
                 for counter in self.counters()}
+        view.update((gauge.identity(), gauge.value)
+                    for gauge in self.gauges())
+        return view
 
     def values_by_label(self, name: str, label: str) -> Dict[str, int]:
         """Per-label-value totals for one counter family.
@@ -115,18 +174,19 @@ class MetricsRegistry:
         return totals
 
     def render(self, only: Optional[Iterable[str]] = None) -> str:
-        """Printable dump, one ``identity value`` line per counter."""
+        """Printable dump, one ``identity value`` line per counter/gauge."""
         wanted = set(only) if only is not None else None
         lines = []
-        for counter in self.counters():
-            if wanted is not None and counter.name not in wanted:
+        for metric in list(self.counters()) + list(self.gauges()):
+            if wanted is not None and metric.name not in wanted:
                 continue
-            lines.append("%s %d" % (counter.identity(), counter.value))
+            lines.append("%s %d" % (metric.identity(), metric.value))
         return "\n".join(lines)
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
 
 
 #: process-wide default registry for components not handed a private one

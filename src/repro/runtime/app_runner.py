@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import SinkUnit
 from repro.core.graph import AppGraph
@@ -43,7 +45,9 @@ class SwingRuntime:
                  requirement: Optional[PerformanceRequirement] = None,
                  slowdowns: Optional[Dict[str, float]] = None,
                  control_interval: float = 0.25,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         if master_id in worker_ids:
             raise RuntimeStateError("master id must not collide with workers")
         if not worker_ids:
@@ -52,17 +56,21 @@ class SwingRuntime:
         self.requirement = requirement or PerformanceRequirement(
             input_rate=source_rate)
         source_rate = self.requirement.input_rate
-        self.fabric = InProcFabric()
+        self.overload = overload
+        self.registry = registry
+        self.fabric = InProcFabric(overload=overload, registry=registry)
         self.master = Master(master_id, self.fabric, graph, policy=policy,
                              source_rate=source_rate, seed=seed,
-                             control_interval=control_interval)
+                             control_interval=control_interval,
+                             overload=overload, registry=registry)
         slowdowns = slowdowns or {}
         self.workers: Dict[str, WorkerRuntime] = {}
         for worker_id in worker_ids:
             self.workers[worker_id] = WorkerRuntime(
                 worker_id, self.fabric, graph, policy=policy,
                 slowdown=slowdowns.get(worker_id, 0.0), seed=seed,
-                control_interval=control_interval)
+                control_interval=control_interval,
+                overload=overload, registry=registry)
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import RoutingError
 from repro.core.policies import PolicyDecision
@@ -133,12 +134,26 @@ class UpstreamDispatcher:
         membership so probing can resurrect it, but excluded from
         routing — and re-routes the tuple to the next live downstream
         (Sec. IV-C).
+
+        A tuple already past its deadline is shed here, at egress,
+        before any transmission cost is paid; the shed is counted as
+        ``swing_tuples_shed_total{reason=expired}``.
         """
         now = self._clock()
+        if data.expired(now):
+            self._registry.increment(metrics_mod.SHED_TOTAL,
+                                     reason=overload_mod.REASON_EXPIRED,
+                                     edge=self.edge)
+            return None
         self.controller.observe_arrival(now)
         self.controller.maybe_update(now)
         payload = encode_tuple(data)
         return self.controller.dispatch(data.seq, context=payload)
+
+    def unsatisfiable(self) -> bool:
+        """Whether every downstream is currently marked dead (the source
+        admission-control backpressure signal)."""
+        return self.controller.unsatisfiable()
 
     def _try_send(self, instance: InstanceId, payload: bytes,
                   seq: int) -> Optional[float]:

@@ -12,35 +12,125 @@ binds IDs to transports.  Two fabrics are provided:
 
 from __future__ import annotations
 
-import queue
 import socket
 import threading
-from typing import Callable, Dict, Optional, Tuple
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
+from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.exceptions import DiscoveryError, RuntimeStateError
 from repro.runtime.channels import ChannelClosed, TcpChannel, TcpListener
+from repro.runtime import messages as messages_mod
 from repro.runtime.messages import Message
 from repro.runtime.serialization import decode_value, encode_value
 
 
 class Mailbox:
-    """Inbound message queue of one endpoint."""
+    """Inbound message queue of one endpoint.
 
-    def __init__(self, owner_id: str) -> None:
+    With an :class:`~repro.core.overload.OverloadConfig` the queue is
+    bounded: a full mailbox sheds DATA messages per the configured drop
+    policy (``drop_oldest`` / ``drop_newest``) or blocks the producer
+    (``block``) — the runtime's backpressure point.  Control messages
+    (DEPLOY, ACK, heartbeats...) are never shed: losing them would wedge
+    the control plane, and their volume is bounded by design.  Sheds are
+    counted as ``swing_tuples_shed_total{reason=queue_full}`` and the
+    current depth is exported as the ``swing_queue_depth`` gauge.
+    """
+
+    def __init__(self, owner_id: str,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         self.owner_id = owner_id
-        self._queue: "queue.Queue" = queue.Queue()
+        self.overload = (overload if overload is not None
+                         else overload_mod.OverloadConfig())
+        self._registry = (registry if registry is not None
+                          else metrics_mod.REGISTRY)
+        self._items: Deque[Tuple[str, Message]] = deque()
+        self._cond = threading.Condition()
+        self.shed_count = 0
+        self.max_depth = 0
+        self._depth_gauge = self._registry.gauge(metrics_mod.QUEUE_DEPTH,
+                                                 queue="mailbox:%s" % owner_id)
 
-    def put(self, sender_id: str, message: Message) -> None:
-        self._queue.put((sender_id, message))
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.overload.queue_capacity
+
+    @staticmethod
+    def _droppable(message: Message) -> bool:
+        return getattr(message, "kind", None) == messages_mod.DATA
+
+    def _shed(self, count: int = 1) -> None:
+        self.shed_count += count
+        self._registry.increment(metrics_mod.SHED_TOTAL, amount=count,
+                                 reason=overload_mod.REASON_QUEUE_FULL,
+                                 queue="mailbox:%s" % self.owner_id)
+
+    def put(self, sender_id: str, message: Message,
+            timeout: Optional[float] = None) -> bool:
+        """Enqueue one message; returns False when it was shed.
+
+        Only DATA messages participate in shedding/blocking; control
+        traffic is always admitted immediately.
+        """
+        entry = (sender_id, message)
+        with self._cond:
+            if self.capacity is not None and self._droppable(message):
+                decision = overload_mod.admission(
+                    len(self._items), self.capacity, self.overload.drop_policy)
+                if decision == overload_mod.WAIT:
+                    deadline = (None if timeout is None
+                                else time.monotonic() + timeout)
+                    while len(self._items) >= self.capacity:
+                        leftover = (None if deadline is None
+                                    else deadline - time.monotonic())
+                        if leftover is not None and leftover <= 0:
+                            self._shed()
+                            return False
+                        self._cond.wait(timeout=leftover)
+                elif decision == overload_mod.EVICT_OLDEST:
+                    if not self._evict_oldest_droppable():
+                        # Nothing sheddable queued; admit over capacity
+                        # rather than lose control-plane traffic.
+                        pass
+                elif decision == overload_mod.REJECT:
+                    self._shed()
+                    return False
+            self._items.append(entry)
+            self.max_depth = max(self.max_depth, len(self._items))
+            self._depth_gauge.set(len(self._items))
+            self._cond.notify_all()
+        return True
+
+    def _evict_oldest_droppable(self) -> bool:
+        """Drop the oldest DATA entry in place; False when none queued."""
+        for index, (_sender, queued) in enumerate(self._items):
+            if self._droppable(queued):
+                del self._items[index]
+                self._shed()
+                return True
+        return False
 
     def get(self, timeout: Optional[float] = None) -> Tuple[str, Message]:
-        try:
-            return self._queue.get(timeout=timeout)
-        except queue.Empty:
-            raise TimeoutError("mailbox %r empty" % self.owner_id) from None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                leftover = (None if deadline is None
+                            else deadline - time.monotonic())
+                if leftover is not None and leftover <= 0:
+                    raise TimeoutError("mailbox %r empty" % self.owner_id)
+                self._cond.wait(timeout=leftover)
+            entry = self._items.popleft()
+            self._depth_gauge.set(len(self._items))
+            self._cond.notify_all()
+        return entry
 
     def __len__(self) -> int:
-        return self._queue.qsize()
+        with self._cond:
+            return len(self._items)
 
 
 class Fabric:
@@ -57,18 +147,27 @@ class Fabric:
 
 
 class InProcFabric(Fabric):
-    """Thread-safe in-process fabric; delivery is immediate."""
+    """Thread-safe in-process fabric; delivery is immediate.
 
-    def __init__(self) -> None:
+    ``overload`` bounds every registered mailbox (shared knobs for all
+    endpoints); the default keeps the historical unbounded queues.
+    """
+
+    def __init__(self,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         self._mailboxes: Dict[str, Mailbox] = {}
         self._lock = threading.Lock()
+        self._overload = overload
+        self._registry = registry
 
     def register(self, endpoint_id: str) -> Mailbox:
         with self._lock:
             if endpoint_id in self._mailboxes:
                 raise RuntimeStateError("endpoint %r already registered"
                                         % endpoint_id)
-            mailbox = Mailbox(endpoint_id)
+            mailbox = Mailbox(endpoint_id, overload=self._overload,
+                              registry=self._registry)
             self._mailboxes[endpoint_id] = mailbox
             return mailbox
 
@@ -95,11 +194,14 @@ class TcpFabric(Fabric):
     dialer's endpoint ID, so the acceptor can attribute inbound traffic.
     """
 
-    def __init__(self, endpoint_id: str, host: str = "127.0.0.1") -> None:
+    def __init__(self, endpoint_id: str, host: str = "127.0.0.1",
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         self.endpoint_id = endpoint_id
         self._listener = TcpListener(host=host, port=0)
         self.address: Tuple[str, int] = self._listener.address
-        self._mailbox = Mailbox(endpoint_id)
+        self._mailbox = Mailbox(endpoint_id, overload=overload,
+                                registry=registry)
         self._directory: Dict[str, Tuple[str, int]] = {}
         self._outgoing: Dict[str, TcpChannel] = {}
         self._lock = threading.Lock()

@@ -20,6 +20,7 @@ reconnect path starts fresh rather than inheriting a saturated backoff.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -52,6 +53,8 @@ class HealthMonitor:
 
     def __init__(self, timeout: float = 10.0, max_failures: int = 3,
                  base_backoff: float = 0.1, max_backoff: float = 5.0,
+                 jitter: float = 0.1,
+                 rng: Optional[random.Random] = None,
                  clock: Callable[[], float] = time.monotonic,
                  registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         if timeout < 0:
@@ -60,10 +63,16 @@ class HealthMonitor:
             raise RuntimeStateError("max_failures must be >= 1")
         if base_backoff < 0 or max_backoff < base_backoff:
             raise RuntimeStateError("need 0 <= base_backoff <= max_backoff")
+        if not 0.0 <= jitter < 1.0:
+            raise RuntimeStateError("jitter must be in [0, 1)")
         self.timeout = timeout
         self.max_failures = max_failures
         self.base_backoff = base_backoff
         self.max_backoff = max_backoff
+        #: fractional randomization of each backoff window, so peers that
+        #: failed together don't retry in lockstep (thundering herd)
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
         self._clock = clock
         self._registry = registry if registry is not None else metrics_mod.REGISTRY
         self._lock = threading.Lock()
@@ -132,10 +141,20 @@ class HealthMonitor:
             return self._clock() - peer.last_failure >= peer.backoff
 
     def backoff_for(self, peer_id: str) -> float:
-        """Current reconnect backoff in seconds (0 when healthy)."""
+        """Current reconnect backoff in seconds (0 when healthy).
+
+        The nominal exponential window is scaled by a random factor in
+        ``[1 - jitter, 1 + jitter]`` so a fleet of peers backing off
+        from the same outage desynchronizes instead of hammering the
+        recovered endpoint in lockstep.
+        """
         with self._lock:
             peer = self._peers.get(peer_id)
-            return peer.backoff if peer is not None else 0.0
+            backoff = peer.backoff if peer is not None else 0.0
+            if backoff <= 0.0 or self.jitter <= 0.0:
+                return backoff
+            factor = self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            return backoff * factor
 
     def ack_age(self, peer_id: str) -> Optional[float]:
         with self._lock:

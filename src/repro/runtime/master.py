@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError
 from repro.core.graph import AppGraph
 from repro.runtime import messages
@@ -86,7 +88,9 @@ class Master:
                  policy: str = "LRS", source_rate: float = 24.0,
                  seed: Optional[int] = None,
                  control_interval: float = 1.0,
-                 heartbeat_timeout: float = 0.0) -> None:
+                 heartbeat_timeout: float = 0.0,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         graph.validate()
         if heartbeat_timeout < 0:
             raise DeploymentError("heartbeat timeout must be >= 0")
@@ -104,7 +108,8 @@ class Master:
         self.runtime = WorkerRuntime(
             master_id, fabric, graph, policy=policy, source_rate=source_rate,
             seed=seed, control_interval=control_interval,
-            control_handler=self._on_control)
+            control_handler=self._on_control,
+            overload=overload, registry=registry)
         self.started = False
         if heartbeat_timeout > 0:
             self._detector_running.set()

@@ -188,11 +188,14 @@ def _decode_from(reader: _Reader) -> Any:
 
 def encode_tuple(data: DataTuple) -> bytes:
     """Serialize a :class:`DataTuple` (values + routing metadata)."""
-    body = encode_value({
+    fields = {
         "seq": data.seq,
         "created_at": data.created_at,
         "values": data.values,
-    })
+    }
+    if data.deadline is not None:
+        fields["deadline"] = data.deadline
+    body = encode_value(fields)
     if len(body) > MAX_ENCODED_BYTES:
         raise SerializationError("tuple exceeds maximum encoded size")
     return body
@@ -204,4 +207,5 @@ def decode_tuple(payload: bytes) -> DataTuple:
     if not isinstance(decoded, dict) or not {"seq", "created_at", "values"} <= set(decoded):
         raise SerializationError("payload is not an encoded tuple")
     return DataTuple(values=decoded["values"], seq=decoded["seq"],
-                     created_at=decoded["created_at"])
+                     created_at=decoded["created_at"],
+                     deadline=decoded.get("deadline"))

@@ -18,6 +18,8 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.controller import PolicyConfig
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
@@ -41,7 +43,9 @@ class WorkerRuntime:
                  heartbeat_interval: float = 0.0,
                  heartbeat_target: Optional[str] = None,
                  health: Optional[HealthMonitor] = None,
-                 policy_config: Optional[PolicyConfig] = None) -> None:
+                 policy_config: Optional[PolicyConfig] = None,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
         if heartbeat_interval < 0:
@@ -58,6 +62,14 @@ class WorkerRuntime:
         #: optional full control-plane config shared by every edge
         #: dispatcher; when set it wins over the scalar knobs above
         self.policy_config = policy_config
+        if overload is None and policy_config is not None:
+            overload = policy_config.overload
+        #: overload-protection knobs (deadline stamping at the source,
+        #: source admission control); defaults to everything disabled
+        self.overload = (overload if overload is not None
+                         else overload_mod.OverloadConfig())
+        self._registry = (registry if registry is not None
+                          else metrics_mod.REGISTRY)
         self._control_handler = control_handler
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_target = heartbeat_target
@@ -66,6 +78,9 @@ class WorkerRuntime:
         self._dispatchers: Dict[str, UpstreamDispatcher] = {}
         self._running = threading.Event()
         self._started = threading.Event()
+        #: set by stop(): interrupts source pacing / heartbeat sleeps so
+        #: shutdown returns promptly instead of riding out the interval
+        self._stopped = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._source_threads: List[threading.Thread] = []
         self._heartbeat_thread: Optional[threading.Thread] = None
@@ -77,6 +92,7 @@ class WorkerRuntime:
         if self._thread is not None:
             raise RuntimeStateError("worker %s already started" % self.worker_id)
         self._running.set()
+        self._stopped.clear()
         self._thread = threading.Thread(target=self._loop,
                                         name="worker:%s" % self.worker_id,
                                         daemon=True)
@@ -103,12 +119,13 @@ class WorkerRuntime:
                 self.health.record_success(self.heartbeat_target)
             except Exception:
                 self.health.record_failure(self.heartbeat_target)
-            time.sleep(self.heartbeat_interval
-                       + self.health.backoff_for(self.heartbeat_target))
+            self._stopped.wait(self.heartbeat_interval
+                               + self.health.backoff_for(self.heartbeat_target))
 
     def stop(self, timeout: float = 5.0) -> None:
         self._running.clear()
         self._started.clear()
+        self._stopped.set()
         for thread in self._source_threads:
             thread.join(timeout=timeout)
         if self._heartbeat_thread is not None:
@@ -192,7 +209,8 @@ class WorkerRuntime:
                                                           target, msg),
                 policy=self.policy_name, seed=self.seed,
                 control_interval=self.control_interval, edge=key,
-                health=self.health, config=self.policy_config)
+                health=self.health, config=self.policy_config,
+                registry=self._registry)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)
@@ -225,6 +243,22 @@ class WorkerRuntime:
             return
         data = decode_tuple(message.payload["tuple"])
         started = time.monotonic()
+        if data.expired(started):
+            # Too stale to be useful: skip the compute but still ACK, so
+            # the upstream's failure detector sees a healthy worker (a
+            # shed is a policy decision, not a fault) and its ACK
+            # accounting does not double-count the tuple as lost.
+            self._registry.increment(metrics_mod.SHED_TOTAL,
+                                     reason=overload_mod.REASON_EXPIRED,
+                                     queue="worker:%s" % self.worker_id)
+            ack = messages.ack_message(message.payload["seq"],
+                                       message.payload["sent_at"], 0.0)
+            ack.payload["edge"] = message.payload.get("edge", "")
+            try:
+                self.fabric.send(self.worker_id, sender_id, ack)
+            except Exception:
+                pass
+            return
         unit.process_data(data)
         elapsed = time.monotonic() - started
         if self.slowdown > 0.0:
@@ -259,18 +293,50 @@ class WorkerRuntime:
                 thread.start()
                 self._source_threads.append(thread)
 
+    def _source_backpressured(self, unit_name: str) -> Optional[str]:
+        """Shed-at-source decision for *unit_name*'s next tuple.
+
+        Combines the local mailbox depth with the edge dispatchers'
+        all-downstreams-dead signal through the shared
+        :func:`~repro.core.overload.source_admission` policy.  Inactive
+        (always admits) unless some overload knob is switched on, so the
+        historical keep-emitting-and-count-losses behavior is preserved
+        by default.
+        """
+        if not self.overload.enabled:
+            return None
+        prefix = "%s>" % unit_name
+        edge_dispatchers = [d for key, d in self._dispatchers.items()
+                            if key.startswith(prefix)]
+        unsatisfiable = bool(edge_dispatchers) and all(
+            d.unsatisfiable() for d in edge_dispatchers)
+        return overload_mod.source_admission(len(self._mailbox),
+                                             unsatisfiable, self.overload)
+
     def _pump_source(self, unit_name: str, unit: SourceUnit) -> None:
         interval = 1.0 / self.source_rate if self.source_rate > 0 else 0.0
         while self._running.is_set() and self._started.is_set():
             started = time.monotonic()
-            data = unit.generate()
-            if data is None:
-                break
-            unit.context.emit(data)  # fans out to every downstream edge
+            reason = self._source_backpressured(unit_name)
+            if reason is not None:
+                # Admission control: refuse doomed work before spending
+                # generate/encode/transmit effort on it.
+                self._registry.increment(metrics_mod.SHED_TOTAL,
+                                         reason=reason, source=unit_name)
+            else:
+                data = unit.generate()
+                if data is None:
+                    break
+                if self.overload.ttl is not None and data.deadline is None:
+                    base = data.created_at if data.created_at else started
+                    data.deadline = self.overload.deadline_for(base)
+                unit.context.emit(data)  # fans out to every downstream edge
             if interval > 0:
                 leftover = interval - (time.monotonic() - started)
                 if leftover > 0:
-                    time.sleep(leftover)
+                    # Interruptible pacing: stop() sets the event, so
+                    # shutdown never waits out a full source interval.
+                    self._stopped.wait(leftover)
 
     # -- introspection -----------------------------------------------------
     def unit(self, unit_name: str) -> FunctionUnit:

@@ -190,6 +190,9 @@ class Store:
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        #: high-water mark of the queue depth over the store's lifetime
+        #: (bounded-memory invariant checks read this after a run)
+        self.max_len = 0
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Tuple[Event, Any]] = deque()
@@ -211,6 +214,7 @@ class Store:
             event.succeed()
         elif not self.is_full:
             self._items.append(item)
+            self.max_len = max(self.max_len, len(self._items))
             event.succeed()
         else:
             self._putters.append((event, item))
@@ -224,6 +228,7 @@ class Store:
         if self.is_full:
             return False
         self._items.append(item)
+        self.max_len = max(self.max_len, len(self._items))
         return True
 
     def get(self) -> Event:
@@ -258,6 +263,7 @@ class Store:
         if self._putters and not self.is_full:
             event, item = self._putters.popleft()
             self._items.append(item)
+            self.max_len = max(self.max_len, len(self._items))
             event.succeed()
 
 

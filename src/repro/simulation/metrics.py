@@ -22,6 +22,12 @@ DROP_CONN_OVERFLOW = "connection_overflow"
 DROP_DEVICE_LEFT = "device_left"
 DROP_LINK_DOWN = "link_down"
 DROP_STALE = "stale_at_sink"
+#: overload protection: past-deadline tuples shed mid-pipeline
+DROP_EXPIRED = "expired"
+#: overload protection: tuples refused by source admission control
+DROP_BACKPRESSURE = "backpressure"
+#: overload protection: tuples shed by a bounded queue's drop policy
+DROP_QUEUE_FULL = "queue_full"
 
 
 @dataclass

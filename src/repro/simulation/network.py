@@ -145,6 +145,8 @@ class Connection:
         self.frames: Deque[_QueuedFrame] = deque()
         self.bytes_sent = 0
         self.frames_sent = 0
+        #: high-water mark of buffered frames (bounded-memory checks)
+        self.max_backlog = 0
         self.airtime_vt = 0.0  # fair-queueing virtual time
 
     @property
@@ -163,6 +165,7 @@ class Connection:
         frame = _QueuedFrame(size_bytes, delivered)
         was_empty = not self.frames
         self.frames.append(frame)
+        self.max_backlog = max(self.max_backlog, len(self.frames))
         if was_empty:
             self.radio._activate(self)
         return delivered

@@ -11,13 +11,14 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from repro import profiles
 from repro.core.exceptions import SimulationError
+from repro.core.overload import DROP_OLDEST, OverloadConfig
 from repro.simulation.mobility import MobilityPlan, MobilityTrace
 from repro.simulation.network import (RSSI_FAIR, RSSI_GOOD, RSSI_POOR,
                                       rssi_for_region)
-from repro.simulation.swarm import (DeviceKillEvent, DeviceReviveEvent,
-                                    JoinEvent, LeaveEvent, MessageDelayEvent,
-                                    MessageDropEvent, SwarmConfig,
-                                    UNBOUNDED_QUEUE)
+from repro.simulation.swarm import (BackgroundLoadEvent, DeviceKillEvent,
+                                    DeviceReviveEvent, JoinEvent, LeaveEvent,
+                                    MessageDelayEvent, MessageDropEvent,
+                                    SwarmConfig, UNBOUNDED_QUEUE)
 from repro.simulation.workload import (FACE_APP, TRANSLATE_APP, Workload,
                                        face_workload, translation_workload)
 
@@ -185,6 +186,67 @@ def fault_injection(app: str = FACE_APP, policy: str = "LRS",
         ack_timeout=ack_timeout,
         dead_after=dead_after,
         faults=tuple(faults),
+    )
+
+
+def overload(app: str = FACE_APP, policy: str = "LRS",
+             duration: float = 30.0, seed: int = 0,
+             worker_ids: Sequence[str] = ("B", "G", "H"),
+             overload_until: float = 14.0,
+             background: float = 0.8,
+             ttl: float = 2.0,
+             queue_capacity: int = 8,
+             drop_policy: str = DROP_OLDEST,
+             kill_id: Optional[str] = "G",
+             kill_time: float = 6.0,
+             revive_time: float = 12.0,
+             ack_timeout: float = 2.0, dead_after: int = 2) -> SwarmConfig:
+    """Chaos/soak scenario: sustained Lambda > sum(mu) plus faults.
+
+    Every worker starts with a heavy *background* CPU load, pushing the
+    swarm's aggregate service rate well below the input rate — the
+    overload regime where unbounded queues would grow without limit.
+    Overload protection (TTL *ttl*, bounded ingress queues of
+    *queue_capacity* frames, source admission control) must degrade
+    gracefully: bounded queue depths, no stale deliveries, monotone shed
+    counters.  At *overload_until* the background apps stop, the
+    capacity recovers above the input rate, and end-to-end latency must
+    recover too.  A mid-overload silent kill/revive of *kill_id*
+    stresses the failure-detection path at the same time.
+
+    Thermal throttling is off: with it, the post-recovery service rate
+    would stay below the input rate and the recovery assertion would be
+    meaningless.
+    """
+    worker_ids = list(worker_ids)
+    if not 0.0 < overload_until < duration:
+        raise SimulationError("overload_until must fall inside the run")
+    faults: list = []
+    if kill_id is not None:
+        if kill_id not in worker_ids:
+            raise SimulationError("cannot kill %r: not in the swarm" % kill_id)
+        if not kill_time < revive_time:
+            raise SimulationError("revive must come after the kill")
+        faults.append(DeviceKillEvent(time=kill_time, device_id=kill_id))
+        faults.append(DeviceReviveEvent(time=revive_time, device_id=kill_id))
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(worker_ids),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        background_load={device_id: background for device_id in worker_ids},
+        background_events=tuple(
+            BackgroundLoadEvent(time=overload_until, device_id=device_id,
+                                load=0.0)
+            for device_id in worker_ids),
+        thermal_throttling=False,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        faults=tuple(faults),
+        overload=OverloadConfig(ttl=ttl, queue_capacity=queue_capacity,
+                                drop_policy=drop_policy),
     )
 
 

@@ -26,16 +26,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core import overload as overload_mod
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import SimulationError
+from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision
 from repro.core.reorder import ReorderBuffer
 from repro.simulation.control import engine_controller
 from repro.simulation.device import CpuModel, DeviceProfile, ThermalThrottle
 from repro.simulation.energy import EnergyReport, PowerEstimator
 from repro.simulation.engine import Simulator, Store
-from repro.simulation.metrics import (DROP_CONN_OVERFLOW, DROP_DEVICE_LEFT,
-                                      DROP_LINK_DOWN, DROP_SOURCE_QUEUE,
+from repro.simulation.metrics import (DROP_BACKPRESSURE, DROP_CONN_OVERFLOW,
+                                      DROP_DEVICE_LEFT, DROP_EXPIRED,
+                                      DROP_LINK_DOWN, DROP_QUEUE_FULL,
+                                      DROP_SOURCE_QUEUE, DROP_STALE,
                                       LatencyStats, MetricsCollector)
 from repro.simulation.mobility import MobilityPlan
 from repro.simulation.network import Network, RSSI_GOOD
@@ -179,6 +183,14 @@ class SwarmConfig:
     #: fault-injection schedule: DeviceKillEvent / DeviceReviveEvent /
     #: MessageDropEvent / MessageDelayEvent instances
     faults: Sequence = ()
+    #: overload-protection knobs (TTL, bounded worker ingress queues,
+    #: source admission control) shared verbatim with the threaded
+    #: runtime; ``None`` keeps every mechanism off
+    overload: Optional[OverloadConfig] = None
+
+    def overload_config(self) -> OverloadConfig:
+        """This experiment's overload knobs (disabled-by-default)."""
+        return self.overload if self.overload is not None else OverloadConfig()
 
     def policy_config(self, seed: Optional[int] = None) -> PolicyConfig:
         """This experiment's policy knobs as one shared control-plane config."""
@@ -197,7 +209,8 @@ class SwarmConfig:
                             estimator_window=self.estimator_window,
                             ack_timeout=self.ack_timeout,
                             dead_after=self.dead_after,
-                            capabilities=capabilities)
+                            capabilities=capabilities,
+                            overload=self.overload)
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -245,6 +258,11 @@ class SwarmConfig:
 class _Frame:
     seq: int
     created_at: float
+    #: absolute deadline stamped at the source (``created_at + ttl``)
+    deadline: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
 
 
 class _WorkerNode:
@@ -258,7 +276,7 @@ class _WorkerNode:
         self.cpu = CpuModel(profile, swarm.config.workload.app,
                             background_load=background_load)
         sim = swarm.sim
-        self.ingress = Store(sim, capacity=None,
+        self.ingress = Store(sim, capacity=swarm.overload.queue_capacity,
                              name="ingress:%s" % self.device_id)
         # Socket-window tokens: the dispatcher takes one per in-flight
         # frame; the worker returns it when it reads the frame to process.
@@ -285,6 +303,19 @@ class _WorkerNode:
         while self.alive:
             frame = yield self.ingress.get()
             self.credits.try_put(True)  # socket slot freed by the read
+            if frame.expired(sim.now):
+                # Past its deadline while queued: shed instead of burning
+                # CPU on a result nobody can use any more.  Still ACK the
+                # tracker (mirroring the runtime worker): a shed is a
+                # policy decision, not a fault, and must not feed loss
+                # accounting or dead-marking.
+                swarm._shed(frame.seq, DROP_EXPIRED,
+                            overload_mod.REASON_EXPIRED,
+                            queue="ingress:%s" % self.device_id)
+                swarm.controller.on_ack(frame.seq, processing_delay=0.0,
+                                        now=sim.now,
+                                        downstream_hint=self.device_id)
+                continue
             record = swarm.metrics.frame(frame.seq, frame.created_at)
             record.proc_started_at = sim.now
             self.current_seq = frame.seq
@@ -325,6 +356,7 @@ class SwarmSimulation:
     def __init__(self, config: SwarmConfig) -> None:
         config.validate()
         self.config = config
+        self.overload = config.overload_config()
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.sim)
@@ -502,6 +534,21 @@ class SwarmSimulation:
         # a probe's ACK resurrects it.
         self.controller.add_downstream(device_id)
 
+    # -- overload protection ---------------------------------------------
+    def _shed(self, seq: int, drop_reason: str, shed_reason: str,
+              queue: str) -> None:
+        """Record one overload shed in both accounting systems.
+
+        The frame trace gets a drop record (*drop_reason*, the
+        simulator's vocabulary) and the shared counter registry gets a
+        ``swing_tuples_shed_total{reason=...}`` increment (*shed_reason*,
+        the runtime's vocabulary) — so both substrates report sheds
+        through the same counter family.
+        """
+        self.metrics.drop(seq, drop_reason)
+        self.registry.increment(metrics_mod.SHED_TOTAL, reason=shed_reason,
+                                queue=queue)
+
     def _message_fault(self, device_id: str) -> Tuple[bool, float]:
         """(drop?, extra delay) for a message involving *device_id* now."""
         now = self.sim.now
@@ -528,23 +575,64 @@ class SwarmSimulation:
     def _source(self):
         gaps = self.config.workload.interarrival_times(
             self.rngs.stream("arrivals"))
+        overload = self.overload
+        egress_name = "egress:%s" % self.config.source.device_id
         while True:
             seq = self._next_seq
             self._next_seq += 1
             now = self.sim.now
             self.metrics.frame(seq, now)
+            if overload.enabled:
+                # Source admission control: refuse doomed work before
+                # spending capture/encode/transmit effort on it.
+                reason = overload_mod.source_admission(
+                    len(self._egress), self.controller.unsatisfiable(),
+                    overload)
+                if reason is not None:
+                    self._shed(seq, DROP_BACKPRESSURE, reason,
+                               queue=egress_name)
+                    yield self.sim.timeout(next(gaps))
+                    continue
             # Lambda is observed at frame creation: a real-time source
             # measures its own capture rate, not the dispatch rate.
             self.controller.observe_arrival(now)
-            if not self._egress.try_put(_Frame(seq=seq, created_at=now)):
+            frame = _Frame(seq=seq, created_at=now,
+                           deadline=overload.deadline_for(now))
+            if overload.enabled and self._egress.capacity is not None:
+                decision = overload_mod.admission(
+                    len(self._egress), self._egress.capacity,
+                    overload.drop_policy)
+                if decision == overload_mod.EVICT_OLDEST:
+                    victim = self._egress.try_get()
+                    if victim is not None:
+                        self._shed(victim.seq, DROP_SOURCE_QUEUE,
+                                   overload_mod.REASON_QUEUE_FULL,
+                                   queue=egress_name)
+                elif decision != overload_mod.ADMIT:
+                    # A real-time sensor cannot block on its own queue:
+                    # REJECT and WAIT both shed the newest frame here.
+                    self._shed(seq, DROP_SOURCE_QUEUE,
+                               overload_mod.REASON_QUEUE_FULL,
+                               queue=egress_name)
+                    yield self.sim.timeout(next(gaps))
+                    continue
+                self._egress.try_put(frame)
+            elif not self._egress.try_put(frame):
                 self.metrics.drop(seq, DROP_SOURCE_QUEUE)
             yield self.sim.timeout(next(gaps))
 
     def _dispatch(self):
         config = self.config
         source_radio = self.network.radio(config.source.device_id)
+        edge_name = "edge:%s" % config.source.device_id
         while True:
             frame = yield self._egress.get()
+            if frame.expired(self.sim.now):
+                # Shed at egress, before any transmission cost is paid
+                # (mirrors the runtime dispatcher's expired-shed).
+                self._shed(frame.seq, DROP_EXPIRED,
+                           overload_mod.REASON_EXPIRED, queue=edge_name)
+                continue
             record = self.metrics.frame(frame.seq, frame.created_at)
             record.dispatched_at = self.sim.now
             # The controller routes and records the send (the paper's
@@ -576,12 +664,27 @@ class SwarmSimulation:
                 lambda _event, frame=frame, destination=destination:
                 self._on_frame_delivered(frame, destination))
 
+    def _return_credit(self, destination: str) -> None:
+        """Hand back the socket-window slot of a frame that died in flight.
+
+        The worker normally frees the slot when it reads the frame off its
+        ingress; a frame dropped between send and read would otherwise
+        shrink the connection's window permanently — a long enough fault
+        window used to leak every credit and wedge the dispatcher for the
+        rest of the run.  ``try_put`` saturates at the window size, so
+        connections already refilled by a kill are unaffected.
+        """
+        node = self.nodes.get(destination) or self._departed.get(destination)
+        if node is not None:
+            node.credits.try_put(True)
+
     def _on_frame_delivered(self, frame: _Frame, destination: str) -> None:
         dropped, extra_delay = self._message_fault(destination)
         if dropped:
             # Faulted away in flight; the tracker's pending entry will
             # expire and charge the loss to this destination.
             self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+            self._return_credit(destination)
             return
         if extra_delay > 0.0:
             self.sim.schedule(extra_delay,
@@ -597,12 +700,43 @@ class SwarmSimulation:
         if node is None or not node.alive or not link.up:
             # Delivered into the void: the device left mid-flight.
             self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+            self._return_credit(destination)
             return
         record.tx_finished_at = self.sim.now
         counters = self.metrics.device(destination)
         counters.frames_received += 1
         counters.bytes_received += self.config.workload.frame_bytes
-        node.ingress.try_put(frame)
+        self._ingress_put(node, frame)
+
+    def _ingress_put(self, node: _WorkerNode, frame: _Frame) -> None:
+        """Admit one delivered frame into a worker's (bounded) ingress.
+
+        The shared :func:`~repro.core.overload.admission` function
+        decides; a shed frame must hand its socket-window credit back or
+        the connection's in-flight window would shrink permanently.
+        """
+        ingress = node.ingress
+        queue_name = "ingress:%s" % node.device_id
+        decision = overload_mod.admission(len(ingress), ingress.capacity,
+                                          self.overload.drop_policy)
+        if decision == overload_mod.EVICT_OLDEST:
+            victim = ingress.try_get()
+            if victim is not None:
+                self._shed(victim.seq, DROP_QUEUE_FULL,
+                           overload_mod.REASON_QUEUE_FULL, queue=queue_name)
+                node.credits.try_put(True)  # the victim's window slot
+            ingress.try_put(frame)
+        elif decision == overload_mod.REJECT:
+            self._shed(frame.seq, DROP_QUEUE_FULL,
+                       overload_mod.REASON_QUEUE_FULL, queue=queue_name)
+            node.credits.try_put(True)  # the newcomer's window slot
+        elif decision == overload_mod.WAIT:
+            # Backpressure: park the frame on the store's putter queue.
+            # The producer side is already bounded by socket credits, so
+            # the number of parked putters can never exceed the window.
+            ingress.put(frame)
+        else:
+            ingress.try_put(frame)
 
     def _control(self):
         # Eager trigger: the engine has a cheap periodic process, so the
@@ -613,6 +747,17 @@ class SwarmSimulation:
         while True:
             yield self.sim.timeout(self.config.control_interval)
             self.controller.update(self.sim.now)
+            self._export_queue_depths()
+
+    def _export_queue_depths(self) -> None:
+        """Refresh the ``swing_queue_depth`` gauges (one per queue)."""
+        self.registry.set_gauge(
+            metrics_mod.QUEUE_DEPTH, len(self._egress),
+            queue="egress:%s" % self.config.source.device_id)
+        for device_id, node in self.nodes.items():
+            self.registry.set_gauge(metrics_mod.QUEUE_DEPTH,
+                                    len(node.ingress),
+                                    queue="ingress:%s" % device_id)
 
     # -- sink --------------------------------------------------------------
     def _deliver_result(self, frame: _Frame, processing_delay: float) -> None:
@@ -636,12 +781,19 @@ class SwarmSimulation:
                                 processing_delay: float) -> None:
         now = self.sim.now
         record = self.metrics.frame(frame.seq, frame.created_at)
-        record.sink_arrived_at = now
         # The hint lets backlog-driven policies (JSQ) decrement their
         # queue estimate even when the pending entry already expired.
         self.controller.on_ack(frame.seq, processing_delay=processing_delay,
                                now=now,
                                downstream_hint=record.device_id or None)
+        if frame.expired(now):
+            # Computed, transmitted back — and still too late.  The sink
+            # refuses to deliver a stale result (the ACK above already
+            # credited the worker: it did the work).
+            self._shed(frame.seq, DROP_STALE, overload_mod.REASON_EXPIRED,
+                       queue="sink:%s" % self.config.source.device_id)
+            return
+        record.sink_arrived_at = now
         for playback in self.reorder.offer(frame.seq, now):
             played = self.metrics.frames.get(playback.seq)
             if played is not None:
@@ -689,6 +841,10 @@ class SwarmResult:
     lost_by_downstream: Dict[str, int] = field(default_factory=dict)
     #: downstreams the tracker had marked dead when the run ended
     dead_downstreams: List[str] = field(default_factory=list)
+    #: overload sheds by reason (expired / queue_full / backpressure)
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: high-water queue depth per named queue over the whole run
+    max_queue_depths: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -709,6 +865,13 @@ class SwarmResult:
         estimator = PowerEstimator(profiles)
         energy = estimator.estimate(cpu, transferred, duration)
         tracker_stats = swarm.tracker.stats()
+        max_depths = {"egress:%s" % config.source.device_id:
+                      swarm._egress.max_len}
+        for device_id in profiles:
+            node = (swarm.nodes.get(device_id)
+                    or swarm._departed.get(device_id))
+            if node is not None:
+                max_depths["ingress:%s" % device_id] = node.ingress.max_len
         return cls(
             config=config,
             metrics=metrics,
@@ -722,6 +885,9 @@ class SwarmResult:
             lost_by_downstream=swarm.tracker.lost_by_downstream(),
             dead_downstreams=sorted(ds for ds, stat in tracker_stats.items()
                                     if not stat.alive),
+            shed_by_reason=swarm.registry.values_by_label(
+                metrics_mod.SHED_TOTAL, "reason"),
+            max_queue_depths=max_depths,
         )
 
     # -- convenience views used by the benchmark harness -------------------

@@ -1,13 +1,121 @@
 """Tests for message fabrics."""
 
+import threading
 import time
 
 import pytest
 
+from repro import metrics as metrics_mod
 from repro.core.exceptions import RuntimeStateError
+from repro.core.overload import BLOCK, DROP_NEWEST, DROP_OLDEST, OverloadConfig
 from repro.runtime import messages
 from repro.runtime.channels import ChannelClosed
-from repro.runtime.fabric import InProcFabric, TcpFabric
+from repro.runtime.fabric import InProcFabric, Mailbox, TcpFabric
+
+
+def data(seq):
+    return messages.data_message("u", b"x", seq, 0.0)
+
+
+def bounded_mailbox(capacity=2, policy=DROP_OLDEST):
+    registry = metrics_mod.MetricsRegistry()
+    overload = OverloadConfig(queue_capacity=capacity, drop_policy=policy)
+    return Mailbox("W", overload=overload, registry=registry), registry
+
+
+class TestBoundedMailbox:
+    def test_unbounded_by_default(self):
+        mailbox = Mailbox("W", registry=metrics_mod.MetricsRegistry())
+        for seq in range(100):
+            assert mailbox.put("A", data(seq))
+        assert len(mailbox) == 100
+        assert mailbox.shed_count == 0
+
+    def test_drop_oldest_evicts_head(self):
+        mailbox, registry = bounded_mailbox(capacity=2, policy=DROP_OLDEST)
+        for seq in range(5):
+            assert mailbox.put("A", data(seq)) or seq >= 2
+        assert len(mailbox) == 2
+        survivors = [mailbox.get(timeout=0.1)[1].payload["seq"]
+                     for _ in range(2)]
+        assert survivors == [3, 4]
+        assert mailbox.shed_count == 3
+        assert registry.value(metrics_mod.SHED_TOTAL, reason="queue_full",
+                              queue="mailbox:W") == 3
+
+    def test_drop_newest_rejects_arrival(self):
+        mailbox, _registry = bounded_mailbox(capacity=2, policy=DROP_NEWEST)
+        assert mailbox.put("A", data(0))
+        assert mailbox.put("A", data(1))
+        assert not mailbox.put("A", data(2))
+        survivors = [mailbox.get(timeout=0.1)[1].payload["seq"]
+                     for _ in range(2)]
+        assert survivors == [0, 1]
+        assert mailbox.shed_count == 1
+
+    def test_control_messages_never_shed(self):
+        mailbox, _registry = bounded_mailbox(capacity=1, policy=DROP_NEWEST)
+        assert mailbox.put("A", data(0))
+        # Control traffic is admitted over capacity, unconditionally.
+        assert mailbox.put("A", messages.start_message())
+        assert mailbox.put("A", messages.stop_message())
+        assert len(mailbox) == 3
+        assert mailbox.shed_count == 0
+
+    def test_drop_oldest_spares_control_messages(self):
+        mailbox, _registry = bounded_mailbox(capacity=2, policy=DROP_OLDEST)
+        assert mailbox.put("A", messages.start_message())
+        assert mailbox.put("A", data(0))
+        assert mailbox.put("A", data(1))  # evicts DATA 0, not START
+        kinds = [mailbox.get(timeout=0.1)[1].kind for _ in range(2)]
+        assert kinds == [messages.START, messages.DATA]
+
+    def test_block_policy_times_out_and_sheds(self):
+        mailbox, registry = bounded_mailbox(capacity=1, policy=BLOCK)
+        assert mailbox.put("A", data(0))
+        started = time.monotonic()
+        assert not mailbox.put("A", data(1), timeout=0.05)
+        assert time.monotonic() - started >= 0.05
+        assert registry.value(metrics_mod.SHED_TOTAL, reason="queue_full",
+                              queue="mailbox:W") == 1
+
+    def test_block_policy_unblocked_by_consumer(self):
+        mailbox, _registry = bounded_mailbox(capacity=1, policy=BLOCK)
+        assert mailbox.put("A", data(0))
+        outcome = {}
+
+        def producer():
+            outcome["admitted"] = mailbox.put("A", data(1), timeout=2.0)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert mailbox.get(timeout=1.0)[1].payload["seq"] == 0
+        thread.join(timeout=2.0)
+        assert outcome["admitted"]
+        assert mailbox.get(timeout=1.0)[1].payload["seq"] == 1
+
+    def test_depth_gauge_and_high_water_mark(self):
+        mailbox, registry = bounded_mailbox(capacity=4)
+        for seq in range(3):
+            mailbox.put("A", data(seq))
+        assert registry.gauge_value(metrics_mod.QUEUE_DEPTH,
+                                    queue="mailbox:W") == 3
+        mailbox.get(timeout=0.1)
+        assert registry.gauge_value(metrics_mod.QUEUE_DEPTH,
+                                    queue="mailbox:W") == 2
+        assert mailbox.max_depth == 3
+
+    def test_fabric_passes_overload_to_mailboxes(self):
+        registry = metrics_mod.MetricsRegistry()
+        overload = OverloadConfig(queue_capacity=2, drop_policy=DROP_NEWEST)
+        fabric = InProcFabric(overload=overload, registry=registry)
+        fabric.register("A")
+        fabric.register("B")
+        for seq in range(5):
+            fabric.send("A", "B", data(seq))
+        assert registry.value(metrics_mod.SHED_TOTAL, reason="queue_full",
+                              queue="mailbox:B") == 3
 
 
 class TestInProcFabric:

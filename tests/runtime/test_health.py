@@ -1,5 +1,7 @@
 """Tests for the runtime peer health monitor."""
 
+import random
+
 import pytest
 
 from repro import metrics as metrics_mod
@@ -35,6 +37,8 @@ class TestValidation:
         {"max_failures": 0},
         {"base_backoff": -0.1},
         {"base_backoff": 2.0, "max_backoff": 1.0},
+        {"jitter": -0.1},
+        {"jitter": 1.0},
     ])
     def test_bad_params_rejected(self, kwargs):
         with pytest.raises(RuntimeStateError):
@@ -72,7 +76,8 @@ class TestFailureCounting:
 class TestBackoff:
     def test_backoff_doubles_and_caps(self):
         monitor, _clock, _registry = make_monitor(base_backoff=0.1,
-                                                  max_backoff=0.35)
+                                                  max_backoff=0.35,
+                                                  jitter=0.0)
         monitor.record_failure("B")
         assert monitor.backoff_for("B") == pytest.approx(0.1)
         monitor.record_failure("B")
@@ -81,6 +86,35 @@ class TestBackoff:
         assert monitor.backoff_for("B") == pytest.approx(0.35)  # capped
         monitor.record_failure("B")
         assert monitor.backoff_for("B") == pytest.approx(0.35)
+
+    def test_jitter_stays_within_bounds(self):
+        monitor, _clock, _registry = make_monitor(
+            base_backoff=0.4, max_backoff=0.4, jitter=0.25,
+            rng=random.Random(7))
+        monitor.record_failure("B")
+        samples = [monitor.backoff_for("B") for _ in range(200)]
+        assert all(0.3 <= value <= 0.5 for value in samples)
+        # Jitter actually varies the window (not a constant scaling).
+        assert max(samples) - min(samples) > 0.01
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        samples = []
+        for _ in range(2):
+            monitor, _clock, _registry = make_monitor(
+                base_backoff=0.4, jitter=0.25, rng=random.Random(13))
+            monitor.record_failure("B")
+            samples.append([monitor.backoff_for("B") for _ in range(20)])
+        assert samples[0] == samples[1]
+
+    def test_zero_jitter_returns_the_nominal_window(self):
+        monitor, _clock, _registry = make_monitor(base_backoff=0.1,
+                                                  jitter=0.0)
+        monitor.record_failure("B")
+        assert monitor.backoff_for("B") == pytest.approx(0.1)
+
+    def test_healthy_peer_has_no_jittered_backoff(self):
+        monitor, _clock, _registry = make_monitor(jitter=0.5)
+        assert monitor.backoff_for("B") == 0.0
 
     def test_should_attempt_gates_on_backoff_window(self):
         monitor, clock, _registry = make_monitor(base_backoff=0.5)

@@ -175,3 +175,26 @@ class TestMasterWorkerFlow:
             assert master.worker_ids.count("B") == 1
         finally:
             self._teardown(master, workers)
+
+
+class TestSourcePumpShutdown:
+    def test_stop_does_not_wait_out_the_source_interval(self):
+        # Regression: the source pump used to pace with time.sleep(), so
+        # stop() blocked for up to a full source interval (5 s here).
+        fabric = InProcFabric()
+        graph = build_graph(items=1000)
+        master = Master("A", fabric, graph, policy="RR", source_rate=0.2,
+                        control_interval=0.1)
+        master.runtime.start()
+        try:
+            master.deploy()
+            assert wait_until(lambda: master.runtime.deployed.is_set())
+            master.start()
+            sink = master.runtime.unit("snk")
+            assert wait_until(lambda: len(sink.results) >= 1, timeout=5.0)
+        finally:
+            started = time.monotonic()
+            master.stop()
+            master.runtime.stop()
+            elapsed = time.monotonic() - started
+        assert elapsed < 2.0

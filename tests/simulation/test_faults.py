@@ -97,6 +97,28 @@ class TestFaultInjectionAcceptance:
             metrics_mod.RESURRECTED_TOTAL, "downstream")
         assert set(resurrected) == {"B", "G"}
 
+    def test_combined_fault_run_ticks_every_counter(self):
+        # All four fault flavors in one end-to-end run: silent kills,
+        # later revives, a message-drop window and a message-delay
+        # window — each must leave its trace in the counters.
+        clean = run_fault_scenario(duration=40.0, revive_time=20.0)
+        result = run_fault_scenario(duration=40.0, revive_time=20.0,
+                                    drop_window=4.0, delay_window=6.0,
+                                    extra_delay=0.4)
+        registry = result.registry
+        marked = registry.values_by_label(metrics_mod.MARKED_DEAD_TOTAL,
+                                          "downstream")
+        assert set(marked) == {"B", "G"}          # kills detected
+        resurrected = registry.values_by_label(
+            metrics_mod.RESURRECTED_TOTAL, "downstream")
+        assert set(resurrected) == {"B", "G"}     # revives detected
+        assert result.dead_downstreams == []
+        assert sum(result.lost_by_downstream.values()) > 0  # losses charged
+        dropped = registry.values_by_label(metrics_mod.DROPPED_TOTAL,
+                                           "reason")
+        assert dropped.get("link_down", 0) > 0    # drop window fired
+        assert result.latency.mean > clean.latency.mean  # delay window felt
+
     def test_registries_are_private_per_run(self):
         first = run_fault_scenario(duration=15.0)
         second = run_fault_scenario(duration=15.0)

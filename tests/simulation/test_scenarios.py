@@ -85,3 +85,42 @@ class TestDynamicsScenarios:
         assert trace.rssi_at(130.0) == RSSI_POOR
         stationary = config.mobility.traces["B"]
         assert stationary.change_points() == []
+
+
+class TestOverloadScenario:
+    def test_shape(self):
+        config = scenarios.overload()
+        assert sorted(config.workers) == ["B", "G", "H"]
+        # Every worker starts loaded, and every load lifts at the same
+        # instant so the recovery phase is well-defined.
+        assert all(load > 0.0 for load in config.background_load.values())
+        lifts = {event.device_id: event for event in config.background_events}
+        assert sorted(lifts) == sorted(config.workers)
+        assert all(event.load == 0.0 and event.time == 14.0
+                   for event in lifts.values())
+        assert config.thermal_throttling is False
+
+    def test_overload_protection_enabled(self):
+        config = scenarios.overload(ttl=1.5, queue_capacity=4)
+        overload = config.overload_config()
+        assert overload.enabled
+        assert overload.ttl == 1.5
+        assert overload.queue_capacity == 4
+
+    def test_kill_and_revive_events(self):
+        config = scenarios.overload()
+        kinds = [type(event).__name__ for event in config.faults]
+        assert kinds == ["DeviceKillEvent", "DeviceReviveEvent"]
+        assert all(event.device_id == "G" for event in config.faults)
+
+    def test_kill_optional(self):
+        config = scenarios.overload(kill_id=None)
+        assert config.faults == ()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            scenarios.overload(overload_until=40.0, duration=30.0)
+        with pytest.raises(SimulationError):
+            scenarios.overload(kill_id="Z")
+        with pytest.raises(SimulationError):
+            scenarios.overload(kill_time=10.0, revive_time=5.0)
