@@ -9,18 +9,25 @@ Usage::
     python -m repro cloudlet --policy LRS
     python -m repro faults --kill B G --kill-time 10
     python -m repro overload --ttl 2 --queue-capacity 8
+    python -m repro trace --out swing.trace.json
 
 Each subcommand runs a calibrated simulation and prints a summary table;
-exit code 0 on success.
+exit code 0 on success.  ``--metrics-json PATH`` (on single-run
+subcommands) dumps the run's full metrics registry — counters, gauges
+and histogram summaries, plus the trace summary when tracing was on —
+as one JSON document.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import statistics
 import sys
 from typing import List, Optional
 
+from repro import trace as trace_mod
 from repro.core.controller import PolicyConfig
 from repro.core.overload import DROP_POLICIES, DROP_OLDEST
 from repro.core.policies import EXTENSION_POLICY_NAMES, POLICY_NAMES
@@ -43,6 +50,20 @@ def _app(name: str) -> str:
             "unknown app %r (expected face|translation)" % name) from None
 
 
+def _rate01(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            "sample rate must be in [0, 1], got %r" % text)
+    return value
+
+
+def _add_metrics_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="dump the run's metrics registry (and trace "
+                             "summary when tracing is on) as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -59,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the per-frame trace to PATH")
     testbed.add_argument("--metrics", action="store_true",
                          help="print the run's failure/loss counters")
+    _add_metrics_json(testbed)
 
     compare = sub.add_parser("compare",
                              help="all five policies, replicated over seeds")
@@ -73,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     single.add_argument("--duration", type=float, default=10.0)
     single.add_argument("--signal", default="good",
                         choices=["good", "fair", "poor"])
+    _add_metrics_json(single)
 
     dynamics = sub.add_parser("dynamics",
                               help="join / leave / move experiments "
@@ -82,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--seed", type=int, default=0)
     dynamics.add_argument("--metrics", action="store_true",
                           help="print the run's failure/loss counters")
+    _add_metrics_json(dynamics)
 
     faults = sub.add_parser("faults",
                             help="fault injection: silent kills mid-stream "
@@ -101,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--ack-timeout", type=float, default=2.0)
     faults.add_argument("--dead-after", type=int,
                         default=PolicyConfig().dead_after)
+    _add_metrics_json(faults)
 
     overload = sub.add_parser("overload",
                               help="chaos/soak: sustained overload with "
@@ -125,12 +150,36 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--metrics", action="store_true",
                           help="print the run's shed/loss counters and "
                                "queue-depth gauges")
+    _add_metrics_json(overload)
 
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
     cloudlet.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
     cloudlet.add_argument("--app", type=_app, default="face")
     cloudlet.add_argument("--duration", type=float, default=60.0)
+
+    trace = sub.add_parser("trace",
+                           help="run a traced scenario, export spans, and "
+                                "check measured vs analytic delay "
+                                "decomposition")
+    trace.add_argument("--scenario", default="single",
+                       choices=["single", "testbed"])
+    trace.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    trace.add_argument("--app", type=_app, default="face")
+    trace.add_argument("--device", default="B",
+                       help="worker device for --scenario single")
+    trace.add_argument("--rate", type=float, default=24.0)
+    trace.add_argument("--duration", type=float, default=10.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--sample-rate", type=_rate01, default=1.0,
+                       help="fraction of tuples traced (deterministic "
+                            "in seed and seq)")
+    trace.add_argument("--out", metavar="PATH", default="swing.trace.json",
+                       help="Chrome trace_event JSON (chrome://tracing / "
+                            "Perfetto)")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="also write raw spans as JSONL")
+    _add_metrics_json(trace)
 
     return parser
 
@@ -168,6 +217,20 @@ def _print_registry(result: SwarmResult) -> None:
     print(rendered if rendered else "  (none)")
 
 
+def _write_metrics_json(result: SwarmResult, args) -> None:
+    """Honor ``--metrics-json PATH`` on single-run subcommands."""
+    path = getattr(args, "metrics_json", None)
+    if not path:
+        return
+    body = {"metrics": (result.registry.to_dict()
+                        if result.registry is not None else {})}
+    if result.trace:
+        body["trace"] = trace_mod.summarize(result.trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, indent=2, sort_keys=True)
+    print("\nmetrics written to %s" % path)
+
+
 def cmd_testbed(args) -> int:
     result = run_swarm(scenarios.testbed(app=args.app, policy=args.policy,
                                          duration=args.duration,
@@ -180,6 +243,7 @@ def cmd_testbed(args) -> int:
     if args.csv:
         result.metrics.write_csv(args.csv)
         print("\nper-frame trace written to %s" % args.csv)
+    _write_metrics_json(result, args)
     return 0
 
 
@@ -221,6 +285,7 @@ def cmd_single(args) -> int:
          ("queuing", format_latency(decomposition["queuing"])),
          ("processing", format_latency(decomposition["processing"]))],
         min_width=14))
+    _write_metrics_json(result, args)
     return 0
 
 
@@ -241,6 +306,7 @@ def cmd_dynamics(args) -> int:
     print("frames lost: %d" % result.frames_lost)
     if args.metrics:
         _print_registry(result)
+    _write_metrics_json(result, args)
     return 0
 
 
@@ -269,6 +335,7 @@ def cmd_faults(args) -> int:
          ("dead at end", ", ".join(result.dead_downstreams) or "none")],
         min_width=20))
     _print_registry(result)
+    _write_metrics_json(result, args)
     return 0
 
 
@@ -310,6 +377,53 @@ def cmd_overload(args) -> int:
         min_width=20))
     if args.metrics:
         _print_registry(result)
+    _write_metrics_json(result, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.scenario == "single":
+        from repro.simulation.network import rssi_for_region
+        config = scenarios.single_device(args.device, input_rate=args.rate,
+                                         duration=args.duration,
+                                         seed=args.seed,
+                                         rssi=rssi_for_region("good"))
+        label = "single device %s" % args.device
+    else:
+        config = scenarios.testbed(app=args.app, policy=args.policy,
+                                   duration=args.duration, seed=args.seed)
+        label = "testbed under %s" % args.policy
+    config = dataclasses.replace(config,
+                                 trace_sample_rate=args.sample_rate)
+    result = run_swarm(config)
+    spans = result.trace
+    summary = trace_mod.summarize(spans)
+    measured = summary["delay_decomposition"]
+    analytic = result.metrics.delay_decomposition()
+    print("trace: %s for %.0fs at sample rate %.2f"
+          % (label, args.duration, args.sample_rate))
+    print(format_table(
+        ["component", "measured", "analytic"],
+        [(component, format_latency(measured[component]),
+          format_latency(analytic[component]))
+         for component in trace_mod.COMPONENTS],
+        min_width=14))
+    print(format_table(
+        ["spans", "value"],
+        [("total", str(summary["spans"])),
+         ("tuples traced", str(summary["tuples"]))]
+        + [("kind %s" % kind, str(count))
+           for kind, count in summary["by_kind"].items()],
+        min_width=14))
+    trace_json = trace_mod.to_chrome_trace(spans)
+    trace_mod.validate_chrome_trace(trace_json)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trace_json, handle)
+    print("chrome trace written to %s (open in chrome://tracing)" % args.out)
+    if args.jsonl:
+        trace_mod.write_jsonl(spans, args.jsonl)
+        print("spans written to %s" % args.jsonl)
+    _write_metrics_json(result, args)
     return 0
 
 
@@ -338,6 +452,7 @@ COMMANDS = {
     "cloudlet": cmd_cloudlet,
     "faults": cmd_faults,
     "overload": cmd_overload,
+    "trace": cmd_trace,
 }
 
 

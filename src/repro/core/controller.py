@@ -36,6 +36,12 @@ It talks to its substrate through three narrow ports:
     A :class:`~repro.metrics.MetricsRegistry`; every counter the control
     plane emits goes through it.
 
+``TraceSink``
+    A :class:`~repro.trace.Tracer` (default: the disabled
+    ``NULL_TRACER``).  The controller emits ``ack_rtt`` spans for every
+    matched timestamp echo and ``retry`` instants for every re-route,
+    in the same span vocabulary both substrates' adapters use.
+
 The hosting adapters decide *when* to call in (``observe_arrival`` /
 ``dispatch`` per tuple, ``maybe_update`` lazily or ``update`` from a
 periodic process) but never *what* happens — that is the contract the
@@ -56,6 +62,7 @@ from repro.core.exceptions import RoutingError
 from repro.core.latency import AckTracker, DownstreamStats, RateMeter
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
+from repro.trace import ACK_RTT, NULL_TRACER, RETRY, Span
 
 #: the Clock port: a zero-argument callable returning seconds
 Clock = Callable[[], float]
@@ -155,13 +162,15 @@ class LrsController:
                  egress: Optional[object] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  name: str = "",
-                 max_decisions: Optional[int] = None) -> None:
+                 max_decisions: Optional[int] = None,
+                 trace: Optional[object] = None) -> None:
         self.config = config if config is not None else PolicyConfig()
         self.name = name
         self._clock = clock
         self._egress = egress
         self._registry = (registry if registry is not None
                           else metrics_mod.REGISTRY)
+        self._trace = trace if trace is not None else NULL_TRACER
         self._policy = self.config.make_policy()
         self._tracker = self.config.make_tracker(self._registry)
         self._rate = RateMeter(window=self.config.rate_window)
@@ -278,6 +287,12 @@ class LrsController:
                 if tried:
                     self._registry.increment(metrics_mod.REROUTED_TOTAL,
                                              downstream=chosen)
+                    if self._trace.enabled:
+                        self._trace.emit(Span(
+                            RETRY, seq, sent_at, sent_at,
+                            device_id=self.name or "-",
+                            hop="egress:%s" % (self.name or "-"),
+                            detail=",".join(sorted(tried))))
                 self.dispatched += 1
                 return chosen
             tried.add(chosen)
@@ -338,6 +353,17 @@ class LrsController:
                     on_acked(resolved)
         if sample is None or downstream_id is None:
             return None
+        # Record the RTT distribution unconditionally (percentiles must
+        # survive tracing being sampled out); the span itself is built
+        # only for sampled tuples — this sits on the per-ACK hot path.
+        self._registry.observe_histogram(metrics_mod.ACK_RTT_SECONDS,
+                                         sample, downstream=downstream_id)
+        if self._trace.enabled and self._trace.sampled(seq):
+            self._trace.emit(Span(ACK_RTT, seq, now - sample, now,
+                                  device_id=self.name or "-",
+                                  hop="egress:%s" % (self.name or "-"),
+                                  detail=downstream_id),
+                             sampled=True)
         return AckResult(downstream_id=downstream_id, sample=sample)
 
     # -- control plane ---------------------------------------------------

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple as TupleType
 
 from repro.core.exceptions import SchemaError
+from repro.trace.spans import SpanContext
 
 _seq_counter = itertools.count()
 
@@ -101,6 +102,9 @@ class DataTuple:
     #: absolute deadline on the source's clock (``created_at + ttl``);
     #: stages drop the tuple instead of processing it past this point
     deadline: Optional[float] = None
+    #: trace metadata stamped at the source; carried over the wire so
+    #: every hop honors the source's sampling decision
+    trace: Optional[SpanContext] = None
 
     def __post_init__(self) -> None:
         if self.schema is not None:
@@ -128,6 +132,7 @@ class DataTuple:
             schema=schema,
             hops=list(self.hops),
             deadline=self.deadline,
+            trace=self.trace,
         )
 
     def expired(self, now: float) -> bool:

@@ -15,6 +15,7 @@ experiments never bleed counts into each other.
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -35,6 +36,15 @@ PROBE_WINDOWS_TOTAL = "swing_probe_windows_total"
 
 #: gauge: current depth of one named queue (mailbox / sim store)
 QUEUE_DEPTH = "swing_queue_depth"
+
+#: histogram: upstream-observed ACK round trip per downstream, seconds
+ACK_RTT_SECONDS = "swing_ack_rtt_seconds"
+#: histogram: per-hop span durations by kind (queue_wait/transmit/...)
+SPAN_SECONDS = "swing_span_duration_seconds"
+
+#: default latency buckets, seconds (1 ms .. 10 s, roughly log-spaced)
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
 
 def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
@@ -97,6 +107,98 @@ class Gauge:
         return "%s{%s}" % (self.name, inner)
 
 
+class Histogram:
+    """Fixed-bucket distribution of non-negative observations.
+
+    Cumulative bucket counts (Prometheus-style ``le`` semantics) plus a
+    running sum/count, so percentile *estimates* survive even when span
+    tracing is sampled out: quantiles are linearly interpolated inside
+    the winning bucket, which is as much resolution as fixed buckets
+    can honestly claim.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str],
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending and "
+                             "non-empty: %r" % (buckets,))
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, float(value))
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1), interpolated within its bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+        if count == 0:
+            return 0.0
+        rank = q * count
+        seen = 0.0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = (self.buckets[index] if index < len(self.buckets)
+                         else self.buckets[-1])
+                fraction = (rank - seen) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            seen += bucket_count
+        return self.buckets[-1]
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Per-bucket counts keyed by upper bound (``"+Inf"`` overflow)."""
+        with self._lock:
+            counts = list(self._counts)
+        view = {("%g" % bound): counts[index]
+                for index, bound in enumerate(self.buckets)}
+        view["+Inf"] = counts[-1]
+        return view
+
+    def identity(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join("%s=%s" % (k, v)
+                         for k, v in sorted(self.labels.items()))
+        return "%s{%s}" % (self.name, inner)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the ``--metrics-json`` artifact format)."""
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99), "buckets": self.bucket_counts()}
+
+
 class MetricsRegistry:
     """Thread-safe get-or-create store of named, labelled counters."""
 
@@ -104,6 +206,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
         self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                               Histogram] = {}
 
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _label_key(labels))
@@ -146,6 +250,27 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._gauges.values(), key=lambda g: g.identity())
 
+    # -- histograms ------------------------------------------------------
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = Histogram(name, labels, buckets=buckets)
+                self._histograms[key] = histogram
+            return histogram
+
+    def observe_histogram(self, name: str, value: float,
+                          **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def histograms(self) -> List[Histogram]:
+        with self._lock:
+            return sorted(self._histograms.values(),
+                          key=lambda h: h.identity())
+
     def counters(self) -> List[Counter]:
         with self._lock:
             return sorted(self._counters.values(),
@@ -174,19 +299,37 @@ class MetricsRegistry:
         return totals
 
     def render(self, only: Optional[Iterable[str]] = None) -> str:
-        """Printable dump, one ``identity value`` line per counter/gauge."""
+        """Printable dump, one ``identity value`` line per metric."""
         wanted = set(only) if only is not None else None
         lines = []
         for metric in list(self.counters()) + list(self.gauges()):
             if wanted is not None and metric.name not in wanted:
                 continue
             lines.append("%s %d" % (metric.identity(), metric.value))
+        for histogram in self.histograms():
+            if wanted is not None and histogram.name not in wanted:
+                continue
+            lines.append("%s count=%d mean=%.6f p95=%.6f"
+                         % (histogram.identity(), histogram.count,
+                            histogram.mean, histogram.quantile(0.95)))
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dump of every metric (the ``--metrics-json`` body)."""
+        return {
+            "counters": {counter.identity(): counter.value
+                         for counter in self.counters()},
+            "gauges": {gauge.identity(): gauge.value
+                       for gauge in self.gauges()},
+            "histograms": {histogram.identity(): histogram.to_dict()
+                           for histogram in self.histograms()},
+        }
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
 
 
 #: process-wide default registry for components not handed a private one

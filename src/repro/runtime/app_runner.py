@@ -29,6 +29,7 @@ from repro.core.tuples import DataTuple
 from repro.runtime.fabric import InProcFabric
 from repro.runtime.master import Master
 from repro.runtime.worker import WorkerRuntime
+from repro.trace import NULL_TRACER
 
 
 class SwingRuntime:
@@ -47,7 +48,8 @@ class SwingRuntime:
                  control_interval: float = 0.25,
                  seed: Optional[int] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 trace: Optional[object] = None) -> None:
         if master_id in worker_ids:
             raise RuntimeStateError("master id must not collide with workers")
         if not worker_ids:
@@ -58,11 +60,16 @@ class SwingRuntime:
         source_rate = self.requirement.input_rate
         self.overload = overload
         self.registry = registry
+        #: shared TraceSink (a :class:`repro.trace.Tracer`); every
+        #: device in the in-process swarm records into the same ring
+        self.tracer = trace if trace is not None else NULL_TRACER
+        trace = self.tracer
         self.fabric = InProcFabric(overload=overload, registry=registry)
         self.master = Master(master_id, self.fabric, graph, policy=policy,
                              source_rate=source_rate, seed=seed,
                              control_interval=control_interval,
-                             overload=overload, registry=registry)
+                             overload=overload, registry=registry,
+                             trace=trace)
         slowdowns = slowdowns or {}
         self.workers: Dict[str, WorkerRuntime] = {}
         for worker_id in worker_ids:
@@ -70,7 +77,7 @@ class SwingRuntime:
                 worker_id, self.fabric, graph, policy=policy,
                 slowdown=slowdowns.get(worker_id, 0.0), seed=seed,
                 control_interval=control_interval,
-                overload=overload, registry=registry)
+                overload=overload, registry=registry, trace=trace)
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import encode_tuple
+from repro.trace import NULL_TRACER, SERIALIZE, SHED, Span
 
 #: an instance is addressed as "unit@worker"
 InstanceId = str
@@ -71,9 +72,13 @@ class UpstreamDispatcher:
                  max_send_retries: int = 1,
                  ack_timeout: Optional[float] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 config: Optional[PolicyConfig] = None) -> None:
+                 config: Optional[PolicyConfig] = None,
+                 trace: Optional[object] = None,
+                 device_id: str = "") -> None:
         self.unit_name = unit_name
         self.edge = edge or unit_name
+        self.device_id = device_id
+        self._trace = trace if trace is not None else NULL_TRACER
         self._send = send
         self._clock = clock
         if config is None:
@@ -94,7 +99,8 @@ class UpstreamDispatcher:
                                         egress=_FabricEgress(self),
                                         registry=self._registry,
                                         name=self.edge,
-                                        max_decisions=DECISION_HISTORY)
+                                        max_decisions=DECISION_HISTORY,
+                                        trace=self._trace)
 
     # -- membership --------------------------------------------------------
     def set_downstreams(self, instances) -> None:
@@ -140,14 +146,34 @@ class UpstreamDispatcher:
         ``swing_tuples_shed_total{reason=expired}``.
         """
         now = self._clock()
+        tracer = self._trace
+        # The wire-carried context wins over the local sampling decision
+        # so every hop traces exactly the tuples the source sampled.
+        sampled = (data.trace.sampled if data.trace is not None
+                   else tracer.sampled(data.seq))
         if data.expired(now):
             self._registry.increment(metrics_mod.SHED_TOTAL,
                                      reason=overload_mod.REASON_EXPIRED,
                                      edge=self.edge)
+            if tracer.enabled:
+                tracer.emit(Span(SHED, data.seq, now, now,
+                                 device_id=self.device_id or self.edge,
+                                 hop="egress:%s" % self.edge,
+                                 detail=overload_mod.REASON_EXPIRED),
+                            sampled=sampled)
             return None
         self.controller.observe_arrival(now)
         self.controller.maybe_update(now)
-        payload = encode_tuple(data)
+        if tracer.enabled:
+            encode_started = self._clock()
+            payload = encode_tuple(data)
+            tracer.emit(Span(SERIALIZE, data.seq, encode_started,
+                             self._clock(),
+                             device_id=self.device_id or self.edge,
+                             hop="serialize:%s" % self.edge),
+                        sampled=sampled)
+        else:
+            payload = encode_tuple(data)
         return self.controller.dispatch(data.seq, context=payload)
 
     def unsatisfiable(self) -> bool:

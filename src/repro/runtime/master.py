@@ -90,7 +90,8 @@ class Master:
                  control_interval: float = 1.0,
                  heartbeat_timeout: float = 0.0,
                  overload: Optional[overload_mod.OverloadConfig] = None,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 trace: Optional[object] = None) -> None:
         graph.validate()
         if heartbeat_timeout < 0:
             raise DeploymentError("heartbeat timeout must be >= 0")
@@ -109,7 +110,7 @@ class Master:
             master_id, fabric, graph, policy=policy, source_rate=source_rate,
             seed=seed, control_interval=control_interval,
             control_handler=self._on_control,
-            overload=overload, registry=registry)
+            overload=overload, registry=registry, trace=trace)
         self.started = False
         if heartbeat_timeout > 0:
             self._detector_running.set()

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.exceptions import SerializationError
 from repro.core.tuples import DataTuple
+from repro.trace.spans import SpanContext
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -195,6 +196,8 @@ def encode_tuple(data: DataTuple) -> bytes:
     }
     if data.deadline is not None:
         fields["deadline"] = data.deadline
+    if data.trace is not None:
+        fields["trace"] = data.trace.to_dict()
     body = encode_value(fields)
     if len(body) > MAX_ENCODED_BYTES:
         raise SerializationError("tuple exceeds maximum encoded size")
@@ -208,4 +211,5 @@ def decode_tuple(payload: bytes) -> DataTuple:
         raise SerializationError("payload is not an encoded tuple")
     return DataTuple(values=decoded["values"], seq=decoded["seq"],
                      created_at=decoded["created_at"],
-                     deadline=decoded.get("deadline"))
+                     deadline=decoded.get("deadline"),
+                     trace=SpanContext.from_dict(decoded.get("trace")))

@@ -30,6 +30,8 @@ from repro.runtime.dispatcher import UpstreamDispatcher, instance_id
 from repro.runtime.fabric import Fabric, Mailbox
 from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import decode_tuple
+from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, SHED, Span,
+                         SpanContext)
 
 
 class WorkerRuntime:
@@ -45,7 +47,8 @@ class WorkerRuntime:
                  health: Optional[HealthMonitor] = None,
                  policy_config: Optional[PolicyConfig] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None) -> None:
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 trace: Optional[object] = None) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
         if heartbeat_interval < 0:
@@ -70,6 +73,9 @@ class WorkerRuntime:
                          else overload_mod.OverloadConfig())
         self._registry = (registry if registry is not None
                           else metrics_mod.REGISTRY)
+        #: TraceSink shared by this worker's units, dispatchers and the
+        #: data-plane handler; disabled unless the runtime injects one
+        self.tracer = trace if trace is not None else NULL_TRACER
         self._control_handler = control_handler
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_target = heartbeat_target
@@ -210,7 +216,8 @@ class WorkerRuntime:
                 policy=self.policy_name, seed=self.seed,
                 control_interval=self.control_interval, edge=key,
                 health=self.health, config=self.policy_config,
-                registry=self._registry)
+                registry=self._registry, trace=self.tracer,
+                device_id=self.worker_id)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)
@@ -243,6 +250,18 @@ class WorkerRuntime:
             return
         data = decode_tuple(message.payload["tuple"])
         started = time.monotonic()
+        tracer = self.tracer
+        sampled = (data.trace.sampled if data.trace is not None
+                   else tracer.sampled(data.seq))
+        if tracer.enabled:
+            # Mailbox wait + wire time, as observed by the shared
+            # in-process clock (sent_at is the sender's stamp).
+            tracer.emit(Span(QUEUE_WAIT, data.seq,
+                             message.payload["sent_at"], started,
+                             device_id=self.worker_id,
+                             hop="worker:%s" % self.worker_id,
+                             detail=unit_name),
+                        sampled=sampled)
         if data.expired(started):
             # Too stale to be useful: skip the compute but still ACK, so
             # the upstream's failure detector sees a healthy worker (a
@@ -251,6 +270,12 @@ class WorkerRuntime:
             self._registry.increment(metrics_mod.SHED_TOTAL,
                                      reason=overload_mod.REASON_EXPIRED,
                                      queue="worker:%s" % self.worker_id)
+            if tracer.enabled:
+                tracer.emit(Span(SHED, data.seq, started, started,
+                                 device_id=self.worker_id,
+                                 hop="worker:%s" % self.worker_id,
+                                 detail=overload_mod.REASON_EXPIRED),
+                            sampled=sampled)
             ack = messages.ack_message(message.payload["seq"],
                                        message.payload["sent_at"], 0.0)
             ack.payload["edge"] = message.payload.get("edge", "")
@@ -264,6 +289,12 @@ class WorkerRuntime:
         if self.slowdown > 0.0:
             time.sleep(self.slowdown * max(elapsed, 1e-6))
             elapsed = time.monotonic() - started
+        if tracer.enabled:
+            tracer.emit(Span(PROCESS, data.seq, started, started + elapsed,
+                             device_id=self.worker_id,
+                             hop="worker:%s" % self.worker_id,
+                             detail=unit_name),
+                        sampled=sampled)
         self.processed_count += 1
         ack = messages.ack_message(message.payload["seq"],
                                    message.payload["sent_at"], elapsed)
@@ -330,6 +361,12 @@ class WorkerRuntime:
                 if self.overload.ttl is not None and data.deadline is None:
                     base = data.created_at if data.created_at else started
                     data.deadline = self.overload.deadline_for(base)
+                if self.tracer.enabled and data.trace is None:
+                    # Stamp the sampling decision once, at the origin;
+                    # it rides the codec to every downstream hop.
+                    data.trace = SpanContext(
+                        sampled=self.tracer.sampled(data.seq),
+                        origin=unit_name)
                 unit.context.emit(data)  # fans out to every downstream edge
             if interval > 0:
                 leftover = interval - (time.monotonic() - started)

@@ -37,8 +37,9 @@ class EngineEgress:
 
 def engine_controller(sim: Simulator, config: PolicyConfig,
                       registry: Optional[metrics_mod.MetricsRegistry] = None,
-                      name: str = "") -> LrsController:
+                      name: str = "",
+                      trace: Optional[object] = None) -> LrsController:
     """Build an :class:`LrsController` wired to the engine's ports."""
     return LrsController(config, clock=lambda: sim.now,
                          egress=EngineEgress(sim), registry=registry,
-                         name=name)
+                         name=name, trace=trace)

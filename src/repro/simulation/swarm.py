@@ -45,6 +45,8 @@ from repro.simulation.mobility import MobilityPlan
 from repro.simulation.network import Network, RSSI_GOOD
 from repro.simulation.rng import RngRegistry
 from repro.simulation.workload import ACK_BYTES, Workload
+from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, SHED, Span,
+                         TRANSMIT, Tracer)
 
 #: sentinel for an unbounded source egress queue (Fig. 1 style experiments)
 UNBOUNDED_QUEUE = 0
@@ -187,6 +189,10 @@ class SwarmConfig:
     #: source admission control) shared verbatim with the threaded
     #: runtime; ``None`` keeps every mechanism off
     overload: Optional[OverloadConfig] = None
+    #: fraction of tuples traced through ``repro.trace`` (0.0 = tracing
+    #: off); sampling is deterministic in (seed, seq), so a seeded run
+    #: reproduces its trace exactly
+    trace_sample_rate: float = 0.0
 
     def overload_config(self) -> OverloadConfig:
         """This experiment's overload knobs (disabled-by-default)."""
@@ -242,6 +248,8 @@ class SwarmConfig:
             raise SimulationError("ack timeout must be positive")
         if self.dead_after < 1:
             raise SimulationError("dead_after must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise SimulationError("trace sample rate must be in [0, 1]")
         for fault in self.faults:
             if not isinstance(fault, (DeviceKillEvent, DeviceReviveEvent,
                                       MessageDropEvent, MessageDelayEvent)):
@@ -318,6 +326,13 @@ class _WorkerNode:
                 continue
             record = swarm.metrics.frame(frame.seq, frame.created_at)
             record.proc_started_at = sim.now
+            if swarm.tracer.enabled:
+                # Receiver-side queue wait: delivery to processing start
+                # (the analytic decomposition's "queuing" component).
+                swarm.tracer.emit(Span(QUEUE_WAIT, frame.seq,
+                                       record.tx_finished_at, sim.now,
+                                       device_id=self.device_id,
+                                       hop="ingress:%s" % self.device_id))
             self.current_seq = frame.seq
             jitter = swarm.rngs.lognormal_jitter(
                 "service:%s" % self.device_id, swarm.config.jitter_sigma)
@@ -329,6 +344,11 @@ class _WorkerNode:
             counters.busy_time += service
             yield sim.timeout(service)
             record.proc_finished_at = sim.now
+            if swarm.tracer.enabled:
+                swarm.tracer.emit(Span(PROCESS, frame.seq,
+                                       record.proc_started_at, sim.now,
+                                       device_id=self.device_id,
+                                       hop="worker:%s" % self.device_id))
             counters.frames_completed += 1
             self.current_seq = None
             self._send_result(frame, service)
@@ -364,11 +384,17 @@ class SwarmSimulation:
         # bleed sent/acked/lost counts into each other.
         self.registry = metrics_mod.MetricsRegistry()
         self.metrics = MetricsCollector(registry=self.registry)
+        #: TraceSink: every engine process emits the same span
+        #: vocabulary as the threaded runtime when sampling is on
+        self.tracer = (Tracer(sample_rate=config.trace_sample_rate,
+                              seed=config.seed, registry=self.registry)
+                       if config.trace_sample_rate > 0.0 else NULL_TRACER)
         # The same control plane the live runtime's dispatcher drives,
         # wired to the engine's clock/egress ports.
         self.controller: LrsController = engine_controller(
             self.sim, config.policy_config(seed=self.rngs.root_seed),
-            registry=self.registry, name=config.source.device_id)
+            registry=self.registry, name=config.source.device_id,
+            trace=self.tracer)
         self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
                                               timespan=config.reorder_timespan)
         self.nodes: Dict[str, _WorkerNode] = {}
@@ -548,6 +574,11 @@ class SwarmSimulation:
         self.metrics.drop(seq, drop_reason)
         self.registry.increment(metrics_mod.SHED_TOTAL, reason=shed_reason,
                                 queue=queue)
+        if self.tracer.enabled:
+            now = self.sim.now
+            device = queue.split(":", 1)[-1]
+            self.tracer.emit(Span(SHED, seq, now, now, device_id=device,
+                                  hop=queue, detail=shed_reason))
 
     def _message_fault(self, device_id: str) -> Tuple[bool, float]:
         """(drop?, extra delay) for a message involving *device_id* now."""
@@ -657,6 +688,14 @@ class SwarmSimulation:
                 self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
                 continue
             record.tx_started_at = self.sim.now
+            if self.tracer.enabled:
+                # Sender-side wait, frame creation to first byte on the
+                # wire (the "edge:" hop prefix files it under the
+                # transmission component, exactly the analytic
+                # decomposition's source-queue charge).
+                self.tracer.emit(Span(
+                    QUEUE_WAIT, frame.seq, frame.created_at, self.sim.now,
+                    device_id=config.source.device_id, hop=edge_name))
             link = self.network.link(destination)
             delivered = source_radio.connection(link).send(
                 config.workload.frame_bytes)
@@ -703,6 +742,11 @@ class SwarmSimulation:
             self._return_credit(destination)
             return
         record.tx_finished_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(Span(TRANSMIT, frame.seq,
+                                  record.tx_started_at, self.sim.now,
+                                  device_id=destination,
+                                  hop="link:%s" % destination))
         counters = self.metrics.device(destination)
         counters.frames_received += 1
         counters.bytes_received += self.config.workload.frame_bytes
@@ -845,6 +889,8 @@ class SwarmResult:
     shed_by_reason: Dict[str, int] = field(default_factory=dict)
     #: high-water queue depth per named queue over the whole run
     max_queue_depths: Dict[str, int] = field(default_factory=dict)
+    #: sampled spans recorded during the run (empty when tracing is off)
+    trace: List[Span] = field(default_factory=list)
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -888,6 +934,7 @@ class SwarmResult:
             shed_by_reason=swarm.registry.values_by_label(
                 metrics_mod.SHED_TOTAL, "reason"),
             max_queue_depths=max_depths,
+            trace=swarm.tracer.spans(),
         )
 
     # -- convenience views used by the benchmark harness -------------------

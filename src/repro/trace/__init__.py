@@ -1,0 +1,40 @@
+"""Per-tuple span tracing shared by both substrates.
+
+``repro.trace`` is the observability substrate under the paper's Fig. 2
+delay decomposition: a :class:`Span` vocabulary (queue-wait, serialize,
+transmit, process, ack-RTT, shed/retry) with tuple/hop/device
+attribution, a deterministic-sampling :class:`Tracer` over a lock-cheap
+:class:`TraceCollector` ring buffer, measured-delay analysis
+(:func:`delay_decomposition`, :func:`critical_path`), and exporters to
+JSONL and Chrome ``trace_event`` JSON (viewable in ``chrome://tracing``
+/ Perfetto).
+
+The runtime dispatcher/worker, the shared
+:class:`~repro.core.controller.LrsController`, and the simulation
+engine all emit the same vocabulary through the ``TraceSink`` port, so
+one analysis layer serves every substrate.
+"""
+
+from repro.trace.analysis import (COMPONENTS, critical_path,
+                                  delay_decomposition, spans_by_tuple,
+                                  summarize, traced_tuple_ids)
+from repro.trace.collector import (DEFAULT_CAPACITY, NULL_TRACER,
+                                   TraceCollector, Tracer, sample_key)
+from repro.trace.spans import (ACK_RTT, INSTANT_KINDS, PROCESS, QUEUE_WAIT,
+                               RETRY, SERIALIZE, SHED, SPAN_KINDS, TRANSMIT,
+                               Span, SpanContext)
+from repro.trace.export import (REQUIRED_EVENT_KEYS, read_jsonl,
+                                to_chrome_trace, to_jsonl,
+                                validate_chrome_trace, write_chrome_trace,
+                                write_jsonl)
+
+__all__ = [
+    "ACK_RTT", "COMPONENTS", "DEFAULT_CAPACITY", "INSTANT_KINDS",
+    "NULL_TRACER", "PROCESS", "QUEUE_WAIT", "REQUIRED_EVENT_KEYS", "RETRY",
+    "SERIALIZE", "SHED",
+    "SPAN_KINDS", "Span", "SpanContext", "TRANSMIT", "TraceCollector",
+    "Tracer", "critical_path", "delay_decomposition", "read_jsonl",
+    "sample_key", "spans_by_tuple", "summarize", "to_chrome_trace",
+    "to_jsonl", "traced_tuple_ids", "validate_chrome_trace",
+    "write_chrome_trace", "write_jsonl",
+]

@@ -1,0 +1,125 @@
+"""Trace analysis: measured delay decomposition + critical-path walking.
+
+The simulator has always been able to produce the paper's Fig. 2
+transmission/queuing/processing split *analytically* from its frame
+records.  This module computes the same split from **measured spans**,
+so the threaded runtime (and any future substrate) can answer "where
+did this tuple's 180 ms go?" from observations rather than models —
+and the two answers can be checked against each other (the trace
+parity test in ``tests/integration``).
+
+Bucketing rule, matching
+:meth:`repro.simulation.metrics.MetricsCollector.delay_decomposition`:
+
+* ``transmission`` — ``transmit`` spans, ``serialize`` spans, and
+  ``queue_wait`` spans on a sender-side (egress/mailbox-out) hop: all
+  cost of getting the tuple onto and across the wire, which is what
+  the paper's sender-side timestamping observes;
+* ``queuing`` — every other ``queue_wait`` (receiver-side ingress);
+* ``processing`` — ``process`` spans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.spans import (PROCESS, QUEUE_WAIT, SERIALIZE, SHED,
+                               TRANSMIT, Span)
+
+#: queue hops charged to the transmission component (sender side)
+_SENDER_HOP_PREFIXES = ("egress:", "edge:", "serialize:")
+
+COMPONENTS = ("transmission", "queuing", "processing")
+
+
+def _component_of(span: Span) -> Optional[str]:
+    if span.kind == PROCESS:
+        return "processing"
+    if span.kind in (TRANSMIT, SERIALIZE):
+        return "transmission"
+    if span.kind == QUEUE_WAIT:
+        if span.hop.startswith(_SENDER_HOP_PREFIXES):
+            return "transmission"
+        return "queuing"
+    return None  # ack_rtt / shed / retry are not delay components
+
+
+def spans_by_tuple(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    """Group spans by tuple seq, each group ordered by start time."""
+    grouped: Dict[int, List[Span]] = defaultdict(list)
+    for span in spans:
+        grouped[span.seq].append(span)
+    for group in grouped.values():
+        group.sort(key=lambda span: (span.start, span.end))
+    return dict(grouped)
+
+
+def delay_decomposition(spans: Iterable[Span]) -> Dict[str, float]:
+    """Mean transmission / queuing / processing seconds per traced tuple.
+
+    Only tuples that finished processing (carry at least one ``process``
+    span) contribute, mirroring the simulator's completed-frames
+    averaging; a tuple shed mid-pipeline would otherwise drag the means
+    toward whatever happened to be measured before the shed.
+    """
+    per_tuple: Dict[int, Dict[str, float]] = {}
+    completed = set()
+    for span in spans:
+        component = _component_of(span)
+        if span.kind == PROCESS:
+            completed.add(span.seq)
+        if component is None:
+            continue
+        bucket = per_tuple.setdefault(
+            span.seq, dict.fromkeys(COMPONENTS, 0.0))
+        bucket[component] += span.duration
+    rows = [per_tuple[seq] for seq in completed if seq in per_tuple]
+    if not rows:
+        return dict.fromkeys(COMPONENTS, 0.0)
+    return {component: sum(row[component] for row in rows) / len(rows)
+            for component in COMPONENTS}
+
+
+def traced_tuple_ids(spans: Iterable[Span]) -> List[int]:
+    """Distinct tuple seqs present in *spans*, ascending."""
+    return sorted({span.seq for span in spans})
+
+
+def critical_path(spans: Iterable[Span], seq: int
+                  ) -> List[Tuple[float, Span]]:
+    """Walk one tuple's spans in time order with the untraced gaps.
+
+    Returns ``(gap_before, span)`` pairs: ``gap_before`` is the time
+    between the previous span's end and this span's start that no span
+    accounts for (scheduling slack, untraced hops).  The walk answers
+    "where did this tuple's time go?" — the per-tuple view of the
+    decomposition.
+    """
+    mine = sorted((span for span in spans if span.seq == seq),
+                  key=lambda span: (span.start, span.end))
+    path: List[Tuple[float, Span]] = []
+    frontier: Optional[float] = None
+    for span in mine:
+        gap = 0.0 if frontier is None else max(0.0, span.start - frontier)
+        path.append((gap, span))
+        frontier = span.end if frontier is None else max(frontier, span.end)
+    return path
+
+
+def summarize(spans: Iterable[Span]) -> Dict[str, object]:
+    """Compact trace summary (the CLI table / ``--metrics-json`` block)."""
+    spans = list(spans)
+    by_kind: Dict[str, int] = defaultdict(int)
+    shed_reasons: Dict[str, int] = defaultdict(int)
+    for span in spans:
+        by_kind[span.kind] += 1
+        if span.kind == SHED and span.detail:
+            shed_reasons[span.detail] += 1
+    return {
+        "spans": len(spans),
+        "tuples": len(traced_tuple_ids(spans)),
+        "by_kind": dict(sorted(by_kind.items())),
+        "shed_reasons": dict(sorted(shed_reasons.items())),
+        "delay_decomposition": delay_decomposition(spans),
+    }

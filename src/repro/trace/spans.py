@@ -1,0 +1,145 @@
+"""Span model: the shared vocabulary of per-tuple timing events.
+
+A *span* is one timed segment of a tuple's life on one hop — waiting in
+a queue, being serialized, crossing a link, being processed — or an
+instantaneous event (a shed, a dispatch retry, an ACK round trip
+recorded at the upstream).  Both substrates emit the same vocabulary:
+the discrete-event simulator stamps spans with engine time, the
+threaded runtime with its injected monotonic clock, so the analysis and
+export layers never care which substrate produced a trace.
+
+Kinds
+-----
+
+``queue_wait``
+    Time spent parked in a named queue (source egress, worker ingress,
+    a runtime mailbox).  ``hop`` names the queue.
+``serialize``
+    Encoding the tuple for the wire (runtime only; the simulator models
+    transmission in bytes and has no codec on the data path).
+``transmit``
+    Crossing a link, sender push to receiver pop.
+``process``
+    The function unit's compute on the hosting device.
+``ack_rtt``
+    The upstream-observed round trip: tuple send to timestamp-echo
+    arrival.  Measured where the paper measures L_i, at the dispatcher.
+``shed``
+    Instantaneous: the tuple was dropped by overload protection;
+    ``detail`` carries the reason.
+``retry``
+    Instantaneous: the dispatcher re-routed the tuple after a failed
+    send; ``detail`` names the downstream that failed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+QUEUE_WAIT = "queue_wait"
+SERIALIZE = "serialize"
+TRANSMIT = "transmit"
+PROCESS = "process"
+ACK_RTT = "ack_rtt"
+SHED = "shed"
+RETRY = "retry"
+
+#: every kind the subsystem emits; exporters and tests validate against it
+SPAN_KINDS = frozenset({QUEUE_WAIT, SERIALIZE, TRANSMIT, PROCESS, ACK_RTT,
+                        SHED, RETRY})
+
+#: kinds with zero duration by construction (events, not intervals)
+INSTANT_KINDS = frozenset({SHED, RETRY})
+
+
+class Span:
+    """One timed segment (or instant event) in a tuple's life.
+
+    Plain ``__slots__`` class, not a dataclass: spans are created on the
+    per-tuple hot path and construction cost is part of the tracing
+    overhead budget.
+    """
+
+    __slots__ = ("kind", "seq", "start", "end", "device_id", "hop", "detail")
+
+    def __init__(self, kind: str, seq: int, start: float, end: float,
+                 device_id: str = "", hop: str = "", detail: str = "") -> None:
+        self.kind = kind
+        self.seq = seq
+        self.start = start
+        self.end = end
+        self.device_id = device_id
+        self.hop = hop
+        self.detail = detail
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds; never negative (clock skew clamps to 0)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (the JSONL exporter's row format)."""
+        return {"kind": self.kind, "seq": self.seq, "start": self.start,
+                "end": self.end, "device_id": self.device_id,
+                "hop": self.hop, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, Any]) -> "Span":
+        return cls(kind=row["kind"], seq=row["seq"], start=row["start"],
+                   end=row["end"], device_id=row.get("device_id", ""),
+                   hop=row.get("hop", ""), detail=row.get("detail", ""))
+
+    def _key(self):
+        return (self.kind, self.seq, self.start, self.end, self.device_id,
+                self.hop, self.detail)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("Span(%s, seq=%d, %0.6f..%0.6f, device=%r, hop=%r)"
+                % (self.kind, self.seq, self.start, self.end,
+                   self.device_id, self.hop))
+
+
+class SpanContext:
+    """Per-tuple trace metadata carried over the wire.
+
+    Stamped once at the source and propagated hop to hop through the
+    codec, so every device emits (or skips) spans for the same tuples
+    the source sampled — hop-local sampling decisions can never
+    disagree mid-pipeline even if device configs drift.
+    """
+
+    __slots__ = ("sampled", "origin")
+
+    def __init__(self, sampled: bool, origin: str = "") -> None:
+        self.sampled = bool(sampled)
+        self.origin = origin
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"sampled": self.sampled, "origin": self.origin}
+
+    @classmethod
+    def from_dict(cls, row: Optional[Dict[str, Any]]) -> Optional["SpanContext"]:
+        if not isinstance(row, dict):
+            return None
+        return cls(sampled=bool(row.get("sampled", False)),
+                   origin=str(row.get("origin", "")))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpanContext):
+            return NotImplemented
+        return (self.sampled, self.origin) == (other.sampled, other.origin)
+
+    def __hash__(self) -> int:
+        return hash((self.sampled, self.origin))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SpanContext(sampled=%r, origin=%r)" % (self.sampled,
+                                                       self.origin)

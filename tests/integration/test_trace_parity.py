@@ -1,0 +1,125 @@
+"""Measured (span) vs analytic (FrameRecord) delay decomposition parity.
+
+The simulator keeps analytic per-frame timestamps (``FrameRecord``) and,
+when tracing is on, also *measures* the same intervals by emitting spans
+at each hop.  The two decompositions must agree: a drift means a span is
+anchored at the wrong event.  The runtime half is a smoke test — wall
+times there are nondeterministic, so it asserts span presence and shape
+rather than exact values.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.function_unit import (CollectingSink, IterableSource,
+                                      LambdaUnit)
+from repro.core.graph import GraphBuilder
+from repro.runtime.app_runner import SwingRuntime
+from repro.trace import (ACK_RTT, COMPONENTS, PROCESS, QUEUE_WAIT, SERIALIZE,
+                         TRANSMIT, Tracer, delay_decomposition,
+                         spans_by_tuple, to_chrome_trace,
+                         validate_chrome_trace)
+from repro.simulation.scenarios import single_device
+from repro.simulation.swarm import run_swarm
+
+#: ISSUE acceptance bound: per-component relative tolerance
+TOLERANCE = 0.15
+
+
+def traced_run(sample_rate, duration=20.0, seed=0):
+    config = dataclasses.replace(single_device("B", duration=duration,
+                                               seed=seed),
+                                 trace_sample_rate=sample_rate)
+    return run_swarm(config)
+
+
+def assert_parity(measured, analytic):
+    for component in COMPONENTS:
+        expected = analytic[component]
+        got = measured[component]
+        if expected <= 1e-9:
+            assert got == pytest.approx(0.0, abs=1e-6), component
+        else:
+            assert abs(got - expected) / expected <= TOLERANCE, (
+                "%s: measured %.6f vs analytic %.6f"
+                % (component, got, expected))
+
+
+class TestSimulatorParity:
+    def test_full_sampling_matches_analytic_decomposition(self):
+        result = traced_run(sample_rate=1.0)
+        assert result.trace, "tracing produced no spans"
+        measured = delay_decomposition(result.trace)
+        assert_parity(measured, result.metrics.delay_decomposition())
+
+    def test_half_sampling_stays_within_tolerance(self):
+        # Sampling halves the population but the per-tuple intervals are
+        # unbiased, so the component means stay inside the bound.
+        result = traced_run(sample_rate=0.5)
+        measured = delay_decomposition(result.trace)
+        assert_parity(measured, result.metrics.delay_decomposition())
+
+    def test_sampling_decision_is_per_tuple(self):
+        full = traced_run(sample_rate=1.0, duration=10.0)
+        half = traced_run(sample_rate=0.5, duration=10.0)
+        full_ids = set(spans_by_tuple(full.trace))
+        half_ids = set(spans_by_tuple(half.trace))
+        assert half_ids < full_ids
+        # Every sampled tuple is traced end-to-end, not per-span.
+        kinds_by_tuple = {seq: {span.kind for span in spans}
+                          for seq, spans in spans_by_tuple(half.trace).items()}
+        completed = [kinds for kinds in kinds_by_tuple.values()
+                     if PROCESS in kinds]
+        assert completed
+        assert all(QUEUE_WAIT in kinds and TRANSMIT in kinds
+                   for kinds in completed)
+
+    def test_chrome_export_of_sim_trace_validates(self):
+        result = traced_run(sample_rate=1.0, duration=5.0)
+        events = validate_chrome_trace(to_chrome_trace(result.trace))
+        assert events
+        assert all(event["dur"] >= 0.0 and event["ts"] >= 0.0
+                   for event in events)
+
+    def test_tracing_off_by_default(self):
+        result = run_swarm(single_device("B", duration=2.0))
+        assert result.trace == []
+
+
+class TestRuntimeTracing:
+    def test_traced_runtime_emits_every_hop_kind(self):
+        graph = (GraphBuilder("traced")
+                 .source("src", lambda: IterableSource(
+                     [{"x": i} for i in range(20)]))
+                 .unit("double", lambda: LambdaUnit(
+                     lambda values: {"y": values["x"] * 2}))
+                 .sink("snk", CollectingSink)
+                 .chain("src", "double", "snk")
+                 .build())
+        tracer = Tracer(sample_rate=1.0, seed=0)
+        runtime = SwingRuntime(graph, worker_ids=["B", "C"],
+                               source_rate=300.0, trace=tracer)
+        results = runtime.run(until_idle=0.5, timeout=30.0)
+        assert len(results) == 20
+
+        spans = tracer.spans()
+        kinds = {span.kind for span in spans}
+        assert {QUEUE_WAIT, SERIALIZE, PROCESS, ACK_RTT} <= kinds
+        split = delay_decomposition(spans)
+        assert split["processing"] >= 0.0
+        assert sum(split.values()) > 0.0
+        events = validate_chrome_trace(to_chrome_trace(spans))
+        assert events
+
+    def test_untraced_runtime_emits_nothing(self):
+        graph = (GraphBuilder("plain")
+                 .source("src", lambda: IterableSource(
+                     [{"x": i} for i in range(5)]))
+                 .sink("snk", CollectingSink)
+                 .chain("src", "snk")
+                 .build())
+        runtime = SwingRuntime(graph, worker_ids=["B"], source_rate=300.0)
+        results = runtime.run(until_idle=0.4, timeout=30.0)
+        assert len(results) == 5
+        assert runtime.tracer.spans() == []

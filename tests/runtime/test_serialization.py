@@ -9,6 +9,7 @@ from repro.core.exceptions import SerializationError
 from repro.core.tuples import DataTuple
 from repro.runtime.serialization import (decode_tuple, decode_value,
                                          encode_tuple, encode_value)
+from repro.trace import SpanContext
 
 
 def roundtrip(value):
@@ -141,3 +142,31 @@ class TestTupleCodec:
         result = decode_tuple(encode_tuple(data))
         assert result.values == values
         assert result.seq == seq
+
+
+class TestSpanContextCodec:
+    def test_context_rides_the_wire(self):
+        data = DataTuple(values={"x": 1}, seq=7,
+                         trace=SpanContext(sampled=True, origin="camera"))
+        result = decode_tuple(encode_tuple(data))
+        assert result.trace is not None
+        assert result.trace.sampled is True
+        assert result.trace.origin == "camera"
+
+    def test_unsampled_context_roundtrips(self):
+        data = DataTuple(values={}, seq=1,
+                         trace=SpanContext(sampled=False, origin=""))
+        result = decode_tuple(encode_tuple(data))
+        assert result.trace is not None
+        assert result.trace.sampled is False
+
+    def test_absent_context_decodes_as_none(self):
+        data = DataTuple(values={"x": 1}, seq=3)
+        result = decode_tuple(encode_tuple(data))
+        assert result.trace is None
+
+    def test_context_survives_derive(self):
+        data = DataTuple(values={"x": 1}, seq=9,
+                         trace=SpanContext(sampled=True, origin="src"))
+        derived = data.derive(values={"y": 2})
+        assert derived.trace is data.trace

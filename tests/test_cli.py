@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.trace import read_jsonl, validate_chrome_trace
 
 
 class TestParser:
@@ -75,3 +78,58 @@ class TestCsvOption:
         text = path.read_text()
         assert text.startswith("seq,device_id")
         assert text.count("\n") > 50
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "single"
+        assert args.sample_rate == 1.0
+        assert args.out == "swing.trace.json"
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--sample-rate", "1.5"])
+
+    def test_trace_artifacts_written(self, capsys, tmp_path):
+        out = tmp_path / "run.trace.json"
+        jsonl = tmp_path / "spans.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["trace", "--duration", "4",
+                     "--out", str(out), "--jsonl", str(jsonl),
+                     "--metrics-json", str(metrics_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "measured" in printed
+        assert "analytic" in printed
+
+        trace = json.loads(out.read_text())
+        assert validate_chrome_trace(trace)
+        assert read_jsonl(jsonl)
+        metrics_doc = json.loads(metrics_path.read_text())
+        assert "metrics" in metrics_doc
+        assert "trace" in metrics_doc
+        assert metrics_doc["metrics"]["histograms"]
+
+    def test_testbed_scenario_supported(self, capsys, tmp_path):
+        out = tmp_path / "tb.trace.json"
+        assert main(["trace", "--scenario", "testbed", "--duration", "6",
+                     "--sample-rate", "0.5", "--out", str(out)]) == 0
+        assert validate_chrome_trace(json.loads(out.read_text()))
+
+
+class TestMetricsJsonOption:
+    def test_single_dumps_registry(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["single", "--device", "B", "--duration", "3",
+                     "--metrics-json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert set(doc) >= {"metrics"}
+        assert "counters" in doc["metrics"]
+
+    def test_testbed_dumps_registry(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["testbed", "--duration", "5",
+                     "--metrics-json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert any(name.startswith("swing_")
+                   for name in doc["metrics"]["counters"])

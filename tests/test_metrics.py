@@ -2,8 +2,10 @@
 
 import threading
 
+import pytest
+
 from repro import metrics as metrics_mod
-from repro.metrics import Counter, MetricsRegistry
+from repro.metrics import Counter, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -93,3 +95,100 @@ class TestRegistry:
 
     def test_global_registry_exists(self):
         assert isinstance(metrics_mod.REGISTRY, MetricsRegistry)
+
+
+class TestHistogram:
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}, buckets=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            Histogram("h", {}, buckets=())
+
+    def test_observe_accumulates(self):
+        histogram = Histogram("h", {})
+        for value in (0.002, 0.02, 0.2):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.222)
+        assert histogram.mean == pytest.approx(0.074)
+
+    def test_negative_observations_clamped(self):
+        histogram = Histogram("h", {})
+        histogram.observe(-5.0)
+        assert histogram.count == 1
+        assert histogram.total == 0.0
+
+    def test_quantiles_land_in_the_right_bucket(self):
+        histogram = Histogram("h", {}, buckets=(0.1, 1.0, 10.0))
+        for _ in range(90):
+            histogram.observe(0.05)
+        for _ in range(10):
+            histogram.observe(5.0)
+        assert histogram.quantile(0.5) <= 0.1
+        assert 1.0 <= histogram.quantile(0.99) <= 10.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h", {}).quantile(0.95) == 0.0
+
+    def test_bucket_counts_keys(self):
+        histogram = Histogram("h", {}, buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(50.0)
+        counts = histogram.bucket_counts()
+        assert counts == {"0.1": 1, "1": 0, "+Inf": 1}
+
+    def test_to_dict_shape(self):
+        histogram = Histogram("h", {"kind": "process"})
+        histogram.observe(0.3)
+        view = histogram.to_dict()
+        assert set(view) == {"count", "sum", "mean", "p50", "p95", "p99",
+                             "buckets"}
+        assert view["count"] == 1
+
+    def test_identity_includes_labels(self):
+        histogram = Histogram("h", {"kind": "transmit"})
+        assert histogram.identity() == "h{kind=transmit}"
+
+
+class TestRegistryHistograms:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", kind="process")
+        second = registry.histogram("lat", kind="process")
+        other = registry.histogram("lat", kind="transmit")
+        assert first is second
+        assert first is not other
+
+    def test_observe_helper(self):
+        registry = MetricsRegistry()
+        registry.observe_histogram("lat", 0.25, kind="process")
+        assert registry.histogram("lat", kind="process").count == 1
+
+    def test_render_includes_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe_histogram("lat", 0.25, kind="process")
+        rendered = registry.render()
+        assert "lat{kind=process} count=1" in rendered
+
+    def test_to_dict_sections(self):
+        registry = MetricsRegistry()
+        registry.increment("c_total")
+        registry.set_gauge("depth", 4, queue="ingress:B")
+        registry.observe_histogram("lat", 0.25)
+        view = registry.to_dict()
+        assert view["counters"] == {"c_total": 1}
+        assert view["gauges"] == {"depth{queue=ingress:B}": 4}
+        assert view["histograms"]["lat"]["count"] == 1
+
+    def test_reset_clears_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe_histogram("lat", 0.25)
+        registry.reset()
+        assert registry.histograms() == []
+
+    def test_histogram_constants_exported(self):
+        assert metrics_mod.ACK_RTT_SECONDS != metrics_mod.SPAN_SECONDS
+        assert metrics_mod.DEFAULT_BUCKETS == tuple(
+            sorted(metrics_mod.DEFAULT_BUCKETS))

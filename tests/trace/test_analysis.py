@@ -1,0 +1,113 @@
+"""Tests for measured delay decomposition and the critical-path walker."""
+
+import pytest
+
+from repro.trace import (ACK_RTT, PROCESS, QUEUE_WAIT, SERIALIZE, SHED,
+                        Span, TRANSMIT, critical_path, delay_decomposition,
+                        spans_by_tuple, summarize, traced_tuple_ids)
+
+
+def pipeline_spans(seq, base=0.0):
+    """One tuple's life: egress wait, serialize, transmit, ingress wait,
+    process."""
+    return [
+        Span(QUEUE_WAIT, seq, base, base + 0.10, device_id="A",
+             hop="egress:A"),
+        Span(SERIALIZE, seq, base + 0.10, base + 0.11, device_id="A",
+             hop="serialize:A"),
+        Span(TRANSMIT, seq, base + 0.11, base + 0.16, device_id="B",
+             hop="link:B"),
+        Span(QUEUE_WAIT, seq, base + 0.16, base + 0.36, device_id="B",
+             hop="ingress:B"),
+        Span(PROCESS, seq, base + 0.36, base + 0.56, device_id="B",
+             hop="worker:B"),
+    ]
+
+
+class TestDecomposition:
+    def test_components_bucketed_like_the_simulator(self):
+        split = delay_decomposition(pipeline_spans(0))
+        # egress queue_wait + serialize + transmit -> transmission
+        assert split["transmission"] == pytest.approx(0.16)
+        # receiver-side queue_wait -> queuing
+        assert split["queuing"] == pytest.approx(0.20)
+        assert split["processing"] == pytest.approx(0.20)
+
+    def test_mean_over_completed_tuples(self):
+        spans = pipeline_spans(0) + pipeline_spans(1, base=10.0)
+        # An incomplete tuple (no process span) must not drag the means.
+        spans.append(Span(QUEUE_WAIT, 2, 0.0, 50.0, hop="ingress:B"))
+        split = delay_decomposition(spans)
+        assert split["queuing"] == pytest.approx(0.20)
+        assert split["processing"] == pytest.approx(0.20)
+
+    def test_instants_do_not_contribute(self):
+        spans = pipeline_spans(0)
+        spans.append(Span(SHED, 0, 0.5, 0.5, detail="expired"))
+        spans.append(Span(ACK_RTT, 0, 0.0, 0.7, hop="egress:A"))
+        with_extras = delay_decomposition(spans)
+        assert with_extras == delay_decomposition(pipeline_spans(0))
+
+    def test_empty_input(self):
+        assert delay_decomposition([]) == {"transmission": 0.0,
+                                           "queuing": 0.0,
+                                           "processing": 0.0}
+
+
+class TestGroupingViews:
+    def test_spans_by_tuple_ordered_by_start(self):
+        spans = list(reversed(pipeline_spans(3)))
+        grouped = spans_by_tuple(spans)
+        assert list(grouped) == [3]
+        starts = [item.start for item in grouped[3]]
+        assert starts == sorted(starts)
+
+    def test_traced_tuple_ids(self):
+        spans = pipeline_spans(5) + pipeline_spans(2)
+        assert traced_tuple_ids(spans) == [2, 5]
+
+
+class TestCriticalPath:
+    def test_walk_reports_untraced_gaps(self):
+        spans = [
+            Span(QUEUE_WAIT, 1, 0.0, 0.1, hop="egress:A"),
+            # 0.2s of untraced slack between egress pop and the wire.
+            Span(TRANSMIT, 1, 0.3, 0.4, hop="link:B"),
+            Span(PROCESS, 1, 0.4, 0.6, hop="worker:B"),
+        ]
+        path = critical_path(spans, seq=1)
+        assert [round(gap, 6) for gap, _ in path] == [0.0, 0.2, 0.0]
+        assert [item.kind for _, item in path] == [QUEUE_WAIT, TRANSMIT,
+                                                   PROCESS]
+
+    def test_overlapping_spans_never_produce_negative_gaps(self):
+        spans = [
+            Span(QUEUE_WAIT, 1, 0.0, 0.5, hop="ingress:B"),
+            Span(PROCESS, 1, 0.2, 0.4, hop="worker:B"),
+            Span(TRANSMIT, 1, 0.6, 0.7, hop="link:B"),
+        ]
+        path = critical_path(spans, seq=1)
+        assert all(gap >= 0.0 for gap, _ in path)
+        # The frontier is the max end seen, so the transmit gap is
+        # measured from 0.5 (the queue wait's end), not 0.4.
+        assert path[-1][0] == pytest.approx(0.1)
+
+    def test_filters_other_tuples(self):
+        spans = pipeline_spans(1) + pipeline_spans(2)
+        path = critical_path(spans, seq=2)
+        assert all(item.seq == 2 for _, item in path)
+
+
+class TestSummarize:
+    def test_counts_and_shed_reasons(self):
+        spans = pipeline_spans(0)
+        spans.append(Span(SHED, 9, 1.0, 1.0, detail="queue_full"))
+        spans.append(Span(SHED, 10, 2.0, 2.0, detail="queue_full"))
+        summary = summarize(spans)
+        assert summary["spans"] == 7
+        assert summary["tuples"] == 3
+        assert summary["by_kind"][PROCESS] == 1
+        assert summary["shed_reasons"] == {"queue_full": 2}
+        assert set(summary["delay_decomposition"]) == {"transmission",
+                                                       "queuing",
+                                                       "processing"}

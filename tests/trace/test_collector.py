@@ -1,0 +1,156 @@
+"""Tests for the trace ring buffer and the deterministic sampler."""
+
+import threading
+
+import pytest
+
+from repro import metrics as metrics_mod
+from repro.core.exceptions import SimulationError
+from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, Span,
+                         TraceCollector, Tracer, sample_key)
+
+
+def span(seq, start=0.0, end=1.0, kind=PROCESS):
+    return Span(kind, seq, start, end, device_id="B", hop="worker:B")
+
+
+class TestSampleKey:
+    def test_deterministic(self):
+        assert sample_key(7, 42) == sample_key(7, 42)
+
+    def test_seed_changes_key(self):
+        keys = {sample_key(7, seed) for seed in range(32)}
+        assert len(keys) > 1
+
+    def test_uniform_enough(self):
+        # Keys spread over the 32-bit space: the sampled fraction at a
+        # 10% threshold lands near 10% for sequential seqs.
+        threshold = int(0.1 * 2**32)
+        hits = sum(1 for seq in range(10000)
+                   if sample_key(seq, 0) < threshold)
+        assert 800 <= hits <= 1200
+
+
+class TestTraceCollector:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            TraceCollector(capacity=0)
+
+    def test_records_below_capacity(self):
+        collector = TraceCollector(capacity=8)
+        for seq in range(5):
+            collector.record(span(seq))
+        assert len(collector) == 5
+        assert [item.seq for item in collector.spans()] == [0, 1, 2, 3, 4]
+
+    def test_evicts_oldest_above_capacity(self):
+        collector = TraceCollector(capacity=4)
+        for seq in range(10):
+            collector.record(span(seq))
+        assert collector.recorded == 10
+        assert len(collector) == 4
+        assert [item.seq for item in collector.spans()] == [6, 7, 8, 9]
+
+    def test_clear(self):
+        collector = TraceCollector(capacity=4)
+        collector.record(span(0))
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.spans() == []
+
+    def test_concurrent_writers_no_lost_or_torn_spans(self):
+        # 8 threads x 500 spans fit below capacity: every span must be
+        # retained intact (the lock-cheap ring's core guarantee).
+        threads_count, per_thread = 8, 500
+        collector = TraceCollector(capacity=threads_count * per_thread)
+        barrier = threading.Barrier(threads_count)
+
+        def writer(thread_index):
+            barrier.wait()
+            for item in range(per_thread):
+                seq = thread_index * per_thread + item
+                collector.record(
+                    Span(PROCESS, seq, float(seq), float(seq) + 1.0,
+                         device_id="d%d" % thread_index,
+                         hop="worker:d%d" % thread_index))
+
+        threads = [threading.Thread(target=writer, args=(index,))
+                   for index in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = collector.spans()
+        assert len(spans) == threads_count * per_thread
+        seen = set()
+        for item in spans:
+            # Torn spans would break the seq <-> device/timing coupling.
+            thread_index = item.seq // per_thread
+            assert item.device_id == "d%d" % thread_index
+            assert item.start == float(item.seq)
+            assert item.end == float(item.seq) + 1.0
+            seen.add(item.seq)
+        assert seen == set(range(threads_count * per_thread))
+
+    def test_concurrent_writers_above_capacity_keep_only_capacity(self):
+        collector = TraceCollector(capacity=64)
+        threads = [threading.Thread(
+            target=lambda base=base: [collector.record(span(base + item))
+                                      for item in range(100)])
+            for base in (0, 1000, 2000, 3000)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert collector.recorded == 400
+        assert len(collector.spans()) <= 64
+
+
+class TestTracer:
+    def test_sample_rate_validated(self):
+        with pytest.raises(SimulationError):
+            Tracer(sample_rate=1.5)
+
+    def test_rate_one_traces_everything(self):
+        tracer = Tracer(sample_rate=1.0, seed=3)
+        assert all(tracer.sampled(seq) for seq in range(100))
+
+    def test_rate_zero_traces_nothing(self):
+        tracer = Tracer(sample_rate=0.0, seed=3)
+        assert not any(tracer.sampled(seq) for seq in range(100))
+
+    def test_sampling_deterministic_across_tracers(self):
+        # Two hops with the same seed make identical decisions without
+        # any coordination.
+        first = Tracer(sample_rate=0.3, seed=9)
+        second = Tracer(sample_rate=0.3, seed=9)
+        decisions = [first.sampled(seq) for seq in range(200)]
+        assert decisions == [second.sampled(seq) for seq in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_emit_respects_override(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.emit(span(1), sampled=True)
+        assert [item.seq for item in tracer.spans()] == [1]
+        assert not tracer.emit(span(2), sampled=False)
+
+    def test_emit_records_histogram_even_when_sampled_out(self):
+        registry = metrics_mod.MetricsRegistry()
+        tracer = Tracer(sample_rate=0.0, registry=registry)
+        tracer.emit(span(5, start=0.0, end=0.25))
+        assert tracer.spans() == []
+        histogram = registry.histogram(metrics_mod.SPAN_SECONDS,
+                                       kind=PROCESS)
+        assert histogram.count == 1
+        assert histogram.total == pytest.approx(0.25)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER.sampled(0)
+        assert not NULL_TRACER.emit(span(0))
+        assert NULL_TRACER.spans() == []
+
+    def test_span_kind_vocabulary(self):
+        assert QUEUE_WAIT in {"queue_wait"}
+        assert span(0).duration == 1.0
+        assert span(0, start=2.0, end=1.0).duration == 0.0  # clamped

@@ -1,0 +1,118 @@
+"""Tests for the JSONL and Chrome trace_event exporters."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.trace import (PROCESS, QUEUE_WAIT, REQUIRED_EVENT_KEYS, Span,
+                         TRANSMIT, read_jsonl, to_chrome_trace, to_jsonl,
+                         validate_chrome_trace, write_chrome_trace,
+                         write_jsonl)
+
+
+def sample_spans():
+    return [
+        Span(QUEUE_WAIT, 1, 0.0, 0.1, device_id="A", hop="egress:A",
+             detail="face"),
+        Span(TRANSMIT, 1, 0.1, 0.2, device_id="B", hop="link:B"),
+        Span(PROCESS, 1, 0.2, 0.5, device_id="B", hop="worker:B"),
+        Span(PROCESS, 2, 0.6, 0.9, device_id="B", hop="worker:B"),
+    ]
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        text = to_jsonl(sample_spans())
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        assert json.loads(lines[0])["kind"] == QUEUE_WAIT
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(sample_spans(), path)
+        assert read_jsonl(path) == sample_spans()
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(to_jsonl(sample_spans()[:1]) + "\n\n")
+        assert len(read_jsonl(path)) == 1
+
+
+class TestChromeTrace:
+    def test_duration_events_carry_required_keys(self):
+        trace = to_chrome_trace(sample_spans())
+        events = [event for event in trace["traceEvents"]
+                  if event["ph"] == "X"]
+        assert len(events) == 4
+        for event in events:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in event
+
+    def test_microsecond_units(self):
+        trace = to_chrome_trace(sample_spans()[:1])
+        event = [item for item in trace["traceEvents"]
+                 if item["ph"] == "X"][0]
+        assert event["ts"] == pytest.approx(0.0)
+        assert event["dur"] == pytest.approx(0.1 * 1e6)
+
+    def test_lane_assignment(self):
+        trace = to_chrome_trace(sample_spans())
+        events = [event for event in trace["traceEvents"]
+                  if event["ph"] == "X"]
+        # Devices map to distinct pids; hops on a device to distinct
+        # tids; same (device, hop) shares a lane.
+        device_a = [e for e in events if e["args"]["hop"] == "egress:A"]
+        worker_b = [e for e in events if e["args"]["hop"] == "worker:B"]
+        link_b = [e for e in events if e["args"]["hop"] == "link:B"]
+        assert device_a[0]["pid"] != worker_b[0]["pid"]
+        assert worker_b[0]["pid"] == link_b[0]["pid"]
+        assert worker_b[0]["tid"] != link_b[0]["tid"]
+        assert len({e["tid"] for e in worker_b}) == 1
+
+    def test_metadata_names_devices_and_hops(self):
+        trace = to_chrome_trace(sample_spans())
+        metadata = [event for event in trace["traceEvents"]
+                    if event["ph"] == "M"]
+        names = {event["args"]["name"] for event in metadata}
+        assert "device A" in names
+        assert "worker:B" in names
+
+    def test_validate_accepts_own_output(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(sample_spans(), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        events = validate_chrome_trace(trace)
+        assert len(events) == 4
+        assert all(event["dur"] >= 0.0 for event in events)
+
+    def test_validate_rejects_missing_keys(self):
+        trace = to_chrome_trace(sample_spans())
+        bad = [event for event in trace["traceEvents"]
+               if event["ph"] == "X"][0]
+        del bad["dur"]
+        with pytest.raises(SerializationError):
+            validate_chrome_trace(trace)
+
+    def test_validate_rejects_negative_duration(self):
+        trace = to_chrome_trace(sample_spans())
+        event = [item for item in trace["traceEvents"]
+                 if item["ph"] == "X"][0]
+        event["dur"] = -1.0
+        with pytest.raises(SerializationError):
+            validate_chrome_trace(trace)
+
+    def test_validate_rejects_unknown_kind(self):
+        trace = to_chrome_trace(sample_spans())
+        event = [item for item in trace["traceEvents"]
+                 if item["ph"] == "X"][0]
+        event["name"] = "mystery"
+        with pytest.raises(SerializationError):
+            validate_chrome_trace(trace)
+
+    def test_validate_rejects_non_trace_objects(self):
+        with pytest.raises(SerializationError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(SerializationError):
+            validate_chrome_trace({"traceEvents": "nope"})
