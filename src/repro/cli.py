@@ -152,6 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "queue-depth gauges")
     _add_metrics_json(overload)
 
+    churn = sub.add_parser("churn",
+                           help="churn soak: seeded kill/leave/rejoin "
+                                "schedule under at-least-once delivery")
+    churn.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    churn.add_argument("--app", type=_app, default="face")
+    churn.add_argument("--duration", type=float, default=40.0)
+    churn.add_argument("--seed", type=int, default=7)
+    churn.add_argument("--best-effort", action="store_true",
+                       help="run the same schedule without replay/dedup "
+                            "(reproduces today's loss accounting)")
+    churn.add_argument("--settle", type=float, default=10.0,
+                       help="churn stops this many seconds before the end "
+                            "so outstanding redeliveries can land")
+    churn.add_argument("--metrics", action="store_true",
+                       help="print the run's delivery/loss counters")
+    _add_metrics_json(churn)
+
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
     cloudlet.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
@@ -381,6 +398,54 @@ def cmd_overload(args) -> int:
     return 0
 
 
+def cmd_churn(args) -> int:
+    config = scenarios.churn(app=args.app, policy=args.policy,
+                             duration=args.duration, seed=args.seed,
+                             at_least_once=not args.best_effort,
+                             settle=args.settle)
+    result = run_swarm(config)
+    schedule = config.churn
+    assert schedule is not None
+    mode = "best-effort" if args.best_effort else "at-least-once"
+    print("churn soak: %s under %s (%s), %d events over %.0fs"
+          % (args.app, args.policy, mode, len(schedule), args.duration))
+    print("schedule: %s"
+          % "; ".join("t=%.1fs %s %s" % (event.time, event.action,
+                                         event.device_id)
+                      for event in schedule))
+    series = result.throughput_series()
+    print("throughput: [%s] peak %.0f FPS"
+          % (sparkline(series, peak=28.0), max(series)))
+    # Judge loss on frames old enough that every redelivery had time to
+    # land: the settle window at the end of the run.
+    horizon = args.duration - args.settle / 2.0
+    losses = result.end_to_end_losses(horizon)
+    drains = ", ".join("%s=%.2fs" % item
+                       for item in sorted(result.drain_seconds.items()))
+    evictions = ", ".join("%s=%d" % item
+                          for item in
+                          sorted(result.replay_evicted_by_reason.items()))
+    print(format_table(
+        ["metric", "value"],
+        [("throughput", "%.1f FPS" % result.throughput),
+         ("frames dropped", str(result.frames_lost)),
+         ("end-to-end lost", str(len(losses))),
+         ("redelivered", str(result.redelivered)),
+         ("sink duplicates deduped", str(result.deduped)),
+         ("replay evictions", evictions or "none"),
+         ("retained at end", str(result.replay_depth_end)),
+         ("graceful drains", drains or "none")],
+        min_width=24))
+    if args.metrics:
+        _print_registry(result)
+    _write_metrics_json(result, args)
+    if not args.best_effort and losses:
+        print("FAIL: %d tuple(s) lost end-to-end under at-least-once "
+              "delivery: %s" % (len(losses), losses[:20]))
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     if args.scenario == "single":
         from repro.simulation.network import rssi_for_region
@@ -452,6 +517,7 @@ COMMANDS = {
     "cloudlet": cmd_cloudlet,
     "faults": cmd_faults,
     "overload": cmd_overload,
+    "churn": cmd_churn,
     "trace": cmd_trace,
 }
 

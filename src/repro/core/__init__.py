@@ -1,6 +1,9 @@
 """Core dataflow model and resource-management algorithms (the paper's contribution)."""
 
 from repro.core.controller import AckResult, LrsController, PolicyConfig
+from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT, ChurnEvent,
+                                 ChurnSchedule, DedupWindow, DeliveryConfig,
+                                 ReplayBuffer, ReplayEntry)
 from repro.core.exceptions import (DeploymentError, DiscoveryError, GraphError,
                                    GraphValidationError, PolicyError,
                                    RoutingError, RuntimeStateError, SchemaError,
@@ -23,7 +26,9 @@ from repro.core.selection import WorkerSelector, select_all, select_min_prefix
 from repro.core.tuples import DataTuple, HopTiming, TupleSchema, make_stream
 
 __all__ = [
-    "AckResult", "AppGraph", "AckTracker", "CollectingSink", "DataTuple",
+    "AT_LEAST_ONCE", "AckResult", "AppGraph", "AckTracker", "BEST_EFFORT",
+    "ChurnEvent", "ChurnSchedule", "CollectingSink", "DataTuple",
+    "DedupWindow", "DeliveryConfig",
     "DeploymentError", "DiscoveryError", "DownstreamStats", "EwmaEstimator",
     "FunctionUnit", "FunctionUnitSpec", "GraphBuilder", "GraphError",
     "GraphValidationError", "HopTiming", "IterableSource", "LambdaUnit",
@@ -31,7 +36,8 @@ __all__ = [
     "MovingAverageEstimator", "POLICY_NAMES", "PerformanceRequirement",
     "PlaybackRecord", "PolicyConfig", "PolicyDecision", "PolicyError",
     "RateMeter",
-    "ReorderBuffer", "ReorderingSink", "RoundRobinCycler", "RoutingError",
+    "ReorderBuffer", "ReorderingSink", "ReplayBuffer", "ReplayEntry",
+    "RoundRobinCycler", "RoutingError",
     "RoutingPolicy",
     "RoutingTable", "RuntimeStateError", "SMOOTH_VIDEO_FPS", "SchemaError",
     "SerializationError", "SimulationError", "SinkUnit", "SourceUnit",

@@ -58,6 +58,8 @@ from typing import (Callable, Deque, Dict, Iterable, List, Mapping, Optional,
                     Tuple, Union)
 
 from repro import metrics as metrics_mod
+from repro.core.delivery import (EVICT_ATTEMPTS, EVICT_EXPIRED,
+                                 DeliveryConfig, ReplayBuffer, ReplayEntry)
 from repro.core.exceptions import RoutingError
 from repro.core.latency import AckTracker, DownstreamStats, RateMeter
 from repro.core.overload import OverloadConfig
@@ -108,10 +110,19 @@ class PolicyConfig:
     #: both the runtime's dispatchers/workers and the simulator consume
     #: the same object, so shedding decisions replay identically
     overload: Optional[OverloadConfig] = None
+    # -- delivery semantics ------------------------------------------------
+    #: replay/dedup knobs (``None`` = historical best-effort delivery);
+    #: like ``overload``, one object drives both substrates so churn
+    #: recovery decisions replay identically
+    delivery: Optional[DeliveryConfig] = None
 
     def overload_config(self) -> OverloadConfig:
         """The effective overload knobs (defaults when unset)."""
         return self.overload if self.overload is not None else OverloadConfig()
+
+    def delivery_config(self) -> DeliveryConfig:
+        """The effective delivery knobs (best-effort defaults when unset)."""
+        return self.delivery if self.delivery is not None else DeliveryConfig()
 
     def policy_kwargs(self) -> Dict[str, object]:
         """Constructor kwargs for this config's policy class."""
@@ -163,7 +174,9 @@ class LrsController:
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  name: str = "",
                  max_decisions: Optional[int] = None,
-                 trace: Optional[object] = None) -> None:
+                 trace: Optional[object] = None,
+                 redelivery: Optional[Callable[[int, str, object, int],
+                                               None]] = None) -> None:
         self.config = config if config is not None else PolicyConfig()
         self.name = name
         self._clock = clock
@@ -176,6 +189,21 @@ class LrsController:
         self._rate = RateMeter(window=self.config.rate_window)
         self._lock = threading.RLock()
         self._last_update = clock()
+        # -- at-least-once delivery (None = historical best-effort) ------
+        delivery = self.config.delivery
+        self._replay: Optional[ReplayBuffer] = None
+        self._redelivery_timeout = self.config.ack_timeout
+        if delivery is not None and delivery.at_least_once:
+            self._replay = ReplayBuffer(delivery, registry=self._registry,
+                                        name=name or "-")
+            if delivery.redelivery_timeout is not None:
+                self._redelivery_timeout = delivery.redelivery_timeout
+        #: substrate hook run after each successful redelivery send; the
+        #: simulator uses it to put the frame back on the radio (the
+        #: runtime's egress already delivers, so it leaves this unset)
+        self.on_redeliver = redelivery
+        self._redeliver_queue: Deque[Union[str, ReplayEntry]] = deque()
+        self._redelivering = False
         #: update-round log: (time, decision); capped when the hosting
         #: substrate is long-lived (the runtime), unbounded in the
         #: duration-limited simulator and the parity harness
@@ -194,12 +222,21 @@ class LrsController:
             # tracker's alive flag, not re-admission, governs routing.
             self._policy.on_downstream_added(downstream_id)
 
-    def remove_downstream(self, downstream_id: str) -> None:
-        """Forget a downstream entirely (link broke / LEAVE observed)."""
+    def remove_downstream(self, downstream_id: str,
+                          redeliver: bool = True) -> None:
+        """Forget a downstream entirely (link broke / LEAVE observed).
+
+        With at-least-once delivery the tuples retained for the removed
+        member are redelivered to survivors unless ``redeliver=False``
+        (a graceful drain keeps the departing worker responsible for
+        its queue; the stale-ACK sweep still covers stragglers).
+        """
         with self._lock:
             self._tracker.remove_downstream(downstream_id)
             if downstream_id in self._policy.downstream_ids():
                 self._policy.on_downstream_removed(downstream_id)
+        if redeliver:
+            self._request_redelivery(downstream_id)
 
     def set_downstreams(self, downstream_ids: Iterable[str]) -> None:
         """Reconcile the member set against a deploy update."""
@@ -264,26 +301,33 @@ class LrsController:
         with self._lock:
             self._tracker.record_send(seq, downstream_id, now)
 
-    def dispatch(self, seq: int, context: Optional[object] = None
-                 ) -> Optional[str]:
+    def dispatch(self, seq: int, context: Optional[object] = None,
+                 deadline: Optional[float] = None) -> Optional[str]:
         """Route + send one tuple; returns the chosen downstream or None.
 
         A failed egress send dead-marks the downstream — kept in the
         membership so probing can resurrect it, but excluded from
         routing — and the tuple is re-routed to the next live member
         (Sec. IV-C).  ``context`` is passed through to the egress
-        opaquely (the runtime uses it for the encoded payload).
+        opaquely (the runtime uses it for the encoded payload); with
+        at-least-once delivery it is also retained for replay until the
+        ACK arrives, and ``deadline`` bounds how long replay may keep
+        trying (an expired tuple is evicted, not redelivered — overload
+        protection wins).
         """
         with self._lock:
             try:
                 chosen = self._policy.route()
             except RoutingError:
-                return None
+                chosen = None
         tried = set()
         while chosen is not None:
             sent_at = self._send(chosen, seq, context)
             if sent_at is not None:
                 self.record_send(seq, chosen, sent_at)
+                if self._replay is not None and context is not None:
+                    self._replay.retain(seq, chosen, context, now=sent_at,
+                                        deadline=deadline)
                 if tried:
                     self._registry.increment(metrics_mod.REROUTED_TOTAL,
                                              downstream=chosen)
@@ -298,6 +342,11 @@ class LrsController:
             tried.add(chosen)
             self.mark_dead(chosen)
             chosen = self._fallback(tried)
+        if self._replay is not None and context is not None:
+            # No live member took the tuple: retain it unassigned so the
+            # next redelivery sweep can place it once someone comes back.
+            self._replay.retain(seq, None, context, now=self._clock(),
+                                deadline=deadline)
         return None
 
     def _send(self, downstream_id: str, seq: int,
@@ -326,6 +375,7 @@ class LrsController:
         with self._lock:
             self._tracker.mark_dead(downstream_id)
             self._policy.mark_dead(downstream_id)
+        self._request_redelivery(downstream_id)
 
     def on_ack(self, seq: int, processing_delay: Optional[float] = None,
                now: Optional[float] = None,
@@ -339,6 +389,10 @@ class LrsController:
         """
         if now is None:
             now = self._clock()
+        if self._replay is not None:
+            # Any ACK for this seq releases retention — including one
+            # from a previous delivery attempt racing a redelivery.
+            self._replay.release(seq)
         with self._lock:
             downstream_id = self._tracker.pending_downstream(seq)
             sample = self._tracker.record_ack(
@@ -371,17 +425,25 @@ class LrsController:
         """Lazy once-per-interval policy round (the runtime's trigger)."""
         if now is None:
             now = self._clock()
+        ran = False
         with self._lock:
             if now - self._last_update >= self.config.control_interval:
-                return self._update_locked(now)
-            return self._policy.last_decision
+                decision = self._update_locked(now)
+                ran = True
+            else:
+                decision = self._policy.last_decision
+        if ran:
+            self._sweep_replay(now)
+        return decision
 
     def update(self, now: Optional[float] = None) -> PolicyDecision:
         """Run a policy round immediately (periodic processes, tests)."""
         if now is None:
             now = self._clock()
         with self._lock:
-            return self._update_locked(now)
+            decision = self._update_locked(now)
+        self._sweep_replay(now)
+        return decision
 
     def _update_locked(self, now: float) -> PolicyDecision:
         self._last_update = now
@@ -395,6 +457,130 @@ class LrsController:
             self._registry.increment(metrics_mod.PROBE_WINDOWS_TOTAL,
                                      edge=self.name or "-")
         return decision
+
+    # -- at-least-once replay --------------------------------------------
+    def replay_holds(self, seq: int) -> bool:
+        """Whether the replay buffer still owns *seq* (not yet ACKed).
+
+        Substrates use this to gate loss accounting: a tuple that is
+        still retained is recoverable, not lost.
+        """
+        return self._replay is not None and self._replay.holds(seq)
+
+    def replay_depth(self) -> int:
+        return len(self._replay) if self._replay is not None else 0
+
+    def release_replay(self, seq: int, reason: str) -> bool:
+        """Give up retention of *seq* for *reason* (e.g. it was shed).
+
+        Overload protection wins over delivery guarantees: once a tuple
+        is shed there is no point redelivering it, so the substrate
+        evicts it here (counted, never silent).
+        """
+        if self._replay is None:
+            return False
+        return self._replay.evict(seq, reason)
+
+    def _sweep_replay(self, now: float) -> None:
+        """Redeliver retained tuples whose ACK is overdue."""
+        if self._replay is None:
+            return
+        stale = self._replay.take_stale(now - self._redelivery_timeout)
+        if not stale:
+            return
+        with self._lock:
+            self._redeliver_queue.extend(stale)
+        self._drain_redeliveries()
+
+    def _request_redelivery(self, downstream_id: str) -> None:
+        """Queue redelivery of everything assigned to *downstream_id*."""
+        if self._replay is None:
+            return
+        with self._lock:
+            self._redeliver_queue.append(downstream_id)
+        self._drain_redeliveries()
+
+    def _drain_redeliveries(self) -> None:
+        """Work through the redelivery queue, one entry at a time.
+
+        A failed redelivery send dead-marks its target, which enqueues
+        that target's entries here rather than recursing — the
+        ``_redelivering`` guard keeps exactly one drain active.
+        """
+        with self._lock:
+            if self._redelivering:
+                return
+            self._redelivering = True
+        try:
+            while True:
+                with self._lock:
+                    if not self._redeliver_queue:
+                        return
+                    item = self._redeliver_queue.popleft()
+                entries = (self._replay.take_for(item)
+                           if isinstance(item, str) else [item])
+                for entry in entries:
+                    self._redeliver_entry(entry)
+        finally:
+            with self._lock:
+                self._redelivering = False
+
+    def _redeliver_entry(self, entry: ReplayEntry) -> None:
+        now = self._clock()
+        if entry.deadline is not None and now > entry.deadline:
+            # Shed-aware: an expired tuple would be dropped on arrival
+            # anyway, so redelivering it only wastes the network.
+            self._replay.discard(entry, EVICT_EXPIRED)
+            return
+        if entry.attempt >= self.config.delivery_config() \
+                .max_delivery_attempts:
+            self._replay.discard(entry, EVICT_ATTEMPTS)
+            return
+        tried = {entry.downstream} if entry.downstream is not None else set()
+        chosen = self._fallback(tried)
+        if chosen is None and entry.downstream is not None \
+                and self.is_alive(entry.downstream):
+            chosen = entry.downstream  # sole survivor: retry in place
+        while chosen is not None:
+            sent_at = self._send_redelivery(chosen, entry)
+            if sent_at is not None:
+                attempt = entry.attempt + 1
+                self.record_send(entry.seq, chosen, sent_at)
+                self._replay.retain(entry.seq, chosen, entry.context,
+                                    now=sent_at, deadline=entry.deadline,
+                                    attempt=attempt, nbytes=entry.nbytes)
+                self._registry.increment(metrics_mod.REDELIVERED_TOTAL,
+                                         downstream=chosen,
+                                         edge=self.name or "-")
+                if self._trace.enabled:
+                    self._trace.emit(Span(
+                        RETRY, entry.seq, sent_at, sent_at,
+                        device_id=self.name or "-",
+                        hop="egress:%s" % (self.name or "-"),
+                        detail="redeliver:%s>%s#%d"
+                               % (entry.downstream or "-", chosen, attempt)))
+                if self.on_redeliver is not None:
+                    self.on_redeliver(entry.seq, chosen, entry.context,
+                                      attempt)
+                return
+            tried.add(chosen)
+            self.mark_dead(chosen)
+            chosen = self._fallback(tried)
+        # Nobody can take it right now: keep it (unassigned) for the
+        # next sweep instead of dropping it on the floor.
+        self._replay.retain(entry.seq, None, entry.context,
+                            now=entry.sent_at, deadline=entry.deadline,
+                            attempt=entry.attempt, nbytes=entry.nbytes)
+
+    def _send_redelivery(self, downstream_id: str,
+                         entry: ReplayEntry) -> Optional[float]:
+        if self._egress is None:
+            return self._clock()
+        send_redelivery = getattr(self._egress, "send_redelivery", None)
+        if send_redelivery is not None:
+            return send_redelivery(downstream_id, entry.seq, entry.context,
+                                   entry.attempt + 1)
+        return self._egress.send(downstream_id, entry.seq, entry.context)
 
     # -- snapshots -------------------------------------------------------
     @property

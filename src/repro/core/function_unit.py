@@ -159,17 +159,34 @@ class ReorderingSink(SinkUnit):
     ``results`` (inherited) keeps the raw arrival order.  The buffer is
     sized as a timespan of the source rate, defaulting to the paper's
     one second.
+
+    Duplicate policy: a ``seq`` already seen inside the dedup window is
+    dropped before it reaches ``results`` or the buffer, and counted in
+    ``duplicates_dropped``.  At-least-once delivery (and plain network
+    retries) may replay a tuple; without this, ``results`` silently
+    double-counted throughput while the playback path dropped the copy
+    — two different answers from one sink.  The window defaults to four
+    buffer timespans, bounding memory on long runs.
     """
 
     def __init__(self, source_rate: float = 24.0,
-                 timespan: float = 1.0) -> None:
+                 timespan: float = 1.0,
+                 dedup_window: Optional[int] = None) -> None:
         super().__init__()
+        from repro.core.delivery import DedupWindow
         from repro.core.reorder import ReorderBuffer
         self._buffer = ReorderBuffer.for_rate(source_rate, timespan=timespan)
+        if dedup_window is None:
+            dedup_window = max(64, 4 * self._buffer.capacity)
+        self._seen = DedupWindow(dedup_window)
+        self.duplicates_dropped = 0
         self._by_seq: Dict[int, DataTuple] = {}
         self.playback: List[DataTuple] = []
 
     def process_data(self, data: DataTuple) -> None:
+        if self._seen.seen(data.seq):
+            self.duplicates_dropped += 1
+            return
         super().process_data(data)
         self._by_seq.setdefault(data.seq, data)
         for record in self._buffer.offer(data.seq, self.context.now()):

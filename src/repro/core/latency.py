@@ -240,19 +240,42 @@ class AckTracker:
         if downstream_id not in self._latency:
             return None
         sample = max(0.0, now - pending.sent_at)
+        if not self._alive[downstream_id]:
+            # A probe reached a downstream we had given up on: resurrect
+            # with a clean slate.  Estimator history and in-flight
+            # entries from before the death window describe a peer that
+            # no longer exists; keeping them would let one pre-departure
+            # timeout streak instantly re-kill the rejoined worker.
+            self._flush_stale_pending(downstream_id, pending.sent_at)
+            self._latency[downstream_id].reset()
+            self._processing[downstream_id].reset()
+            self._alive[downstream_id] = True
+            self._registry.increment(metrics_mod.RESURRECTED_TOTAL,
+                                     downstream=downstream_id)
         self._latency[downstream_id].observe(sample)
         if processing_delay is not None:
             self._processing[downstream_id].observe(max(0.0, processing_delay))
         self._acked[downstream_id] += 1
         self._expiry_streak[downstream_id] = 0
-        if not self._alive[downstream_id]:
-            # A probe reached a downstream we had given up on: resurrect.
-            self._alive[downstream_id] = True
-            self._registry.increment(metrics_mod.RESURRECTED_TOTAL,
-                                     downstream=downstream_id)
         self._registry.increment(metrics_mod.ACKED_TOTAL,
                                  downstream=downstream_id)
         return sample
+
+    def _flush_stale_pending(self, downstream_id: str, before: float) -> None:
+        """Charge pre-resurrection in-flight entries as lost, quietly.
+
+        Tuples sent into the dead window (strictly before the ACKed
+        send at *before*) are gone; counting them keeps the loss ledger
+        exact without bumping the expiry streak of the fresh peer.
+        """
+        stale = [seq for seq, pending in self._pending.items()
+                 if pending.downstream_id == downstream_id
+                 and pending.sent_at < before]
+        for seq in stale:
+            self._pending.pop(seq)
+            self._lost[downstream_id] += 1
+            self._registry.increment(metrics_mod.LOST_TOTAL,
+                                     downstream=downstream_id)
 
     def expire_pending(self, now: float) -> int:
         """Expire in-flight entries older than the timeout.

@@ -105,6 +105,10 @@ class DataTuple:
     #: trace metadata stamped at the source; carried over the wire so
     #: every hop honors the source's sampling decision
     trace: Optional[SpanContext] = None
+    #: which delivery of this tuple the receiver is looking at (1 = the
+    #: original send); redeliveries after churn bump it so traces and
+    #: dedup accounting can attribute duplicates to replay
+    delivery_attempt: int = 1
 
     def __post_init__(self) -> None:
         if self.schema is not None:
@@ -133,6 +137,7 @@ class DataTuple:
             hops=list(self.hops),
             deadline=self.deadline,
             trace=self.trace,
+            delivery_attempt=self.delivery_attempt,
         )
 
     def expired(self, now: float) -> bool:

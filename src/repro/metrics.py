@@ -27,6 +27,12 @@ RETRIED_TOTAL = "swing_tuples_retried_total"
 REROUTED_TOTAL = "swing_tuples_rerouted_total"
 #: overload protection: tuples shed with reason=expired|queue_full|backpressure
 SHED_TOTAL = "swing_tuples_shed_total"
+#: at-least-once delivery: redeliveries of un-ACKed tuples after churn
+REDELIVERED_TOTAL = "swing_tuples_redelivered_total"
+#: at-least-once delivery: duplicates suppressed by a dedup window
+DEDUPED_TOTAL = "swing_tuples_deduped_total"
+#: replay retention given up, reason=capacity|bytes|attempts|expired|shed
+REPLAY_EVICTED_TOTAL = "swing_replay_evicted_total"
 MARKED_DEAD_TOTAL = "swing_downstream_marked_dead_total"
 RESURRECTED_TOTAL = "swing_downstream_resurrected_total"
 DROPPED_TOTAL = "swing_frames_dropped_total"
@@ -41,6 +47,8 @@ QUEUE_DEPTH = "swing_queue_depth"
 ACK_RTT_SECONDS = "swing_ack_rtt_seconds"
 #: histogram: per-hop span durations by kind (queue_wait/transmit/...)
 SPAN_SECONDS = "swing_span_duration_seconds"
+#: histogram: graceful-drain duration per departing device, seconds
+DRAIN_SECONDS = "swing_drain_duration_seconds"
 
 #: default latency buckets, seconds (1 ms .. 10 s, roughly log-spaced)
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,

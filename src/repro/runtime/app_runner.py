@@ -19,6 +19,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro import metrics as metrics_mod
+from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import SinkUnit
@@ -49,7 +50,10 @@ class SwingRuntime:
                  seed: Optional[int] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None) -> None:
+                 trace: Optional[object] = None,
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None,
+                 heartbeat_interval: float = 0.0,
+                 heartbeat_timeout: float = 0.0) -> None:
         if master_id in worker_ids:
             raise RuntimeStateError("master id must not collide with workers")
         if not worker_ids:
@@ -60,6 +64,13 @@ class SwingRuntime:
         source_rate = self.requirement.input_rate
         self.overload = overload
         self.registry = registry
+        #: delivery-semantics knobs (at-least-once replay + sink dedup);
+        #: ``None`` keeps today's best-effort behavior
+        self.delivery = delivery
+        #: worker→master liveness beacons; 0 disables them (the default,
+        #: matching the seed behavior) — churn runs need them so silent
+        #: crashes are evicted and rejoins are visible
+        self.heartbeat_interval = heartbeat_interval
         #: shared TraceSink (a :class:`repro.trace.Tracer`); every
         #: device in the in-process swarm records into the same ring
         self.tracer = trace if trace is not None else NULL_TRACER
@@ -68,17 +79,27 @@ class SwingRuntime:
         self.master = Master(master_id, self.fabric, graph, policy=policy,
                              source_rate=source_rate, seed=seed,
                              control_interval=control_interval,
+                             heartbeat_timeout=heartbeat_timeout,
                              overload=overload, registry=registry,
-                             trace=trace)
-        slowdowns = slowdowns or {}
+                             trace=trace, delivery=delivery)
+        self._policy = policy
+        self._seed = seed
+        self._control_interval = control_interval
+        self._slowdowns = dict(slowdowns or {})
         self.workers: Dict[str, WorkerRuntime] = {}
         for worker_id in worker_ids:
-            self.workers[worker_id] = WorkerRuntime(
-                worker_id, self.fabric, graph, policy=policy,
-                slowdown=slowdowns.get(worker_id, 0.0), seed=seed,
-                control_interval=control_interval,
-                overload=overload, registry=registry, trace=trace)
+            self.workers[worker_id] = self._make_worker(worker_id)
         self._running = False
+
+    def _make_worker(self, worker_id: str) -> WorkerRuntime:
+        return WorkerRuntime(
+            worker_id, self.fabric, self.graph, policy=self._policy,
+            slowdown=self._slowdowns.get(worker_id, 0.0), seed=self._seed,
+            control_interval=self._control_interval,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_target=self.master.master_id,
+            overload=self.overload, registry=self.registry,
+            trace=self.tracer, delivery=self.delivery)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -123,6 +144,46 @@ class SwingRuntime:
         self.master.runtime.stop()
         self.fabric.close()
         self._running = False
+
+    # -- churn (used by the chaos harness) ---------------------------------
+    def crash_worker(self, worker_id: str) -> None:
+        """Kill *worker_id* without any goodbye (silent crash).
+
+        The fabric endpoint is torn down first so in-flight sends to the
+        dead worker fail fast (``ChannelClosed`` → immediate dead-mark in
+        the upstream dispatcher), then the thread is stopped.  No LEAVE
+        is sent: detection must come from send failures, loss accounting
+        and missed heartbeats — exactly like the simulator's silent-kill
+        fault.
+        """
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            raise RuntimeStateError("unknown worker %r" % worker_id)
+        self.fabric.unregister(worker_id)
+        worker.stop()
+
+    def drain_worker(self, worker_id: str, quiet: float = 0.25,
+                     timeout: float = 10.0) -> float:
+        """Gracefully drain *worker_id* (LEAVING protocol); returns the
+        measured drain duration in seconds."""
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            raise RuntimeStateError("unknown worker %r" % worker_id)
+        elapsed = worker.leave(self.master.master_id, quiet=quiet,
+                               timeout=timeout)
+        self.fabric.unregister(worker_id)
+        return elapsed
+
+    def spawn_worker(self, worker_id: str, slowdown: float = 0.0) -> None:
+        """Start a (re)joining worker under *worker_id* and add it to the
+        swarm; the master redeploys and resets its health history."""
+        if worker_id in self.workers:
+            raise RuntimeStateError("worker %r already running" % worker_id)
+        self._slowdowns[worker_id] = slowdown
+        worker = self._make_worker(worker_id)
+        self.workers[worker_id] = worker
+        worker.start()
+        worker.join_master(self.master.master_id)
 
     # -- convenience -------------------------------------------------------
     def sink_unit(self) -> SinkUnit:

@@ -1,0 +1,74 @@
+"""Churn harness: replay a :class:`ChurnSchedule` against a live swarm.
+
+The simulator consumes a churn schedule by scheduling engine callbacks;
+this is the threaded-runtime equivalent — the same seeded schedule, the
+same event vocabulary, applied to a running :class:`SwingRuntime` in
+wall-clock time:
+
+- ``kill``   → :meth:`SwingRuntime.crash_worker` (silent crash: fabric
+  endpoint torn down, no goodbye)
+- ``leave``  → :meth:`SwingRuntime.drain_worker` (LEAVING protocol:
+  finish the queue, depart without loss)
+- ``join`` / ``rejoin`` → :meth:`SwingRuntime.spawn_worker`
+
+Because both substrates consume the schedule identically, a seeded
+churn trace produces the same membership timeline in simulation and on
+the live runtime — the parity the churn integration tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.delivery import (CHURN_JOIN, CHURN_KILL, CHURN_LEAVE,
+                                 CHURN_REJOIN, ChurnEvent, ChurnSchedule)
+from repro.core.exceptions import RuntimeStateError
+from repro.runtime.app_runner import SwingRuntime
+
+
+class ChurnHarness:
+    """Applies one churn schedule to a started :class:`SwingRuntime`.
+
+    *time_scale* stretches (>1) or compresses (<1) the schedule's event
+    times — soak tests compress a long simulated schedule into a short
+    wall-clock run.  Events are applied strictly in schedule order; a
+    drain blocks until the leaver is empty, which is the point (the next
+    event must observe the post-drain swarm, as it would on the engine).
+    """
+
+    def __init__(self, runtime: SwingRuntime, schedule: ChurnSchedule,
+                 time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise RuntimeStateError("time scale must be positive")
+        self.runtime = runtime
+        self.schedule = schedule
+        self.time_scale = time_scale
+        #: (event, wall-clock offset it actually fired at) — in order
+        self.applied: List[Tuple[ChurnEvent, float]] = []
+        #: measured drain duration per gracefully departed worker
+        self.drain_seconds: Dict[str, float] = {}
+
+    def run(self, deadline: Optional[float] = None) -> None:
+        """Blockingly replay the schedule against the running swarm."""
+        started = time.monotonic()
+        for event in self.schedule:
+            target = started + event.time * self.time_scale
+            if deadline is not None and target > started + deadline:
+                break
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self._apply(event)
+            self.applied.append((event, time.monotonic() - started))
+
+    def _apply(self, event: ChurnEvent) -> None:
+        if event.action == CHURN_KILL:
+            self.runtime.crash_worker(event.device_id)
+        elif event.action == CHURN_LEAVE:
+            elapsed = self.runtime.drain_worker(event.device_id)
+            self.drain_seconds[event.device_id] = elapsed
+        elif event.action in (CHURN_JOIN, CHURN_REJOIN):
+            self.runtime.spawn_worker(event.device_id)
+        else:  # pragma: no cover - ChurnEvent validates actions
+            raise RuntimeStateError("unknown churn action %r" % event.action)

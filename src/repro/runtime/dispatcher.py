@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import RoutingError
@@ -58,6 +59,14 @@ class _FabricEgress:
              context: Optional[bytes]) -> Optional[float]:
         return self._dispatcher._try_send(downstream_id, context, seq)
 
+    def send_redelivery(self, downstream_id: InstanceId, seq: int,
+                        context: Optional[bytes],
+                        attempt: int) -> Optional[float]:
+        """Replay send: same path, but the attempt number rides along
+        so the receiver can attribute the duplicate to redelivery."""
+        return self._dispatcher._try_send(downstream_id, context, seq,
+                                          attempt=attempt)
+
 
 class UpstreamDispatcher:
     """Routes one unit's output tuples across downstream instances."""
@@ -74,7 +83,9 @@ class UpstreamDispatcher:
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  config: Optional[PolicyConfig] = None,
                  trace: Optional[object] = None,
-                 device_id: str = "") -> None:
+                 device_id: str = "",
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 ) -> None:
         self.unit_name = unit_name
         self.edge = edge or unit_name
         self.device_id = device_id
@@ -89,7 +100,8 @@ class UpstreamDispatcher:
                                   if control_interval is not None
                                   else defaults.control_interval),
                 ack_timeout=(ack_timeout if ack_timeout is not None
-                             else defaults.ack_timeout))
+                             else defaults.ack_timeout),
+                delivery=delivery)
         self._registry = registry if registry is not None else metrics_mod.REGISTRY
         self._health = health
         self._max_send_retries = max(0, max_send_retries)
@@ -108,14 +120,24 @@ class UpstreamDispatcher:
         desired = {instance: split_instance(instance)
                    for instance in instances}
         with self._lock:
+            previous = set(self._downstreams)
             self._downstreams = desired
         self.controller.set_downstreams(sorted(desired))
+        if self._health is not None:
+            # Instances that are new to this deploy round belong to a
+            # (re)joining worker: start it from a clean slate so a
+            # pre-departure failure streak can't instantly re-kill it.
+            for instance in set(desired) - previous:
+                self._health.reset_peer(desired[instance][1])
 
     def add_downstream(self, instance: InstanceId) -> None:
         parts = split_instance(instance)
         with self._lock:
+            known = instance in self._downstreams
             self._downstreams[instance] = parts
         self.controller.add_downstream(instance)
+        if self._health is not None and not known:
+            self._health.reset_peer(parts[1])
 
     def remove_downstream(self, instance: InstanceId) -> None:
         with self._lock:
@@ -174,7 +196,8 @@ class UpstreamDispatcher:
                         sampled=sampled)
         else:
             payload = encode_tuple(data)
-        return self.controller.dispatch(data.seq, context=payload)
+        return self.controller.dispatch(data.seq, context=payload,
+                                        deadline=data.deadline)
 
     def unsatisfiable(self) -> bool:
         """Whether every downstream is currently marked dead (the source
@@ -182,11 +205,13 @@ class UpstreamDispatcher:
         return self.controller.unsatisfiable()
 
     def _try_send(self, instance: InstanceId, payload: bytes,
-                  seq: int) -> Optional[float]:
+                  seq: int, attempt: int = 1) -> Optional[float]:
         """Attempt (with bounded retry) to push one tuple at *instance*.
 
         Returns the send timestamp on success, None once the instance
         exhausts its attempts (or sits inside its backoff window).
+        ``attempt`` > 1 marks an at-least-once redelivery; it is stamped
+        on the wire so the receiver can attribute the duplicate.
         """
         with self._lock:
             parts = self._downstreams.get(instance)
@@ -194,16 +219,18 @@ class UpstreamDispatcher:
             return None
         unit_name, worker_id = parts
         attempts = 1 + self._max_send_retries
-        for attempt in range(attempts):
+        for retry in range(attempts):
             if (self._health is not None
                     and not self._health.should_attempt(worker_id)):
                 break
-            if attempt > 0:
+            if retry > 0:
                 self._registry.increment(metrics_mod.RETRIED_TOTAL,
                                          downstream=instance)
             now = self._clock()
             message = messages.data_message(unit_name, payload, seq, now)
             message.payload["edge"] = self.edge
+            if attempt > 1:
+                message.payload["delivery_attempt"] = attempt
             try:
                 self._send(worker_id, message)
             except Exception:

@@ -126,6 +126,18 @@ class HealthMonitor:
         with self._lock:
             self._peers.pop(peer_id, None)
 
+    def reset_peer(self, peer_id: str) -> None:
+        """Wipe a peer's failure history: a rejoin is a fresh start.
+
+        Unlike :meth:`record_success`, this does not fabricate a
+        positive signal — the rejoined peer has proven nothing yet —
+        but it guarantees a pre-departure failure streak (saturated
+        backoff, dead mark) cannot instantly re-kill the new
+        incarnation.
+        """
+        with self._lock:
+            self._peers.pop(peer_id, None)
+
     # -- queries ---------------------------------------------------------
     def is_dead(self, peer_id: str) -> bool:
         with self._lock:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import metrics as metrics_mod
+from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError
 from repro.core.graph import AppGraph
@@ -91,7 +92,9 @@ class Master:
                  heartbeat_timeout: float = 0.0,
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None) -> None:
+                 trace: Optional[object] = None,
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 ) -> None:
         graph.validate()
         if heartbeat_timeout < 0:
             raise DeploymentError("heartbeat timeout must be >= 0")
@@ -110,8 +113,10 @@ class Master:
             master_id, fabric, graph, policy=policy, source_rate=source_rate,
             seed=seed, control_interval=control_interval,
             control_handler=self._on_control,
-            overload=overload, registry=registry, trace=trace)
+            overload=overload, registry=registry, trace=trace,
+            delivery=delivery)
         self.started = False
+        self._stopped = False
         if heartbeat_timeout > 0:
             self._detector_running.set()
             self._detector = threading.Thread(
@@ -125,6 +130,10 @@ class Master:
             self.health.record_heartbeat(message.payload["worker_id"])
             self.handle_join(message.payload["worker_id"])
         elif message.kind == messages.LEAVE:
+            self.handle_leave(message.payload["worker_id"])
+        elif message.kind == messages.LEAVING:
+            # Graceful drain: drop the worker from every routing table
+            # NOW, while it keeps running until its queue is empty.
             self.handle_leave(message.payload["worker_id"])
         elif message.kind == messages.HEARTBEAT:
             self.health.record_heartbeat(message.payload["worker_id"])
@@ -141,8 +150,15 @@ class Master:
     def handle_join(self, worker_id: str) -> None:
         """Involve a new device as soon as it connects (Sec. IV-C)."""
         with self._lock:
-            if worker_id in self._workers:
+            if self._stopped or worker_id in self._workers:
                 return
+            # A rejoin starts from a clean slate: stale failure history
+            # from a previous incarnation must not shadow the new one.
+            # The JOIN itself is a positive signal, so the heartbeat
+            # clock starts now — a joiner that then goes silent still
+            # ages out.
+            self.health.reset_peer(worker_id)
+            self.health.record_heartbeat(worker_id)
             self._workers.append(worker_id)
             if self.placement is None:
                 return  # not deployed yet; the worker waits for deploy()
@@ -154,9 +170,18 @@ class Master:
                                  messages.start_message())
 
     def handle_leave(self, worker_id: str) -> None:
-        """Remove a departed device's instances from all routing tables."""
+        """Remove a departed device's instances from all routing tables.
+
+        A no-op once the master is stopped: the failure detector (or a
+        straggling LEAVE/LEAVING message) may race ``stop()``, and a
+        late call must neither raise nor resurrect control traffic.
+        """
+        if self._stopped:
+            return
         self.health.forget(worker_id)
         with self._lock:
+            if self._stopped:
+                return
             if worker_id in self._workers:
                 self._workers.remove(worker_id)
             if self.placement is None:
@@ -195,10 +220,18 @@ class Master:
                                                  downstream_map))
 
     def _refresh_upstreams(self) -> None:
-        """Re-send DEPLOY everywhere so routing tables reflect membership."""
+        """Re-send DEPLOY everywhere so routing tables reflect membership.
+
+        A device may vanish between membership snapshot and send (churn
+        is the normal case); its refresh is skipped, not fatal — the
+        next membership change re-sends anyway.
+        """
         assert self.placement is not None
         for worker_id in [self.master_id] + self._workers:
-            self._send_deploy(worker_id)
+            try:
+                self._send_deploy(worker_id)
+            except Exception:
+                continue
 
     # -- execution ---------------------------------------------------------
     def start(self) -> None:
@@ -212,6 +245,10 @@ class Master:
                                  messages.start_message())
 
     def stop(self) -> None:
+        """Shut down control; idempotent, and late membership events
+        arriving after this point are ignored rather than raised."""
+        with self._lock:
+            self._stopped = True
         self._detector_running.clear()
         if self._detector is not None:
             self._detector.join(timeout=2.0)

@@ -24,9 +24,10 @@ DATA = "data"
 ACK = "ack"
 HEARTBEAT = "heartbeat"
 LEAVE = "leave"
+LEAVING = "leaving"
 
 _KINDS = frozenset({JOIN, WELCOME, DEPLOY, START, STOP, DATA, ACK,
-                    HEARTBEAT, LEAVE})
+                    HEARTBEAT, LEAVE, LEAVING})
 
 
 @dataclass
@@ -97,3 +98,13 @@ def ack_message(seq: int, sent_at: float, processing_delay: float) -> Message:
 
 def leave_message(worker_id: str) -> Message:
     return Message(LEAVE, {"worker_id": worker_id})
+
+
+def leaving_message(worker_id: str) -> Message:
+    """Graceful-drain announcement: stop routing new tuples to me.
+
+    Unlike :func:`leave_message` (the departure is already effective),
+    LEAVING starts a drain: the master removes the worker from routing
+    while the worker keeps running until its queue is empty.
+    """
+    return Message(LEAVING, {"worker_id": worker_id})

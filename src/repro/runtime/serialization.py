@@ -149,7 +149,10 @@ def _decode_from(reader: _Reader) -> Any:
         return reader.unpack(">d")[0]
     if tag == _TAG_STR:
         (length,) = reader.unpack(">I")
-        return reader.take(length).decode("utf-8")
+        try:
+            return reader.take(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise SerializationError("malformed utf-8 string") from error
     if tag == _TAG_BYTES:
         (length,) = reader.unpack(">I")
         return reader.take(length)
@@ -166,7 +169,10 @@ def _decode_from(reader: _Reader) -> Any:
         return result
     if tag == _TAG_NDARRAY:
         (dtype_len,) = reader.unpack(">B")
-        dtype_name = reader.take(dtype_len).decode("ascii")
+        try:
+            dtype_name = reader.take(dtype_len).decode("ascii")
+        except UnicodeDecodeError as error:
+            raise SerializationError("malformed array dtype name") from error
         try:
             dtype = np.dtype(dtype_name)
         except (TypeError, ValueError) as error:
@@ -198,6 +204,8 @@ def encode_tuple(data: DataTuple) -> bytes:
         fields["deadline"] = data.deadline
     if data.trace is not None:
         fields["trace"] = data.trace.to_dict()
+    if data.delivery_attempt != 1:
+        fields["delivery_attempt"] = data.delivery_attempt
     body = encode_value(fields)
     if len(body) > MAX_ENCODED_BYTES:
         raise SerializationError("tuple exceeds maximum encoded size")
@@ -212,4 +220,5 @@ def decode_tuple(payload: bytes) -> DataTuple:
     return DataTuple(values=decoded["values"], seq=decoded["seq"],
                      created_at=decoded["created_at"],
                      deadline=decoded.get("deadline"),
-                     trace=SpanContext.from_dict(decoded.get("trace")))
+                     trace=SpanContext.from_dict(decoded.get("trace")),
+                     delivery_attempt=decoded.get("delivery_attempt", 1))

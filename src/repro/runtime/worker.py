@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro import metrics as metrics_mod
+from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
 from repro.core.controller import PolicyConfig
 from repro.core.exceptions import DeploymentError, RuntimeStateError
@@ -48,7 +49,9 @@ class WorkerRuntime:
                  policy_config: Optional[PolicyConfig] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None) -> None:
+                 trace: Optional[object] = None,
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 ) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
         if heartbeat_interval < 0:
@@ -71,6 +74,17 @@ class WorkerRuntime:
         #: source admission control); defaults to everything disabled
         self.overload = (overload if overload is not None
                          else overload_mod.OverloadConfig())
+        if delivery is None and policy_config is not None:
+            delivery = policy_config.delivery
+        #: delivery-semantics knobs (None = historical best-effort)
+        self.delivery = delivery
+        #: ingress dedup: at-least-once redelivery may hand a worker the
+        #: same (edge, seq) twice; the window suppresses the duplicate
+        #: before it reaches the unit, so throughput/accuracy counters
+        #: never double-count
+        self._dedup = (delivery_mod.DedupWindow(delivery.dedup_window)
+                       if delivery is not None and delivery.at_least_once
+                       else None)
         self._registry = (registry if registry is not None
                           else metrics_mod.REGISTRY)
         #: TraceSink shared by this worker's units, dispatchers and the
@@ -92,6 +106,9 @@ class WorkerRuntime:
         self._heartbeat_thread: Optional[threading.Thread] = None
         self.processed_count = 0
         self.deployed = threading.Event()
+        #: True while a DATA message is being handled (drain visibility)
+        self._data_active = False
+        self._draining_since: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -148,6 +165,41 @@ class WorkerRuntime:
         self.fabric.send(self.worker_id, master_id,
                          messages.join_message(self.worker_id))
 
+    # -- graceful drain ----------------------------------------------------
+    def begin_leave(self, master_id: str) -> None:
+        """Announce intent to depart: the master stops routing new
+        tuples here while this worker keeps serving its queue."""
+        self._draining_since = time.monotonic()
+        self.fabric.send(self.worker_id, master_id,
+                         messages.leaving_message(self.worker_id))
+
+    def leave(self, master_id: str, quiet: float = 0.25,
+              timeout: float = 10.0) -> float:
+        """Graceful drain: LEAVING, finish the mailbox, then depart.
+
+        Blocks until the mailbox has been empty and no DATA message has
+        been in flight for *quiet* seconds (or *timeout* expires — a
+        drain must terminate even if control chatter keeps trickling
+        in).  Returns the drain duration, which is also observed into
+        ``swing_drain_duration_seconds{device=...}``.
+        """
+        self.begin_leave(master_id)
+        deadline = time.monotonic() + timeout
+        last_busy = time.monotonic()
+        while time.monotonic() < deadline:
+            if len(self._mailbox) > 0 or self._data_active:
+                last_busy = time.monotonic()
+            elif time.monotonic() - last_busy >= quiet:
+                break
+            time.sleep(0.01)
+        elapsed = time.monotonic() - (self._draining_since
+                                      or time.monotonic())
+        self._registry.observe_histogram(metrics_mod.DRAIN_SECONDS, elapsed,
+                                         device=self.worker_id)
+        self.stop()
+        self._draining_since = None
+        return elapsed
+
     # -- main loop ---------------------------------------------------------
     def _loop(self) -> None:
         while self._running.is_set():
@@ -165,7 +217,11 @@ class WorkerRuntime:
         if message.kind == messages.DEPLOY:
             self._on_deploy(message)
         elif message.kind == messages.DATA:
-            self._on_data(sender_id, message)
+            self._data_active = True
+            try:
+                self._on_data(sender_id, message)
+            finally:
+                self._data_active = False
         elif message.kind == messages.ACK:
             self._on_ack(message)
         elif message.kind == messages.START:
@@ -217,7 +273,7 @@ class WorkerRuntime:
                 control_interval=self.control_interval, edge=key,
                 health=self.health, config=self.policy_config,
                 registry=self._registry, trace=self.tracer,
-                device_id=self.worker_id)
+                device_id=self.worker_id, delivery=self.delivery)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)
@@ -249,6 +305,22 @@ class WorkerRuntime:
         if unit is None:
             return
         data = decode_tuple(message.payload["tuple"])
+        data.delivery_attempt = message.payload.get("delivery_attempt", 1)
+        if self._dedup is not None and self._dedup.seen(
+                (message.payload.get("edge", ""), data.seq)):
+            # At-least-once redelivery raced the original: suppress the
+            # duplicate before the unit sees it, but still ACK so the
+            # upstream releases its replay retention.
+            self._registry.increment(metrics_mod.DEDUPED_TOTAL,
+                                     queue="worker:%s" % self.worker_id)
+            ack = messages.ack_message(message.payload["seq"],
+                                       message.payload["sent_at"], 0.0)
+            ack.payload["edge"] = message.payload.get("edge", "")
+            try:
+                self.fabric.send(self.worker_id, sender_id, ack)
+            except Exception:
+                pass
+            return
         started = time.monotonic()
         tracer = self.tracer
         sampled = (data.trace.sampled if data.trace is not None

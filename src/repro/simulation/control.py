@@ -11,7 +11,7 @@ paper's testbed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro import metrics as metrics_mod
 from repro.core.controller import LrsController, PolicyConfig
@@ -35,11 +35,19 @@ class EngineEgress:
         return self._sim.now
 
 
-def engine_controller(sim: Simulator, config: PolicyConfig,
-                      registry: Optional[metrics_mod.MetricsRegistry] = None,
-                      name: str = "",
-                      trace: Optional[object] = None) -> LrsController:
-    """Build an :class:`LrsController` wired to the engine's ports."""
+def engine_controller(
+        sim: Simulator, config: PolicyConfig,
+        registry: Optional[metrics_mod.MetricsRegistry] = None,
+        name: str = "",
+        trace: Optional[object] = None,
+        redelivery: Optional[Callable[[int, str, object, int], None]] = None,
+) -> LrsController:
+    """Build an :class:`LrsController` wired to the engine's ports.
+
+    *redelivery*, when given, is the simulation's hook for physically
+    re-transmitting a replayed frame (the controller only re-books the
+    send; the engine must model the bytes on the air).
+    """
     return LrsController(config, clock=lambda: sim.now,
                          egress=EngineEgress(sim), registry=registry,
-                         name=name, trace=trace)
+                         name=name, trace=trace, redelivery=redelivery)

@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro import profiles
+from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT, ChurnSchedule,
+                                 DeliveryConfig)
 from repro.core.exceptions import SimulationError
 from repro.core.overload import DROP_OLDEST, OverloadConfig
 from repro.simulation.mobility import MobilityPlan, MobilityTrace
@@ -247,6 +249,63 @@ def overload(app: str = FACE_APP, policy: str = "LRS",
         faults=tuple(faults),
         overload=OverloadConfig(ttl=ttl, queue_capacity=queue_capacity,
                                 drop_policy=drop_policy),
+    )
+
+
+def churn(app: str = FACE_APP, policy: str = "LRS",
+          duration: float = 40.0, seed: int = 7,
+          worker_ids: Sequence[str] = ("B", "D", "G", "H"),
+          churner_ids: Sequence[str] = ("D", "G"),
+          at_least_once: bool = True,
+          replay_capacity: int = 512,
+          dedup_window: int = 2048,
+          max_delivery_attempts: int = 4,
+          start_after: float = 8.0, settle: float = 10.0,
+          ack_timeout: float = 2.0, dead_after: int = 2,
+          detection_delay: float = 0.25) -> SwarmConfig:
+    """Churn soak: a seeded kill/leave/rejoin schedule over half the swarm.
+
+    The *churner_ids* cycle through departures (silent kills or graceful
+    LEAVING drains, chosen by the schedule's RNG) and rejoins while the
+    rest of the swarm keeps computing.  With ``at_least_once=True`` the
+    upstream retains every un-ACKed tuple and replays it to a survivor,
+    the sink deduplicates, and the run must finish with zero end-to-end
+    losses; with ``at_least_once=False`` the same schedule reproduces
+    today's best-effort loss accounting — the comparison the guarantee
+    matrix in DESIGN.md documents.
+
+    The schedule stops churning *settle* seconds before the end so every
+    outstanding redelivery has time to land before the run is judged.
+    """
+    worker_ids = list(worker_ids)
+    churner_ids = list(churner_ids)
+    unknown = [device_id for device_id in churner_ids
+               if device_id not in worker_ids]
+    if unknown:
+        raise SimulationError("cannot churn devices not in the swarm: %s"
+                              % ", ".join(unknown))
+    if len(churner_ids) >= len(worker_ids):
+        raise SimulationError("at least one worker must survive the churn")
+    schedule = ChurnSchedule.generate(seed=seed, device_ids=churner_ids,
+                                      duration=duration,
+                                      start_after=start_after, settle=settle)
+    delivery = DeliveryConfig(
+        mode=AT_LEAST_ONCE if at_least_once else BEST_EFFORT,
+        replay_capacity=replay_capacity,
+        dedup_window=dedup_window,
+        max_delivery_attempts=max_delivery_attempts)
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(worker_ids),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        detection_delay=detection_delay,
+        delivery=delivery,
+        churn=schedule,
     )
 
 

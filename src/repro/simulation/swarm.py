@@ -28,6 +28,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import metrics as metrics_mod
 from repro.core import overload as overload_mod
 from repro.core.controller import LrsController, PolicyConfig
+from repro.core.delivery import (CHURN_KILL, CHURN_LEAVE, ChurnSchedule,
+                                 DedupWindow, DeliveryConfig, EVICT_SHED)
 from repro.core.exceptions import SimulationError
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision
@@ -193,10 +195,20 @@ class SwarmConfig:
     #: off); sampling is deterministic in (seed, seq), so a seeded run
     #: reproduces its trace exactly
     trace_sample_rate: float = 0.0
+    #: delivery-semantics knobs (at-least-once replay, sink dedup) shared
+    #: verbatim with the threaded runtime; ``None`` keeps best-effort
+    delivery: Optional[DeliveryConfig] = None
+    #: seeded churn schedule (join/leave/kill/rejoin) consumed
+    #: identically by this simulator and the runtime chaos harness
+    churn: Optional[ChurnSchedule] = None
 
     def overload_config(self) -> OverloadConfig:
         """This experiment's overload knobs (disabled-by-default)."""
         return self.overload if self.overload is not None else OverloadConfig()
+
+    def delivery_config(self) -> DeliveryConfig:
+        """This experiment's delivery knobs (best-effort by default)."""
+        return self.delivery if self.delivery is not None else DeliveryConfig()
 
     def policy_config(self, seed: Optional[int] = None) -> PolicyConfig:
         """This experiment's policy knobs as one shared control-plane config."""
@@ -216,7 +228,8 @@ class SwarmConfig:
                             ack_timeout=self.ack_timeout,
                             dead_after=self.dead_after,
                             capabilities=capabilities,
-                            overload=self.overload)
+                            overload=self.overload,
+                            delivery=self.delivery)
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -260,6 +273,8 @@ class SwarmConfig:
             if event.device_id in self.workers:
                 raise SimulationError(
                     "device %s both initial and joining" % event.device_id)
+        if self.churn is not None:
+            self.churn.validate(set(self.workers))
 
 
 @dataclass
@@ -289,11 +304,17 @@ class _WorkerNode:
         # Socket-window tokens: the dispatcher takes one per in-flight
         # frame; the worker returns it when it reads the frame to process.
         window = swarm.config.window_frames()
+        self.window = window
         self.credits = Store(sim, capacity=window,
                              name="credits:%s" % self.device_id)
         for _ in range(window):
             self.credits.try_put(True)
         self.alive = True
+        #: graceful-drain flag: still processing its backlog, but the
+        #: upstream no longer routes new tuples here
+        self.draining = False
+        #: results handed to the radio but not yet delivered to the sink
+        self.results_in_flight = 0
         self.joined_at = sim.now
         self.left_at: Optional[float] = None
         self.current_seq: Optional[int] = None
@@ -361,10 +382,15 @@ class _WorkerNode:
             return
         radio = swarm.network.radio(self.device_id)
         result_bytes = swarm.config.workload.result_bytes + ACK_BYTES
+        self.results_in_flight += 1
         delivered = radio.connection(link).send(result_bytes)
 
         def _on_delivered(_event) -> None:
-            if self.alive and swarm.network.link(self.device_id).up:
+            self.results_in_flight -= 1
+            # A draining worker's results must still land: its link stays
+            # up until the drain watcher sees the last one delivered.
+            if (self.alive or self.draining) \
+                    and swarm.network.link(self.device_id).up:
                 swarm._deliver_result(frame, processing_delay)
 
         delivered.add_callback(_on_delivered)
@@ -377,6 +403,7 @@ class SwarmSimulation:
         config.validate()
         self.config = config
         self.overload = config.overload_config()
+        self.delivery = config.delivery_config()
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.sim)
@@ -394,11 +421,20 @@ class SwarmSimulation:
         self.controller: LrsController = engine_controller(
             self.sim, config.policy_config(seed=self.rngs.root_seed),
             registry=self.registry, name=config.source.device_id,
-            trace=self.tracer)
+            trace=self.tracer,
+            redelivery=(self._redeliver_frame
+                        if self.delivery.at_least_once else None))
         self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
                                               timespan=config.reorder_timespan)
+        #: sink-side duplicate suppression: at-least-once replay may hand
+        #: the sink the same seq twice; only the first counts
+        self._dedup: Optional[DedupWindow] = (
+            DedupWindow(self.delivery.dedup_window)
+            if self.delivery.at_least_once else None)
         self.nodes: Dict[str, _WorkerNode] = {}
         self._departed: Dict[str, _WorkerNode] = {}
+        #: measured graceful-drain duration per departed device
+        self.drain_durations: Dict[str, float] = {}
         self._all_profiles: Dict[str, DeviceProfile] = {}
         self._next_seq = 0
         self._egress = Store(self.sim, capacity=config.resolved_source_queue(),
@@ -461,6 +497,23 @@ class SwarmSimulation:
                                   self._revive_worker(fault.device_id,
                                                       fault.rssi))
             # Message drop/delay windows are consulted at delivery time.
+        if config.churn is not None:
+            # The same schedule the runtime chaos harness replays: kills
+            # are silent crashes, leaves run the graceful-drain protocol,
+            # joins/rejoins bring the device back at a good signal.
+            for event in config.churn:
+                if event.action == CHURN_KILL:
+                    self.sim.schedule(event.time,
+                                      lambda d=event.device_id:
+                                      self._kill_worker(d))
+                elif event.action == CHURN_LEAVE:
+                    self.sim.schedule(event.time,
+                                      lambda d=event.device_id:
+                                      self._begin_drain(d))
+                else:  # CHURN_JOIN / CHURN_REJOIN
+                    self.sim.schedule(event.time,
+                                      lambda d=event.device_id:
+                                      self._revive_worker(d, RSSI_GOOD))
 
     def _make_join(self, join: JoinEvent):
         def _do_join() -> None:
@@ -501,9 +554,9 @@ class SwarmSimulation:
         node.process.kill()
         self.network.detach(device_id)
         if node.current_seq is not None:
-            self.metrics.drop(node.current_seq, DROP_DEVICE_LEFT)
+            self._drop_unless_retained(node.current_seq, DROP_DEVICE_LEFT)
         for frame in node.ingress.drain():
-            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+            self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
         # Unblock a dispatcher head-of-line-blocked on this connection.
         for _ in range(self.config.window_frames()):
             node.credits.try_put(True)
@@ -532,9 +585,9 @@ class SwarmSimulation:
         node.process.kill()
         self.network.detach(device_id)
         if node.current_seq is not None:
-            self.metrics.drop(node.current_seq, DROP_DEVICE_LEFT)
+            self._drop_unless_retained(node.current_seq, DROP_DEVICE_LEFT)
         for frame in node.ingress.drain():
-            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+            self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
         # Unblock a dispatcher head-of-line-blocked on this connection.
         for _ in range(self.config.window_frames()):
             node.credits.try_put(True)
@@ -560,6 +613,91 @@ class SwarmSimulation:
         # a probe's ACK resurrects it.
         self.controller.add_downstream(device_id)
 
+    # -- graceful drain (LEAVING protocol) -------------------------------
+    def _begin_drain(self, device_id: str) -> None:
+        """A device announces LEAVING: finish its backlog, lose nothing.
+
+        The upstream stops routing new tuples there immediately
+        (``redeliver=False``: queued work is *not* replayed elsewhere —
+        the whole point of draining is that the leaver finishes it), the
+        connection stays up, and a watcher detaches the device only once
+        its queue, its in-flight window and its pending results are all
+        empty.
+        """
+        node = self.nodes.get(device_id)
+        if node is None or node.draining:
+            return
+        node.draining = True
+        self.controller.remove_downstream(device_id, redeliver=False)
+        self.sim.process(self._drain_watch(node), name="drain:%s" % device_id)
+
+    def _drain_watch(self, node: _WorkerNode):
+        started = self.sim.now
+        # Credits-full proves no frame is still in flight on the wire:
+        # the dispatcher holds one credit per undelivered frame, and the
+        # worker only returns it after reading the frame off its ingress.
+        while (len(node.ingress) > 0 or node.current_seq is not None
+               or len(node.credits) < node.window
+               or node.results_in_flight > 0):
+            yield self.sim.timeout(0.05)
+        elapsed = self.sim.now - started
+        self.registry.observe_histogram(metrics_mod.DRAIN_SECONDS, elapsed,
+                                        device=node.device_id)
+        self.drain_durations[node.device_id] = elapsed
+        device_id = node.device_id
+        if self.nodes.get(device_id) is not node:
+            return  # superseded (e.g. rejoined under the same id)
+        del self.nodes[device_id]
+        node.alive = False
+        node.left_at = self.sim.now
+        self._departed[device_id] = node
+        node.process.kill()
+        self.network.detach(device_id)
+        # No drops and no link-break notification: a graceful leave has
+        # nothing left to lose by construction.
+
+    # -- at-least-once redelivery ----------------------------------------
+    def _redeliver_frame(self, seq: int, destination: str, frame: _Frame,
+                         attempt: int) -> None:
+        """Controller redelivery hook: put the replayed frame on the air.
+
+        The controller already re-booked the send (pending entry, replay
+        retention with the bumped attempt); this models the physical
+        re-transmission.  If the target is unusable the entry simply
+        stays retained and the next stale sweep tries again — returning
+        here is never a loss.
+        """
+        node = self.nodes.get(destination)
+        if node is None or not node.alive or node.draining:
+            return
+        link = self.network.link(destination)
+        if not link.up:
+            return
+        record = self.metrics.frame(frame.seq, frame.created_at)
+        record.device_id = destination
+        record.tx_started_at = self.sim.now
+        # Redeliveries bypass the socket-window credits: the replay path
+        # is a fresh control-plane-initiated send, and ``try_put``
+        # saturates at the window size, so the eventual credit return
+        # cannot overfill the store.
+        source_radio = self.network.radio(self.config.source.device_id)
+        delivered = source_radio.connection(link).send(
+            self.config.workload.frame_bytes)
+        delivered.add_callback(
+            lambda _event, frame=frame, destination=destination:
+            self._on_frame_delivered(frame, destination))
+
+    def _drop_unless_retained(self, seq: int, reason: str) -> None:
+        """Charge a drop only when the replay buffer cannot recover it.
+
+        In at-least-once mode a tuple that is still retained upstream is
+        recoverable — redelivery will run it somewhere else — so marking
+        it dropped would double-book the failure.
+        """
+        if self.controller.replay_holds(seq):
+            return
+        self.metrics.drop(seq, reason)
+
     # -- overload protection ---------------------------------------------
     def _shed(self, seq: int, drop_reason: str, shed_reason: str,
               queue: str) -> None:
@@ -570,7 +708,12 @@ class SwarmSimulation:
         ``swing_tuples_shed_total{reason=...}`` increment (*shed_reason*,
         the runtime's vocabulary) — so both substrates report sheds
         through the same counter family.
+
+        Overload protection wins over delivery guarantees: a shed tuple
+        is released from the replay buffer (counted as an eviction) so
+        at-least-once never resurrects work the system chose to drop.
         """
+        self.controller.release_replay(seq, EVICT_SHED)
         self.metrics.drop(seq, drop_reason)
         self.registry.increment(metrics_mod.SHED_TOTAL, reason=shed_reason,
                                 queue=queue)
@@ -671,21 +814,23 @@ class SwarmSimulation:
             # unit) BEFORE the liveness check below: the upstream cannot
             # know the device is gone, and the resulting expiry is
             # exactly how a silent departure shows up in loss accounting.
-            destination = self.controller.dispatch(frame.seq)
+            destination = self.controller.dispatch(frame.seq, context=frame,
+                                                   deadline=frame.deadline)
             if destination is None:
-                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
                 continue
             record.device_id = destination
             node = self.nodes.get(destination)
             if node is None or not node.alive:
-                # Routed to a device that already left: the tuple is lost.
-                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                # Routed to a device that already left: the tuple is lost
+                # (unless the replay buffer still retains it).
+                self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
                 continue
             # Blocking socket write: wait for a window slot on this
             # connection, head-of-line blocking every frame behind us.
             yield node.credits.get()
             if not node.alive:
-                self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+                self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
                 continue
             record.tx_started_at = self.sim.now
             if self.tracer.enabled:
@@ -722,7 +867,7 @@ class SwarmSimulation:
         if dropped:
             # Faulted away in flight; the tracker's pending entry will
             # expire and charge the loss to this destination.
-            self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+            self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
             self._return_credit(destination)
             return
         if extra_delay > 0.0:
@@ -738,7 +883,7 @@ class SwarmSimulation:
         link = self.network.link(destination)
         if node is None or not node.alive or not link.up:
             # Delivered into the void: the device left mid-flight.
-            self.metrics.drop(frame.seq, DROP_DEVICE_LEFT)
+            self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
             self._return_credit(destination)
             return
         record.tx_finished_at = self.sim.now
@@ -810,8 +955,9 @@ class SwarmSimulation:
             dropped, extra_delay = self._message_fault(record.device_id)
             if dropped:
                 # The result (and its piggybacked ACK) never arrives: the
-                # upstream will count the tuple as lost when it expires.
-                self.metrics.drop(frame.seq, DROP_LINK_DOWN)
+                # upstream will count the tuple as lost when it expires
+                # (and, in at-least-once mode, redeliver the tuple).
+                self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
                 return
             if extra_delay > 0.0:
                 self.sim.schedule(
@@ -830,6 +976,14 @@ class SwarmSimulation:
         self.controller.on_ack(frame.seq, processing_delay=processing_delay,
                                now=now,
                                downstream_hint=record.device_id or None)
+        if self._dedup is not None and self._dedup.seen(frame.seq):
+            # At-least-once replay delivered this seq more than once; the
+            # ACK above still counts (the worker did the work) but the
+            # sink must not double-deliver it.
+            self.registry.increment(
+                metrics_mod.DEDUPED_TOTAL,
+                queue="sink:%s" % self.config.source.device_id)
+            return
         if frame.expired(now):
             # Computed, transmitted back — and still too late.  The sink
             # refuses to deliver a stale result (the ACK above already
@@ -891,6 +1045,16 @@ class SwarmResult:
     max_queue_depths: Dict[str, int] = field(default_factory=dict)
     #: sampled spans recorded during the run (empty when tracing is off)
     trace: List[Span] = field(default_factory=list)
+    #: at-least-once replay: total redeliveries attempted by the upstream
+    redelivered: int = 0
+    #: sink-side duplicate deliveries suppressed by the dedup window
+    deduped: int = 0
+    #: replay-buffer evictions by reason (capacity/bytes/attempts/…)
+    replay_evicted_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: tuples still retained (un-ACKed) when the run ended
+    replay_depth_end: int = 0
+    #: measured graceful-drain duration per device that left via LEAVING
+    drain_seconds: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -935,6 +1099,14 @@ class SwarmResult:
                 metrics_mod.SHED_TOTAL, "reason"),
             max_queue_depths=max_depths,
             trace=swarm.tracer.spans(),
+            redelivered=sum(swarm.registry.values_by_label(
+                metrics_mod.REDELIVERED_TOTAL, "downstream").values()),
+            deduped=sum(swarm.registry.values_by_label(
+                metrics_mod.DEDUPED_TOTAL, "queue").values()),
+            replay_evicted_by_reason=swarm.registry.values_by_label(
+                metrics_mod.REPLAY_EVICTED_TOTAL, "reason"),
+            replay_depth_end=swarm.controller.replay_depth(),
+            drain_seconds=dict(swarm.drain_durations),
         )
 
     # -- convenience views used by the benchmark harness -------------------
@@ -960,6 +1132,23 @@ class SwarmResult:
     def steady_state_latency(self, warmup: float = 5.0) -> Optional[LatencyStats]:
         """Latency stats excluding frames created during the warm-up."""
         return self.metrics.latency_stats(after=warmup)
+
+    def end_to_end_losses(self, horizon: Optional[float] = None) -> List[int]:
+        """Seqs created before *horizon* that never reached the sink.
+
+        A frame counts as an end-to-end loss only when it neither arrived
+        at the sink nor was deliberately dropped/shed (policy decisions
+        record a drop reason).  In at-least-once mode this is the
+        guarantee being tested: the list must be empty for frames old
+        enough that every redelivery had time to land — pass a *horizon*
+        a few seconds before the end of the run to exclude tuples still
+        legitimately in flight at cutoff.
+        """
+        cutoff = self.duration if horizon is None else horizon
+        return sorted(seq for seq, record in self.metrics.frames.items()
+                      if record.created_at < cutoff
+                      and record.sink_arrived_at is None
+                      and record.dropped is None)
 
     def steady_state_throughput(self, warmup: float = 5.0) -> float:
         """Completions per second after the warm-up period."""

@@ -168,3 +168,30 @@ class TestReorderingSink:
         # The flush timestamp comes from the unit's clock, not a
         # hardcoded 0.0.
         assert sink._buffer.playback[-1].played_at == 3.5
+
+    def test_duplicates_dropped_and_counted(self):
+        # At-least-once delivery may replay a tuple; the copy must not
+        # pollute raw results, playback, or the throughput count.
+        sink = self._sink()
+        for seq in (0, 1, 1, 2, 0):
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        assert sink.duplicates_dropped == 2
+        assert [data.seq for data in sink.results] == [0, 1, 2]
+        assert [data.seq for data in sink.playback] == [0, 1, 2]
+
+    def test_duplicate_past_dedup_window_still_not_replayed(self):
+        # Independence of the two layers: once a duplicate outlives the
+        # dedup window, the reorder buffer (seq already settled) still
+        # refuses to play it twice — at-least-once never double-counts
+        # playback, only the raw arrival log.
+        from repro.core.function_unit import ReorderingSink
+        sink = ReorderingSink(source_rate=10.0, timespan=1.0,
+                              dedup_window=2)
+        bind(sink)
+        for seq in range(5):
+            sink.process_data(DataTuple(values={"v": seq}, seq=seq))
+        # seq 0 has left the 2-entry dedup window: the replay passes the
+        # window (not counted as duplicate) but never reaches playback.
+        sink.process_data(DataTuple(values={"v": 0}, seq=0))
+        assert sink.duplicates_dropped == 0
+        assert [data.seq for data in sink.playback] == list(range(5))
