@@ -58,6 +58,7 @@ from typing import (Callable, Deque, Dict, Iterable, List, Mapping, Optional,
                     Tuple, Union)
 
 from repro import metrics as metrics_mod
+from repro.core.batching import BatchConfig
 from repro.core.delivery import (EVICT_ATTEMPTS, EVICT_EXPIRED,
                                  DeliveryConfig, ReplayBuffer, ReplayEntry)
 from repro.core.exceptions import RoutingError
@@ -115,6 +116,11 @@ class PolicyConfig:
     #: like ``overload``, one object drives both substrates so churn
     #: recovery decisions replay identically
     delivery: Optional[DeliveryConfig] = None
+    # -- batched data plane ------------------------------------------------
+    #: tuple-batching flush policy (``None`` = per-tuple dispatch); one
+    #: object drives both substrates so batch boundaries replay
+    #: identically, and ``max_tuples=1`` is wire-identical to no batching
+    batching: Optional[BatchConfig] = None
 
     def overload_config(self) -> OverloadConfig:
         """The effective overload knobs (defaults when unset)."""
@@ -123,6 +129,10 @@ class PolicyConfig:
     def delivery_config(self) -> DeliveryConfig:
         """The effective delivery knobs (best-effort defaults when unset)."""
         return self.delivery if self.delivery is not None else DeliveryConfig()
+
+    def batching_config(self) -> BatchConfig:
+        """The effective batching knobs (per-tuple dispatch when unset)."""
+        return self.batching if self.batching is not None else BatchConfig()
 
     def policy_kwargs(self) -> Dict[str, object]:
         """Constructor kwargs for this config's policy class."""
@@ -204,6 +214,15 @@ class LrsController:
         self.on_redeliver = redelivery
         self._redeliver_queue: Deque[Union[str, ReplayEntry]] = deque()
         self._redelivering = False
+        # -- batched dispatch bookkeeping (populated only when a batch is
+        # retained for replay): member seq -> head seq, and head seq ->
+        # the members still awaiting an ACK.  The replay buffer holds ONE
+        # entry per batch (keyed by the head), so per-tuple ACKs must
+        # drain the membership before the batch entry is released.
+        self._batch_of: Dict[int, int] = {}
+        self._batch_members: Dict[int, set] = {}
+        #: lazily created swing_batch_size histogram for this edge
+        self._batch_histogram: Optional[metrics_mod.Histogram] = None
         #: update-round log: (time, decision); capped when the hosting
         #: substrate is long-lived (the runtime), unbounded in the
         #: duration-limited simulator and the parity harness
@@ -349,6 +368,85 @@ class LrsController:
                                 deadline=deadline)
         return None
 
+    def dispatch_batch(self, seqs: Iterable[int],
+                       context: Optional[object] = None,
+                       deadline: Optional[float] = None) -> Optional[str]:
+        """Route + send one closed batch with a single policy decision.
+
+        The batch is the wire unit: one routing decision, one egress
+        send (keyed by the head seq), one pending-ACK entry, and — with
+        at-least-once delivery — ONE replay-buffer entry covering the
+        whole batch (*context* is the framed batch; redelivery re-sends
+        it wholesale, and the receiver's dedup window suppresses any
+        members that already made it through).  ``deadline`` should be
+        the earliest member deadline.  A batch of one degenerates to
+        :meth:`dispatch`, so the size-1 path is byte- and
+        decision-identical to per-tuple dispatch.
+        """
+        seqs = list(seqs)
+        if not seqs:
+            return None
+        self._observe_batch_size(len(seqs))
+        if len(seqs) == 1:
+            return self.dispatch(seqs[0], context=context, deadline=deadline)
+        head = seqs[0]
+        with self._lock:
+            try:
+                chosen = self._policy.route()
+            except RoutingError:
+                chosen = None
+        tried = set()
+        while chosen is not None:
+            sent_at = self._send(chosen, head, context)
+            if sent_at is not None:
+                # Per-batch tracker bookkeeping: the head seq stands in
+                # for the whole batch (one pending entry, one latency
+                # sample, one loss charge on expiry) — this is what lets
+                # the batched path amortize the control-plane cost.
+                self.record_send(head, chosen, sent_at)
+                if self._replay is not None and context is not None:
+                    self._register_batch(seqs)
+                    self._replay.retain(head, chosen, context, now=sent_at,
+                                        deadline=deadline,
+                                        nbytes=getattr(context, "nbytes",
+                                                       None))
+                if tried:
+                    self._registry.increment(metrics_mod.REROUTED_TOTAL,
+                                             downstream=chosen)
+                    if self._trace.enabled:
+                        self._trace.emit(Span(
+                            RETRY, head, sent_at, sent_at,
+                            device_id=self.name or "-",
+                            hop="egress:%s" % (self.name or "-"),
+                            detail=",".join(sorted(tried))))
+                self.dispatched += len(seqs)
+                return chosen
+            tried.add(chosen)
+            self.mark_dead(chosen)
+            chosen = self._fallback(tried)
+        if self._replay is not None and context is not None:
+            self._register_batch(seqs)
+            self._replay.retain(head, None, context, now=self._clock(),
+                                deadline=deadline,
+                                nbytes=getattr(context, "nbytes", None))
+        return None
+
+    def _register_batch(self, seqs: List[int]) -> None:
+        """Map batch members to their head before retaining the batch."""
+        head = seqs[0]
+        with self._lock:
+            self._batch_members[head] = set(seqs)
+            for seq in seqs:
+                self._batch_of[seq] = head
+
+    def _observe_batch_size(self, size: int) -> None:
+        if self._batch_histogram is None:
+            self._batch_histogram = self._registry.histogram(
+                metrics_mod.BATCH_SIZE,
+                buckets=metrics_mod.BATCH_SIZE_BUCKETS,
+                edge=self.name or "-")
+        self._batch_histogram.observe(size)
+
     def _send(self, downstream_id: str, seq: int,
               context: Optional[object]) -> Optional[float]:
         if self._egress is None:
@@ -392,7 +490,7 @@ class LrsController:
         if self._replay is not None:
             # Any ACK for this seq releases retention — including one
             # from a previous delivery attempt racing a redelivery.
-            self._replay.release(seq)
+            self._release_retention(seq)
         with self._lock:
             downstream_id = self._tracker.pending_downstream(seq)
             sample = self._tracker.record_ack(
@@ -414,6 +512,79 @@ class LrsController:
                                          sample, downstream=downstream_id)
         if self._trace.enabled and self._trace.sampled(seq):
             self._trace.emit(Span(ACK_RTT, seq, now - sample, now,
+                                  device_id=self.name or "-",
+                                  hop="egress:%s" % (self.name or "-"),
+                                  detail=downstream_id),
+                             sampled=True)
+        return AckResult(downstream_id=downstream_id, sample=sample)
+
+    def _release_retention(self, seq: int) -> None:
+        """Release replay retention for one ACKed seq, batch-aware.
+
+        A batch is retained as one entry keyed by its head seq; a
+        member's ACK only shrinks the membership, and the entry is
+        released when the last member is acknowledged (the simulator
+        ACKs batch members one result at a time).
+        """
+        if self._replay is None:
+            return
+        with self._lock:
+            head = self._batch_of.pop(seq, None)
+            if head is not None:
+                members = self._batch_members.get(head)
+                if members is not None:
+                    members.discard(seq)
+                    if members:
+                        return  # batch still partially un-ACKed
+                    del self._batch_members[head]
+                seq = head
+        self._replay.release(seq)
+
+    def on_ack_batch(self, seqs: Iterable[int],
+                     processing_delay: Optional[float] = None,
+                     now: Optional[float] = None,
+                     downstream_hint: Optional[str] = None
+                     ) -> Optional[AckResult]:
+        """Fold one batched timestamp echo into the estimators.
+
+        The runtime worker ACKs a whole batch with one message; the
+        head seq matches the batch's single pending entry, yielding one
+        latency sample, while ``ack_count`` is credited for every member
+        so throughput accounting stays per-tuple.
+        """
+        seqs = list(seqs)
+        if not seqs:
+            return None
+        if len(seqs) == 1:
+            return self.on_ack(seqs[0], processing_delay=processing_delay,
+                               now=now, downstream_hint=downstream_hint)
+        if now is None:
+            now = self._clock()
+        head = seqs[0]
+        if self._replay is not None:
+            with self._lock:
+                for seq in seqs:
+                    self._batch_of.pop(seq, None)
+                self._batch_members.pop(head, None)
+            self._replay.release(head)
+        with self._lock:
+            downstream_id = self._tracker.pending_downstream(head)
+            sample = self._tracker.record_ack(
+                head, now, processing_delay=processing_delay)
+            if sample is not None:
+                self.ack_count += len(seqs)
+            resolved = (downstream_id if downstream_id is not None
+                        else downstream_hint)
+            if resolved is not None:
+                on_acked = getattr(self._policy, "on_acked", None)
+                if on_acked is not None:
+                    on_acked(resolved)
+        if sample is None or downstream_id is None:
+            return None
+        self._registry.observe_histogram(metrics_mod.ACK_RTT_SECONDS,
+                                         sample, downstream=downstream_id)
+        if self._trace.enabled and self._trace.sampled(head):
+            self._trace.emit(Span(ACK_RTT, head, now - sample, now,
                                   device_id=self.name or "-",
                                   hop="egress:%s" % (self.name or "-"),
                                   detail=downstream_id),
@@ -463,9 +634,14 @@ class LrsController:
         """Whether the replay buffer still owns *seq* (not yet ACKed).
 
         Substrates use this to gate loss accounting: a tuple that is
-        still retained is recoverable, not lost.
+        still retained is recoverable, not lost.  A batch member is
+        covered by its batch's single entry (keyed by the head seq).
         """
-        return self._replay is not None and self._replay.holds(seq)
+        if self._replay is None:
+            return False
+        with self._lock:
+            head = self._batch_of.get(seq, seq)
+        return self._replay.holds(head)
 
     def replay_depth(self) -> int:
         return len(self._replay) if self._replay is not None else 0
@@ -476,21 +652,64 @@ class LrsController:
         Overload protection wins over delivery guarantees: once a tuple
         is shed there is no point redelivering it, so the substrate
         evicts it here (counted, never silent).
+
+        Shedding one member of a retained batch only shrinks the batch's
+        membership; the batch entry itself is evicted when its last
+        member is given up (or released by an ACK).
         """
         if self._replay is None:
             return False
-        return self._replay.evict(seq, reason)
+        target = seq
+        with self._lock:
+            head = self._batch_of.pop(seq, None)
+            if head is not None:
+                members = self._batch_members.get(head)
+                if members is not None:
+                    members.discard(seq)
+                    if members:
+                        return True  # entry stays for the other members
+                    del self._batch_members[head]
+                target = head
+        return self._replay.evict(target, reason)
 
     def _sweep_replay(self, now: float) -> None:
         """Redeliver retained tuples whose ACK is overdue."""
         if self._replay is None:
             return
         stale = self._replay.take_stale(now - self._redelivery_timeout)
-        if not stale:
+        if stale:
+            with self._lock:
+                self._redeliver_queue.extend(stale)
+            self._drain_redeliveries()
+        self._prune_batches()
+
+    def _forget_batch(self, head: int) -> None:
+        """Drop the membership maps of a batch whose entry was given up."""
+        with self._lock:
+            members = self._batch_members.pop(head, None)
+            if members:
+                for seq in members:
+                    self._batch_of.pop(seq, None)
+
+    def _prune_batches(self) -> None:
+        """Forget batches whose replay entry is gone (internal eviction).
+
+        The replay buffer evicts oldest entries on its own when a bound
+        trips; the membership maps of such a batch would otherwise live
+        forever.  Heads sitting in the redelivery queue are skipped —
+        their entry is only *temporarily* popped.
+        """
+        if self._replay is None or not self._batch_members:
             return
         with self._lock:
-            self._redeliver_queue.extend(stale)
-        self._drain_redeliveries()
+            queued = {item.seq for item in self._redeliver_queue
+                      if not isinstance(item, str)}
+            stale_heads = [head for head in self._batch_members
+                           if head not in queued
+                           and not self._replay.holds(head)]
+            for head in stale_heads:
+                for seq in self._batch_members.pop(head):
+                    self._batch_of.pop(seq, None)
 
     def _request_redelivery(self, downstream_id: str) -> None:
         """Queue redelivery of everything assigned to *downstream_id*."""
@@ -531,10 +750,12 @@ class LrsController:
             # Shed-aware: an expired tuple would be dropped on arrival
             # anyway, so redelivering it only wastes the network.
             self._replay.discard(entry, EVICT_EXPIRED)
+            self._forget_batch(entry.seq)
             return
         if entry.attempt >= self.config.delivery_config() \
                 .max_delivery_attempts:
             self._replay.discard(entry, EVICT_ATTEMPTS)
+            self._forget_batch(entry.seq)
             return
         tried = {entry.downstream} if entry.downstream is not None else set()
         chosen = self._fallback(tried)

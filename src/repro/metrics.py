@@ -49,10 +49,17 @@ ACK_RTT_SECONDS = "swing_ack_rtt_seconds"
 SPAN_SECONDS = "swing_span_duration_seconds"
 #: histogram: graceful-drain duration per departing device, seconds
 DRAIN_SECONDS = "swing_drain_duration_seconds"
+#: histogram: tuples per flushed batch on one upstream edge
+BATCH_SIZE = "swing_batch_size"
 
 #: default latency buckets, seconds (1 ms .. 10 s, roughly log-spaced)
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
                    0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: bucket bounds for the batch-size histogram (tuples per flush, powers
+#: of two up to the practical batch ceiling)
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                      256.0, 512.0, 1024.0)
 
 
 def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:

@@ -21,13 +21,14 @@ from typing import Callable, Dict, Optional, Tuple
 from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
+from repro.core.batching import BatchBuffer
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import RoutingError
 from repro.core.policies import PolicyDecision
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.health import HealthMonitor
-from repro.runtime.serialization import encode_tuple
+from repro.runtime.serialization import encode_batch, encode_tuple
 from repro.trace import NULL_TRACER, SERIALIZE, SHED, Span
 
 #: an instance is addressed as "unit@worker"
@@ -47,6 +48,24 @@ def split_instance(instance: InstanceId) -> Tuple[str, str]:
     if not unit_name or not worker_id:
         raise RoutingError("malformed instance id %r" % instance)
     return unit_name, worker_id
+
+
+class BatchPayload:
+    """Opaque egress context for one batched flush: frame + member seqs.
+
+    The controller passes it through to :meth:`UpstreamDispatcher._try_send`
+    (and retains it wholesale for at-least-once replay, so a redelivery
+    re-sends the entire batch and the receiver's dedup window absorbs
+    already-delivered members).
+    """
+
+    __slots__ = ("frame", "seqs", "nbytes")
+
+    def __init__(self, frame: bytes, seqs) -> None:
+        self.frame = frame
+        self.seqs = list(seqs)
+        #: lets the replay buffer charge the batch at its wire size
+        self.nbytes = len(frame)
 
 
 class _FabricEgress:
@@ -113,6 +132,11 @@ class UpstreamDispatcher:
                                         name=self.edge,
                                         max_decisions=DECISION_HISTORY,
                                         trace=self._trace)
+        # -- batched data plane: pending tuples awaiting a flush ---------
+        batching = self.controller.config.batching_config()
+        self._batch_lock = threading.Lock()
+        self._batch: Optional[BatchBuffer] = (BatchBuffer(batching)
+                                              if batching.enabled else None)
 
     # -- membership --------------------------------------------------------
     def set_downstreams(self, instances) -> None:
@@ -196,17 +220,72 @@ class UpstreamDispatcher:
                         sampled=sampled)
         else:
             payload = encode_tuple(data)
-        return self.controller.dispatch(data.seq, context=payload,
-                                        deadline=data.deadline)
+        if self._batch is None:
+            return self.controller.dispatch(data.seq, context=payload,
+                                            deadline=data.deadline)
+        with self._batch_lock:
+            full = self._batch.append((data.seq, payload, data.deadline),
+                                      now)
+            close = full or self._batch.due(now)
+        if close:
+            return self.flush(now)
+        return None
+
+    def flush(self, now: Optional[float] = None) -> Optional[InstanceId]:
+        """Send the pending batch now; returns the chosen downstream.
+
+        A one-tuple batch goes through the per-tuple controller path and
+        the legacy DATA envelope, byte-identical to unbatched dispatch.
+        """
+        if self._batch is None:
+            return None
+        with self._batch_lock:
+            items = self._batch.take()
+        if not items:
+            return None
+        if now is None:
+            now = self._clock()
+        seqs = [seq for seq, _payload, _deadline in items]
+        deadlines = [deadline for _seq, _payload, deadline in items
+                     if deadline is not None]
+        deadline = min(deadlines) if deadlines else None
+        if len(items) == 1:
+            context: object = items[0][1]
+        else:
+            context = BatchPayload(
+                encode_batch([payload for _seq, payload, _d in items]), seqs)
+        return self.controller.dispatch_batch(seqs, context=context,
+                                              deadline=deadline)
+
+    def maybe_flush(self, now: Optional[float] = None) -> Optional[InstanceId]:
+        """Flush only when the oldest pending tuple has waited past
+        ``max_delay`` (the hosting loop's periodic age check)."""
+        if self._batch is None:
+            return None
+        if now is None:
+            now = self._clock()
+        with self._batch_lock:
+            due = self._batch.due(now)
+        if due:
+            return self.flush(now)
+        return None
+
+    def pending_batch(self) -> int:
+        """Tuples buffered and not yet flushed (drain visibility)."""
+        if self._batch is None:
+            return 0
+        with self._batch_lock:
+            return len(self._batch)
 
     def unsatisfiable(self) -> bool:
         """Whether every downstream is currently marked dead (the source
         admission-control backpressure signal)."""
         return self.controller.unsatisfiable()
 
-    def _try_send(self, instance: InstanceId, payload: bytes,
+    def _try_send(self, instance: InstanceId, payload: object,
                   seq: int, attempt: int = 1) -> Optional[float]:
-        """Attempt (with bounded retry) to push one tuple at *instance*.
+        """Attempt (with bounded retry) to push one tuple (or one
+        :class:`BatchPayload`) at *instance*.
 
         Returns the send timestamp on success, None once the instance
         exhausts its attempts (or sits inside its backoff window).
@@ -227,7 +306,11 @@ class UpstreamDispatcher:
                 self._registry.increment(metrics_mod.RETRIED_TOTAL,
                                          downstream=instance)
             now = self._clock()
-            message = messages.data_message(unit_name, payload, seq, now)
+            if isinstance(payload, BatchPayload):
+                message = messages.batch_message(unit_name, payload.frame,
+                                                 payload.seqs, now)
+            else:
+                message = messages.data_message(unit_name, payload, seq, now)
             message.payload["edge"] = self.edge
             if attempt > 1:
                 message.payload["delivery_attempt"] = attempt
@@ -246,6 +329,13 @@ class UpstreamDispatcher:
         """Fold a downstream's timestamp echo into the estimators."""
         result = self.controller.on_ack(seq,
                                         processing_delay=processing_delay)
+        if result is not None and self._health is not None:
+            self._health.record_ack(split_instance(result.downstream_id)[1])
+
+    def on_ack_batch(self, seqs, processing_delay: float) -> None:
+        """Fold one batched timestamp echo into the estimators."""
+        result = self.controller.on_ack_batch(
+            seqs, processing_delay=processing_delay)
         if result is not None and self._health is not None:
             self._health.record_ack(split_instance(result.downstream_id)[1])
 

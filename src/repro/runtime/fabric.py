@@ -59,9 +59,19 @@ class Mailbox:
     def capacity(self) -> Optional[int]:
         return self.overload.queue_capacity
 
+    #: message kinds carrying data-plane tuples: the only sheddable ones
+    _DATA_KINDS = frozenset({messages_mod.DATA, messages_mod.BATCH})
+
+    @classmethod
+    def _droppable(cls, message: Message) -> bool:
+        return getattr(message, "kind", None) in cls._DATA_KINDS
+
     @staticmethod
-    def _droppable(message: Message) -> bool:
-        return getattr(message, "kind", None) == messages_mod.DATA
+    def _tuple_count(message: Message) -> int:
+        """Tuples carried by one data-plane message (batches hold many)."""
+        if getattr(message, "kind", None) == messages_mod.BATCH:
+            return max(1, len(message.payload.get("seqs", ())))
+        return 1
 
     def _shed(self, count: int = 1) -> None:
         self.shed_count += count
@@ -88,7 +98,7 @@ class Mailbox:
                         leftover = (None if deadline is None
                                     else deadline - time.monotonic())
                         if leftover is not None and leftover <= 0:
-                            self._shed()
+                            self._shed(self._tuple_count(message))
                             return False
                         self._cond.wait(timeout=leftover)
                 elif decision == overload_mod.EVICT_OLDEST:
@@ -97,7 +107,7 @@ class Mailbox:
                         # rather than lose control-plane traffic.
                         pass
                 elif decision == overload_mod.REJECT:
-                    self._shed()
+                    self._shed(self._tuple_count(message))
                     return False
             self._items.append(entry)
             self.max_depth = max(self.max_depth, len(self._items))
@@ -106,11 +116,11 @@ class Mailbox:
         return True
 
     def _evict_oldest_droppable(self) -> bool:
-        """Drop the oldest DATA entry in place; False when none queued."""
+        """Drop the oldest DATA/BATCH entry in place; False when none queued."""
         for index, (_sender, queued) in enumerate(self._items):
             if self._droppable(queued):
                 del self._items[index]
-                self._shed()
+                self._shed(self._tuple_count(queued))
                 return True
         return False
 

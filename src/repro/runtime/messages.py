@@ -21,12 +21,13 @@ DEPLOY = "deploy"
 START = "start"
 STOP = "stop"
 DATA = "data"
+BATCH = "batch"
 ACK = "ack"
 HEARTBEAT = "heartbeat"
 LEAVE = "leave"
 LEAVING = "leaving"
 
-_KINDS = frozenset({JOIN, WELCOME, DEPLOY, START, STOP, DATA, ACK,
+_KINDS = frozenset({JOIN, WELCOME, DEPLOY, START, STOP, DATA, BATCH, ACK,
                     HEARTBEAT, LEAVE, LEAVING})
 
 
@@ -90,9 +91,36 @@ def data_message(unit_name: str, payload: bytes, seq: int,
                           "seq": seq, "sent_at": sent_at})
 
 
+def batch_message(unit_name: str, frame: bytes, seqs: list,
+                  sent_at: float) -> Message:
+    """One batched flush bound for *unit_name*: many tuples, one envelope.
+
+    ``frame`` is :func:`~repro.runtime.serialization.encode_batch`
+    output; ``seqs`` lists the member seqs in frame order (the first is
+    the head seq keying the upstream's pending/replay entries).  Batches
+    of one are never sent this way — the dispatcher emits the legacy
+    :func:`data_message` so the size-1 wire format stays byte-identical.
+    """
+    return Message(BATCH, {"unit": unit_name, "batch": frame,
+                           "seqs": list(seqs), "sent_at": sent_at})
+
+
 def ack_message(seq: int, sent_at: float, processing_delay: float) -> Message:
     """The timestamp echo of paper Sec. V-B, with W_i piggybacked."""
     return Message(ACK, {"seq": seq, "sent_at": sent_at,
+                         "processing_delay": processing_delay})
+
+
+def batch_ack_message(seqs: list, sent_at: float,
+                      processing_delay: float) -> Message:
+    """One timestamp echo acknowledging a whole batch.
+
+    ``processing_delay`` is the mean per-tuple compute time of the
+    batch — the W_i estimate a batch contributes, comparable to the
+    per-tuple echoes it replaces.
+    """
+    return Message(ACK, {"seqs": list(seqs), "seq": seqs[0],
+                         "sent_at": sent_at,
                          "processing_delay": processing_delay})
 
 

@@ -22,7 +22,8 @@ from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
 from repro.core import overload as overload_mod
 from repro.core.controller import PolicyConfig
-from repro.core.exceptions import DeploymentError, RuntimeStateError
+from repro.core.exceptions import (DeploymentError, RuntimeStateError,
+                                   SerializationError)
 from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
 from repro.core.graph import AppGraph
 from repro.core.tuples import DataTuple
@@ -30,7 +31,7 @@ from repro.runtime import messages
 from repro.runtime.dispatcher import UpstreamDispatcher, instance_id
 from repro.runtime.fabric import Fabric, Mailbox
 from repro.runtime.health import HealthMonitor
-from repro.runtime.serialization import decode_tuple
+from repro.runtime.serialization import decode_batch, decode_tuple
 from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, SHED, Span,
                          SpanContext)
 
@@ -157,6 +158,9 @@ class WorkerRuntime:
         if self._thread is not None:
             self._thread.join(timeout=timeout)
             self._thread = None
+        # The main loop is gone: any partial batch still buffered would
+        # be lost silently, so push it out on the caller's thread.
+        self._flush_dispatchers(force=True)
         for unit in self._units.values():
             unit.on_stop()
 
@@ -187,7 +191,10 @@ class WorkerRuntime:
         deadline = time.monotonic() + timeout
         last_busy = time.monotonic()
         while time.monotonic() < deadline:
-            if len(self._mailbox) > 0 or self._data_active:
+            self._flush_dispatchers(force=True)
+            pending = sum(d.pending_batch()
+                          for d in list(self._dispatchers.values()))
+            if len(self._mailbox) > 0 or self._data_active or pending:
                 last_busy = time.monotonic()
             elif time.monotonic() - last_busy >= quiet:
                 break
@@ -206,12 +213,29 @@ class WorkerRuntime:
             try:
                 sender_id, message = self._mailbox.get(timeout=0.05)
             except TimeoutError:
+                # Idle: close any partial batch that has aged past its
+                # flush delay (the ~50 ms mailbox timeout bounds how
+                # long a trickle of tuples can sit buffered).
+                self._flush_dispatchers()
                 continue
             try:
                 self._handle(sender_id, message)
             except Exception:
                 # A poison message must not kill the device's service.
                 continue
+            finally:
+                self._flush_dispatchers()
+
+    def _flush_dispatchers(self, force: bool = False) -> None:
+        """Age-flush (or force-flush) every edge dispatcher's batch."""
+        for dispatcher in list(self._dispatchers.values()):
+            try:
+                if force:
+                    dispatcher.flush()
+                else:
+                    dispatcher.maybe_flush()
+            except Exception:
+                pass  # a failed flush send is already health-accounted
 
     def _handle(self, sender_id: str, message: messages.Message) -> None:
         if message.kind == messages.DEPLOY:
@@ -220,6 +244,12 @@ class WorkerRuntime:
             self._data_active = True
             try:
                 self._on_data(sender_id, message)
+            finally:
+                self._data_active = False
+        elif message.kind == messages.BATCH:
+            self._data_active = True
+            try:
+                self._on_batch(sender_id, message)
             finally:
                 self._data_active = False
         elif message.kind == messages.ACK:
@@ -376,9 +406,85 @@ class WorkerRuntime:
         except Exception:
             pass  # the upstream is gone; nothing to acknowledge
 
+    def _on_batch(self, sender_id: str, message: messages.Message) -> None:
+        """Process one batched flush: many tuples, one ACK.
+
+        Mirrors :meth:`_on_data` per tuple (dedup, expiry shed, spans,
+        unit processing), but acknowledges the whole batch with a single
+        timestamp echo carrying the mean per-tuple compute time.  The
+        ACK is sent even when every member was deduped or shed — the
+        upstream's per-batch retention must still be released.  A frame
+        that fails to decode gets no ACK at all: the upstream's replay
+        machinery redelivers or expires it.
+        """
+        payload = message.payload
+        unit_name = payload["unit"]
+        unit = self._units.get(unit_name)
+        if unit is None:
+            return
+        try:
+            batch = decode_batch(payload["batch"])
+        except SerializationError:
+            return  # poison frame: let upstream replay/expiry handle it
+        edge = payload.get("edge", "")
+        attempt = payload.get("delivery_attempt", 1)
+        sent_at = payload["sent_at"]
+        tracer = self.tracer
+        hop = "worker:%s" % self.worker_id
+        busy = 0.0
+        for data in batch:
+            data.delivery_attempt = attempt
+            if self._dedup is not None and self._dedup.seen((edge, data.seq)):
+                self._registry.increment(metrics_mod.DEDUPED_TOTAL,
+                                         queue="worker:%s" % self.worker_id)
+                continue
+            started = time.monotonic()
+            sampled = (data.trace.sampled if data.trace is not None
+                       else tracer.sampled(data.seq))
+            if tracer.enabled:
+                tracer.emit(Span(QUEUE_WAIT, data.seq, sent_at, started,
+                                 device_id=self.worker_id, hop=hop,
+                                 detail=unit_name),
+                            sampled=sampled)
+            if data.expired(started):
+                self._registry.increment(metrics_mod.SHED_TOTAL,
+                                         reason=overload_mod.REASON_EXPIRED,
+                                         queue="worker:%s" % self.worker_id)
+                if tracer.enabled:
+                    tracer.emit(Span(SHED, data.seq, started, started,
+                                     device_id=self.worker_id, hop=hop,
+                                     detail=overload_mod.REASON_EXPIRED),
+                                sampled=sampled)
+                continue
+            unit.process_data(data)
+            elapsed = time.monotonic() - started
+            if self.slowdown > 0.0:
+                time.sleep(self.slowdown * max(elapsed, 1e-6))
+                elapsed = time.monotonic() - started
+            if tracer.enabled:
+                tracer.emit(Span(PROCESS, data.seq, started, started + elapsed,
+                                 device_id=self.worker_id, hop=hop,
+                                 detail=unit_name),
+                            sampled=sampled)
+            self.processed_count += 1
+            busy += elapsed
+        seqs = payload.get("seqs") or [data.seq for data in batch]
+        ack = messages.batch_ack_message(seqs, sent_at,
+                                         busy / max(1, len(batch)))
+        ack.payload["edge"] = edge
+        try:
+            self.fabric.send(self.worker_id, sender_id, ack)
+        except Exception:
+            pass  # the upstream is gone; nothing to acknowledge
+
     def _on_ack(self, message: messages.Message) -> None:
         dispatcher = self._dispatchers.get(message.payload.get("edge", ""))
-        if dispatcher is not None:
+        if dispatcher is None:
+            return
+        seqs = message.payload.get("seqs")
+        if seqs:
+            dispatcher.on_ack_batch(seqs, message.payload["processing_delay"])
+        else:
             dispatcher.on_ack(message.payload["seq"],
                               message.payload["processing_delay"])
 

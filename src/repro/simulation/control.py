@@ -11,11 +11,12 @@ paper's testbed.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro import metrics as metrics_mod
+from repro.core.batching import BatchConfig
 from repro.core.controller import LrsController, PolicyConfig
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import Simulator, Store
 
 
 class EngineEgress:
@@ -51,3 +52,33 @@ def engine_controller(
     return LrsController(config, clock=lambda: sim.now,
                          egress=EngineEgress(sim), registry=registry,
                          name=name, trace=trace, redelivery=redelivery)
+
+
+def collect_batch(sim: Simulator, store: Store,
+                  config: BatchConfig) -> List[object]:
+    """Collect one flush worth of items from *store* (engine generator).
+
+    The engine-side mirror of the runtime dispatcher's flush policy:
+    block for the first item, drain greedily up to ``max_tuples``, and
+    when the batch is still short wait once for ``max_delay`` before a
+    final greedy drain — so a batch closes as soon as it fills, and no
+    item ever waits longer than the flush delay.
+
+    Consume it with ``items = yield from collect_batch(...)``.
+    """
+    first = yield store.get()
+    items = [first]
+    limit = config.max_tuples
+    while len(items) < limit:
+        extra = store.try_get()
+        if extra is None:
+            break
+        items.append(extra)
+    if len(items) < limit and config.max_delay > 0.0:
+        yield sim.timeout(config.max_delay)
+        while len(items) < limit:
+            extra = store.try_get()
+            if extra is None:
+                break
+            items.append(extra)
+    return items

@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import metrics as metrics_mod
 from repro.core import overload as overload_mod
+from repro.core.batching import BatchConfig
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.delivery import (CHURN_KILL, CHURN_LEAVE, ChurnSchedule,
                                  DedupWindow, DeliveryConfig, EVICT_SHED)
@@ -34,7 +35,7 @@ from repro.core.exceptions import SimulationError
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision
 from repro.core.reorder import ReorderBuffer
-from repro.simulation.control import engine_controller
+from repro.simulation.control import collect_batch, engine_controller
 from repro.simulation.device import CpuModel, DeviceProfile, ThermalThrottle
 from repro.simulation.energy import EnergyReport, PowerEstimator
 from repro.simulation.engine import Simulator, Store
@@ -201,6 +202,13 @@ class SwarmConfig:
     #: seeded churn schedule (join/leave/kill/rejoin) consumed
     #: identically by this simulator and the runtime chaos harness
     churn: Optional[ChurnSchedule] = None
+    #: data-plane batching knobs shared verbatim with the threaded
+    #: runtime; ``None`` (or ``max_tuples=1``) keeps per-tuple dispatch
+    batching: Optional[BatchConfig] = None
+
+    def batching_config(self) -> BatchConfig:
+        """This experiment's batching knobs (per-tuple by default)."""
+        return self.batching if self.batching is not None else BatchConfig()
 
     def overload_config(self) -> OverloadConfig:
         """This experiment's overload knobs (disabled-by-default)."""
@@ -229,7 +237,8 @@ class SwarmConfig:
                             dead_after=self.dead_after,
                             capabilities=capabilities,
                             overload=self.overload,
-                            delivery=self.delivery)
+                            delivery=self.delivery,
+                            batching=self.batching)
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -666,7 +675,15 @@ class SwarmSimulation:
         re-transmission.  If the target is unusable the entry simply
         stays retained and the next stale sweep tries again — returning
         here is never a loss.
+
+        A batched retention's context is a tuple of frames (one replay
+        entry covers the whole batch): re-transmit every member; the
+        sink's dedup window suppresses any that already landed.
         """
+        if isinstance(frame, tuple):
+            for member in frame:
+                self._redeliver_frame(member.seq, destination, member, attempt)
+            return
         node = self.nodes.get(destination)
         if node is None or not node.alive or node.draining:
             return
@@ -799,54 +816,94 @@ class SwarmSimulation:
         config = self.config
         source_radio = self.network.radio(config.source.device_id)
         edge_name = "edge:%s" % config.source.device_id
+        batching = config.batching_config()
         while True:
-            frame = yield self._egress.get()
-            if frame.expired(self.sim.now):
-                # Shed at egress, before any transmission cost is paid
-                # (mirrors the runtime dispatcher's expired-shed).
-                self._shed(frame.seq, DROP_EXPIRED,
-                           overload_mod.REASON_EXPIRED, queue=edge_name)
+            if batching.enabled:
+                frames = yield from collect_batch(self.sim, self._egress,
+                                                  batching)
+            else:
+                frame = yield self._egress.get()
+                frames = [frame]
+            live = []
+            for frame in frames:
+                if frame.expired(self.sim.now):
+                    # Shed at egress, before any transmission cost is
+                    # paid (mirrors the runtime dispatcher's
+                    # expired-shed).
+                    self._shed(frame.seq, DROP_EXPIRED,
+                               overload_mod.REASON_EXPIRED, queue=edge_name)
+                    continue
+                record = self.metrics.frame(frame.seq, frame.created_at)
+                record.dispatched_at = self.sim.now
+                live.append(frame)
+            if not live:
                 continue
-            record = self.metrics.frame(frame.seq, frame.created_at)
-            record.dispatched_at = self.sim.now
             # The controller routes and records the send (the paper's
             # timestamp is attached when the tuple leaves the upstream
-            # unit) BEFORE the liveness check below: the upstream cannot
-            # know the device is gone, and the resulting expiry is
+            # unit) BEFORE the liveness check in _transmit: the upstream
+            # cannot know the device is gone, and the resulting expiry is
             # exactly how a silent departure shows up in loss accounting.
-            destination = self.controller.dispatch(frame.seq, context=frame,
-                                                   deadline=frame.deadline)
+            if not batching.enabled:
+                destination = self.controller.dispatch(
+                    live[0].seq, context=live[0], deadline=live[0].deadline)
+            else:
+                # One decision per closed batch; the replay context is
+                # the member tuple(s) so redelivery can re-send each
+                # frame.  A flush of one degenerates to plain dispatch
+                # inside the controller (decision parity with unbatched).
+                deadlines = [f.deadline for f in live
+                             if f.deadline is not None]
+                destination = self.controller.dispatch_batch(
+                    [f.seq for f in live],
+                    context=live[0] if len(live) == 1 else tuple(live),
+                    deadline=min(deadlines) if deadlines else None)
             if destination is None:
-                self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
+                for frame in live:
+                    self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
                 continue
-            record.device_id = destination
-            node = self.nodes.get(destination)
-            if node is None or not node.alive:
-                # Routed to a device that already left: the tuple is lost
-                # (unless the replay buffer still retains it).
-                self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
-                continue
-            # Blocking socket write: wait for a window slot on this
-            # connection, head-of-line blocking every frame behind us.
-            yield node.credits.get()
-            if not node.alive:
-                self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
-                continue
-            record.tx_started_at = self.sim.now
-            if self.tracer.enabled:
-                # Sender-side wait, frame creation to first byte on the
-                # wire (the "edge:" hop prefix files it under the
-                # transmission component, exactly the analytic
-                # decomposition's source-queue charge).
-                self.tracer.emit(Span(
-                    QUEUE_WAIT, frame.seq, frame.created_at, self.sim.now,
-                    device_id=config.source.device_id, hop=edge_name))
-            link = self.network.link(destination)
-            delivered = source_radio.connection(link).send(
-                config.workload.frame_bytes)
-            delivered.add_callback(
-                lambda _event, frame=frame, destination=destination:
-                self._on_frame_delivered(frame, destination))
+            for frame in live:
+                yield from self._transmit(frame, destination, source_radio,
+                                          edge_name)
+
+    def _transmit(self, frame: _Frame, destination: str, source_radio,
+                  edge_name: str):
+        """Push one routed frame onto *destination*'s connection.
+
+        The windowed-socket transmit path shared by per-tuple and
+        batched dispatch: batching amortizes the control plane (one
+        decision, one pending entry), while the air link still carries
+        the same frames back to back.
+        """
+        config = self.config
+        record = self.metrics.frame(frame.seq, frame.created_at)
+        record.device_id = destination
+        node = self.nodes.get(destination)
+        if node is None or not node.alive:
+            # Routed to a device that already left: the tuple is lost
+            # (unless the replay buffer still retains it).
+            self._drop_unless_retained(frame.seq, DROP_LINK_DOWN)
+            return
+        # Blocking socket write: wait for a window slot on this
+        # connection, head-of-line blocking every frame behind us.
+        yield node.credits.get()
+        if not node.alive:
+            self._drop_unless_retained(frame.seq, DROP_DEVICE_LEFT)
+            return
+        record.tx_started_at = self.sim.now
+        if self.tracer.enabled:
+            # Sender-side wait, frame creation to first byte on the
+            # wire (the "edge:" hop prefix files it under the
+            # transmission component, exactly the analytic
+            # decomposition's source-queue charge).
+            self.tracer.emit(Span(
+                QUEUE_WAIT, frame.seq, frame.created_at, self.sim.now,
+                device_id=config.source.device_id, hop=edge_name))
+        link = self.network.link(destination)
+        delivered = source_radio.connection(link).send(
+            config.workload.frame_bytes)
+        delivered.add_callback(
+            lambda _event, frame=frame, destination=destination:
+            self._on_frame_delivered(frame, destination))
 
     def _return_credit(self, destination: str) -> None:
         """Hand back the socket-window slot of a frame that died in flight.

@@ -5,12 +5,17 @@ acceptable outcomes are a decoded value or :class:`SerializationError` —
 never a crash, hang, or huge allocation.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
 
 from repro.core.exceptions import SerializationError, SwingError
+from repro.core.tuples import DataTuple
 from repro.runtime.messages import Message
-from repro.runtime.serialization import decode_tuple, decode_value
+from repro.runtime.serialization import (decode_batch, decode_tuple,
+                                         decode_value, encode_batch,
+                                         encode_tuple, encode_value)
 
 
 class TestDecodeFuzz:
@@ -52,6 +57,103 @@ class TestDecodeFuzz:
         hostile = b"l\x00\x00\x00\x01" * 50
         with pytest.raises(SerializationError):
             decode_value(hostile)
+
+
+#: seeded generator for every wire-expressible value shape, numpy
+#: scalars and arrays included (the codec coerces numpy scalars to the
+#: matching Python type on the way through)
+_VALUES = st.recursive(
+    st.one_of(
+        st.none(), st.booleans(),
+        st.integers(min_value=-2 ** 63, max_value=2 ** 63 - 1),
+        st.floats(allow_nan=False),
+        st.text(max_size=20), st.binary(max_size=20),
+        st.sampled_from([np.bool_(True), np.bool_(False),
+                         np.int32(-7), np.int64(2 ** 40), np.float32(0.5)]),
+        npst.arrays(dtype=st.sampled_from([np.uint8, np.int32, np.float64]),
+                    shape=npst.array_shapes(max_dims=2, max_side=4))),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=5), children, max_size=4)),
+    max_leaves=10)
+
+
+def _assert_same(decoded, original):
+    """Structural equality modulo the codec's documented coercions."""
+    if isinstance(decoded, memoryview):
+        decoded = bytes(decoded)
+    if isinstance(original, np.ndarray) or isinstance(decoded, np.ndarray):
+        assert np.array_equal(np.asarray(decoded), np.asarray(original),
+                              equal_nan=True)
+    elif isinstance(original, dict):
+        assert set(decoded) == set(original)
+        for key in original:
+            _assert_same(decoded[key], original[key])
+    elif isinstance(original, (list, tuple)):
+        assert len(decoded) == len(original)
+        for got, want in zip(decoded, original):
+            _assert_same(got, want)
+    else:
+        assert decoded == original
+
+
+class TestRoundtripFuzz:
+    """Seeded generative coverage: whatever encodes must decode back."""
+
+    @given(_VALUES)
+    @settings(max_examples=150, deadline=None)
+    def test_value_roundtrip(self, value):
+        _assert_same(decode_value(encode_value(value)), value)
+
+    @given(st.lists(_VALUES, min_size=1, max_size=5),
+           st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_batch_roundtrip(self, values, seq0):
+        payloads = [encode_tuple(DataTuple(values={"v": value},
+                                           seq=seq0 + offset))
+                    for offset, value in enumerate(values)]
+        out = decode_batch(encode_batch(payloads))
+        assert [d.seq for d in out] == [seq0 + i for i in range(len(values))]
+        for decoded, original in zip(out, values):
+            _assert_same(decoded.values["v"], original)
+
+
+class TestBatchFrameFuzz:
+    """Hostile batch frames: clean failure is the only acceptable outcome."""
+
+    @staticmethod
+    def _frame():
+        payloads = [encode_tuple(DataTuple(
+            values={"blob": b"abcd", "i": i}, seq=i)) for i in range(3)]
+        return encode_batch(payloads)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_decode_batch_never_crashes(self, data):
+        try:
+            decode_batch(data)
+        except SerializationError:
+            pass  # the only acceptable failure mode
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_always_fails_cleanly(self, data):
+        frame = self._frame()
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(SerializationError):
+            decode_batch(frame[:cut])
+
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_bit_flips_never_crash(self, data):
+        frame = bytearray(self._frame())
+        index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[index] ^= 1 << bit
+        try:
+            decode_batch(bytes(frame))
+        except SerializationError:
+            pass  # flips may still decode (payload content) or must fail cleanly
 
 
 class TestDecodeFrameFuzz:
