@@ -9,6 +9,7 @@ Usage::
     python -m repro cloudlet --policy LRS
     python -m repro faults --kill B G --kill-time 10
     python -m repro overload --ttl 2 --queue-capacity 8
+    python -m repro tenants --tenants 3 --hot-tenant t0
     python -m repro trace --out swing.trace.json
 
 Each subcommand runs a calibrated simulation and prints a summary table;
@@ -168,6 +169,35 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--metrics", action="store_true",
                        help="print the run's delivery/loss counters")
     _add_metrics_json(churn)
+
+    tenants = sub.add_parser("tenants",
+                             help="multi-tenant isolation soak: N pipelines "
+                                  "share one swarm under fair-share "
+                                  "admission")
+    tenants.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    tenants.add_argument("--app", type=_app, default="face")
+    tenants.add_argument("--duration", type=float, default=30.0)
+    tenants.add_argument("--seed", type=int, default=3)
+    tenants.add_argument("--tenants", dest="tenant_count", type=int,
+                         default=3, metavar="N",
+                         help="number of tenant pipelines sharing the swarm")
+    tenants.add_argument("--rate", type=float, default=6.0,
+                         help="per-tenant source rate in tuples/s")
+    tenants.add_argument("--hot-tenant", default=None, metavar="TENANT",
+                         help="ramp this tenant (t0..tN-1) past its fair "
+                              "share; omit for an even baseline")
+    tenants.add_argument("--hot-factor", type=float, default=4.0,
+                         help="hot tenant's rate multiplier")
+    tenants.add_argument("--queue-capacity", type=int, default=12,
+                         help="bounded worker-ingress capacity in frames "
+                              "(split into fair-share budgets)")
+    tenants.add_argument("--ttl", type=float, default=2.0,
+                         help="tuple time-to-live in seconds")
+    tenants.add_argument("--best-effort", action="store_true",
+                         help="run without at-least-once replay/dedup")
+    tenants.add_argument("--metrics", action="store_true",
+                         help="print the run's shed/loss counters")
+    _add_metrics_json(tenants)
 
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
@@ -446,6 +476,52 @@ def cmd_churn(args) -> int:
     return 0
 
 
+def cmd_tenants(args) -> int:
+    config = scenarios.tenants(
+        app=args.app, policy=args.policy, duration=args.duration,
+        seed=args.seed, tenant_count=args.tenant_count,
+        per_tenant_rate=args.rate, hot_tenant=args.hot_tenant,
+        hot_rate_factor=args.hot_factor,
+        at_least_once=not args.best_effort,
+        ttl=args.ttl, queue_capacity=args.queue_capacity)
+    result = run_swarm(config)
+    mode = "best-effort" if args.best_effort else "at-least-once"
+    hot_note = ("" if args.hot_tenant is None
+                else ", %s at %.0fx" % (args.hot_tenant, args.hot_factor))
+    print("tenants: %d pipelines of %s under %s (%s)%s, %.1f tup/s each"
+          % (args.tenant_count, args.app, args.policy, mode, hot_note,
+             args.rate))
+    # Judge loss on frames old enough for every redelivery to land.
+    horizon = args.duration - 5.0
+    rows = []
+    victim_losses: List[int] = []
+    for spec in config.tenants:
+        tenant = spec.tenant_id
+        latency = result.tenant_latency(tenant, after=5.0)
+        losses = result.tenant_losses(tenant, horizon=horizon)
+        if tenant != args.hot_tenant:
+            victim_losses.extend(losses)
+        rows.append((tenant,
+                     "%.1f" % result.tenant_throughput(tenant),
+                     format_latency(latency.mean) if latency else "n/a",
+                     format_latency(latency.maximum) if latency else "n/a",
+                     str(result.shed_by_tenant.get(tenant, 0)),
+                     str(len(losses))))
+    print(format_table(
+        ["tenant", "thr FPS", "lat mean", "lat max", "shed", "lost"], rows))
+    print("frames dropped: %d  |  redelivered: %d  |  deduped: %d"
+          % (result.frames_lost, result.redelivered, result.deduped))
+    if args.metrics:
+        _print_registry(result)
+    _write_metrics_json(result, args)
+    if not args.best_effort and victim_losses:
+        print("FAIL: %d victim-tenant tuple(s) lost end-to-end under "
+              "at-least-once delivery: %s"
+              % (len(victim_losses), sorted(victim_losses)[:20]))
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     if args.scenario == "single":
         from repro.simulation.network import rssi_for_region
@@ -518,6 +594,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "overload": cmd_overload,
     "churn": cmd_churn,
+    "tenants": cmd_tenants,
     "trace": cmd_trace,
 }
 

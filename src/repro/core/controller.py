@@ -65,7 +65,7 @@ from repro.core.exceptions import RoutingError
 from repro.core.latency import AckTracker, DownstreamStats, RateMeter
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
-from repro.trace import ACK_RTT, NULL_TRACER, RETRY, Span
+from repro.trace import ACK_RTT, NULL_TRACER, RETRY, Span, TraceSink
 
 #: the Clock port: a zero-argument callable returning seconds
 Clock = Callable[[], float]
@@ -184,15 +184,22 @@ class LrsController:
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  name: str = "",
                  max_decisions: Optional[int] = None,
-                 trace: Optional[object] = None,
+                 trace: Optional[TraceSink] = None,
                  redelivery: Optional[Callable[[int, str, object, int],
-                                               None]] = None) -> None:
+                                               None]] = None,
+                 tenant: str = "") -> None:
         self.config = config if config is not None else PolicyConfig()
         self.name = name
+        #: owning tenant pipeline ("" = the single-tenant namespace);
+        #: stamps the tenant= label on this edge's redelivery counters
+        #: and the tenant attribute on its spans
+        self.tenant = tenant
         self._clock = clock
         self._egress = egress
+        # Internal component: an uninjected registry means a private
+        # one, never the process-wide default (cross-instance pollution).
         self._registry = (registry if registry is not None
-                          else metrics_mod.REGISTRY)
+                          else metrics_mod.MetricsRegistry())
         self._trace = trace if trace is not None else NULL_TRACER
         self._policy = self.config.make_policy()
         self._tracker = self.config.make_tracker(self._registry)
@@ -770,16 +777,19 @@ class LrsController:
                 self._replay.retain(entry.seq, chosen, entry.context,
                                     now=sent_at, deadline=entry.deadline,
                                     attempt=attempt, nbytes=entry.nbytes)
+                labels = {"downstream": chosen, "edge": self.name or "-"}
+                if self.tenant:
+                    labels["tenant"] = self.tenant
                 self._registry.increment(metrics_mod.REDELIVERED_TOTAL,
-                                         downstream=chosen,
-                                         edge=self.name or "-")
+                                         **labels)
                 if self._trace.enabled:
                     self._trace.emit(Span(
                         RETRY, entry.seq, sent_at, sent_at,
                         device_id=self.name or "-",
                         hop="egress:%s" % (self.name or "-"),
                         detail="redeliver:%s>%s#%d"
-                               % (entry.downstream or "-", chosen, attempt)))
+                               % (entry.downstream or "-", chosen, attempt),
+                        tenant=self.tenant))
                 if self.on_redeliver is not None:
                     self.on_redeliver(entry.seq, chosen, entry.context,
                                       attempt)

@@ -145,8 +145,10 @@ class ReplayBuffer:
                  name: str = "") -> None:
         self.config = config
         self.name = name
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
         self._registry = registry if registry is not None \
-            else metrics_mod.REGISTRY
+            else metrics_mod.MetricsRegistry()
         self._entries: "OrderedDict[int, ReplayEntry]" = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()

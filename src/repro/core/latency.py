@@ -173,7 +173,10 @@ class AckTracker:
         self._estimator_kwargs = dict(estimator_kwargs)
         self._timeout = timeout
         self._dead_after = dead_after
-        self._registry = registry if registry is not None else metrics_mod.REGISTRY
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
+        self._registry = (registry if registry is not None
+                          else metrics_mod.MetricsRegistry())
         self._latency: Dict[str, object] = {}
         self._processing: Dict[str, object] = {}
         self._pending: Dict[int, _PendingSend] = {}

@@ -109,6 +109,9 @@ class DataTuple:
     #: original send); redeliveries after churn bump it so traces and
     #: dedup accounting can attribute duplicates to replay
     delivery_attempt: int = 1
+    #: owning tenant pipeline; the empty string is the implicit
+    #: single-tenant namespace and never appears on the wire
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.schema is not None:
@@ -138,6 +141,7 @@ class DataTuple:
             deadline=self.deadline,
             trace=self.trace,
             delivery_attempt=self.delivery_attempt,
+            tenant=self.tenant,
         )
 
     def expired(self, now: float) -> bool:

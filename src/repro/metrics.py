@@ -347,5 +347,10 @@ class MetricsRegistry:
             self._histograms.clear()
 
 
-#: process-wide default registry for components not handed a private one
+#: Process-wide registry for top-level entry points and ad-hoc scripts
+#: ONLY.  Internal components (runtimes, controllers, simulations) must
+#: be handed a registry explicitly — two Masters or simulations sharing
+#: this default would merge their counters, which is exactly the
+#: cross-instance pollution the mandatory-injection rule prevents.  No
+#: module under ``repro`` reads this fallback.
 REGISTRY = MetricsRegistry()

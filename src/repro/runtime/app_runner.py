@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
+from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import SinkUnit
@@ -28,9 +29,9 @@ from repro.core.reorder import ReorderBuffer
 from repro.core.requirements import PerformanceRequirement
 from repro.core.tuples import DataTuple
 from repro.runtime.fabric import InProcFabric
-from repro.runtime.master import Master
+from repro.runtime.master import DeploymentSession, Master
 from repro.runtime.worker import WorkerRuntime
-from repro.trace import NULL_TRACER
+from repro.trace import NULL_TRACER, TraceSink
 
 
 class SwingRuntime:
@@ -50,7 +51,7 @@ class SwingRuntime:
                  seed: Optional[int] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None,
+                 trace: Optional[TraceSink] = None,
                  delivery: Optional[delivery_mod.DeliveryConfig] = None,
                  heartbeat_interval: float = 0.0,
                  heartbeat_timeout: float = 0.0) -> None:
@@ -63,7 +64,13 @@ class SwingRuntime:
             input_rate=source_rate)
         source_rate = self.requirement.input_rate
         self.overload = overload
-        self.registry = registry
+        # Top-level entry point: when no registry is injected, create ONE
+        # shared registry here and thread it through the fabric, master
+        # and every worker, so the whole swarm's metrics aggregate in a
+        # single place without touching the process-wide default.
+        self.registry = (registry if registry is not None
+                         else metrics_mod.MetricsRegistry())
+        registry = self.registry
         #: delivery-semantics knobs (at-least-once replay + sink dedup);
         #: ``None`` keeps today's best-effort behavior
         self.delivery = delivery
@@ -232,6 +239,191 @@ class SwingRuntime:
         return self.requirement.meets_rate(achieved_rate)
 
     def __enter__(self) -> "SwingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class MultiTenantRuntime:
+    """Run N tenant pipelines over ONE shared in-process worker pool.
+
+    Each entry of *pipelines* is a ``(TenantSpec, AppGraph)`` pair: one
+    tenant's admission share plus the dataflow it runs.  All tenants
+    share the same master, workers, fabric, registry and tracer; each
+    tenant gets its own :class:`DeploymentSession` (tenant-tagged
+    control messages) and its own source pacing
+    (``TenantSpec.input_rate``, else *source_rate*).
+
+    When *overload* bounds the mailbox depth (``queue_capacity``), the
+    weighted per-tenant budgets from
+    :func:`repro.core.multitenant.tenant_budgets` are installed on every
+    mailbox, so cross-tenant fair-share admission governs every shared
+    queue: an overloaded tenant sheds its own tuples before touching
+    anyone else's.
+    """
+
+    def __init__(self,
+                 pipelines: Sequence[tuple],
+                 worker_ids: Sequence[str],
+                 master_id: str = "A", policy: str = "LRS",
+                 source_rate: float = 24.0,
+                 slowdowns: Optional[Dict[str, float]] = None,
+                 control_interval: float = 0.25,
+                 seed: Optional[int] = None,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 trace: Optional[TraceSink] = None,
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 ) -> None:
+        if not pipelines:
+            raise RuntimeStateError("need at least one tenant pipeline")
+        if master_id in worker_ids:
+            raise RuntimeStateError("master id must not collide with workers")
+        if not worker_ids:
+            raise RuntimeStateError("a swarm needs at least one worker")
+        self.specs: List[multitenant_mod.TenantSpec] = [
+            spec for spec, _graph in pipelines]
+        self.graphs: Dict[str, AppGraph] = {
+            spec.tenant_id: graph for spec, graph in pipelines}
+        if len(self.graphs) != len(pipelines):
+            raise RuntimeStateError("duplicate tenant id in pipelines")
+        self.overload = overload
+        self.delivery = delivery
+        self.source_rate = source_rate
+        # Top-level entry point: one shared registry for the whole pool.
+        self.registry = (registry if registry is not None
+                         else metrics_mod.MetricsRegistry())
+        self.tracer = trace if trace is not None else NULL_TRACER
+        self.fabric = InProcFabric(overload=overload, registry=self.registry)
+        # The master needs a constructor graph for its default-tenant
+        # session, but the pool never deploys that session — every
+        # pipeline here runs as an explicit tenant.
+        anchor_graph = pipelines[0][1]
+        self.master = Master(master_id, self.fabric, anchor_graph,
+                             policy=policy, source_rate=source_rate,
+                             seed=seed, control_interval=control_interval,
+                             overload=overload, registry=self.registry,
+                             trace=self.tracer, delivery=delivery)
+        self.sessions: Dict[str, DeploymentSession] = {}
+        for spec, graph in pipelines:
+            deployment = multitenant_mod.PipelineDeployment(spec=spec)
+            self.sessions[spec.tenant_id] = self.master.add_pipeline(
+                deployment, graph)
+            if spec.input_rate is not None:
+                self.master.runtime.set_tenant_rate(spec.tenant_id,
+                                                    spec.input_rate)
+        self._slowdowns = dict(slowdowns or {})
+        self.workers: Dict[str, WorkerRuntime] = {}
+        for worker_id in worker_ids:
+            worker = WorkerRuntime(
+                worker_id, self.fabric, anchor_graph, policy=policy,
+                slowdown=self._slowdowns.get(worker_id, 0.0), seed=seed,
+                control_interval=control_interval, overload=overload,
+                registry=self.registry, trace=self.tracer,
+                delivery=delivery)
+            for spec, graph in pipelines:
+                worker.register_pipeline(spec.tenant_id, graph)
+                if spec.input_rate is not None:
+                    worker.set_tenant_rate(spec.tenant_id, spec.input_rate)
+            self.workers[worker_id] = worker
+        self._install_budgets()
+        self._running = False
+
+    def _install_budgets(self) -> None:
+        """Install fair-share budgets on every mailbox (bounded queues)."""
+        capacity = (self.overload.queue_capacity
+                    if self.overload is not None else None)
+        if capacity is None:
+            return
+        budgets = multitenant_mod.tenant_budgets(self.specs, capacity)
+        priorities = {spec.tenant_id: spec.priority for spec in self.specs}
+        for runtime in [self.master.runtime] + list(self.workers.values()):
+            runtime.mailbox.set_tenant_budgets(budgets, priorities)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Launch the pool, then deploy and start every tenant."""
+        if self._running:
+            raise RuntimeStateError("runtime already started")
+        self.master.runtime.start()
+        for worker in self.workers.values():
+            worker.start()
+            worker.join_master(self.master.master_id)
+        self._await_membership()
+        for tenant_id in sorted(self.sessions):
+            self.sessions[tenant_id].deploy()
+        self._await_deployment()
+        for tenant_id in sorted(self.sessions):
+            self.sessions[tenant_id].start()
+        self._running = True
+
+    def _await_membership(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        expected = set(self.workers)
+        while time.monotonic() < deadline:
+            if expected <= set(self.master.worker_ids):
+                return
+            time.sleep(0.005)
+        missing = expected - set(self.master.worker_ids)
+        raise DeploymentError("workers never joined: %r" % sorted(missing))
+
+    def _await_deployment(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        runtimes = [self.master.runtime] + list(self.workers.values())
+        for runtime in runtimes:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not runtime.deployed.wait(timeout=remaining):
+                raise DeploymentError("deployment timed out on %s"
+                                      % runtime.worker_id)
+
+    def stop_tenant(self, tenant_id: str) -> None:
+        """Halt one tenant's sources; every other tenant keeps running."""
+        try:
+            session = self.sessions[tenant_id]
+        except KeyError:
+            raise RuntimeStateError("unknown tenant %r" % tenant_id) from None
+        session.stop()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self.master.stop()
+        for worker in self.workers.values():
+            worker.stop()
+        self.master.runtime.stop()
+        self.fabric.close()
+        self._running = False
+
+    # -- convenience -------------------------------------------------------
+    def sink_unit(self, tenant_id: str) -> SinkUnit:
+        """One tenant's sink instance (hosted on the master device)."""
+        try:
+            graph = self.graphs[tenant_id]
+        except KeyError:
+            raise RuntimeStateError("unknown tenant %r" % tenant_id) from None
+        sinks = graph.sinks()
+        if len(sinks) != 1:
+            raise DeploymentError("expected exactly one sink for tenant %r,"
+                                  " found %d" % (tenant_id, len(sinks)))
+        unit = self.master.runtime.unit(sinks[0].name, tenant=tenant_id)
+        if not isinstance(unit, SinkUnit):
+            raise DeploymentError("sink unit is not a SinkUnit")
+        return unit
+
+    def results(self, tenant_id: str) -> List[DataTuple]:
+        return list(self.sink_unit(tenant_id).results)
+
+    def run(self, duration: float) -> Dict[str, List[DataTuple]]:
+        """Start, run all tenants for *duration* seconds, stop, and
+        return each tenant's sink results."""
+        self.start()
+        time.sleep(duration)
+        self.stop()
+        return {tenant_id: self.results(tenant_id)
+                for tenant_id in self.sessions}
+
+    def __enter__(self) -> "MultiTenantRuntime":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -29,7 +29,7 @@ from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import encode_batch, encode_tuple
-from repro.trace import NULL_TRACER, SERIALIZE, SHED, Span
+from repro.trace import NULL_TRACER, SERIALIZE, SHED, Span, TraceSink
 
 #: an instance is addressed as "unit@worker"
 InstanceId = str
@@ -101,13 +101,17 @@ class UpstreamDispatcher:
                  ack_timeout: Optional[float] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  config: Optional[PolicyConfig] = None,
-                 trace: Optional[object] = None,
+                 trace: Optional[TraceSink] = None,
                  device_id: str = "",
-                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None,
+                 tenant: str = ""
                  ) -> None:
         self.unit_name = unit_name
         self.edge = edge or unit_name
         self.device_id = device_id
+        #: owning tenant pipeline; "" is the single-tenant namespace and
+        #: keeps every wire frame and metric identity unchanged
+        self.tenant = tenant
         self._trace = trace if trace is not None else NULL_TRACER
         self._send = send
         self._clock = clock
@@ -121,7 +125,11 @@ class UpstreamDispatcher:
                 ack_timeout=(ack_timeout if ack_timeout is not None
                              else defaults.ack_timeout),
                 delivery=delivery)
-        self._registry = registry if registry is not None else metrics_mod.REGISTRY
+        # Internal component: never the process-wide default registry —
+        # an uninjected dispatcher gets a private one so two runtimes in
+        # one process cannot merge their counters.
+        self._registry = (registry if registry is not None
+                          else metrics_mod.MetricsRegistry())
         self._health = health
         self._max_send_retries = max(0, max_send_retries)
         self._lock = threading.Lock()
@@ -131,7 +139,8 @@ class UpstreamDispatcher:
                                         registry=self._registry,
                                         name=self.edge,
                                         max_decisions=DECISION_HISTORY,
-                                        trace=self._trace)
+                                        trace=self._trace,
+                                        tenant=tenant)
         # -- batched data plane: pending tuples awaiting a flush ---------
         batching = self.controller.config.batching_config()
         self._batch_lock = threading.Lock()
@@ -198,14 +207,17 @@ class UpstreamDispatcher:
         sampled = (data.trace.sampled if data.trace is not None
                    else tracer.sampled(data.seq))
         if data.expired(now):
-            self._registry.increment(metrics_mod.SHED_TOTAL,
-                                     reason=overload_mod.REASON_EXPIRED,
-                                     edge=self.edge)
+            labels = {"reason": overload_mod.REASON_EXPIRED,
+                      "edge": self.edge}
+            if self.tenant:
+                labels["tenant"] = self.tenant
+            self._registry.increment(metrics_mod.SHED_TOTAL, **labels)
             if tracer.enabled:
                 tracer.emit(Span(SHED, data.seq, now, now,
                                  device_id=self.device_id or self.edge,
                                  hop="egress:%s" % self.edge,
-                                 detail=overload_mod.REASON_EXPIRED),
+                                 detail=overload_mod.REASON_EXPIRED,
+                                 tenant=self.tenant),
                             sampled=sampled)
             return None
         self.controller.observe_arrival(now)
@@ -308,9 +320,11 @@ class UpstreamDispatcher:
             now = self._clock()
             if isinstance(payload, BatchPayload):
                 message = messages.batch_message(unit_name, payload.frame,
-                                                 payload.seqs, now)
+                                                 payload.seqs, now,
+                                                 tenant=self.tenant)
             else:
-                message = messages.data_message(unit_name, payload, seq, now)
+                message = messages.data_message(unit_name, payload, seq, now,
+                                                tenant=self.tenant)
             message.payload["edge"] = self.edge
             if attempt > 1:
                 message.payload["delivery_attempt"] = attempt

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core import multitenant
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DiscoveryError, RuntimeStateError
 from repro.runtime.channels import ChannelClosed, TcpChannel, TcpListener
@@ -46,14 +47,21 @@ class Mailbox:
         self.owner_id = owner_id
         self.overload = (overload if overload is not None
                          else overload_mod.OverloadConfig())
+        # Internal component: an uninjected registry means a private
+        # one, never the process-wide default (cross-instance pollution).
         self._registry = (registry if registry is not None
-                          else metrics_mod.REGISTRY)
+                          else metrics_mod.MetricsRegistry())
         self._items: Deque[Tuple[str, Message]] = deque()
         self._cond = threading.Condition()
         self.shed_count = 0
         self.max_depth = 0
         self._depth_gauge = self._registry.gauge(metrics_mod.QUEUE_DEPTH,
                                                  queue="mailbox:%s" % owner_id)
+        # -- multi-tenant accounting / fair-share admission --------------
+        #: queued data-plane tuples per tenant ("" = default tenant)
+        self.tenant_depths: Dict[str, int] = {}
+        self._tenant_budgets: Optional[Dict[str, int]] = None
+        self._tenant_priorities: Dict[str, int] = {}
 
     @property
     def capacity(self) -> Optional[int]:
@@ -73,11 +81,37 @@ class Mailbox:
             return max(1, len(message.payload.get("seqs", ())))
         return 1
 
-    def _shed(self, count: int = 1) -> None:
+    @staticmethod
+    def _message_tenant(message: Message) -> str:
+        payload = getattr(message, "payload", None)
+        if isinstance(payload, dict):
+            return payload.get("tenant", "")
+        return ""
+
+    def set_tenant_budgets(self, budgets: Dict[str, int],
+                           priorities: Optional[Dict[str, int]] = None
+                           ) -> None:
+        """Switch this mailbox to cross-tenant fair-share admission.
+
+        With budgets installed (and a bounded capacity), data-plane
+        arrivals go through :func:`repro.core.multitenant.fair_admission`
+        instead of the single-tenant drop policy: an over-budget tenant
+        sheds its own newest tuples, an under-budget arrival evicts from
+        the most-over-budget tenant.  Never engaged at N=1, so the
+        single-tenant behavior stays byte-identical.
+        """
+        with self._cond:
+            self._tenant_budgets = dict(budgets) if budgets else None
+            self._tenant_priorities = dict(priorities or {})
+
+    def _shed(self, count: int = 1, tenant: str = "") -> None:
         self.shed_count += count
+        labels = {"reason": overload_mod.REASON_QUEUE_FULL,
+                  "queue": "mailbox:%s" % self.owner_id}
+        if tenant:
+            labels["tenant"] = tenant
         self._registry.increment(metrics_mod.SHED_TOTAL, amount=count,
-                                 reason=overload_mod.REASON_QUEUE_FULL,
-                                 queue="mailbox:%s" % self.owner_id)
+                                 **labels)
 
     def put(self, sender_id: str, message: Message,
             timeout: Optional[float] = None) -> bool:
@@ -87,41 +121,75 @@ class Mailbox:
         traffic is always admitted immediately.
         """
         entry = (sender_id, message)
+        droppable = self._droppable(message)
+        tenant = self._message_tenant(message) if droppable else ""
         with self._cond:
-            if self.capacity is not None and self._droppable(message):
-                decision = overload_mod.admission(
-                    len(self._items), self.capacity, self.overload.drop_policy)
-                if decision == overload_mod.WAIT:
-                    deadline = (None if timeout is None
-                                else time.monotonic() + timeout)
-                    while len(self._items) >= self.capacity:
-                        leftover = (None if deadline is None
-                                    else deadline - time.monotonic())
-                        if leftover is not None and leftover <= 0:
-                            self._shed(self._tuple_count(message))
-                            return False
-                        self._cond.wait(timeout=leftover)
-                elif decision == overload_mod.EVICT_OLDEST:
-                    if not self._evict_oldest_droppable():
-                        # Nothing sheddable queued; admit over capacity
-                        # rather than lose control-plane traffic.
-                        pass
-                elif decision == overload_mod.REJECT:
-                    self._shed(self._tuple_count(message))
-                    return False
+            if self.capacity is not None and droppable:
+                if self._tenant_budgets is not None:
+                    decision = multitenant.fair_admission(
+                        tenant, self.tenant_depths, self._tenant_budgets,
+                        self.capacity, self._tenant_priorities)
+                    if decision.action == overload_mod.REJECT:
+                        self._shed(self._tuple_count(message), tenant)
+                        return False
+                    if decision.action == overload_mod.EVICT_OLDEST:
+                        self._evict_oldest_droppable(decision.victim)
+                else:
+                    action = overload_mod.admission(
+                        len(self._items), self.capacity,
+                        self.overload.drop_policy)
+                    if action == overload_mod.WAIT:
+                        deadline = (None if timeout is None
+                                    else time.monotonic() + timeout)
+                        while len(self._items) >= self.capacity:
+                            leftover = (None if deadline is None
+                                        else deadline - time.monotonic())
+                            if leftover is not None and leftover <= 0:
+                                self._shed(self._tuple_count(message), tenant)
+                                return False
+                            self._cond.wait(timeout=leftover)
+                    elif action == overload_mod.EVICT_OLDEST:
+                        if not self._evict_oldest_droppable():
+                            # Nothing sheddable queued; admit over capacity
+                            # rather than lose control-plane traffic.
+                            pass
+                    elif action == overload_mod.REJECT:
+                        self._shed(self._tuple_count(message), tenant)
+                        return False
             self._items.append(entry)
+            if droppable:
+                self.tenant_depths[tenant] = (
+                    self.tenant_depths.get(tenant, 0)
+                    + self._tuple_count(message))
             self.max_depth = max(self.max_depth, len(self._items))
             self._depth_gauge.set(len(self._items))
             self._cond.notify_all()
         return True
 
-    def _evict_oldest_droppable(self) -> bool:
-        """Drop the oldest DATA/BATCH entry in place; False when none queued."""
+    def _forget_tenant_depth(self, message: Message) -> None:
+        tenant = self._message_tenant(message)
+        depth = self.tenant_depths.get(tenant, 0) - self._tuple_count(message)
+        if depth > 0:
+            self.tenant_depths[tenant] = depth
+        else:
+            self.tenant_depths.pop(tenant, None)
+
+    def _evict_oldest_droppable(self, tenant: Optional[str] = None) -> bool:
+        """Drop the oldest DATA/BATCH entry in place; False when none queued.
+
+        With *tenant* given, only that tenant's entries are candidates
+        (fair-share eviction never touches another tenant's tuples).
+        """
         for index, (_sender, queued) in enumerate(self._items):
-            if self._droppable(queued):
-                del self._items[index]
-                self._shed(self._tuple_count(queued))
-                return True
+            if not self._droppable(queued):
+                continue
+            if tenant is not None and self._message_tenant(queued) != tenant:
+                continue
+            del self._items[index]
+            self._forget_tenant_depth(queued)
+            self._shed(self._tuple_count(queued),
+                       self._message_tenant(queued))
+            return True
         return False
 
     def get(self, timeout: Optional[float] = None) -> Tuple[str, Message]:
@@ -134,6 +202,8 @@ class Mailbox:
                     raise TimeoutError("mailbox %r empty" % self.owner_id)
                 self._cond.wait(timeout=leftover)
             entry = self._items.popleft()
+            if self._droppable(entry[1]):
+                self._forget_tenant_depth(entry[1])
             self._depth_gauge.set(len(self._items))
             self._cond.notify_all()
         return entry

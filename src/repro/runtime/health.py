@@ -74,7 +74,10 @@ class HealthMonitor:
         self.jitter = jitter
         self._rng = rng if rng is not None else random.Random()
         self._clock = clock
-        self._registry = registry if registry is not None else metrics_mod.REGISTRY
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
+        self._registry = (registry if registry is not None
+                          else metrics_mod.MetricsRegistry())
         self._lock = threading.Lock()
         self._peers: Dict[str, PeerHealth] = {}
 

@@ -1,15 +1,26 @@
-"""Master: deploys the app graph and coordinates the swarm.
+"""Master: deploys app graphs and coordinates the shared swarm.
 
 "The master deploys the app dataflow graph by assigning function units
 and connecting devices ... The master thread is responsible only for
 control, bootstrapping connections and sending start/stop commands.  It
 can co-locate on the same device with worker threads." (paper Sec. IV-B)
 
-The master here owns its own :class:`~repro.runtime.worker.WorkerRuntime`
-(so sources and sinks can live on the master device, like phone A in the
-evaluation) plus the control logic: placement planning, JOIN handling
-(deploy to the newcomer, refresh upstream routing tables) and LEAVE
-handling (drop the departed instances everywhere).
+The control plane is split in two layers:
+
+* :class:`SwarmPool` — pool-level membership and health.  One pool
+  tracks the worker set (JOIN / LEAVE / LEAVING / heartbeats, failure
+  detection) for *every* pipeline sharing the swarm, and notifies each
+  attached session when membership changes.
+* :class:`DeploymentSession` — per-tenant deployment.  One session owns
+  one pipeline's graph, placement and lifecycle (deploy / start / stop)
+  and tags every control message with its tenant id, so a shared worker
+  can host units from many tenants concurrently.
+
+:class:`Master` composes one pool with the default-tenant session and
+preserves the historical single-app API; ``add_pipeline`` attaches
+further tenants to the same pool.  The master owns its own
+:class:`~repro.runtime.worker.WorkerRuntime` (so sources and sinks can
+live on the master device, like phone A in the evaluation).
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
+from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError
 from repro.core.graph import AppGraph
@@ -29,6 +41,7 @@ from repro.runtime.dispatcher import instance_id
 from repro.runtime.fabric import Fabric
 from repro.runtime.health import HealthMonitor
 from repro.runtime.worker import WorkerRuntime
+from repro.trace import TraceSink
 
 
 @dataclass
@@ -82,40 +95,37 @@ class Placement:
                 for worker in self.workers_for(unit_name)]
 
 
-class Master:
-    """Coordinates deployment, membership and execution of one app."""
+class SwarmPool:
+    """Pool-level membership and health for a shared swarm.
 
-    def __init__(self, master_id: str, fabric: Fabric, graph: AppGraph,
-                 policy: str = "LRS", source_rate: float = 24.0,
-                 seed: Optional[int] = None,
-                 control_interval: float = 1.0,
+    Tracks the worker set once for every tenant pipeline attached to
+    it: JOIN admits a device into the pool, LEAVE / LEAVING / heartbeat
+    timeout evicts it, and every attached :class:`DeploymentSession` is
+    notified so its routing tables follow the shared membership.
+    """
+
+    def __init__(self, master_id: str, fabric: Fabric,
                  heartbeat_timeout: float = 0.0,
-                 overload: Optional[overload_mod.OverloadConfig] = None,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None,
-                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 registry: Optional[metrics_mod.MetricsRegistry] = None
                  ) -> None:
-        graph.validate()
         if heartbeat_timeout < 0:
             raise DeploymentError("heartbeat timeout must be >= 0")
         self.master_id = master_id
         self.fabric = fabric
-        self.graph = graph
-        self.policy = policy
         self.heartbeat_timeout = heartbeat_timeout
-        self._lock = threading.Lock()
+        #: reentrant: a membership event holds the lock while it calls
+        #: back into every session, and sessions call pool helpers
+        self.lock = threading.RLock()
         self._workers: List[str] = []
-        self.health = HealthMonitor(timeout=heartbeat_timeout)
+        self._sessions: List["DeploymentSession"] = []
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
+        self.registry = (registry if registry is not None
+                         else metrics_mod.MetricsRegistry())
+        self.health = HealthMonitor(timeout=heartbeat_timeout,
+                                    registry=self.registry)
         self._detector: Optional[threading.Thread] = None
         self._detector_running = threading.Event()
-        self.placement: Optional[Placement] = None
-        self.runtime = WorkerRuntime(
-            master_id, fabric, graph, policy=policy, source_rate=source_rate,
-            seed=seed, control_interval=control_interval,
-            control_handler=self._on_control,
-            overload=overload, registry=registry, trace=trace,
-            delivery=delivery)
-        self.started = False
         self._stopped = False
         if heartbeat_timeout > 0:
             self._detector_running.set()
@@ -124,8 +134,18 @@ class Master:
                 name="failure-detector:%s" % master_id, daemon=True)
             self._detector.start()
 
+    # -- sessions ----------------------------------------------------------
+    def attach(self, session: "DeploymentSession") -> None:
+        with self.lock:
+            self._sessions.append(session)
+
+    def sessions(self) -> List["DeploymentSession"]:
+        with self.lock:
+            return list(self._sessions)
+
     # -- membership --------------------------------------------------------
-    def _on_control(self, sender_id: str, message: messages.Message) -> None:
+    def handle_control(self, sender_id: str,
+                       message: messages.Message) -> None:
         if message.kind == messages.JOIN:
             self.health.record_heartbeat(message.payload["worker_id"])
             self.handle_join(message.payload["worker_id"])
@@ -149,7 +169,7 @@ class Master:
 
     def handle_join(self, worker_id: str) -> None:
         """Involve a new device as soon as it connects (Sec. IV-C)."""
-        with self._lock:
+        with self.lock:
             if self._stopped or worker_id in self._workers:
                 return
             # A rejoin starts from a clean slate: stale failure history
@@ -160,51 +180,108 @@ class Master:
             self.health.reset_peer(worker_id)
             self.health.record_heartbeat(worker_id)
             self._workers.append(worker_id)
-            if self.placement is None:
-                return  # not deployed yet; the worker waits for deploy()
-            self.placement.add_worker(self.graph, worker_id)
-            self._send_deploy(worker_id)
-            self._refresh_upstreams()
-            if self.started:
-                self.fabric.send(self.master_id, worker_id,
-                                 messages.start_message())
+            for session in self._sessions:
+                session.on_join(worker_id)
 
     def handle_leave(self, worker_id: str) -> None:
         """Remove a departed device's instances from all routing tables.
 
-        A no-op once the master is stopped: the failure detector (or a
+        A no-op once the pool is stopped: the failure detector (or a
         straggling LEAVE/LEAVING message) may race ``stop()``, and a
         late call must neither raise nor resurrect control traffic.
         """
         if self._stopped:
             return
         self.health.forget(worker_id)
-        with self._lock:
+        with self.lock:
             if self._stopped:
                 return
             if worker_id in self._workers:
                 self._workers.remove(worker_id)
-            if self.placement is None:
-                return
-            self.placement.remove_worker(worker_id)
-            self._refresh_upstreams()
+            for session in self._sessions:
+                session.on_leave(worker_id)
+
+    def admit(self, worker_ids: Sequence[str]) -> None:
+        """Add workers to the pool without the JOIN protocol (an
+        explicit ``deploy(worker_ids=...)`` names its devices)."""
+        with self.lock:
+            for worker_id in worker_ids:
+                if worker_id not in self._workers:
+                    self._workers.append(worker_id)
 
     @property
     def worker_ids(self) -> List[str]:
-        with self._lock:
+        with self.lock:
             return list(self._workers)
+
+    def members(self) -> List[str]:
+        """Every control-plane endpoint: the master device + workers."""
+        with self.lock:
+            return [self.master_id] + self._workers
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    # -- lifecycle ---------------------------------------------------------
+    def stop(self) -> None:
+        """Stop membership tracking; idempotent."""
+        with self.lock:
+            self._stopped = True
+        self._detector_running.clear()
+        if self._detector is not None:
+            self._detector.join(timeout=2.0)
+            self._detector = None
+
+
+class DeploymentSession:
+    """One tenant pipeline deployed over the shared pool.
+
+    Owns the tenant's graph, placement and lifecycle.  Every control
+    message it emits is tagged with the tenant id, so workers scope
+    deploys/starts/stops to this pipeline's units; the default tenant
+    (``""``) emits untagged messages, byte-identical to the historical
+    single-app control plane.
+    """
+
+    def __init__(self, pool: SwarmPool, graph: AppGraph,
+                 tenant_id: str = "") -> None:
+        graph.validate()
+        self.pool = pool
+        self.graph = graph
+        self.tenant_id = tenant_id
+        self.placement: Optional[Placement] = None
+        self.started = False
+        pool.attach(self)
+
+    # -- membership callbacks (called under the pool lock) ----------------
+    def on_join(self, worker_id: str) -> None:
+        if self.placement is None:
+            return  # not deployed yet; the worker waits for deploy()
+        self.placement.add_worker(self.graph, worker_id)
+        self._send_deploy(worker_id)
+        self._refresh_upstreams()
+        if self.started:
+            self.pool.fabric.send(
+                self.pool.master_id, worker_id,
+                messages.start_message(tenant=self.tenant_id))
+
+    def on_leave(self, worker_id: str) -> None:
+        if self.placement is None:
+            return
+        self.placement.remove_worker(worker_id)
+        self._refresh_upstreams()
 
     # -- deployment --------------------------------------------------------
     def deploy(self, worker_ids: Optional[Sequence[str]] = None) -> None:
         """Compute the placement and push DEPLOY to every device."""
-        with self._lock:
+        with self.pool.lock:
             if worker_ids is not None:
-                for worker_id in worker_ids:
-                    if worker_id not in self._workers:
-                        self._workers.append(worker_id)
-            self.placement = Placement.default(self.graph, self.master_id,
-                                               self._workers)
-            for worker_id in [self.master_id] + self._workers:
+                self.pool.admit(worker_ids)
+            self.placement = Placement.default(self.graph,
+                                               self.pool.master_id,
+                                               self.pool.worker_ids)
+            for worker_id in self.pool.members():
                 self._send_deploy(worker_id)
 
     def _send_deploy(self, worker_id: str) -> None:
@@ -213,11 +290,14 @@ class Master:
         downstream_map = {}
         for unit_name in unit_names:
             for downstream_unit in self.graph.downstreams(unit_name):
-                edge = WorkerRuntime.edge_key(unit_name, downstream_unit)
-                downstream_map[edge] = self.placement.instances_of(downstream_unit)
-        self.fabric.send(self.master_id, worker_id,
-                         messages.deploy_message(worker_id, unit_names,
-                                                 downstream_map))
+                edge = WorkerRuntime.edge_key(unit_name, downstream_unit,
+                                              self.tenant_id)
+                downstream_map[edge] = self.placement.instances_of(
+                    downstream_unit)
+        self.pool.fabric.send(
+            self.pool.master_id, worker_id,
+            messages.deploy_message(worker_id, unit_names, downstream_map,
+                                    tenant=self.tenant_id))
 
     def _refresh_upstreams(self) -> None:
         """Re-send DEPLOY everywhere so routing tables reflect membership.
@@ -227,7 +307,7 @@ class Master:
         next membership change re-sends anyway.
         """
         assert self.placement is not None
-        for worker_id in [self.master_id] + self._workers:
+        for worker_id in self.pool.members():
             try:
                 self._send_deploy(worker_id)
             except Exception:
@@ -235,27 +315,148 @@ class Master:
 
     # -- execution ---------------------------------------------------------
     def start(self) -> None:
-        """Instruct source devices to begin sensing (Fig. 3 step 4)."""
-        with self._lock:
+        """Instruct this tenant's source devices to begin sensing."""
+        with self.pool.lock:
             if self.placement is None:
                 raise DeploymentError("deploy() must run before start()")
             self.started = True
-            for worker_id in [self.master_id] + self._workers:
-                self.fabric.send(self.master_id, worker_id,
-                                 messages.start_message())
+            for worker_id in self.pool.members():
+                self.pool.fabric.send(
+                    self.pool.master_id, worker_id,
+                    messages.start_message(tenant=self.tenant_id))
+
+    def stop(self) -> None:
+        """Halt this tenant's sources; other tenants keep running.
+
+        Only meaningful for non-default tenants — workers treat an
+        untagged STOP as a global shutdown, so the default session's
+        teardown goes through :meth:`Master.stop` instead.
+        """
+        with self.pool.lock:
+            self.started = False
+            if self.tenant_id == "":
+                return
+            for worker_id in self.pool.members():
+                try:
+                    self.pool.fabric.send(
+                        self.pool.master_id, worker_id,
+                        messages.stop_message(tenant=self.tenant_id))
+                except Exception:
+                    continue
+
+
+class Master:
+    """Coordinates deployment, membership and execution of one app.
+
+    Historical single-app facade over the :class:`SwarmPool` +
+    :class:`DeploymentSession` split: the constructor graph becomes the
+    default tenant's session, and :meth:`add_pipeline` attaches further
+    tenant pipelines to the same shared pool.
+    """
+
+    def __init__(self, master_id: str, fabric: Fabric, graph: AppGraph,
+                 policy: str = "LRS", source_rate: float = 24.0,
+                 seed: Optional[int] = None,
+                 control_interval: float = 1.0,
+                 heartbeat_timeout: float = 0.0,
+                 overload: Optional[overload_mod.OverloadConfig] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 trace: Optional[TraceSink] = None,
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 ) -> None:
+        graph.validate()
+        self.master_id = master_id
+        self.fabric = fabric
+        self.graph = graph
+        self.policy = policy
+        self.heartbeat_timeout = heartbeat_timeout
+        # Top-level entry point: when the caller injects no registry,
+        # create ONE private registry here and thread it through the
+        # pool, the health monitor and the co-located worker runtime, so
+        # their metrics aggregate without touching the process default.
+        self.registry = (registry if registry is not None
+                         else metrics_mod.MetricsRegistry())
+        self.pool = SwarmPool(master_id, fabric,
+                              heartbeat_timeout=heartbeat_timeout,
+                              registry=self.registry)
+        self.health = self.pool.health
+        self.runtime = WorkerRuntime(
+            master_id, fabric, graph, policy=policy, source_rate=source_rate,
+            seed=seed, control_interval=control_interval,
+            control_handler=self.pool.handle_control,
+            overload=overload, registry=self.registry, trace=trace,
+            delivery=delivery)
+        self.session = DeploymentSession(self.pool, graph, tenant_id="")
+        self._tenant_sessions: Dict[str, DeploymentSession] = {}
+
+    # -- multi-tenancy -----------------------------------------------------
+    def add_pipeline(self,
+                     deployment: "multitenant_mod.PipelineDeployment",
+                     graph: AppGraph) -> DeploymentSession:
+        """Attach one tenant's pipeline to the shared pool.
+
+        Registers the graph on the master's own runtime (callers must
+        register it on every remote worker too — the workers host units
+        from this graph once the session deploys) and returns the
+        tenant's :class:`DeploymentSession`.
+        """
+        tenant_id = deployment.tenant_id
+        if tenant_id in self._tenant_sessions or tenant_id == "":
+            raise DeploymentError("tenant %r already deployed" % tenant_id)
+        self.runtime.register_pipeline(tenant_id, graph)
+        session = DeploymentSession(self.pool, graph, tenant_id=tenant_id)
+        self._tenant_sessions[tenant_id] = session
+        return session
+
+    def tenant_session(self, tenant_id: str) -> DeploymentSession:
+        if tenant_id == "":
+            return self.session
+        try:
+            return self._tenant_sessions[tenant_id]
+        except KeyError:
+            raise DeploymentError("unknown tenant %r" % tenant_id) from None
+
+    # -- membership (delegated to the pool) --------------------------------
+    def handle_join(self, worker_id: str) -> None:
+        self.pool.handle_join(worker_id)
+
+    def handle_leave(self, worker_id: str) -> None:
+        self.pool.handle_leave(worker_id)
+
+    @property
+    def worker_ids(self) -> List[str]:
+        return self.pool.worker_ids
+
+    @property
+    def placement(self) -> Optional[Placement]:
+        return self.session.placement
+
+    @property
+    def started(self) -> bool:
+        return self.session.started
+
+    @property
+    def _detector(self) -> Optional[threading.Thread]:
+        return self.pool._detector
+
+    # -- deployment / execution (default-tenant session) -------------------
+    def deploy(self, worker_ids: Optional[Sequence[str]] = None) -> None:
+        """Compute the placement and push DEPLOY to every device."""
+        self.session.deploy(worker_ids)
+
+    def start(self) -> None:
+        """Instruct source devices to begin sensing (Fig. 3 step 4)."""
+        self.session.start()
 
     def stop(self) -> None:
         """Shut down control; idempotent, and late membership events
         arriving after this point are ignored rather than raised."""
-        with self._lock:
-            self._stopped = True
-        self._detector_running.clear()
-        if self._detector is not None:
-            self._detector.join(timeout=2.0)
-            self._detector = None
-        with self._lock:
-            self.started = False
-            for worker_id in list(self._workers):
+        self.pool.stop()
+        with self.pool.lock:
+            self.session.started = False
+            for session in self._tenant_sessions.values():
+                session.started = False
+            for worker_id in self.pool.worker_ids:
                 try:
                     self.fabric.send(self.master_id, worker_id,
                                      messages.stop_message())

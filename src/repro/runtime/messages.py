@@ -62,37 +62,52 @@ def welcome_message(worker_id: str) -> Message:
 
 
 def deploy_message(worker_id: str, unit_names: list,
-                   downstream_map: Dict[str, list]) -> Message:
+                   downstream_map: Dict[str, list],
+                   tenant: str = "") -> Message:
     """Assign *unit_names* to a worker and describe its downstream peers.
 
     ``downstream_map`` maps each assigned unit name to the list of
-    (unit, worker) instance IDs it must route results to.
+    (unit, worker) instance IDs it must route results to.  A non-default
+    *tenant* scopes the deployment: the receiving worker reconciles only
+    that tenant's units, leaving other tenants' assignments untouched.
     """
-    return Message(DEPLOY, {
+    message = Message(DEPLOY, {
         "worker_id": worker_id,
         "unit_names": list(unit_names),
         "downstream_map": {name: list(ids)
                            for name, ids in downstream_map.items()},
     })
+    if tenant:
+        message.payload["tenant"] = tenant
+    return message
 
 
-def start_message() -> Message:
-    return Message(START)
+def start_message(tenant: str = "") -> Message:
+    message = Message(START)
+    if tenant:
+        message.payload["tenant"] = tenant
+    return message
 
 
-def stop_message() -> Message:
-    return Message(STOP)
+def stop_message(tenant: str = "") -> Message:
+    message = Message(STOP)
+    if tenant:
+        message.payload["tenant"] = tenant
+    return message
 
 
 def data_message(unit_name: str, payload: bytes, seq: int,
-                 sent_at: float) -> Message:
+                 sent_at: float, tenant: str = "") -> Message:
     """A tuple bound for *unit_name* on the receiving worker."""
-    return Message(DATA, {"unit": unit_name, "tuple": payload,
-                          "seq": seq, "sent_at": sent_at})
+    message = Message(DATA, {"unit": unit_name, "tuple": payload,
+                             "seq": seq, "sent_at": sent_at})
+    if tenant:
+        message.payload["tenant"] = tenant
+    return message
 
 
 def batch_message(unit_name: str, frame: bytes, seqs: list,
-                  sent_at: float) -> Message:
+                  sent_at: float, tenant: str = "") -> Message:
     """One batched flush bound for *unit_name*: many tuples, one envelope.
 
     ``frame`` is :func:`~repro.runtime.serialization.encode_batch`
@@ -101,8 +116,11 @@ def batch_message(unit_name: str, frame: bytes, seqs: list,
     of one are never sent this way — the dispatcher emits the legacy
     :func:`data_message` so the size-1 wire format stays byte-identical.
     """
-    return Message(BATCH, {"unit": unit_name, "batch": frame,
-                           "seqs": list(seqs), "sent_at": sent_at})
+    message = Message(BATCH, {"unit": unit_name, "batch": frame,
+                              "seqs": list(seqs), "sent_at": sent_at})
+    if tenant:
+        message.payload["tenant"] = tenant
+    return message
 
 
 def ack_message(seq: int, sent_at: float, processing_delay: float) -> Message:

@@ -308,6 +308,7 @@ _KEY_DEADLINE = _TAG_STR + _PACK_U32.pack(8) + b"deadline"
 _KEY_TRACE = _TAG_STR + _PACK_U32.pack(5) + b"trace"
 _KEY_DELIVERY_ATTEMPT = (_TAG_STR + _PACK_U32.pack(16)
                          + b"delivery_attempt")
+_KEY_TENANT = _TAG_STR + _PACK_U32.pack(6) + b"tenant"
 
 
 def encode_tuple(data: DataTuple) -> bytes:
@@ -323,12 +324,13 @@ def encode_tuple(data: DataTuple) -> bytes:
     created_at = data.created_at
     deadline = data.deadline
     attempt = data.delivery_attempt
+    tenant = data.tenant
     if not (type(seq) is int and type(created_at) is float
-            and type(attempt) is int
+            and type(attempt) is int and type(tenant) is str
             and (deadline is None or type(deadline) is float)):
         return _encode_tuple_generic(data)
     count = 3 + (deadline is not None) + (data.trace is not None) \
-        + (attempt != 1)
+        + (attempt != 1) + (tenant != "")
     out = [_TAG_DICT, _PACK_U32.pack(count), _KEY_SEQ, _TAG_INT]
     try:
         out.append(_PACK_I64.pack(seq))
@@ -348,6 +350,12 @@ def encode_tuple(data: DataTuple) -> bytes:
             out.append(_KEY_DELIVERY_ATTEMPT)
             out.append(_TAG_INT)
             out.append(_PACK_I64.pack(attempt))
+        if tenant != "":
+            name = tenant.encode("utf-8")
+            out.append(_KEY_TENANT)
+            out.append(_TAG_STR)
+            out.append(_PACK_U32.pack(len(name)))
+            out.append(name)
     except struct.error as error:
         raise SerializationError("unencodable field value: %s" % error) \
             from error
@@ -369,6 +377,8 @@ def _encode_tuple_generic(data: DataTuple) -> bytes:
         fields["trace"] = data.trace.to_dict()
     if data.delivery_attempt != 1:
         fields["delivery_attempt"] = data.delivery_attempt
+    if data.tenant != "":
+        fields["tenant"] = data.tenant
     body = encode_value(fields)
     if len(body) > MAX_ENCODED_BYTES:
         raise SerializationError("tuple exceeds maximum encoded size")
@@ -391,7 +401,8 @@ def _decode_tuple_reader(reader: _Reader) -> DataTuple:
                      created_at=decoded["created_at"],
                      deadline=decoded.get("deadline"),
                      trace=SpanContext.from_dict(decoded.get("trace")),
-                     delivery_attempt=decoded.get("delivery_attempt", 1))
+                     delivery_attempt=decoded.get("delivery_attempt", 1),
+                     tenant=decoded.get("tenant", ""))
 
 
 # -- batched frames ------------------------------------------------------

@@ -33,7 +33,7 @@ from repro.runtime.fabric import Fabric, Mailbox
 from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import decode_batch, decode_tuple
 from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, SHED, Span,
-                         SpanContext)
+                         SpanContext, TraceSink)
 
 
 class WorkerRuntime:
@@ -50,7 +50,7 @@ class WorkerRuntime:
                  policy_config: Optional[PolicyConfig] = None,
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
-                 trace: Optional[object] = None,
+                 trace: Optional[TraceSink] = None,
                  delivery: Optional[delivery_mod.DeliveryConfig] = None
                  ) -> None:
         if slowdown < 0:
@@ -86,8 +86,12 @@ class WorkerRuntime:
         self._dedup = (delivery_mod.DedupWindow(delivery.dedup_window)
                        if delivery is not None and delivery.at_least_once
                        else None)
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution); the top-level
+        # entry points (Master / SwingRuntime) create one shared registry
+        # and thread it through every worker they own.
         self._registry = (registry if registry is not None
-                          else metrics_mod.REGISTRY)
+                          else metrics_mod.MetricsRegistry())
         #: TraceSink shared by this worker's units, dispatchers and the
         #: data-plane handler; disabled unless the runtime injects one
         self.tracer = trace if trace is not None else NULL_TRACER
@@ -95,6 +99,12 @@ class WorkerRuntime:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_target = heartbeat_target
         self._mailbox: Mailbox = fabric.register(worker_id)
+        #: per-tenant pipeline graphs; "" is the constructor graph (the
+        #: single-tenant namespace).  Sessions of a shared pool register
+        #: their tenants' graphs before deploying to this worker.
+        self._graphs: Dict[str, AppGraph] = {"": graph}
+        #: hosted units keyed by tenant-scoped unit key ("unit" for the
+        #: default tenant, "tenant:unit" otherwise)
         self._units: Dict[str, FunctionUnit] = {}
         self._dispatchers: Dict[str, UpstreamDispatcher] = {}
         self._running = threading.Event()
@@ -106,6 +116,16 @@ class WorkerRuntime:
         self._source_threads: List[threading.Thread] = []
         self._heartbeat_thread: Optional[threading.Thread] = None
         self.processed_count = 0
+        #: per-tenant processed-tuple tally ("" = default tenant)
+        self.processed_by_tenant: Dict[str, int] = {}
+        #: tenants whose sources are currently running; a tenant-scoped
+        #: STOP removes one entry without touching anyone else
+        self._started_tenants: set = set()
+        #: per-tenant source pacing overrides (tuples/s); tenants absent
+        #: here pump at the worker-wide ``source_rate``
+        self._tenant_rates: Dict[str, float] = {}
+        #: unit keys whose source pump thread is already running
+        self._pumping: set = set()
         self.deployed = threading.Event()
         #: True while a DATA message is being handled (drain visibility)
         self._data_active = False
@@ -255,23 +275,53 @@ class WorkerRuntime:
         elif message.kind == messages.ACK:
             self._on_ack(message)
         elif message.kind == messages.START:
-            self._on_start()
+            self._on_start(message.payload.get("tenant") or None)
         elif message.kind == messages.STOP:
-            self._running.clear()
-            self._started.clear()
+            tenant = message.payload.get("tenant") or None
+            if tenant is not None:
+                # Tenant-scoped stop: only that tenant's sources halt;
+                # the worker (and every other tenant) keeps running.
+                self._started_tenants.discard(tenant)
+            else:
+                self._running.clear()
+                self._started.clear()
+                self._started_tenants.clear()
         elif self._control_handler is not None:
             self._control_handler(sender_id, message)
 
     # -- deployment ----------------------------------------------------------
+    def register_pipeline(self, tenant_id: str, graph: AppGraph) -> None:
+        """Register one tenant's pipeline graph on this worker.
+
+        A shared worker hosts function units from multiple tenants
+        concurrently; the units a tenant-scoped DEPLOY names are built
+        from that tenant's registered graph.  The empty tenant id is the
+        constructor graph.
+        """
+        graph.validate()
+        self._graphs[tenant_id] = graph
+
+    def set_tenant_rate(self, tenant_id: str, rate: float) -> None:
+        """Override one tenant's source pacing (tuples per second)."""
+        if rate < 0:
+            raise RuntimeStateError("tenant rate must be >= 0")
+        self._tenant_rates[tenant_id] = rate
+
     def _on_deploy(self, message: messages.Message) -> None:
+        tenant = message.payload.get("tenant", "")
         unit_names = message.payload.get("unit_names", [])
         downstream_map = message.payload.get("downstream_map", {})
+        if tenant not in self._graphs:
+            return  # unknown tenant: its pipeline was never registered
+        desired = {self.unit_key(name, tenant) for name in unit_names}
         for name in unit_names:
-            if name not in self._units:
-                self._activate(name)
-        for name in list(self._units):
-            if name not in unit_names:
-                self._deactivate(name)
+            if self.unit_key(name, tenant) not in self._units:
+                self._activate(name, tenant)
+        # Reconcile ONLY this tenant's units: a tenant-scoped deploy
+        # must never tear down another tenant's instances.
+        for key in list(self._units):
+            if self._key_tenant(key) == tenant and key not in desired:
+                self._deactivate(key)
         for edge, instances in downstream_map.items():
             dispatcher = self._dispatchers.get(edge)
             if dispatcher is not None:
@@ -279,22 +329,46 @@ class WorkerRuntime:
         self.deployed.set()
 
     @staticmethod
-    def edge_key(unit_name: str, downstream_unit: str) -> str:
-        """Dispatcher key for the logical edge unit -> downstream_unit."""
-        return "%s>%s" % (unit_name, downstream_unit)
+    def unit_key(unit_name: str, tenant: str = "") -> str:
+        """Hosted-unit key: plain name for the default tenant,
+        ``tenant:unit`` otherwise."""
+        if not tenant:
+            return unit_name
+        return "%s:%s" % (tenant, unit_name)
 
-    def _activate(self, unit_name: str) -> None:
-        spec = self.graph.unit(unit_name)
+    @staticmethod
+    def edge_key(unit_name: str, downstream_unit: str,
+                 tenant: str = "") -> str:
+        """Dispatcher key for the logical edge unit -> downstream_unit.
+
+        Tenant-scoped (``tenant:unit>downstream``) for non-default
+        tenants; the key rides on every DATA/BATCH/ACK payload, so ACK
+        routing stays tenant-correct without extra lookups.
+        """
+        key = "%s>%s" % (unit_name, downstream_unit)
+        if not tenant:
+            return key
+        return "%s:%s" % (tenant, key)
+
+    @staticmethod
+    def _key_tenant(key: str) -> str:
+        """Tenant of a scoped unit/edge key ("" for the default)."""
+        tenant, sep, _rest = key.partition(":")
+        return tenant if sep else ""
+
+    def _activate(self, unit_name: str, tenant: str = "") -> None:
+        graph = self._graphs[tenant]
+        spec = graph.unit(unit_name)
         unit = spec.factory()
         if not isinstance(unit, FunctionUnit):
             raise DeploymentError("factory for %r did not build a FunctionUnit"
                                   % unit_name)
-        downstream_units = self.graph.downstreams(unit_name)
+        downstream_units = graph.downstreams(unit_name)
         edge_dispatchers = []
         for downstream_unit in downstream_units:
             # One dispatcher per logical edge: a tuple goes to EVERY
             # downstream unit, routed among that unit's device replicas.
-            key = self.edge_key(unit_name, downstream_unit)
+            key = self.edge_key(unit_name, downstream_unit, tenant)
             dispatcher = UpstreamDispatcher(
                 unit_name,
                 send=lambda target, msg: self.fabric.send(self.worker_id,
@@ -303,7 +377,8 @@ class WorkerRuntime:
                 control_interval=self.control_interval, edge=key,
                 health=self.health, config=self.policy_config,
                 registry=self._registry, trace=self.tracer,
-                device_id=self.worker_id, delivery=self.delivery)
+                device_id=self.worker_id, delivery=self.delivery,
+                tenant=tenant)
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)
@@ -312,7 +387,7 @@ class WorkerRuntime:
                               emit=emit, now=time.monotonic)
         unit.bind(context)
         unit.on_start()
-        self._units[unit_name] = unit
+        self._units[self.unit_key(unit_name, tenant)] = unit
 
     def _make_emit(self, dispatchers):
         def _emit(data: DataTuple) -> None:
@@ -320,18 +395,31 @@ class WorkerRuntime:
                 dispatcher.dispatch(data)
         return _emit
 
-    def _deactivate(self, unit_name: str) -> None:
-        unit = self._units.pop(unit_name, None)
+    def _deactivate(self, unit_key: str) -> None:
+        unit = self._units.pop(unit_key, None)
         if unit is not None:
             unit.on_stop()
-        prefix = "%s>" % unit_name
+        prefix = "%s>" % unit_key
         for key in [key for key in self._dispatchers if key.startswith(prefix)]:
             del self._dispatchers[key]
 
     # -- data plane ------------------------------------------------------
+    def _shed_labels(self, reason: str, tenant: str) -> Dict[str, str]:
+        labels = {"reason": reason, "queue": "worker:%s" % self.worker_id}
+        if tenant:
+            labels["tenant"] = tenant
+        return labels
+
+    def _count_deduped(self, tenant: str) -> None:
+        labels = {"queue": "worker:%s" % self.worker_id}
+        if tenant:
+            labels["tenant"] = tenant
+        self._registry.increment(metrics_mod.DEDUPED_TOTAL, **labels)
+
     def _on_data(self, sender_id: str, message: messages.Message) -> None:
         unit_name = message.payload["unit"]
-        unit = self._units.get(unit_name)
+        tenant = message.payload.get("tenant", "")
+        unit = self._units.get(self.unit_key(unit_name, tenant))
         if unit is None:
             return
         data = decode_tuple(message.payload["tuple"])
@@ -341,8 +429,7 @@ class WorkerRuntime:
             # At-least-once redelivery raced the original: suppress the
             # duplicate before the unit sees it, but still ACK so the
             # upstream releases its replay retention.
-            self._registry.increment(metrics_mod.DEDUPED_TOTAL,
-                                     queue="worker:%s" % self.worker_id)
+            self._count_deduped(tenant)
             ack = messages.ack_message(message.payload["seq"],
                                        message.payload["sent_at"], 0.0)
             ack.payload["edge"] = message.payload.get("edge", "")
@@ -362,21 +449,22 @@ class WorkerRuntime:
                              message.payload["sent_at"], started,
                              device_id=self.worker_id,
                              hop="worker:%s" % self.worker_id,
-                             detail=unit_name),
+                             detail=unit_name, tenant=tenant),
                         sampled=sampled)
         if data.expired(started):
             # Too stale to be useful: skip the compute but still ACK, so
             # the upstream's failure detector sees a healthy worker (a
             # shed is a policy decision, not a fault) and its ACK
             # accounting does not double-count the tuple as lost.
-            self._registry.increment(metrics_mod.SHED_TOTAL,
-                                     reason=overload_mod.REASON_EXPIRED,
-                                     queue="worker:%s" % self.worker_id)
+            self._registry.increment(
+                metrics_mod.SHED_TOTAL,
+                **self._shed_labels(overload_mod.REASON_EXPIRED, tenant))
             if tracer.enabled:
                 tracer.emit(Span(SHED, data.seq, started, started,
                                  device_id=self.worker_id,
                                  hop="worker:%s" % self.worker_id,
-                                 detail=overload_mod.REASON_EXPIRED),
+                                 detail=overload_mod.REASON_EXPIRED,
+                                 tenant=tenant),
                             sampled=sampled)
             ack = messages.ack_message(message.payload["seq"],
                                        message.payload["sent_at"], 0.0)
@@ -395,9 +483,11 @@ class WorkerRuntime:
             tracer.emit(Span(PROCESS, data.seq, started, started + elapsed,
                              device_id=self.worker_id,
                              hop="worker:%s" % self.worker_id,
-                             detail=unit_name),
+                             detail=unit_name, tenant=tenant),
                         sampled=sampled)
         self.processed_count += 1
+        self.processed_by_tenant[tenant] = \
+            self.processed_by_tenant.get(tenant, 0) + 1
         ack = messages.ack_message(message.payload["seq"],
                                    message.payload["sent_at"], elapsed)
         ack.payload["edge"] = message.payload.get("edge", "")
@@ -419,7 +509,8 @@ class WorkerRuntime:
         """
         payload = message.payload
         unit_name = payload["unit"]
-        unit = self._units.get(unit_name)
+        tenant = payload.get("tenant", "")
+        unit = self._units.get(self.unit_key(unit_name, tenant))
         if unit is None:
             return
         try:
@@ -435,8 +526,7 @@ class WorkerRuntime:
         for data in batch:
             data.delivery_attempt = attempt
             if self._dedup is not None and self._dedup.seen((edge, data.seq)):
-                self._registry.increment(metrics_mod.DEDUPED_TOTAL,
-                                         queue="worker:%s" % self.worker_id)
+                self._count_deduped(tenant)
                 continue
             started = time.monotonic()
             sampled = (data.trace.sampled if data.trace is not None
@@ -444,16 +534,17 @@ class WorkerRuntime:
             if tracer.enabled:
                 tracer.emit(Span(QUEUE_WAIT, data.seq, sent_at, started,
                                  device_id=self.worker_id, hop=hop,
-                                 detail=unit_name),
+                                 detail=unit_name, tenant=tenant),
                             sampled=sampled)
             if data.expired(started):
-                self._registry.increment(metrics_mod.SHED_TOTAL,
-                                         reason=overload_mod.REASON_EXPIRED,
-                                         queue="worker:%s" % self.worker_id)
+                self._registry.increment(
+                    metrics_mod.SHED_TOTAL,
+                    **self._shed_labels(overload_mod.REASON_EXPIRED, tenant))
                 if tracer.enabled:
                     tracer.emit(Span(SHED, data.seq, started, started,
                                      device_id=self.worker_id, hop=hop,
-                                     detail=overload_mod.REASON_EXPIRED),
+                                     detail=overload_mod.REASON_EXPIRED,
+                                     tenant=tenant),
                                 sampled=sampled)
                 continue
             unit.process_data(data)
@@ -464,9 +555,11 @@ class WorkerRuntime:
             if tracer.enabled:
                 tracer.emit(Span(PROCESS, data.seq, started, started + elapsed,
                                  device_id=self.worker_id, hop=hop,
-                                 detail=unit_name),
+                                 detail=unit_name, tenant=tenant),
                             sampled=sampled)
             self.processed_count += 1
+            self.processed_by_tenant[tenant] = \
+                self.processed_by_tenant.get(tenant, 0) + 1
             busy += elapsed
         seqs = payload.get("seqs") or [data.seq for data in batch]
         ack = messages.batch_ack_message(seqs, sent_at,
@@ -489,21 +582,40 @@ class WorkerRuntime:
                               message.payload["processing_delay"])
 
     # -- sources ------------------------------------------------------------
-    def _on_start(self) -> None:
-        if self._started.is_set():
-            return
-        self._started.set()
-        for unit_name, unit in self._units.items():
-            if isinstance(unit, SourceUnit):
+    def _on_start(self, tenant: Optional[str] = None) -> None:
+        """Start source pumps: globally, or for one tenant's pipeline.
+
+        A global START (``tenant is None``) spins up every hosted
+        source and marks every hosted tenant started — the historical
+        single-tenant behavior.  A tenant-scoped START only touches
+        that tenant's sources, so a shared pool can bring pipelines up
+        and down independently.
+        """
+        if tenant is None:
+            if self._started.is_set():
+                return
+            self._started.set()
+            self._started_tenants.update(
+                self._key_tenant(key) for key in self._units)
+            self._started_tenants.add("")
+            targets = list(self._units.items())
+        else:
+            self._started.set()
+            self._started_tenants.add(tenant)
+            targets = [(key, unit) for key, unit in self._units.items()
+                       if self._key_tenant(key) == tenant]
+        for unit_key, unit in targets:
+            if isinstance(unit, SourceUnit) and unit_key not in self._pumping:
+                self._pumping.add(unit_key)
                 thread = threading.Thread(
-                    target=self._pump_source, args=(unit_name, unit),
-                    name="source:%s@%s" % (unit_name, self.worker_id),
+                    target=self._pump_source, args=(unit_key, unit),
+                    name="source:%s@%s" % (unit_key, self.worker_id),
                     daemon=True)
                 thread.start()
                 self._source_threads.append(thread)
 
-    def _source_backpressured(self, unit_name: str) -> Optional[str]:
-        """Shed-at-source decision for *unit_name*'s next tuple.
+    def _source_backpressured(self, unit_key: str) -> Optional[str]:
+        """Shed-at-source decision for *unit_key*'s next tuple.
 
         Combines the local mailbox depth with the edge dispatchers'
         all-downstreams-dead signal through the shared
@@ -514,7 +626,7 @@ class WorkerRuntime:
         """
         if not self.overload.enabled:
             return None
-        prefix = "%s>" % unit_name
+        prefix = "%s>" % unit_key
         edge_dispatchers = [d for key, d in self._dispatchers.items()
                             if key.startswith(prefix)]
         unsatisfiable = bool(edge_dispatchers) and all(
@@ -522,58 +634,79 @@ class WorkerRuntime:
         return overload_mod.source_admission(len(self._mailbox),
                                              unsatisfiable, self.overload)
 
-    def _pump_source(self, unit_name: str, unit: SourceUnit) -> None:
-        interval = 1.0 / self.source_rate if self.source_rate > 0 else 0.0
-        while self._running.is_set() and self._started.is_set():
-            started = time.monotonic()
-            reason = self._source_backpressured(unit_name)
-            if reason is not None:
-                # Admission control: refuse doomed work before spending
-                # generate/encode/transmit effort on it.
-                self._registry.increment(metrics_mod.SHED_TOTAL,
-                                         reason=reason, source=unit_name)
-            else:
-                data = unit.generate()
-                if data is None:
-                    break
-                if self.overload.ttl is not None and data.deadline is None:
-                    base = data.created_at if data.created_at else started
-                    data.deadline = self.overload.deadline_for(base)
-                if self.tracer.enabled and data.trace is None:
-                    # Stamp the sampling decision once, at the origin;
-                    # it rides the codec to every downstream hop.
-                    data.trace = SpanContext(
-                        sampled=self.tracer.sampled(data.seq),
-                        origin=unit_name)
-                unit.context.emit(data)  # fans out to every downstream edge
-            if interval > 0:
-                leftover = interval - (time.monotonic() - started)
-                if leftover > 0:
-                    # Interruptible pacing: stop() sets the event, so
-                    # shutdown never waits out a full source interval.
-                    self._stopped.wait(leftover)
+    def _pump_source(self, unit_key: str, unit: SourceUnit) -> None:
+        tenant = self._key_tenant(unit_key)
+        rate = self._tenant_rates.get(tenant, self.source_rate)
+        interval = 1.0 / rate if rate > 0 else 0.0
+        try:
+            while (self._running.is_set() and self._started.is_set()
+                   and tenant in self._started_tenants):
+                started = time.monotonic()
+                reason = self._source_backpressured(unit_key)
+                if reason is not None:
+                    # Admission control: refuse doomed work before spending
+                    # generate/encode/transmit effort on it.
+                    labels = {"reason": reason, "source": unit_key}
+                    if tenant:
+                        labels["tenant"] = tenant
+                    self._registry.increment(metrics_mod.SHED_TOTAL, **labels)
+                else:
+                    data = unit.generate()
+                    if data is None:
+                        break
+                    if tenant and not data.tenant:
+                        # Stamp ownership at the origin; the codec carries
+                        # it across every downstream hop.
+                        data.tenant = tenant
+                    if self.overload.ttl is not None and data.deadline is None:
+                        base = data.created_at if data.created_at else started
+                        data.deadline = self.overload.deadline_for(base)
+                    if self.tracer.enabled and data.trace is None:
+                        # Stamp the sampling decision once, at the origin;
+                        # it rides the codec to every downstream hop.
+                        data.trace = SpanContext(
+                            sampled=self.tracer.sampled(data.seq),
+                            origin=unit_key)
+                    unit.context.emit(data)  # fans out to every downstream edge
+                if interval > 0:
+                    leftover = interval - (time.monotonic() - started)
+                    if leftover > 0:
+                        # Interruptible pacing: stop() sets the event, so
+                        # shutdown never waits out a full source interval.
+                        self._stopped.wait(leftover)
+        finally:
+            # The pump exited (stop, tenant stop, or source exhaustion):
+            # a later START for this tenant may spawn a fresh pump.
+            self._pumping.discard(unit_key)
 
     # -- introspection -----------------------------------------------------
-    def unit(self, unit_name: str) -> FunctionUnit:
+    def unit(self, unit_name: str, tenant: str = "") -> FunctionUnit:
         try:
-            return self._units[unit_name]
+            return self._units[self.unit_key(unit_name, tenant)]
         except KeyError:
             raise DeploymentError("unit %r not deployed on %s"
-                                  % (unit_name, self.worker_id)) from None
+                                  % (self.unit_key(unit_name, tenant),
+                                     self.worker_id)) from None
 
     def hosted_units(self) -> List[str]:
         return sorted(self._units)
 
+    @property
+    def mailbox(self) -> Mailbox:
+        """This worker's fabric mailbox (fair-share budgets install here)."""
+        return self._mailbox
+
     def dispatcher(self, unit_name: str,
-                   downstream_unit: Optional[str] = None) -> UpstreamDispatcher:
+                   downstream_unit: Optional[str] = None,
+                   tenant: str = "") -> UpstreamDispatcher:
         """The dispatcher for ``unit_name`` (qualified by edge if needed)."""
         if downstream_unit is not None:
-            key = self.edge_key(unit_name, downstream_unit)
+            key = self.edge_key(unit_name, downstream_unit, tenant)
             if key in self._dispatchers:
                 return self._dispatchers[key]
             raise DeploymentError("edge %r not deployed on %s"
                                   % (key, self.worker_id))
-        prefix = "%s>" % unit_name
+        prefix = "%s>" % self.unit_key(unit_name, tenant)
         matches = [d for key, d in self._dispatchers.items()
                    if key.startswith(prefix)]
         if len(matches) != 1:

@@ -17,6 +17,7 @@ from repro import metrics as metrics_mod
 from repro.core.batching import BatchConfig
 from repro.core.controller import LrsController, PolicyConfig
 from repro.simulation.engine import Simulator, Store
+from repro.trace import TraceSink
 
 
 class EngineEgress:
@@ -40,18 +41,22 @@ def engine_controller(
         sim: Simulator, config: PolicyConfig,
         registry: Optional[metrics_mod.MetricsRegistry] = None,
         name: str = "",
-        trace: Optional[object] = None,
+        trace: Optional[TraceSink] = None,
         redelivery: Optional[Callable[[int, str, object, int], None]] = None,
+        tenant: str = "",
 ) -> LrsController:
     """Build an :class:`LrsController` wired to the engine's ports.
 
     *redelivery*, when given, is the simulation's hook for physically
     re-transmitting a replayed frame (the controller only re-books the
-    send; the engine must model the bytes on the air).
+    send; the engine must model the bytes on the air).  *tenant* labels
+    the controller's metrics and spans when a shared swarm runs several
+    tenant pipelines.
     """
     return LrsController(config, clock=lambda: sim.now,
                          egress=EngineEgress(sim), registry=registry,
-                         name=name, trace=trace, redelivery=redelivery)
+                         name=name, trace=trace, redelivery=redelivery,
+                         tenant=tenant)
 
 
 def collect_batch(sim: Simulator, store: Store,

@@ -249,6 +249,20 @@ class Store:
         self._admit_putter()
         return item
 
+    def take_first(self, predicate):
+        """Remove and return the oldest queued item matching *predicate*.
+
+        ``None`` when nothing matches.  Used by cross-tenant fair-share
+        eviction, which must shed the victim tenant's oldest entry
+        rather than whatever happens to be at the head.
+        """
+        for index, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[index]
+                self._admit_putter()
+                return item
+        return None
+
     def drain(self) -> List[Any]:
         """Remove and return all queued items (e.g. a device vanishing)."""
         items = list(self._items)

@@ -37,6 +37,8 @@ class FrameRecord:
     seq: int
     created_at: float
     device_id: str = ""
+    #: owning tenant pipeline ("" = the single-tenant namespace)
+    tenant: str = ""
     dispatched_at: Optional[float] = None
     tx_started_at: Optional[float] = None
     tx_finished_at: Optional[float] = None
@@ -127,13 +129,18 @@ class MetricsCollector:
         self.devices: Dict[str, DeviceCounters] = {}
         self.generated = 0
         self.dropped: Dict[str, int] = defaultdict(int)
-        self.registry = registry if registry is not None else metrics_mod.REGISTRY
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
+        self.registry = (registry if registry is not None
+                         else metrics_mod.MetricsRegistry())
 
     # -- recording -------------------------------------------------------
-    def frame(self, seq: int, created_at: float) -> FrameRecord:
+    def frame(self, seq: int, created_at: float,
+              tenant: str = "") -> FrameRecord:
         record = self.frames.get(seq)
         if record is None:
-            record = FrameRecord(seq=seq, created_at=created_at)
+            record = FrameRecord(seq=seq, created_at=created_at,
+                                 tenant=tenant)
             self.frames[seq] = record
             self.generated += 1
         return record

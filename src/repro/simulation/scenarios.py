@@ -13,6 +13,7 @@ from repro import profiles
 from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT, ChurnSchedule,
                                  DeliveryConfig)
 from repro.core.exceptions import SimulationError
+from repro.core.multitenant import TenantSpec
 from repro.core.overload import DROP_OLDEST, OverloadConfig
 from repro.simulation.mobility import MobilityPlan, MobilityTrace
 from repro.simulation.network import (RSSI_FAIR, RSSI_GOOD, RSSI_POOR,
@@ -306,6 +307,79 @@ def churn(app: str = FACE_APP, policy: str = "LRS",
         detection_delay=detection_delay,
         delivery=delivery,
         churn=schedule,
+    )
+
+
+def tenants(app: str = FACE_APP, policy: str = "LRS",
+            duration: float = 30.0, seed: int = 0,
+            worker_ids: Sequence[str] = ("B", "D", "G", "H"),
+            tenant_count: int = 3,
+            per_tenant_rate: Optional[float] = None,
+            hot_tenant: Optional[str] = None,
+            hot_rate_factor: float = 4.0,
+            weights: Optional[Sequence[float]] = None,
+            priorities: Optional[Sequence[int]] = None,
+            at_least_once: bool = True,
+            replay_capacity: int = 512,
+            dedup_window: int = 4096,
+            max_delivery_attempts: int = 4,
+            ttl: float = 2.0,
+            queue_capacity: int = 12,
+            ack_timeout: float = 2.0) -> SwarmConfig:
+    """Multi-tenant isolation soak: N pipelines share one worker pool.
+
+    Tenants ``t0..tN-1`` each run the same app over the same devices,
+    every frame tagged with its owner, and bounded worker ingress queues
+    arbitrated by cross-tenant fair-share admission.  *per_tenant_rate*
+    defaults to an even split of the app's nominal input rate, sized so
+    the pool keeps up at baseline.  Naming a *hot_tenant* ramps that one
+    tenant to ``hot_rate_factor``× its fair rate — the misbehaving
+    neighbour whose overload must shed its *own* tuples while the victim
+    tenants' latency and loss stay unharmed (the acceptance check the
+    integration soak asserts on both substrates).
+    """
+    if tenant_count < 1:
+        raise SimulationError("need at least one tenant")
+    if weights is not None and len(list(weights)) != tenant_count:
+        raise SimulationError("weights must have one entry per tenant")
+    if priorities is not None and len(list(priorities)) != tenant_count:
+        raise SimulationError("priorities must have one entry per tenant")
+    workload = workload_for_app(app)
+    rate = (per_tenant_rate if per_tenant_rate is not None
+            else workload.input_rate / tenant_count)
+    specs = []
+    for index in range(tenant_count):
+        tenant_id = "t%d" % index
+        tenant_rate = rate
+        if hot_tenant is not None and tenant_id == hot_tenant:
+            tenant_rate = rate * hot_rate_factor
+        specs.append(TenantSpec(
+            tenant_id=tenant_id,
+            weight=list(weights)[index] if weights is not None else 1.0,
+            priority=(list(priorities)[index]
+                      if priorities is not None else 0),
+            input_rate=tenant_rate))
+    if hot_tenant is not None \
+            and hot_tenant not in {spec.tenant_id for spec in specs}:
+        raise SimulationError("hot tenant %r is not one of t0..t%d"
+                              % (hot_tenant, tenant_count - 1))
+    delivery = (DeliveryConfig(mode=AT_LEAST_ONCE,
+                               replay_capacity=replay_capacity,
+                               dedup_window=dedup_window,
+                               max_delivery_attempts=max_delivery_attempts)
+                if at_least_once else None)
+    return SwarmConfig(
+        workload=workload,
+        workers=profiles.worker_profiles(list(worker_ids)),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        ack_timeout=ack_timeout,
+        overload=OverloadConfig(ttl=ttl, queue_capacity=queue_capacity,
+                                drop_policy=DROP_OLDEST),
+        delivery=delivery,
+        tenants=tuple(specs),
     )
 
 

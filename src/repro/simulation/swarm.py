@@ -22,10 +22,11 @@ latency-based routing exist to avoid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import metrics as metrics_mod
+from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
 from repro.core.batching import BatchConfig
 from repro.core.controller import LrsController, PolicyConfig
@@ -205,6 +206,13 @@ class SwarmConfig:
     #: data-plane batching knobs shared verbatim with the threaded
     #: runtime; ``None`` (or ``max_tuples=1``) keeps per-tuple dispatch
     batching: Optional[BatchConfig] = None
+    #: tenant pipelines sharing this swarm
+    #: (:class:`repro.core.multitenant.TenantSpec` instances).  Empty =
+    #: the historical single-tenant experiment, byte-identical output.
+    #: With tenants, each spec gets its own source / egress / controller
+    #: / sink over the SAME device pool, and bounded worker ingress
+    #: queues run cross-tenant fair-share admission.
+    tenants: Sequence[multitenant_mod.TenantSpec] = ()
 
     def batching_config(self) -> BatchConfig:
         """This experiment's batching knobs (per-tuple by default)."""
@@ -284,6 +292,15 @@ class SwarmConfig:
                     "device %s both initial and joining" % event.device_id)
         if self.churn is not None:
             self.churn.validate(set(self.workers))
+        seen_tenants = set()
+        for spec in self.tenants:
+            if not isinstance(spec, multitenant_mod.TenantSpec):
+                raise SimulationError("tenants must be TenantSpec instances,"
+                                      " got %r" % (spec,))
+            if spec.tenant_id in seen_tenants:
+                raise SimulationError("duplicate tenant id %r"
+                                      % (spec.tenant_id,))
+            seen_tenants.add(spec.tenant_id)
 
 
 @dataclass
@@ -292,9 +309,29 @@ class _Frame:
     created_at: float
     #: absolute deadline stamped at the source (``created_at + ttl``)
     deadline: Optional[float] = None
+    #: owning tenant pipeline ("" = the single-tenant namespace)
+    tenant: str = ""
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
+
+
+@dataclass
+class _TenantState:
+    """One tenant pipeline's private half of the shared swarm: its
+    source workload, egress queue, control plane and sink machinery.
+    The worker pool, network, clock and registry stay shared."""
+
+    tenant_id: str
+    workload: Workload
+    controller: LrsController
+    egress: Store
+    egress_name: str
+    edge_name: str
+    reorder: ReorderBuffer
+    dedup: Optional[DedupWindow]
+    #: RNG stream name for this tenant's arrival process
+    arrivals_stream: str
 
 
 class _WorkerNode:
@@ -319,6 +356,9 @@ class _WorkerNode:
         for _ in range(window):
             self.credits.try_put(True)
         self.alive = True
+        #: per-tenant ingress occupancy (multi-tenant fair-share input);
+        #: stays empty at N=1
+        self.tenant_depths: Dict[str, int] = {}
         #: graceful-drain flag: still processing its backlog, but the
         #: upstream no longer routes new tuples here
         self.draining = False
@@ -340,6 +380,7 @@ class _WorkerNode:
         counters = swarm.metrics.device(self.device_id)
         while self.alive:
             frame = yield self.ingress.get()
+            self.forget_depth(frame)
             self.credits.try_put(True)  # socket slot freed by the read
             if frame.expired(sim.now):
                 # Past its deadline while queued: shed instead of burning
@@ -350,9 +391,9 @@ class _WorkerNode:
                 swarm._shed(frame.seq, DROP_EXPIRED,
                             overload_mod.REASON_EXPIRED,
                             queue="ingress:%s" % self.device_id)
-                swarm.controller.on_ack(frame.seq, processing_delay=0.0,
-                                        now=sim.now,
-                                        downstream_hint=self.device_id)
+                swarm._controller_for(frame.tenant).on_ack(
+                    frame.seq, processing_delay=0.0, now=sim.now,
+                    downstream_hint=self.device_id)
                 continue
             record = swarm.metrics.frame(frame.seq, frame.created_at)
             record.proc_started_at = sim.now
@@ -362,7 +403,8 @@ class _WorkerNode:
                 swarm.tracer.emit(Span(QUEUE_WAIT, frame.seq,
                                        record.tx_finished_at, sim.now,
                                        device_id=self.device_id,
-                                       hop="ingress:%s" % self.device_id))
+                                       hop="ingress:%s" % self.device_id,
+                                       tenant=frame.tenant))
             self.current_seq = frame.seq
             jitter = swarm.rngs.lognormal_jitter(
                 "service:%s" % self.device_id, swarm.config.jitter_sigma)
@@ -378,10 +420,21 @@ class _WorkerNode:
                 swarm.tracer.emit(Span(PROCESS, frame.seq,
                                        record.proc_started_at, sim.now,
                                        device_id=self.device_id,
-                                       hop="worker:%s" % self.device_id))
+                                       hop="worker:%s" % self.device_id,
+                                       tenant=frame.tenant))
             counters.frames_completed += 1
             self.current_seq = None
             self._send_result(frame, service)
+
+    def forget_depth(self, frame: _Frame) -> None:
+        """Release one ingress slot from the frame's tenant account."""
+        depth = self.tenant_depths.get(frame.tenant)
+        if depth is None:
+            return
+        if depth <= 1:
+            self.tenant_depths.pop(frame.tenant, None)
+        else:
+            self.tenant_depths[frame.tenant] = depth - 1
 
     def _send_result(self, frame: _Frame, processing_delay: float) -> None:
         """Queue the result (which doubles as the ACK) back to the sink."""
@@ -425,30 +478,104 @@ class SwarmSimulation:
         self.tracer = (Tracer(sample_rate=config.trace_sample_rate,
                               seed=config.seed, registry=self.registry)
                        if config.trace_sample_rate > 0.0 else NULL_TRACER)
-        # The same control plane the live runtime's dispatcher drives,
-        # wired to the engine's clock/egress ports.
-        self.controller: LrsController = engine_controller(
-            self.sim, config.policy_config(seed=self.rngs.root_seed),
-            registry=self.registry, name=config.source.device_id,
-            trace=self.tracer,
-            redelivery=(self._redeliver_frame
-                        if self.delivery.at_least_once else None))
-        self.reorder = ReorderBuffer.for_rate(config.workload.input_rate,
-                                              timespan=config.reorder_timespan)
-        #: sink-side duplicate suppression: at-least-once replay may hand
-        #: the sink the same seq twice; only the first counts
-        self._dedup: Optional[DedupWindow] = (
-            DedupWindow(self.delivery.dedup_window)
-            if self.delivery.at_least_once else None)
+        # One _TenantState per tenant pipeline; the single-tenant run is
+        # exactly one state under the default ("") tenant, producing
+        # byte-identical queue names, RNG streams and metric labels.
+        self._states: Dict[str, _TenantState] = {}
+        if config.tenants:
+            for spec in config.tenants:
+                self._states[spec.tenant_id] = self._make_tenant_state(spec)
+        else:
+            self._states[""] = self._make_tenant_state(None)
+        default_state = next(iter(self._states.values()))
+        #: compat aliases: the first tenant's control plane and sink
+        #: machinery, which at N=1 IS the whole system
+        self.controller: LrsController = default_state.controller
+        self.reorder = default_state.reorder
+        self._dedup = default_state.dedup
+        self._egress = default_state.egress
+        #: cross-tenant fair-share budgets for bounded worker ingress
+        #: queues (None = single tenant, historical admission path)
+        self._budgets: Optional[Dict[str, int]] = None
+        self._priorities: Dict[str, int] = {}
+        capacity = self.overload.queue_capacity
+        if config.tenants and capacity is not None:
+            self._budgets = multitenant_mod.tenant_budgets(
+                list(config.tenants), capacity)
+            self._priorities = {spec.tenant_id: spec.priority
+                                for spec in config.tenants}
         self.nodes: Dict[str, _WorkerNode] = {}
         self._departed: Dict[str, _WorkerNode] = {}
         #: measured graceful-drain duration per departed device
         self.drain_durations: Dict[str, float] = {}
         self._all_profiles: Dict[str, DeviceProfile] = {}
+        #: one sequence space for the whole swarm: FrameRecords are keyed
+        #: by seq, so tenants must never collide
         self._next_seq = 0
-        self._egress = Store(self.sim, capacity=config.resolved_source_queue(),
-                             name="egress:%s" % config.source.device_id)
         self._build()
+
+    def _make_tenant_state(self, spec) -> _TenantState:
+        """Build one tenant's source/egress/controller/sink machinery.
+
+        ``spec=None`` is the default single-tenant namespace: every
+        name, stream and label matches the historical layout exactly.
+        """
+        config = self.config
+        tenant_id = spec.tenant_id if spec is not None else ""
+        workload = config.workload
+        if spec is not None and spec.input_rate is not None:
+            workload = replace(workload, input_rate=spec.input_rate)
+        source_id = config.source.device_id
+        if tenant_id:
+            egress_name = "egress:%s@%s" % (source_id, tenant_id)
+            edge_name = "edge:%s@%s" % (source_id, tenant_id)
+            controller_name = "%s@%s" % (source_id, tenant_id)
+            arrivals_stream = "arrivals:%s" % tenant_id
+        else:
+            egress_name = "egress:%s" % source_id
+            edge_name = "edge:%s" % source_id
+            controller_name = source_id
+            arrivals_stream = "arrivals"
+        controller = engine_controller(
+            self.sim, config.policy_config(seed=self.rngs.root_seed),
+            registry=self.registry, name=controller_name,
+            trace=self.tracer,
+            redelivery=(self._redeliver_frame
+                        if self.delivery.at_least_once else None),
+            tenant=tenant_id)
+        egress = Store(self.sim,
+                       capacity=self._egress_capacity(workload),
+                       name=egress_name)
+        reorder = ReorderBuffer.for_rate(workload.input_rate,
+                                         timespan=config.reorder_timespan)
+        # Sink-side duplicate suppression: at-least-once replay may hand
+        # the sink the same seq twice; only the first counts.
+        dedup = (DedupWindow(self.delivery.dedup_window)
+                 if self.delivery.at_least_once else None)
+        return _TenantState(tenant_id=tenant_id, workload=workload,
+                            controller=controller, egress=egress,
+                            egress_name=egress_name, edge_name=edge_name,
+                            reorder=reorder, dedup=dedup,
+                            arrivals_stream=arrivals_stream)
+
+    def _egress_capacity(self, workload: Workload) -> Optional[int]:
+        """Source egress capacity for one tenant's queue (None = unbounded)."""
+        if self.config.source_queue_frames is None:
+            return max(1, int(round(2.0 * workload.input_rate)))
+        if self.config.source_queue_frames == UNBOUNDED_QUEUE:
+            return None
+        if self.config.source_queue_frames < 0:
+            raise SimulationError("source queue length must be >= 0")
+        return self.config.source_queue_frames
+
+    # -- tenant routing ---------------------------------------------------
+    def _controller_for(self, tenant: str) -> LrsController:
+        state = self._states.get(tenant)
+        return state.controller if state is not None else self.controller
+
+    def _tenant_of(self, seq: int) -> str:
+        record = self.metrics.frames.get(seq)
+        return record.tenant if record is not None else ""
 
     # -- controller views (kept for tests/tools poking internals) --------
     @property
@@ -476,8 +603,13 @@ class SwarmSimulation:
             if config.mobility is not None:
                 rssi = config.mobility.initial_rssi(device_id, rssi)
             self._add_worker(profile, rssi)
-        self.sim.process(self._source(), name="source")
-        self.sim.process(self._dispatch(), name="dispatcher")
+        # One source + dispatcher pair per tenant pipeline; the default
+        # tenant keeps the historical bare process names.
+        for tenant_id, state in self._states.items():
+            suffix = ":%s" % tenant_id if tenant_id else ""
+            self.sim.process(self._source(state), name="source" + suffix)
+            self.sim.process(self._dispatch(state),
+                             name="dispatcher" + suffix)
         self.sim.process(self._control(), name="control")
         for join in config.joins:
             self.sim.schedule(join.time, self._make_join(join))
@@ -551,7 +683,10 @@ class SwarmSimulation:
         self.nodes[device_id] = node
         self._departed.pop(device_id, None)
         self.metrics.device(device_id)
-        self.controller.add_downstream(device_id)
+        # Pool-level membership: every tenant's control plane sees the
+        # same worker set (one swarm, N pipelines).
+        for state in self._states.values():
+            state.controller.add_downstream(device_id)
 
     def _remove_worker(self, device_id: str) -> None:
         node = self.nodes.pop(device_id, None)
@@ -575,7 +710,8 @@ class SwarmSimulation:
                           lambda: self._on_link_break(device_id))
 
     def _on_link_break(self, device_id: str) -> None:
-        self.controller.remove_downstream(device_id)
+        for state in self._states.values():
+            state.controller.remove_downstream(device_id)
 
     # -- fault injection -------------------------------------------------
     def _kill_worker(self, device_id: str) -> None:
@@ -620,7 +756,8 @@ class SwarmSimulation:
         self.metrics.device(device_id)
         # No-op if still a member; a dead-marked member stays dead until
         # a probe's ACK resurrects it.
-        self.controller.add_downstream(device_id)
+        for state in self._states.values():
+            state.controller.add_downstream(device_id)
 
     # -- graceful drain (LEAVING protocol) -------------------------------
     def _begin_drain(self, device_id: str) -> None:
@@ -637,7 +774,8 @@ class SwarmSimulation:
         if node is None or node.draining:
             return
         node.draining = True
-        self.controller.remove_downstream(device_id, redeliver=False)
+        for state in self._states.values():
+            state.controller.remove_downstream(device_id, redeliver=False)
         self.sim.process(self._drain_watch(node), name="drain:%s" % device_id)
 
     def _drain_watch(self, node: _WorkerNode):
@@ -711,34 +849,42 @@ class SwarmSimulation:
         recoverable — redelivery will run it somewhere else — so marking
         it dropped would double-book the failure.
         """
-        if self.controller.replay_holds(seq):
+        if self._controller_for(self._tenant_of(seq)).replay_holds(seq):
             return
         self.metrics.drop(seq, reason)
 
     # -- overload protection ---------------------------------------------
     def _shed(self, seq: int, drop_reason: str, shed_reason: str,
-              queue: str) -> None:
+              queue: str, tenant: Optional[str] = None) -> None:
         """Record one overload shed in both accounting systems.
 
         The frame trace gets a drop record (*drop_reason*, the
         simulator's vocabulary) and the shared counter registry gets a
         ``swing_tuples_shed_total{reason=...}`` increment (*shed_reason*,
         the runtime's vocabulary) — so both substrates report sheds
-        through the same counter family.
+        through the same counter family.  *tenant* routes the replay
+        release to the owning tenant's controller and labels the shed
+        counter (``None`` = resolve from the frame record; the default
+        tenant stays label-free).
 
         Overload protection wins over delivery guarantees: a shed tuple
         is released from the replay buffer (counted as an eviction) so
         at-least-once never resurrects work the system chose to drop.
         """
-        self.controller.release_replay(seq, EVICT_SHED)
+        if tenant is None:
+            tenant = self._tenant_of(seq)
+        self._controller_for(tenant).release_replay(seq, EVICT_SHED)
         self.metrics.drop(seq, drop_reason)
-        self.registry.increment(metrics_mod.SHED_TOTAL, reason=shed_reason,
-                                queue=queue)
+        labels = {"reason": shed_reason, "queue": queue}
+        if tenant:
+            labels["tenant"] = tenant
+        self.registry.increment(metrics_mod.SHED_TOTAL, **labels)
         if self.tracer.enabled:
             now = self.sim.now
             device = queue.split(":", 1)[-1]
             self.tracer.emit(Span(SHED, seq, now, now, device_id=device,
-                                  hop=queue, detail=shed_reason))
+                                  hop=queue, detail=shed_reason,
+                                  tenant=tenant))
 
     def _message_fault(self, device_id: str) -> Tuple[bool, float]:
         """(drop?, extra delay) for a message involving *device_id* now."""
@@ -763,66 +909,73 @@ class SwarmSimulation:
             node.cpu.set_background_load(load)
 
     # -- processes -------------------------------------------------------
-    def _source(self):
-        gaps = self.config.workload.interarrival_times(
-            self.rngs.stream("arrivals"))
+    def _source(self, state: _TenantState):
+        gaps = state.workload.interarrival_times(
+            self.rngs.stream(state.arrivals_stream))
         overload = self.overload
-        egress_name = "egress:%s" % self.config.source.device_id
+        tenant = state.tenant_id
+        controller = state.controller
+        egress = state.egress
+        egress_name = state.egress_name
         while True:
             seq = self._next_seq
             self._next_seq += 1
             now = self.sim.now
-            self.metrics.frame(seq, now)
+            self.metrics.frame(seq, now, tenant=tenant)
             if overload.enabled:
                 # Source admission control: refuse doomed work before
                 # spending capture/encode/transmit effort on it.
                 reason = overload_mod.source_admission(
-                    len(self._egress), self.controller.unsatisfiable(),
+                    len(egress), controller.unsatisfiable(),
                     overload)
                 if reason is not None:
                     self._shed(seq, DROP_BACKPRESSURE, reason,
-                               queue=egress_name)
+                               queue=egress_name, tenant=tenant)
                     yield self.sim.timeout(next(gaps))
                     continue
             # Lambda is observed at frame creation: a real-time source
             # measures its own capture rate, not the dispatch rate.
-            self.controller.observe_arrival(now)
+            controller.observe_arrival(now)
             frame = _Frame(seq=seq, created_at=now,
-                           deadline=overload.deadline_for(now))
-            if overload.enabled and self._egress.capacity is not None:
+                           deadline=overload.deadline_for(now),
+                           tenant=tenant)
+            if overload.enabled and egress.capacity is not None:
                 decision = overload_mod.admission(
-                    len(self._egress), self._egress.capacity,
+                    len(egress), egress.capacity,
                     overload.drop_policy)
                 if decision == overload_mod.EVICT_OLDEST:
-                    victim = self._egress.try_get()
+                    victim = egress.try_get()
                     if victim is not None:
                         self._shed(victim.seq, DROP_SOURCE_QUEUE,
                                    overload_mod.REASON_QUEUE_FULL,
-                                   queue=egress_name)
+                                   queue=egress_name, tenant=tenant)
                 elif decision != overload_mod.ADMIT:
                     # A real-time sensor cannot block on its own queue:
                     # REJECT and WAIT both shed the newest frame here.
                     self._shed(seq, DROP_SOURCE_QUEUE,
                                overload_mod.REASON_QUEUE_FULL,
-                               queue=egress_name)
+                               queue=egress_name, tenant=tenant)
                     yield self.sim.timeout(next(gaps))
                     continue
-                self._egress.try_put(frame)
-            elif not self._egress.try_put(frame):
+                egress.try_put(frame)
+            elif not egress.try_put(frame):
                 self.metrics.drop(seq, DROP_SOURCE_QUEUE)
             yield self.sim.timeout(next(gaps))
 
-    def _dispatch(self):
+    def _dispatch(self, state: _TenantState):
         config = self.config
         source_radio = self.network.radio(config.source.device_id)
-        edge_name = "edge:%s" % config.source.device_id
+        tenant = state.tenant_id
+        controller = state.controller
+        egress = state.egress
+        edge_name = state.edge_name
         batching = config.batching_config()
         while True:
             if batching.enabled:
-                frames = yield from collect_batch(self.sim, self._egress,
+                frames = yield from collect_batch(self.sim, egress,
                                                   batching)
             else:
-                frame = yield self._egress.get()
+                frame = yield egress.get()
                 frames = [frame]
             live = []
             for frame in frames:
@@ -831,7 +984,8 @@ class SwarmSimulation:
                     # paid (mirrors the runtime dispatcher's
                     # expired-shed).
                     self._shed(frame.seq, DROP_EXPIRED,
-                               overload_mod.REASON_EXPIRED, queue=edge_name)
+                               overload_mod.REASON_EXPIRED, queue=edge_name,
+                               tenant=tenant)
                     continue
                 record = self.metrics.frame(frame.seq, frame.created_at)
                 record.dispatched_at = self.sim.now
@@ -844,7 +998,7 @@ class SwarmSimulation:
             # cannot know the device is gone, and the resulting expiry is
             # exactly how a silent departure shows up in loss accounting.
             if not batching.enabled:
-                destination = self.controller.dispatch(
+                destination = controller.dispatch(
                     live[0].seq, context=live[0], deadline=live[0].deadline)
             else:
                 # One decision per closed batch; the replay context is
@@ -853,7 +1007,7 @@ class SwarmSimulation:
                 # inside the controller (decision parity with unbatched).
                 deadlines = [f.deadline for f in live
                              if f.deadline is not None]
-                destination = self.controller.dispatch_batch(
+                destination = controller.dispatch_batch(
                     [f.seq for f in live],
                     context=live[0] if len(live) == 1 else tuple(live),
                     deadline=min(deadlines) if deadlines else None)
@@ -897,7 +1051,8 @@ class SwarmSimulation:
             # decomposition's source-queue charge).
             self.tracer.emit(Span(
                 QUEUE_WAIT, frame.seq, frame.created_at, self.sim.now,
-                device_id=config.source.device_id, hop=edge_name))
+                device_id=config.source.device_id, hop=edge_name,
+                tenant=frame.tenant))
         link = self.network.link(destination)
         delivered = source_radio.connection(link).send(
             config.workload.frame_bytes)
@@ -963,6 +1118,9 @@ class SwarmSimulation:
         """
         ingress = node.ingress
         queue_name = "ingress:%s" % node.device_id
+        if self._budgets is not None and ingress.capacity is not None:
+            self._ingress_put_fair(node, frame, ingress, queue_name)
+            return
         decision = overload_mod.admission(len(ingress), ingress.capacity,
                                           self.overload.drop_policy)
         if decision == overload_mod.EVICT_OLDEST:
@@ -984,6 +1142,44 @@ class SwarmSimulation:
         else:
             ingress.try_put(frame)
 
+    def _ingress_put_fair(self, node: _WorkerNode, frame: _Frame,
+                          ingress: Store, queue_name: str) -> None:
+        """Cross-tenant fair-share admission at a bounded worker ingress.
+
+        The shared :func:`~repro.core.multitenant.fair_admission`
+        decides; an over-budget tenant sheds its own newest tuple, an
+        under-budget arrival evicts the most-over-budget tenant's oldest
+        one.  Per-tenant occupancy lives in ``node.tenant_depths``.
+        """
+        decision = multitenant_mod.fair_admission(
+            frame.tenant, node.tenant_depths, self._budgets,
+            ingress.capacity, self._priorities)
+        if decision.action == overload_mod.EVICT_OLDEST:
+            victim = ingress.take_first(
+                lambda queued: queued.tenant == decision.victim)
+            if victim is not None:
+                node.forget_depth(victim)
+                self._shed(victim.seq, DROP_QUEUE_FULL,
+                           overload_mod.REASON_QUEUE_FULL, queue=queue_name,
+                           tenant=victim.tenant)
+                node.credits.try_put(True)  # the victim's window slot
+        elif decision.action == overload_mod.REJECT:
+            self._shed(frame.seq, DROP_QUEUE_FULL,
+                       overload_mod.REASON_QUEUE_FULL, queue=queue_name,
+                       tenant=frame.tenant)
+            node.credits.try_put(True)  # the newcomer's window slot
+            return
+        if ingress.try_put(frame):
+            node.tenant_depths[frame.tenant] = (
+                node.tenant_depths.get(frame.tenant, 0) + 1)
+        else:
+            # Eviction found no victim in the queue (it was all in
+            # flight): shed the newcomer rather than block the radio.
+            self._shed(frame.seq, DROP_QUEUE_FULL,
+                       overload_mod.REASON_QUEUE_FULL, queue=queue_name,
+                       tenant=frame.tenant)
+            node.credits.try_put(True)
+
     def _control(self):
         # Eager trigger: the engine has a cheap periodic process, so the
         # policy round runs on schedule even through idle stretches (the
@@ -992,14 +1188,16 @@ class SwarmSimulation:
         # policy update, decision log — is the controller's.
         while True:
             yield self.sim.timeout(self.config.control_interval)
-            self.controller.update(self.sim.now)
+            for state in self._states.values():
+                state.controller.update(self.sim.now)
             self._export_queue_depths()
 
     def _export_queue_depths(self) -> None:
         """Refresh the ``swing_queue_depth`` gauges (one per queue)."""
-        self.registry.set_gauge(
-            metrics_mod.QUEUE_DEPTH, len(self._egress),
-            queue="egress:%s" % self.config.source.device_id)
+        for state in self._states.values():
+            self.registry.set_gauge(metrics_mod.QUEUE_DEPTH,
+                                    len(state.egress),
+                                    queue=state.egress_name)
         for device_id, node in self.nodes.items():
             self.registry.set_gauge(metrics_mod.QUEUE_DEPTH,
                                     len(node.ingress),
@@ -1028,28 +1226,33 @@ class SwarmSimulation:
                                 processing_delay: float) -> None:
         now = self.sim.now
         record = self.metrics.frame(frame.seq, frame.created_at)
+        state = self._states.get(frame.tenant)
+        if state is None:
+            state = next(iter(self._states.values()))
         # The hint lets backlog-driven policies (JSQ) decrement their
         # queue estimate even when the pending entry already expired.
-        self.controller.on_ack(frame.seq, processing_delay=processing_delay,
-                               now=now,
-                               downstream_hint=record.device_id or None)
-        if self._dedup is not None and self._dedup.seen(frame.seq):
+        state.controller.on_ack(frame.seq, processing_delay=processing_delay,
+                                now=now,
+                                downstream_hint=record.device_id or None)
+        sink_name = "sink:%s" % self.config.source.device_id
+        if state.dedup is not None and state.dedup.seen(frame.seq):
             # At-least-once replay delivered this seq more than once; the
             # ACK above still counts (the worker did the work) but the
             # sink must not double-deliver it.
-            self.registry.increment(
-                metrics_mod.DEDUPED_TOTAL,
-                queue="sink:%s" % self.config.source.device_id)
+            labels = {"queue": sink_name}
+            if frame.tenant:
+                labels["tenant"] = frame.tenant
+            self.registry.increment(metrics_mod.DEDUPED_TOTAL, **labels)
             return
         if frame.expired(now):
             # Computed, transmitted back — and still too late.  The sink
             # refuses to deliver a stale result (the ACK above already
             # credited the worker: it did the work).
             self._shed(frame.seq, DROP_STALE, overload_mod.REASON_EXPIRED,
-                       queue="sink:%s" % self.config.source.device_id)
+                       queue=sink_name, tenant=frame.tenant)
             return
         record.sink_arrived_at = now
-        for playback in self.reorder.offer(frame.seq, now):
+        for playback in state.reorder.offer(frame.seq, now):
             played = self.metrics.frames.get(playback.seq)
             if played is not None:
                 played.played_at = playback.played_at
@@ -1057,10 +1260,11 @@ class SwarmSimulation:
     # -- running -----------------------------------------------------------
     def run(self) -> "SwarmResult":
         self.sim.run(self.config.duration)
-        for playback in self.reorder.flush(self.config.duration):
-            record = self.metrics.frames.get(playback.seq)
-            if record is not None:
-                record.played_at = playback.played_at
+        for state in self._states.values():
+            for playback in state.reorder.flush(self.config.duration):
+                record = self.metrics.frames.get(playback.seq)
+                if record is not None:
+                    record.played_at = playback.played_at
         self._finalize_counters()
         return SwarmResult.from_simulation(self)
 
@@ -1112,6 +1316,9 @@ class SwarmResult:
     replay_depth_end: int = 0
     #: measured graceful-drain duration per device that left via LEAVING
     drain_seconds: Dict[str, float] = field(default_factory=dict)
+    #: overload sheds per tenant label (empty at N=1: the default tenant
+    #: emits no ``tenant=`` label)
+    shed_by_tenant: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -1131,14 +1338,27 @@ class SwarmResult:
                 * (config.workload.result_bytes + ACK_BYTES))
         estimator = PowerEstimator(profiles)
         energy = estimator.estimate(cpu, transferred, duration)
-        tracker_stats = swarm.tracker.stats()
-        max_depths = {"egress:%s" % config.source.device_id:
-                      swarm._egress.max_len}
+        max_depths = {state.egress_name: state.egress.max_len
+                      for state in swarm._states.values()}
         for device_id in profiles:
             node = (swarm.nodes.get(device_id)
                     or swarm._departed.get(device_id))
             if node is not None:
                 max_depths["ingress:%s" % device_id] = node.ingress.max_len
+        # Pool-wide rollups across every tenant's control plane (at N=1
+        # these are exactly the single controller's numbers).
+        lost_by_downstream: Dict[str, int] = {}
+        dead: set = set()
+        replay_depth = 0
+        for state in swarm._states.values():
+            for device_id, lost in \
+                    state.controller.tracker.lost_by_downstream().items():
+                lost_by_downstream[device_id] = (
+                    lost_by_downstream.get(device_id, 0) + lost)
+            for device_id, stat in state.controller.tracker.stats().items():
+                if not stat.alive:
+                    dead.add(device_id)
+            replay_depth += state.controller.replay_depth()
         return cls(
             config=config,
             metrics=metrics,
@@ -1149,9 +1369,8 @@ class SwarmResult:
             reorder=swarm.reorder,
             frames_lost=metrics.loss_count(),
             registry=swarm.registry,
-            lost_by_downstream=swarm.tracker.lost_by_downstream(),
-            dead_downstreams=sorted(ds for ds, stat in tracker_stats.items()
-                                    if not stat.alive),
+            lost_by_downstream=lost_by_downstream,
+            dead_downstreams=sorted(dead),
             shed_by_reason=swarm.registry.values_by_label(
                 metrics_mod.SHED_TOTAL, "reason"),
             max_queue_depths=max_depths,
@@ -1162,8 +1381,10 @@ class SwarmResult:
                 metrics_mod.DEDUPED_TOTAL, "queue").values()),
             replay_evicted_by_reason=swarm.registry.values_by_label(
                 metrics_mod.REPLAY_EVICTED_TOTAL, "reason"),
-            replay_depth_end=swarm.controller.replay_depth(),
+            replay_depth_end=replay_depth,
             drain_seconds=dict(swarm.drain_durations),
+            shed_by_tenant=swarm.registry.values_by_label(
+                metrics_mod.SHED_TOTAL, "tenant"),
         )
 
     # -- convenience views used by the benchmark harness -------------------
@@ -1215,6 +1436,38 @@ class SwarmResult:
         completed = sum(1 for record in self.metrics.completed_frames()
                         if record.sink_arrived_at >= warmup)
         return completed / horizon
+
+    # -- per-tenant views (multi-tenant isolation checks) -------------------
+    def tenant_latency(self, tenant: str,
+                       after: float = 0.0) -> Optional[LatencyStats]:
+        """One tenant's end-to-end latency summary ("" = default tenant)."""
+        return LatencyStats.from_samples(
+            self.tenant_latency_samples(tenant, after=after))
+
+    def tenant_latency_samples(self, tenant: str,
+                               after: float = 0.0) -> List[float]:
+        """One tenant's raw end-to-end delays (for percentile checks)."""
+        return [record.total_delay
+                for record in self.metrics.completed_frames()
+                if record.tenant == tenant and record.created_at >= after]
+
+    def tenant_losses(self, tenant: str,
+                      horizon: Optional[float] = None) -> List[int]:
+        """One tenant's end-to-end losses (see :meth:`end_to_end_losses`)."""
+        cutoff = self.duration if horizon is None else horizon
+        return sorted(seq for seq, record in self.metrics.frames.items()
+                      if record.tenant == tenant
+                      and record.created_at < cutoff
+                      and record.sink_arrived_at is None
+                      and record.dropped is None)
+
+    def tenant_throughput(self, tenant: str) -> float:
+        """One tenant's completions per second over the whole run."""
+        if self.duration <= 0:
+            return 0.0
+        completed = sum(1 for record in self.metrics.completed_frames()
+                        if record.tenant == tenant)
+        return completed / self.duration
 
 
 def run_swarm(config: SwarmConfig) -> SwarmResult:

@@ -19,7 +19,8 @@ from repro.trace.analysis import (COMPONENTS, critical_path,
                                   delay_decomposition, spans_by_tuple,
                                   summarize, traced_tuple_ids)
 from repro.trace.collector import (DEFAULT_CAPACITY, NULL_TRACER,
-                                   TraceCollector, Tracer, sample_key)
+                                   TraceCollector, Tracer, TraceSink,
+                                   sample_key)
 from repro.trace.spans import (ACK_RTT, INSTANT_KINDS, PROCESS, QUEUE_WAIT,
                                RETRY, SERIALIZE, SHED, SPAN_KINDS, TRANSMIT,
                                Span, SpanContext)
@@ -33,6 +34,7 @@ __all__ = [
     "NULL_TRACER", "PROCESS", "QUEUE_WAIT", "REQUIRED_EVENT_KEYS", "RETRY",
     "SERIALIZE", "SHED",
     "SPAN_KINDS", "Span", "SpanContext", "TRANSMIT", "TraceCollector",
+    "TraceSink",
     "Tracer", "critical_path", "delay_decomposition", "read_jsonl",
     "sample_key", "spans_by_tuple", "summarize", "to_chrome_trace",
     "to_jsonl", "traced_tuple_ids", "validate_chrome_trace",

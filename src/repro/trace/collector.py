@@ -29,11 +29,37 @@ Two pieces:
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+from typing import List, Optional, Protocol, runtime_checkable
 
 from repro import metrics as metrics_mod
 from repro.core.exceptions import SimulationError
 from repro.trace.spans import Span
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """The trace port every component's ``trace`` parameter accepts.
+
+    :class:`Tracer` and the disabled :data:`NULL_TRACER` both satisfy
+    it; typing the port (instead of ``Optional[object]``) lets static
+    checkers catch miswired observability plumbing.  Emit sites guard on
+    :attr:`enabled` so a disabled sink costs one attribute load.
+    """
+
+    enabled: bool
+
+    def sampled(self, seq: int) -> bool:
+        """Deterministic per-tuple sampling decision for *seq*."""
+        ...
+
+    def emit(self, span: Span, sampled: Optional[bool] = None) -> bool:
+        """Offer one span; returns True when it was stored."""
+        ...
+
+    def spans(self) -> List[Span]:
+        """Snapshot of retained spans, oldest first."""
+        ...
+
 
 _MASK64 = (1 << 64) - 1
 _SAMPLE_SPACE = 1 << 32

@@ -60,10 +60,12 @@ class Span:
     overhead budget.
     """
 
-    __slots__ = ("kind", "seq", "start", "end", "device_id", "hop", "detail")
+    __slots__ = ("kind", "seq", "start", "end", "device_id", "hop", "detail",
+                 "tenant")
 
     def __init__(self, kind: str, seq: int, start: float, end: float,
-                 device_id: str = "", hop: str = "", detail: str = "") -> None:
+                 device_id: str = "", hop: str = "", detail: str = "",
+                 tenant: str = "") -> None:
         self.kind = kind
         self.seq = seq
         self.start = start
@@ -71,6 +73,7 @@ class Span:
         self.device_id = device_id
         self.hop = hop
         self.detail = detail
+        self.tenant = tenant
 
     @property
     def duration(self) -> float:
@@ -78,20 +81,28 @@ class Span:
         return max(0.0, self.end - self.start)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready view (the JSONL exporter's row format)."""
-        return {"kind": self.kind, "seq": self.seq, "start": self.start,
-                "end": self.end, "device_id": self.device_id,
-                "hop": self.hop, "detail": self.detail}
+        """JSON-ready view (the JSONL exporter's row format).
+
+        The ``tenant`` attribute appears only when set, so single-tenant
+        exports stay byte-identical to the pre-multi-tenant format.
+        """
+        row = {"kind": self.kind, "seq": self.seq, "start": self.start,
+               "end": self.end, "device_id": self.device_id,
+               "hop": self.hop, "detail": self.detail}
+        if self.tenant:
+            row["tenant"] = self.tenant
+        return row
 
     @classmethod
     def from_dict(cls, row: Dict[str, Any]) -> "Span":
         return cls(kind=row["kind"], seq=row["seq"], start=row["start"],
                    end=row["end"], device_id=row.get("device_id", ""),
-                   hop=row.get("hop", ""), detail=row.get("detail", ""))
+                   hop=row.get("hop", ""), detail=row.get("detail", ""),
+                   tenant=row.get("tenant", ""))
 
     def _key(self):
         return (self.kind, self.seq, self.start, self.end, self.device_id,
-                self.hop, self.detail)
+                self.hop, self.detail, self.tenant)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Span):
