@@ -10,6 +10,7 @@ Usage::
     python -m repro faults --kill B G --kill-time 10
     python -m repro overload --ttl 2 --queue-capacity 8
     python -m repro tenants --tenants 3 --hot-tenant t0
+    python -m repro failover --kill-time 12 --outage 4
     python -m repro trace --out swing.trace.json
 
 Each subcommand runs a calibrated simulation and prints a summary table;
@@ -169,6 +170,28 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--metrics", action="store_true",
                        help="print the run's delivery/loss counters")
     _add_metrics_json(churn)
+
+    failover = sub.add_parser("failover",
+                              help="master failover soak: kill the master "
+                                   "mid-run, restart it, and require zero "
+                                   "at-least-once loss")
+    failover.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
+    failover.add_argument("--app", type=_app, default="face")
+    failover.add_argument("--duration", type=float, default=40.0)
+    failover.add_argument("--seed", type=int, default=11)
+    failover.add_argument("--kill-time", type=float, default=12.0,
+                          help="the master dies at this time")
+    failover.add_argument("--outage", type=float, default=4.0,
+                          help="seconds until the successor master is up")
+    failover.add_argument("--best-effort", action="store_true",
+                          help="run the same outage without replay/dedup "
+                               "(shows what an unguarded crash loses)")
+    failover.add_argument("--settle", type=float, default=10.0,
+                          help="the outage must end this many seconds "
+                               "before the run does, so redeliveries land")
+    failover.add_argument("--metrics", action="store_true",
+                          help="print the run's recovery/loss counters")
+    _add_metrics_json(failover)
 
     tenants = sub.add_parser("tenants",
                              help="multi-tenant isolation soak: N pipelines "
@@ -476,6 +499,50 @@ def cmd_churn(args) -> int:
     return 0
 
 
+def cmd_failover(args) -> int:
+    config = scenarios.failover(app=args.app, policy=args.policy,
+                                duration=args.duration, seed=args.seed,
+                                kill_time=args.kill_time,
+                                outage=args.outage,
+                                at_least_once=not args.best_effort,
+                                settle=args.settle)
+    result = run_swarm(config)
+    mode = "best-effort" if args.best_effort else "at-least-once"
+    print("failover soak: %s under %s (%s), master down t=%.0fs..%.0fs "
+          "of %.0fs"
+          % (args.app, args.policy, mode, args.kill_time,
+             args.kill_time + args.outage, args.duration))
+    series = result.throughput_series()
+    print("throughput: [%s] peak %.0f FPS"
+          % (sparkline(series, peak=28.0), max(series)))
+    # Judge loss on frames old enough that every post-recovery
+    # redelivery had time to land: the settle window at the end.
+    horizon = args.duration - args.settle / 2.0
+    losses = result.end_to_end_losses(horizon)
+    print(format_table(
+        ["metric", "value"],
+        [("throughput", "%.1f FPS" % result.throughput),
+         ("master recoveries", str(result.master_recoveries)),
+         ("frames dropped", str(result.frames_lost)),
+         ("end-to-end lost", str(len(losses))),
+         ("redelivered", str(result.redelivered)),
+         ("sink duplicates deduped", str(result.deduped)),
+         ("retained at end", str(result.replay_depth_end))],
+        min_width=24))
+    if args.metrics:
+        _print_registry(result)
+    _write_metrics_json(result, args)
+    if result.master_recoveries < 1:
+        print("FAIL: the master never recovered during the run")
+        return 1
+    if not args.best_effort and losses:
+        print("FAIL: %d tuple(s) lost end-to-end across the master "
+              "kill+restart under at-least-once delivery: %s"
+              % (len(losses), losses[:20]))
+        return 1
+    return 0
+
+
 def cmd_tenants(args) -> int:
     config = scenarios.tenants(
         app=args.app, policy=args.policy, duration=args.duration,
@@ -594,6 +661,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "overload": cmd_overload,
     "churn": cmd_churn,
+    "failover": cmd_failover,
     "tenants": cmd_tenants,
     "trace": cmd_trace,
 }

@@ -482,6 +482,25 @@ class LrsController:
             self._policy.mark_dead(downstream_id)
         self._request_redelivery(downstream_id)
 
+    def revive_downstream(self, downstream_id: str) -> None:
+        """Explicitly resurrect a dead-marked member.
+
+        The normal path back from dead is an ACK (a probe reaches the
+        member again) — but when *every* member of an edge is dead no
+        tuple and no probe is ever sent, so nothing can ACK and the
+        edge wedges with its retention unassigned forever.  A failover
+        creates exactly that shape on worker-hosted edges whose sole
+        downstream is the master-hosted sink: the crash dead-marks it,
+        and the successor re-hosting it is invisible to the data plane.
+        Re-registration calls this to break the deadlock; the next
+        replay sweep then places the retained frames.
+        """
+        with self._lock:
+            if self._tracker.is_alive(downstream_id):
+                return
+            self._tracker.revive(downstream_id, self._clock())
+            self._policy.mark_alive(downstream_id)
+
     def on_ack(self, seq: int, processing_delay: Optional[float] = None,
                now: Optional[float] = None,
                downstream_hint: Optional[str] = None
@@ -652,6 +671,47 @@ class LrsController:
 
     def replay_depth(self) -> int:
         return len(self._replay) if self._replay is not None else 0
+
+    def export_retention(self) -> List[Tuple[int, int, Optional[float],
+                                             object, Tuple[int, ...]]]:
+        """Snapshot retained entries for a control-plane checkpoint.
+
+        Each item is ``(seq, attempt, deadline, context, member_seqs)``;
+        ``member_seqs`` is non-empty for batch entries (head included).
+        """
+        if self._replay is None:
+            return []
+        with self._lock:
+            members_of = {head: tuple(sorted(members))
+                          for head, members in self._batch_members.items()}
+        return [(entry.seq, entry.attempt, entry.deadline, entry.context,
+                 members_of.get(entry.seq, ()))
+                for entry in self._replay.entries()]
+
+    def import_retention(self, items: Iterable[Tuple[int, int,
+                                                     Optional[float], object,
+                                                     Tuple[int, ...]]]) -> int:
+        """Re-retain checkpointed entries after a master restart.
+
+        Entries land unassigned (``downstream=None``) so the next
+        control sweep routes each to a live downstream through the
+        normal redelivery path — the sink's dedup window absorbs any
+        that were in fact delivered between checkpoint and crash.
+        Returns the number of entries imported.
+        """
+        if self._replay is None:
+            return 0
+        count = 0
+        now = self._clock()
+        for seq, attempt, deadline, context, members in items:
+            if members and len(members) > 1:
+                ordered = [seq] + [s for s in members if s != seq]
+                self._register_batch(ordered)
+            self._replay.retain(seq, None, context, now=now,
+                                deadline=deadline, attempt=attempt,
+                                nbytes=getattr(context, "nbytes", None))
+            count += 1
+        return count
 
     def release_replay(self, seq: int, reason: str) -> bool:
         """Give up retention of *seq* for *reason* (e.g. it was shed).

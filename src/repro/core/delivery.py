@@ -53,7 +53,17 @@ CHURN_JOIN = "join"
 CHURN_LEAVE = "leave"    # graceful: LEAVING handshake, drain, depart
 CHURN_KILL = "kill"      # abrupt: silent crash, detected by timeouts
 CHURN_REJOIN = "rejoin"  # previously departed device comes back
-_ACTIONS = frozenset({CHURN_JOIN, CHURN_LEAVE, CHURN_KILL, CHURN_REJOIN})
+# control-plane / link events (device_id names the master or an "a>b" link);
+# these do not move worker membership, so validate() skips their bookkeeping
+CHURN_KILL_MASTER = "kill_master"        # abrupt master crash
+CHURN_RESTART_MASTER = "restart_master"  # recovered master, next epoch
+CHURN_PARTITION = "partition"            # sever a directed link
+CHURN_HEAL = "heal"                      # heal a partitioned link
+_ACTIONS = frozenset({CHURN_JOIN, CHURN_LEAVE, CHURN_KILL, CHURN_REJOIN,
+                      CHURN_KILL_MASTER, CHURN_RESTART_MASTER,
+                      CHURN_PARTITION, CHURN_HEAL})
+_CONTROL_ACTIONS = frozenset({CHURN_KILL_MASTER, CHURN_RESTART_MASTER,
+                              CHURN_PARTITION, CHURN_HEAL})
 
 #: replay eviction reasons (``swing_replay_evicted_total{reason=...}``)
 EVICT_CAPACITY = "capacity"
@@ -260,6 +270,11 @@ class ReplayBuffer:
         return taken
 
     # -- introspection -----------------------------------------------------
+    def entries(self) -> List[ReplayEntry]:
+        """Snapshot of retained entries, oldest first (checkpointing)."""
+        with self._lock:
+            return list(self._entries.values())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -300,6 +315,23 @@ class DedupWindow:
                 evicted = self._order.popleft()
                 self._keys.discard(evicted)
             return False
+
+    def snapshot(self) -> List[Hashable]:
+        """Window contents oldest-first, for control-plane checkpoints."""
+        with self._lock:
+            return list(self._order)
+
+    def restore(self, keys: Iterable[Hashable]) -> None:
+        """Seed the window from a checkpoint (without counting dupes)."""
+        with self._lock:
+            for key in keys:
+                if key in self._keys:
+                    continue
+                self._keys.add(key)
+                self._order.append(key)
+                while len(self._order) > self.capacity:
+                    evicted = self._order.popleft()
+                    self._keys.discard(evicted)
 
     def __len__(self) -> int:
         with self._lock:
@@ -384,6 +416,9 @@ class ChurnSchedule:
         present = set(initial_ids)
         known = set(present)
         for event in self.events:
+            if event.action in _CONTROL_ACTIONS:
+                # master / link events never move worker membership
+                continue
             if event.action in (CHURN_LEAVE, CHURN_KILL):
                 if event.device_id not in present:
                     raise RuntimeStateError(

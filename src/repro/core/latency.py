@@ -244,17 +244,8 @@ class AckTracker:
             return None
         sample = max(0.0, now - pending.sent_at)
         if not self._alive[downstream_id]:
-            # A probe reached a downstream we had given up on: resurrect
-            # with a clean slate.  Estimator history and in-flight
-            # entries from before the death window describe a peer that
-            # no longer exists; keeping them would let one pre-departure
-            # timeout streak instantly re-kill the rejoined worker.
-            self._flush_stale_pending(downstream_id, pending.sent_at)
-            self._latency[downstream_id].reset()
-            self._processing[downstream_id].reset()
-            self._alive[downstream_id] = True
-            self._registry.increment(metrics_mod.RESURRECTED_TOTAL,
-                                     downstream=downstream_id)
+            # A probe reached a downstream we had given up on.
+            self._resurrect(downstream_id, pending.sent_at)
         self._latency[downstream_id].observe(sample)
         if processing_delay is not None:
             self._processing[downstream_id].observe(max(0.0, processing_delay))
@@ -263,6 +254,33 @@ class AckTracker:
         self._registry.increment(metrics_mod.ACKED_TOTAL,
                                  downstream=downstream_id)
         return sample
+
+    def revive(self, downstream_id: str, now: float) -> None:
+        """Explicitly resurrect a dead-marked member without an ACK.
+
+        The ACK path (:meth:`record_ack`) can only resurrect a member
+        that still receives probes — when *every* member is dead no
+        send happens at all, so an external revival signal (a successor
+        master re-hosting the instance after a failover) must be able
+        to break the deadlock directly.
+        """
+        if downstream_id in self._alive and not self._alive[downstream_id]:
+            self._resurrect(downstream_id, now)
+
+    def _resurrect(self, downstream_id: str, before: float) -> None:
+        """Mark a dead member alive again, with a clean slate.
+
+        Estimator history and in-flight entries from before the death
+        window describe a peer that no longer exists; keeping them
+        would let one pre-departure timeout streak instantly re-kill
+        the revived member.
+        """
+        self._flush_stale_pending(downstream_id, before)
+        self._latency[downstream_id].reset()
+        self._processing[downstream_id].reset()
+        self._alive[downstream_id] = True
+        self._registry.increment(metrics_mod.RESURRECTED_TOTAL,
+                                 downstream=downstream_id)
 
     def _flush_stale_pending(self, downstream_id: str, before: float) -> None:
         """Charge pre-resurrection in-flight entries as lost, quietly.

@@ -139,6 +139,22 @@ class RoutingPolicy:
             self._table.remove(downstream_id)
         self._refresh_probe_cycler()
 
+    def mark_alive(self, downstream_id: str) -> None:
+        """Resume routing to a dead-marked member (explicit revival).
+
+        Probe-driven re-admission needs at least one live member to
+        keep the send loop turning; when every member is dead, an
+        external signal (e.g. a successor master re-hosting the
+        instance) revives it here.  Re-admission reuses the joiner
+        path, so the member returns with an equal share until the next
+        update round measures it — and subclass membership hooks
+        (cyclers, capability tables) run exactly as for a fresh join.
+        """
+        if self._members.get(downstream_id, True):
+            return  # unknown or already alive
+        self._members.pop(downstream_id)
+        self.on_downstream_added(downstream_id)
+
     def downstream_ids(self) -> List[str]:
         return sorted(self._members)
 

@@ -39,9 +39,15 @@ DROPPED_TOTAL = "swing_frames_dropped_total"
 HEARTBEAT_MISS_TOTAL = "swing_heartbeat_miss_total"
 POLICY_UPDATES_TOTAL = "swing_policy_updates_total"
 PROBE_WINDOWS_TOTAL = "swing_probe_windows_total"
+#: epoch fencing: stale-epoch control messages rejected by a device
+FENCED_TOTAL = "swing_fenced_messages_total"
+#: control-plane crash recovery: successful master restore-from-checkpoint
+MASTER_RECOVERIES_TOTAL = "swing_master_recoveries_total"
 
 #: gauge: current depth of one named queue (mailbox / sim store)
 QUEUE_DEPTH = "swing_queue_depth"
+#: gauge: seconds since the control-plane checkpoint was last written
+CHECKPOINT_AGE_SECONDS = "swing_checkpoint_age_seconds"
 
 #: histogram: upstream-observed ACK round trip per downstream, seconds
 ACK_RTT_SECONDS = "swing_ack_rtt_seconds"

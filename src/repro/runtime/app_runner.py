@@ -16,7 +16,7 @@ Example::
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
@@ -25,10 +25,12 @@ from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError, RuntimeStateError
 from repro.core.function_unit import SinkUnit
 from repro.core.graph import AppGraph
+from repro.core.recovery import (CheckpointStore, RecoveryConfig,
+                                 load_checkpoint)
 from repro.core.reorder import ReorderBuffer
 from repro.core.requirements import PerformanceRequirement
 from repro.core.tuples import DataTuple
-from repro.runtime.fabric import InProcFabric
+from repro.runtime.fabric import Fabric, InProcFabric
 from repro.runtime.master import DeploymentSession, Master
 from repro.runtime.worker import WorkerRuntime
 from repro.trace import NULL_TRACER, TraceSink
@@ -54,7 +56,11 @@ class SwingRuntime:
                  trace: Optional[TraceSink] = None,
                  delivery: Optional[delivery_mod.DeliveryConfig] = None,
                  heartbeat_interval: float = 0.0,
-                 heartbeat_timeout: float = 0.0) -> None:
+                 heartbeat_timeout: float = 0.0,
+                 recovery: Optional[RecoveryConfig] = None,
+                 checkpoint_store: Optional[CheckpointStore] = None,
+                 fabric_wrapper: Optional[Callable[[Fabric], Fabric]] = None
+                 ) -> None:
         if master_id in worker_ids:
             raise RuntimeStateError("master id must not collide with workers")
         if not worker_ids:
@@ -82,16 +88,28 @@ class SwingRuntime:
         #: device in the in-process swarm records into the same ring
         self.tracer = trace if trace is not None else NULL_TRACER
         trace = self.tracer
-        self.fabric = InProcFabric(overload=overload, registry=registry)
+        #: recovery/timing knobs shared by master and workers
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
+        #: durable checkpoint store; None = historical unrecoverable master
+        self.checkpoint_store = checkpoint_store
+        self.fabric: Fabric = InProcFabric(overload=overload,
+                                           registry=registry)
+        if fabric_wrapper is not None:
+            # e.g. a ChaosFabric injecting seeded link faults — built by
+            # the caller so this module stays free of chaos imports
+            self.fabric = fabric_wrapper(self.fabric)
         self.master = Master(master_id, self.fabric, graph, policy=policy,
                              source_rate=source_rate, seed=seed,
                              control_interval=control_interval,
                              heartbeat_timeout=heartbeat_timeout,
                              overload=overload, registry=registry,
-                             trace=trace, delivery=delivery)
+                             trace=trace, delivery=delivery,
+                             recovery=self.recovery,
+                             checkpoint_store=checkpoint_store)
         self._policy = policy
         self._seed = seed
         self._control_interval = control_interval
+        self._heartbeat_timeout = heartbeat_timeout
         self._slowdowns = dict(slowdowns or {})
         self.workers: Dict[str, WorkerRuntime] = {}
         for worker_id in worker_ids:
@@ -106,7 +124,8 @@ class SwingRuntime:
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_target=self.master.master_id,
             overload=self.overload, registry=self.registry,
-            trace=self.tracer, delivery=self.delivery)
+            trace=self.tracer, delivery=self.delivery,
+            recovery=self.recovery)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -123,17 +142,21 @@ class SwingRuntime:
         self.master.start()
         self._running = True
 
-    def _await_membership(self, timeout: float = 5.0) -> None:
+    def _await_membership(self, timeout: Optional[float] = None) -> None:
+        if timeout is None:
+            timeout = self.recovery.await_timeout
         deadline = time.monotonic() + timeout
         expected = set(self.workers)
         while time.monotonic() < deadline:
             if expected <= set(self.master.worker_ids):
                 return
-            time.sleep(0.005)
+            time.sleep(self.recovery.await_poll)
         missing = expected - set(self.master.worker_ids)
         raise DeploymentError("workers never joined: %r" % sorted(missing))
 
-    def _await_deployment(self, timeout: float = 5.0) -> None:
+    def _await_deployment(self, timeout: Optional[float] = None) -> None:
+        if timeout is None:
+            timeout = self.recovery.await_timeout
         deadline = time.monotonic() + timeout
         runtimes = [self.master.runtime] + list(self.workers.values())
         for runtime in runtimes:
@@ -152,6 +175,86 @@ class SwingRuntime:
         self.fabric.close()
         self._running = False
 
+    # -- master failover (used by the chaos harness) -----------------------
+    def crash_master(self) -> None:
+        """Abruptly kill the master process-equivalent.
+
+        No STOP broadcast goes out: workers keep their units, keep
+        processing whatever reaches them, and keep heartbeating into
+        the void.  With a checkpoint store configured, the master's
+        final checkpoint (the crash model's WAL stand-in) is written on
+        the way down; without one, recovery starts from nothing.
+        """
+        self.master.crash()
+
+    def restart_master(self,
+                       await_workers: Optional[float] = None) -> int:
+        """Bring up a successor master from the last checkpoint.
+
+        The successor runs at ``checkpoint.epoch + 1`` on the same
+        endpoint: it restores the co-located sink's dedup window, waits
+        (up to *await_workers*, default the recovery config's
+        ``await_timeout``) for checkpointed survivors to re-register —
+        their heartbeats draw an epoch-stamped WELCOME, which triggers
+        a JOIN carrying their hosted-unit inventory — then redeploys,
+        restarts sources, and re-imports the checkpointed replay
+        retention so unacknowledged tuples are redelivered (duplicates
+        absorbed by the restored dedup).  Returns the number of
+        retention entries re-imported.
+        """
+        if await_workers is None:
+            await_workers = self.recovery.await_timeout
+        checkpoint = (load_checkpoint(self.checkpoint_store)
+                      if self.checkpoint_store is not None else None)
+        epoch = (checkpoint.epoch if checkpoint is not None else 0) + 1
+        master_id = self.master.master_id
+        self.master = Master(master_id, self.fabric, self.graph,
+                             policy=self._policy,
+                             source_rate=self.requirement.input_rate,
+                             seed=self._seed,
+                             control_interval=self._control_interval,
+                             heartbeat_timeout=self._heartbeat_timeout,
+                             overload=self.overload, registry=self.registry,
+                             trace=self.tracer, delivery=self.delivery,
+                             recovery=self.recovery,
+                             checkpoint_store=self.checkpoint_store,
+                             epoch=epoch)
+        expected: set = set()
+        if checkpoint is not None:
+            # Await only survivors that still exist on this runtime —
+            # a worker that died during the outage can never re-register.
+            expected = (set(self.master.restore(checkpoint))
+                        & set(self.workers))
+        self.master.runtime.start()
+        deadline = time.monotonic() + await_workers
+        while time.monotonic() < deadline:
+            if expected <= set(self.master.worker_ids):
+                break
+            time.sleep(self.recovery.await_poll)
+        self.master.deploy()
+        self._await_deployment()
+        self.master.start()
+        imported = self.master.import_retention()
+        self.master.checkpoint()
+        return imported
+
+    def partition_link(self, sender_id: str, target_id: str) -> None:
+        """Sever a directed link (requires a chaos-capable fabric)."""
+        partition = getattr(self.fabric, "partition", None)
+        if partition is None:
+            raise RuntimeStateError(
+                "fabric %r cannot partition links; wrap it in a ChaosFabric"
+                % type(self.fabric).__name__)
+        partition(sender_id, target_id)
+
+    def heal_link(self, sender_id: str, target_id: str) -> None:
+        heal = getattr(self.fabric, "heal", None)
+        if heal is None:
+            raise RuntimeStateError(
+                "fabric %r cannot heal links; wrap it in a ChaosFabric"
+                % type(self.fabric).__name__)
+        heal(sender_id, target_id)
+
     # -- churn (used by the chaos harness) ---------------------------------
     def crash_worker(self, worker_id: str) -> None:
         """Kill *worker_id* without any goodbye (silent crash).
@@ -169,10 +272,12 @@ class SwingRuntime:
         self.fabric.unregister(worker_id)
         worker.stop()
 
-    def drain_worker(self, worker_id: str, quiet: float = 0.25,
+    def drain_worker(self, worker_id: str, quiet: Optional[float] = None,
                      timeout: float = 10.0) -> float:
         """Gracefully drain *worker_id* (LEAVING protocol); returns the
         measured drain duration in seconds."""
+        if quiet is None:
+            quiet = self.recovery.drain_quiet
         worker = self.workers.pop(worker_id, None)
         if worker is None:
             raise RuntimeStateError("unknown worker %r" % worker_id)
@@ -226,7 +331,7 @@ class SwingRuntime:
                 last_change = now
             elif count > 0 and now - last_change >= until_idle:
                 break
-            time.sleep(0.02)
+            time.sleep(self.recovery.run_poll)
         self.stop()
         results = list(sink.results)
         if not reorder:
@@ -274,7 +379,8 @@ class MultiTenantRuntime:
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  trace: Optional[TraceSink] = None,
-                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None,
+                 recovery: Optional[RecoveryConfig] = None
                  ) -> None:
         if not pipelines:
             raise RuntimeStateError("need at least one tenant pipeline")
@@ -290,6 +396,7 @@ class MultiTenantRuntime:
             raise RuntimeStateError("duplicate tenant id in pipelines")
         self.overload = overload
         self.delivery = delivery
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
         self.source_rate = source_rate
         # Top-level entry point: one shared registry for the whole pool.
         self.registry = (registry if registry is not None
@@ -304,7 +411,8 @@ class MultiTenantRuntime:
                              policy=policy, source_rate=source_rate,
                              seed=seed, control_interval=control_interval,
                              overload=overload, registry=self.registry,
-                             trace=self.tracer, delivery=delivery)
+                             trace=self.tracer, delivery=delivery,
+                             recovery=self.recovery)
         self.sessions: Dict[str, DeploymentSession] = {}
         for spec, graph in pipelines:
             deployment = multitenant_mod.PipelineDeployment(spec=spec)
@@ -321,7 +429,7 @@ class MultiTenantRuntime:
                 slowdown=self._slowdowns.get(worker_id, 0.0), seed=seed,
                 control_interval=control_interval, overload=overload,
                 registry=self.registry, trace=self.tracer,
-                delivery=delivery)
+                delivery=delivery, recovery=self.recovery)
             for spec, graph in pipelines:
                 worker.register_pipeline(spec.tenant_id, graph)
                 if spec.input_rate is not None:
@@ -358,17 +466,21 @@ class MultiTenantRuntime:
             self.sessions[tenant_id].start()
         self._running = True
 
-    def _await_membership(self, timeout: float = 5.0) -> None:
+    def _await_membership(self, timeout: Optional[float] = None) -> None:
+        if timeout is None:
+            timeout = self.recovery.await_timeout
         deadline = time.monotonic() + timeout
         expected = set(self.workers)
         while time.monotonic() < deadline:
             if expected <= set(self.master.worker_ids):
                 return
-            time.sleep(0.005)
+            time.sleep(self.recovery.await_poll)
         missing = expected - set(self.master.worker_ids)
         raise DeploymentError("workers never joined: %r" % sorted(missing))
 
-    def _await_deployment(self, timeout: float = 5.0) -> None:
+    def _await_deployment(self, timeout: Optional[float] = None) -> None:
+        if timeout is None:
+            timeout = self.recovery.await_timeout
         deadline = time.monotonic() + timeout
         runtimes = [self.master.runtime] + list(self.workers.values())
         for runtime in runtimes:

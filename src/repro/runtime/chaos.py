@@ -1,15 +1,28 @@
-"""Churn harness: replay a :class:`ChurnSchedule` against a live swarm.
+"""Chaos tooling: link-level fault injection + the churn harness.
 
-The simulator consumes a churn schedule by scheduling engine callbacks;
-this is the threaded-runtime equivalent — the same seeded schedule, the
-same event vocabulary, applied to a running :class:`SwingRuntime` in
-wall-clock time:
+Two layers share this module:
 
-- ``kill``   → :meth:`SwingRuntime.crash_worker` (silent crash: fabric
-  endpoint torn down, no goodbye)
-- ``leave``  → :meth:`SwingRuntime.drain_worker` (LEAVING protocol:
-  finish the queue, depart without loss)
-- ``join`` / ``rejoin`` → :meth:`SwingRuntime.spawn_worker`
+:class:`ChaosFabric`
+    A wrapper over any :class:`~repro.runtime.fabric.Fabric` that
+    injects seeded drop / delay / duplicate / corrupt / partition
+    faults per *directed* link.  Determinism matters more than realism
+    here: each link owns a private RNG seeded from a CRC of its
+    ``sender>target`` name (never ``hash()``, which moves under
+    ``PYTHONHASHSEED``), so a seed reproduces the same fault story
+    regardless of thread interleaving on other links.
+
+:class:`ChurnHarness`
+    Replays a :class:`ChurnSchedule` against a live
+    :class:`SwingRuntime` — the threaded-runtime twin of the
+    simulator's churn consumption, extended with control-plane events:
+
+    - ``kill``   → :meth:`SwingRuntime.crash_worker` (silent crash)
+    - ``leave``  → :meth:`SwingRuntime.drain_worker` (LEAVING drain)
+    - ``join`` / ``rejoin`` → :meth:`SwingRuntime.spawn_worker`
+    - ``kill_master``    → :meth:`SwingRuntime.crash_master`
+    - ``restart_master`` → :meth:`SwingRuntime.restart_master`
+    - ``partition`` / ``heal`` → sever / restore an ``a>b`` link
+      (requires the runtime's fabric to be a :class:`ChaosFabric`)
 
 Because both substrates consume the schedule identically, a seeded
 churn trace produces the same membership timeline in simulation and on
@@ -18,13 +31,220 @@ the live runtime — the parity the churn integration tests assert.
 
 from __future__ import annotations
 
+import random
+import threading
 import time
-from typing import Dict, List, Optional, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.delivery import (CHURN_JOIN, CHURN_KILL, CHURN_LEAVE,
-                                 CHURN_REJOIN, ChurnEvent, ChurnSchedule)
-from repro.core.exceptions import RuntimeStateError
+from repro import metrics as metrics_mod
+from repro.core.delivery import (CHURN_HEAL, CHURN_JOIN, CHURN_KILL,
+                                 CHURN_KILL_MASTER, CHURN_LEAVE,
+                                 CHURN_PARTITION, CHURN_REJOIN,
+                                 CHURN_RESTART_MASTER, ChurnEvent,
+                                 ChurnSchedule)
+from repro.core.exceptions import RuntimeStateError, SerializationError
 from repro.runtime.app_runner import SwingRuntime
+from repro.runtime.channels import ChannelClosed
+from repro.runtime.fabric import Fabric, Mailbox
+from repro.runtime.messages import Message
+
+
+@dataclass(frozen=True)
+class LinkChaos:
+    """Fault probabilities of one directed link (all default to off).
+
+    ``drop`` / ``duplicate`` / ``corrupt`` / ``delay`` are independent
+    per-send probabilities; ``delay_seconds`` is how long a delayed
+    frame is held before delivery.  A corrupted frame has one random
+    bit flipped in its encoding — when the hardened codec rejects the
+    mangled frame it is lost at the transport (counted), otherwise the
+    mangled-but-decodable message is delivered as-is.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise RuntimeStateError("%s must be a probability" % name)
+        if self.delay_seconds < 0:
+            raise RuntimeStateError("delay_seconds must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop or self.duplicate or self.corrupt
+                    or self.delay)
+
+
+class ChaosFabric(Fabric):
+    """Deterministic link-fault injection over any inner fabric.
+
+    Faults are configured per directed link (:meth:`set_link`) on top
+    of an optional default applied to every link; partitions are
+    imposed and lifted at runtime (:meth:`partition` / :meth:`heal`).
+    Injected losses are counted into
+    ``swing_frames_dropped_total{reason=chaos_*, link=...}`` — chaos is
+    observable, never silent — and non-loss injections (duplicates,
+    delays) are tallied in :attr:`injected`.
+    """
+
+    def __init__(self, inner: Fabric, seed: int = 0,
+                 default: Optional[LinkChaos] = None,
+                 registry: Optional[metrics_mod.MetricsRegistry] = None
+                 ) -> None:
+        self.inner = inner
+        self.seed = seed
+        self._default = default if default is not None else LinkChaos()
+        # Internal component: uninjected -> private registry, never the
+        # process-wide default (cross-instance pollution).
+        self._registry = (registry if registry is not None
+                          else metrics_mod.MetricsRegistry())
+        self._lock = threading.Lock()
+        self._links: Dict[Tuple[str, str], LinkChaos] = {}
+        self._rngs: Dict[Tuple[str, str], random.Random] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
+        #: injected-event tallies keyed by (reason, "sender>target")
+        self.injected: Dict[Tuple[str, str], int] = {}
+        self._timers: List[threading.Timer] = []
+
+    # -- configuration ---------------------------------------------------
+    def set_link(self, sender_id: str, target_id: str,
+                 chaos: LinkChaos) -> None:
+        """Override the fault profile of one directed link."""
+        with self._lock:
+            self._links[(sender_id, target_id)] = chaos
+
+    def partition(self, sender_id: str, target_id: str,
+                  symmetric: bool = True) -> None:
+        """Sever a link: sends raise :class:`ChannelClosed` until healed."""
+        with self._lock:
+            self._partitioned.add((sender_id, target_id))
+            if symmetric:
+                self._partitioned.add((target_id, sender_id))
+
+    def heal(self, sender_id: str, target_id: str,
+             symmetric: bool = True) -> None:
+        with self._lock:
+            self._partitioned.discard((sender_id, target_id))
+            if symmetric:
+                self._partitioned.discard((target_id, sender_id))
+
+    def partitioned_links(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return sorted(self._partitioned)
+
+    # -- fabric API ------------------------------------------------------
+    def register(self, endpoint_id: str) -> Mailbox:
+        return self.inner.register(endpoint_id)
+
+    def unregister(self, endpoint_id: str) -> None:
+        self.inner.unregister(endpoint_id)
+
+    def close(self) -> None:
+        with self._lock:
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        self.inner.close()
+
+    def send(self, sender_id: str, target_id: str, message: Message) -> None:
+        link = (sender_id, target_id)
+        with self._lock:
+            severed = link in self._partitioned
+            chaos = self._links.get(link, self._default)
+            rng = (self._rng_locked(link)
+                   if chaos.active and not severed else None)
+            rolls = {}
+            if rng is not None:
+                # One locked pass draws every roll, so concurrent sends
+                # on other links cannot perturb this link's fault story.
+                for name in ("drop", "duplicate", "corrupt", "delay"):
+                    probability = getattr(chaos, name)
+                    rolls[name] = (probability > 0.0
+                                   and rng.random() < probability)
+                if rolls.get("corrupt"):
+                    rolls["corrupt_at"] = rng.randrange(1 << 30)
+        if severed:
+            self._count_loss("chaos_partition", link)
+            raise ChannelClosed("link %s>%s partitioned" % link)
+        if not rolls:
+            self.inner.send(sender_id, target_id, message)
+            return
+        if rolls.get("drop"):
+            self._count_loss("chaos_drop", link)
+            return  # silent loss: the sender believes it went out
+        if rolls.get("corrupt"):
+            message = self._corrupt(message, rolls["corrupt_at"])
+            if message is None:
+                self._count_loss("chaos_corrupt", link)
+                return  # the codec rejected the mangled frame
+            self._count_injection("chaos_corrupt", link)
+        if rolls.get("delay"):
+            self._count_injection("chaos_delay", link)
+            timer = threading.Timer(
+                chaos.delay_seconds, self._deliver_late,
+                args=(sender_id, target_id, message))
+            timer.daemon = True
+            with self._lock:
+                self._timers = [t for t in self._timers if t.is_alive()]
+                self._timers.append(timer)
+            timer.start()
+            return
+        self.inner.send(sender_id, target_id, message)
+        if rolls.get("duplicate"):
+            self._count_injection("chaos_duplicate", link)
+            try:
+                self.inner.send(sender_id, target_id, message)
+            except ChannelClosed:
+                pass  # the duplicate raced an endpoint teardown
+
+    # -- internals -------------------------------------------------------
+    def _rng_locked(self, link: Tuple[str, str]) -> random.Random:
+        rng = self._rngs.get(link)
+        if rng is None:
+            # CRC-derived, not hash(): stable across processes and
+            # PYTHONHASHSEED, so one seed = one reproducible story.
+            rng = random.Random(
+                zlib.crc32(("%s>%s" % link).encode("utf-8")) ^ self.seed)
+            self._rngs[link] = rng
+        return rng
+
+    @staticmethod
+    def _corrupt(message: Message, entropy: int) -> Optional[Message]:
+        frame = bytearray(message.encode())
+        if not frame:
+            return None
+        index = entropy % len(frame)
+        frame[index] ^= 1 << ((entropy >> 8) % 8)
+        try:
+            return Message.decode(bytes(frame))
+        except SerializationError:
+            return None
+
+    def _deliver_late(self, sender_id: str, target_id: str,
+                      message: Message) -> None:
+        try:
+            self.inner.send(sender_id, target_id, message)
+        except Exception:
+            pass  # the target vanished while the frame was in flight
+
+    def _count_loss(self, reason: str, link: Tuple[str, str]) -> None:
+        self._registry.increment(metrics_mod.DROPPED_TOTAL, reason=reason,
+                                 link="%s>%s" % link)
+        self._count_injection(reason, link)
+
+    def _count_injection(self, reason: str, link: Tuple[str, str]) -> None:
+        key = (reason, "%s>%s" % link)
+        with self._lock:
+            self.injected[key] = self.injected.get(key, 0) + 1
 
 
 class ChurnHarness:
@@ -70,5 +290,20 @@ class ChurnHarness:
             self.drain_seconds[event.device_id] = elapsed
         elif event.action in (CHURN_JOIN, CHURN_REJOIN):
             self.runtime.spawn_worker(event.device_id)
+        elif event.action == CHURN_KILL_MASTER:
+            self.runtime.crash_master()
+        elif event.action == CHURN_RESTART_MASTER:
+            self.runtime.restart_master()
+        elif event.action in (CHURN_PARTITION, CHURN_HEAL):
+            # The device id names a directed link, "sender>target".
+            sender_id, sep, target_id = event.device_id.partition(">")
+            if not sep or not sender_id or not target_id:
+                raise RuntimeStateError(
+                    "%s event needs a 'sender>target' link id, got %r"
+                    % (event.action, event.device_id))
+            if event.action == CHURN_PARTITION:
+                self.runtime.partition_link(sender_id, target_id)
+            else:
+                self.runtime.heal_link(sender_id, target_id)
         else:  # pragma: no cover - ChurnEvent validates actions
             raise RuntimeStateError("unknown churn action %r" % event.action)

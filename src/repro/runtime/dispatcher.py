@@ -177,6 +177,26 @@ class UpstreamDispatcher:
             self._downstreams.pop(instance, None)
         self.controller.remove_downstream(instance)
 
+    def revive_worker(self, worker_id: str) -> None:
+        """Revive every downstream instance hosted on *worker_id*.
+
+        Called when a successor master re-hosts its instances after a
+        failover: the crash dead-marked them, and an edge whose only
+        downstreams live on the master can never probe its way back
+        (no live member → no sends → no resurrecting ACK).  Clears the
+        dead-marks and the send-failure backoff so retained frames
+        redeliver on the next replay sweep.
+        """
+        if self._health is not None:
+            self._health.forget(worker_id)
+        with self._lock:
+            instances = [instance
+                         for instance, (_unit, hosted_on)
+                         in self._downstreams.items()
+                         if hosted_on == worker_id]
+        for instance in instances:
+            self.controller.revive_downstream(instance)
+
     def downstream_instances(self):
         with self._lock:
             return sorted(self._downstreams)

@@ -219,6 +219,11 @@ class Fabric:
     def register(self, endpoint_id: str) -> Mailbox:
         raise NotImplementedError
 
+    def unregister(self, endpoint_id: str) -> None:
+        """Free an endpoint registration so a successor can reclaim the
+        ID (a crashed master's endpoint must not squat forever).  The
+        default is a no-op for transports without a shared directory."""
+
     def send(self, sender_id: str, target_id: str, message: Message) -> None:
         raise NotImplementedError
 

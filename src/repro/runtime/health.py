@@ -40,6 +40,10 @@ class PeerHealth:
     last_failure: Optional[float] = None
     backoff: float = 0.0
     dead: bool = False
+    #: when the monitor first saw this peer; the timeout clock starts
+    #: here, so a peer that never produces a positive signal still ages
+    #: out instead of lingering forever
+    first_seen: float = 0.0
 
     def ack_age(self, now: float) -> Optional[float]:
         """Seconds since the last positive signal; None before the first."""
@@ -85,7 +89,7 @@ class HealthMonitor:
     def _peer(self, peer_id: str) -> PeerHealth:
         peer = self._peers.get(peer_id)
         if peer is None:
-            peer = PeerHealth(peer_id=peer_id)
+            peer = PeerHealth(peer_id=peer_id, first_seen=self._clock())
             self._peers[peer_id] = peer
         return peer
 
@@ -200,9 +204,15 @@ class HealthMonitor:
         newly_dead = []
         with self._lock:
             for peer in self._peers.values():
-                if peer.dead or peer.last_success is None:
+                if peer.dead:
                     continue
-                if now - peer.last_success > self.timeout:
+                # A registered peer with no positive signal yet is still
+                # on the clock from first sight — silent-from-birth
+                # workers must age out like any other.
+                reference = (peer.last_success
+                             if peer.last_success is not None
+                             else peer.first_seen)
+                if now - reference > self.timeout:
                     peer.dead = True
                     newly_dead.append(peer.peer_id)
         for peer_id in newly_dead:
@@ -220,5 +230,6 @@ class HealthMonitor:
                         last_success=peer.last_success,
                         last_failure=peer.last_failure,
                         backoff=peer.backoff,
-                        dead=peer.dead)
+                        dead=peer.dead,
+                        first_seen=peer.first_seen)
                     for peer_id, peer in self._peers.items()}

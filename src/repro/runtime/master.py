@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
@@ -36,12 +36,15 @@ from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
 from repro.core.exceptions import DeploymentError
 from repro.core.graph import AppGraph
+from repro.core.recovery import (CheckpointManager, CheckpointStore,
+                                 ControlPlaneCheckpoint, RecoveryConfig,
+                                 SessionState, retention_entries)
 from repro.runtime import messages
 from repro.runtime.dispatcher import instance_id
 from repro.runtime.fabric import Fabric
 from repro.runtime.health import HealthMonitor
 from repro.runtime.worker import WorkerRuntime
-from repro.trace import TraceSink
+from repro.trace import NULL_TRACER, RECOVERY, Span, TraceSink
 
 
 @dataclass
@@ -106,13 +109,26 @@ class SwarmPool:
 
     def __init__(self, master_id: str, fabric: Fabric,
                  heartbeat_timeout: float = 0.0,
-                 registry: Optional[metrics_mod.MetricsRegistry] = None
+                 registry: Optional[metrics_mod.MetricsRegistry] = None,
+                 epoch: int = 0,
+                 detector_interval: Optional[float] = None
                  ) -> None:
         if heartbeat_timeout < 0:
             raise DeploymentError("heartbeat timeout must be >= 0")
+        if epoch < 0:
+            raise DeploymentError("epoch must be >= 0")
         self.master_id = master_id
         self.fabric = fabric
         self.heartbeat_timeout = heartbeat_timeout
+        #: this master incarnation's fencing epoch; 0 = never recovered,
+        #: where every control frame stays byte-identical to history
+        self.epoch = epoch
+        self._detector_interval = detector_interval
+        #: per-worker hosted-unit inventory from re-registration JOINs
+        self.inventory: Dict[str, List[str]] = {}
+        #: called (outside the pool lock) after any membership change;
+        #: the master hangs its on-mutation checkpoint write here
+        self.on_mutation: Optional[Callable[[], None]] = None
         #: reentrant: a membership event holds the lock while it calls
         #: back into every session, and sessions call pool helpers
         self.lock = threading.RLock()
@@ -146,9 +162,19 @@ class SwarmPool:
     # -- membership --------------------------------------------------------
     def handle_control(self, sender_id: str,
                        message: messages.Message) -> None:
+        epoch = message.payload.get("epoch", 0)
+        if isinstance(epoch, int) and epoch > self.epoch:
+            # Zombie step-aside: this worker already follows a NEWER
+            # master incarnation, so a stale survivor of an old epoch
+            # must not record (or act on) its control traffic.
+            self.registry.increment(metrics_mod.FENCED_TOTAL,
+                                    device=self.master_id,
+                                    kind=message.kind)
+            return
         if message.kind == messages.JOIN:
             self.health.record_heartbeat(message.payload["worker_id"])
-            self.handle_join(message.payload["worker_id"])
+            self.handle_join(message.payload["worker_id"],
+                             units=message.payload.get("units"))
         elif message.kind == messages.LEAVE:
             self.handle_leave(message.payload["worker_id"])
         elif message.kind == messages.LEAVING:
@@ -156,20 +182,45 @@ class SwarmPool:
             # NOW, while it keeps running until its queue is empty.
             self.handle_leave(message.payload["worker_id"])
         elif message.kind == messages.HEARTBEAT:
-            self.health.record_heartbeat(message.payload["worker_id"])
+            worker_id = message.payload["worker_id"]
+            self.health.record_heartbeat(worker_id)
+            if self.epoch > 0 and worker_id not in self.worker_ids:
+                # A recovered master hears a survivor it has not
+                # re-admitted yet: announce the new epoch so the worker
+                # re-registers with its inventory.  Absent at epoch 0,
+                # so the steady-state heartbeat path sends no replies.
+                try:
+                    self.fabric.send(
+                        self.master_id, worker_id,
+                        messages.welcome_message(worker_id,
+                                                 epoch=self.epoch))
+                except Exception:
+                    pass
 
     def _detect_failures(self) -> None:
         """Evict workers whose heartbeats stopped (broken link / crash)."""
+        interval = (self._detector_interval
+                    if self._detector_interval is not None
+                    else self.heartbeat_timeout / 2.0)
         while self._detector_running.is_set():
-            time.sleep(self.heartbeat_timeout / 2.0)
+            time.sleep(interval)
             members = set(self.worker_ids)
             for worker_id in self.health.check_timeouts():
                 if worker_id in members:
                     self.handle_leave(worker_id)
 
-    def handle_join(self, worker_id: str) -> None:
-        """Involve a new device as soon as it connects (Sec. IV-C)."""
+    def handle_join(self, worker_id: str,
+                    units: Optional[Sequence[str]] = None) -> None:
+        """Involve a new device as soon as it connects (Sec. IV-C).
+
+        A re-registration after a master recovery carries the worker's
+        hosted-unit inventory in *units*; it is recorded either way so
+        the recovered master can reconcile checkpoint state against
+        what survivors actually still host.
+        """
         with self.lock:
+            if units is not None:
+                self.inventory[worker_id] = list(units)
             if self._stopped or worker_id in self._workers:
                 return
             # A rejoin starts from a clean slate: stale failure history
@@ -182,6 +233,7 @@ class SwarmPool:
             self._workers.append(worker_id)
             for session in self._sessions:
                 session.on_join(worker_id)
+        self._notify_mutation()
 
     def handle_leave(self, worker_id: str) -> None:
         """Remove a departed device's instances from all routing tables.
@@ -198,8 +250,17 @@ class SwarmPool:
                 return
             if worker_id in self._workers:
                 self._workers.remove(worker_id)
+            self.inventory.pop(worker_id, None)
             for session in self._sessions:
                 session.on_leave(worker_id)
+        self._notify_mutation()
+
+    def _notify_mutation(self) -> None:
+        if self.on_mutation is not None:
+            try:
+                self.on_mutation()
+            except Exception:
+                pass  # a failed checkpoint write must not break control
 
     def admit(self, worker_ids: Sequence[str]) -> None:
         """Add workers to the pool without the JOIN protocol (an
@@ -264,7 +325,8 @@ class DeploymentSession:
         if self.started:
             self.pool.fabric.send(
                 self.pool.master_id, worker_id,
-                messages.start_message(tenant=self.tenant_id))
+                messages.start_message(tenant=self.tenant_id,
+                                       epoch=self.pool.epoch))
 
     def on_leave(self, worker_id: str) -> None:
         if self.placement is None:
@@ -297,7 +359,8 @@ class DeploymentSession:
         self.pool.fabric.send(
             self.pool.master_id, worker_id,
             messages.deploy_message(worker_id, unit_names, downstream_map,
-                                    tenant=self.tenant_id))
+                                    tenant=self.tenant_id,
+                                    epoch=self.pool.epoch))
 
     def _refresh_upstreams(self) -> None:
         """Re-send DEPLOY everywhere so routing tables reflect membership.
@@ -323,7 +386,8 @@ class DeploymentSession:
             for worker_id in self.pool.members():
                 self.pool.fabric.send(
                     self.pool.master_id, worker_id,
-                    messages.start_message(tenant=self.tenant_id))
+                    messages.start_message(tenant=self.tenant_id,
+                                           epoch=self.pool.epoch))
 
     def stop(self) -> None:
         """Halt this tenant's sources; other tenants keep running.
@@ -340,7 +404,8 @@ class DeploymentSession:
                 try:
                     self.pool.fabric.send(
                         self.pool.master_id, worker_id,
-                        messages.stop_message(tenant=self.tenant_id))
+                        messages.stop_message(tenant=self.tenant_id,
+                                              epoch=self.pool.epoch))
                 except Exception:
                     continue
 
@@ -362,7 +427,10 @@ class Master:
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  trace: Optional[TraceSink] = None,
-                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None,
+                 recovery: Optional[RecoveryConfig] = None,
+                 checkpoint_store: Optional[CheckpointStore] = None,
+                 epoch: int = 0
                  ) -> None:
         graph.validate()
         self.master_id = master_id
@@ -370,6 +438,8 @@ class Master:
         self.graph = graph
         self.policy = policy
         self.heartbeat_timeout = heartbeat_timeout
+        self.trace = trace if trace is not None else NULL_TRACER
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
         # Top-level entry point: when the caller injects no registry,
         # create ONE private registry here and thread it through the
         # pool, the health monitor and the co-located worker runtime, so
@@ -378,16 +448,47 @@ class Master:
                          else metrics_mod.MetricsRegistry())
         self.pool = SwarmPool(master_id, fabric,
                               heartbeat_timeout=heartbeat_timeout,
-                              registry=self.registry)
+                              registry=self.registry, epoch=epoch,
+                              detector_interval=self.recovery
+                              .detector_interval)
         self.health = self.pool.health
+        #: optional crash-recovery checkpointing; None = historical
+        #: unrecoverable master (nothing written, nothing to restore)
+        self.checkpoints = (CheckpointManager(self._capture_checkpoint,
+                                              checkpoint_store,
+                                              config=self.recovery,
+                                              registry=self.registry)
+                            if checkpoint_store is not None else None)
+        if self.checkpoints is not None:
+            self.pool.on_mutation = self.checkpoints.mutation
         self.runtime = WorkerRuntime(
             master_id, fabric, graph, policy=policy, source_rate=source_rate,
             seed=seed, control_interval=control_interval,
-            control_handler=self.pool.handle_control,
+            control_handler=self._handle_control,
             overload=overload, registry=self.registry, trace=trace,
-            delivery=delivery)
+            delivery=delivery, recovery=self.recovery)
         self.session = DeploymentSession(self.pool, graph, tenant_id="")
         self._tenant_sessions: Dict[str, DeploymentSession] = {}
+        #: checkpointed retention staged by restore(), imported into the
+        #: runtime's dispatchers once the new deployment exists
+        self._staged_retention: Tuple = ()
+        self._crashed = False
+
+    @property
+    def epoch(self) -> int:
+        return self.pool.epoch
+
+    def _handle_control(self, sender_id: str,
+                        message: messages.Message) -> None:
+        """Pool control handling plus piggybacked periodic checkpoints.
+
+        Heartbeats arrive every interval from every worker, so hanging
+        ``maybe_checkpoint`` here gives the periodic path a clock
+        without a dedicated timer thread.
+        """
+        self.pool.handle_control(sender_id, message)
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_checkpoint()
 
     # -- multi-tenancy -----------------------------------------------------
     def add_pipeline(self,
@@ -459,6 +560,102 @@ class Master:
             for worker_id in self.pool.worker_ids:
                 try:
                     self.fabric.send(self.master_id, worker_id,
-                                     messages.stop_message())
+                                     messages.stop_message(
+                                         epoch=self.pool.epoch))
                 except Exception:
                     continue
+
+    # -- crash recovery ----------------------------------------------------
+    def _capture_checkpoint(self) -> ControlPlaneCheckpoint:
+        """Snapshot everything a successor needs (checkpoint writer)."""
+        with self.pool.lock:
+            workers = tuple(self.pool.worker_ids)
+            sessions = []
+            for session in [self.session] \
+                    + sorted(self._tenant_sessions.values(),
+                             key=lambda s: s.tenant_id):
+                if session.placement is None:
+                    continue
+                assignments = tuple(sorted(
+                    (unit, tuple(hosts))
+                    for unit, hosts in session.placement.assignments.items()))
+                sessions.append(SessionState(tenant=session.tenant_id,
+                                             started=session.started,
+                                             assignments=assignments))
+        retention = tuple(
+            (edge, retention_entries(items))
+            for edge, items in sorted(self.runtime.export_retention()
+                                      .items()))
+        return ControlPlaneCheckpoint(
+            epoch=self.pool.epoch, workers=workers, sessions=tuple(sessions),
+            retention=retention,
+            dedup=tuple((edge, seq)
+                        for edge, seq in self.runtime.dedup_snapshot()))
+
+    def checkpoint(self) -> None:
+        """Write one checkpoint now (no-op without a store)."""
+        if self.checkpoints is not None:
+            self.checkpoints.write()
+
+    def crash(self) -> None:
+        """Abrupt master death for failover testing: no STOP broadcast.
+
+        Halts the control plane and the co-located runtime, writes one
+        final checkpoint (standing in for a per-dispatch write-ahead
+        log — see DESIGN.md §12), and frees the fabric endpoint so a
+        successor can register it.  Workers learn of the death only
+        through silence: their units, dispatchers and buffered ACKs all
+        stay live.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.pool.stop()
+        self.runtime.stop()
+        if self.checkpoints is not None:
+            self.checkpoints.write()
+        try:
+            self.fabric.unregister(self.master_id)
+        except Exception:
+            pass
+
+    def restore(self, checkpoint: ControlPlaneCheckpoint) -> Tuple[str, ...]:
+        """Adopt a predecessor's checkpoint (call before deploy/start).
+
+        Seeds the co-located sink's dedup window (so redelivered
+        retention is absorbed, not double-counted), stages the
+        checkpointed replay retention for :meth:`import_retention`, and
+        counts ``swing_master_recoveries_total``.  Returns the
+        checkpointed worker set so callers can await re-registration
+        before computing a placement.
+        """
+        if self.pool.epoch <= checkpoint.epoch:
+            raise DeploymentError(
+                "recovered master must run a newer epoch than its "
+                "checkpoint (have %d, checkpoint %d)"
+                % (self.pool.epoch, checkpoint.epoch))
+        self.runtime.restore_dedup(checkpoint.dedup)
+        self._staged_retention = checkpoint.retention
+        self.registry.increment(metrics_mod.MASTER_RECOVERIES_TOTAL,
+                                device=self.master_id)
+        if self.trace.enabled:
+            now = time.monotonic()
+            self.trace.emit(Span(RECOVERY, 0, now, now,
+                                 device_id=self.master_id,
+                                 hop="master:%s" % self.master_id,
+                                 detail="epoch=%d" % self.pool.epoch))
+        return checkpoint.workers
+
+    def import_retention(self) -> int:
+        """Re-retain staged checkpoint retention (call after deploy).
+
+        The runtime's edge dispatchers only exist once the new
+        deployment's DEPLOY has been processed, so the import is a
+        separate step; entries land unassigned and the next control
+        sweep redelivers them.  Returns the number imported.
+        """
+        count = 0
+        for edge, entries in self._staged_retention:
+            count += self.runtime.import_retention(edge, entries)
+        self._staged_retention = ()
+        return count

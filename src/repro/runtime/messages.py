@@ -53,23 +53,41 @@ class Message:
         return cls(kind=decoded["kind"], payload=decoded.get("payload", {}))
 
 
-def join_message(worker_id: str) -> Message:
-    return Message(JOIN, {"worker_id": worker_id})
+def join_message(worker_id: str, units: list = (),
+                 epoch: int = 0) -> Message:
+    """Worker registration, optionally carrying its hosted inventory.
+
+    A re-registration after a master recovery lists the worker's
+    ``(tenant:unit)`` keys in *units* and echoes the *epoch* it adopted,
+    so the recovered master can reconcile its checkpoint against live
+    state.  Both fields stay absent on a fresh join (byte-identity).
+    """
+    message = Message(JOIN, {"worker_id": worker_id})
+    if units:
+        message.payload["units"] = list(units)
+    if epoch:
+        message.payload["epoch"] = epoch
+    return message
 
 
-def welcome_message(worker_id: str) -> Message:
-    return Message(WELCOME, {"worker_id": worker_id})
+def welcome_message(worker_id: str, epoch: int = 0) -> Message:
+    message = Message(WELCOME, {"worker_id": worker_id})
+    if epoch:
+        message.payload["epoch"] = epoch
+    return message
 
 
 def deploy_message(worker_id: str, unit_names: list,
                    downstream_map: Dict[str, list],
-                   tenant: str = "") -> Message:
+                   tenant: str = "", epoch: int = 0) -> Message:
     """Assign *unit_names* to a worker and describe its downstream peers.
 
     ``downstream_map`` maps each assigned unit name to the list of
     (unit, worker) instance IDs it must route results to.  A non-default
     *tenant* scopes the deployment: the receiving worker reconciles only
     that tenant's units, leaving other tenants' assignments untouched.
+    A non-zero *epoch* fences the deployment: workers reject it when
+    they have already adopted a newer master incarnation.
     """
     message = Message(DEPLOY, {
         "worker_id": worker_id,
@@ -79,20 +97,26 @@ def deploy_message(worker_id: str, unit_names: list,
     })
     if tenant:
         message.payload["tenant"] = tenant
+    if epoch:
+        message.payload["epoch"] = epoch
     return message
 
 
-def start_message(tenant: str = "") -> Message:
+def start_message(tenant: str = "", epoch: int = 0) -> Message:
     message = Message(START)
     if tenant:
         message.payload["tenant"] = tenant
+    if epoch:
+        message.payload["epoch"] = epoch
     return message
 
 
-def stop_message(tenant: str = "") -> Message:
+def stop_message(tenant: str = "", epoch: int = 0) -> Message:
     message = Message(STOP)
     if tenant:
         message.payload["tenant"] = tenant
+    if epoch:
+        message.payload["epoch"] = epoch
     return message
 
 
@@ -123,23 +147,36 @@ def batch_message(unit_name: str, frame: bytes, seqs: list,
     return message
 
 
-def ack_message(seq: int, sent_at: float, processing_delay: float) -> Message:
-    """The timestamp echo of paper Sec. V-B, with W_i piggybacked."""
-    return Message(ACK, {"seq": seq, "sent_at": sent_at,
-                         "processing_delay": processing_delay})
+def ack_message(seq: int, sent_at: float, processing_delay: float,
+                epoch: int = 0) -> Message:
+    """The timestamp echo of paper Sec. V-B, with W_i piggybacked.
+
+    A non-zero *epoch* echoes the master incarnation the worker has
+    adopted (absent at epoch 0 so steady-state frames stay
+    byte-identical).  ACKs are never fenced — a late ACK is still a
+    true delivery receipt — the echo only propagates epoch awareness.
+    """
+    message = Message(ACK, {"seq": seq, "sent_at": sent_at,
+                            "processing_delay": processing_delay})
+    if epoch:
+        message.payload["epoch"] = epoch
+    return message
 
 
 def batch_ack_message(seqs: list, sent_at: float,
-                      processing_delay: float) -> Message:
+                      processing_delay: float, epoch: int = 0) -> Message:
     """One timestamp echo acknowledging a whole batch.
 
     ``processing_delay`` is the mean per-tuple compute time of the
     batch — the W_i estimate a batch contributes, comparable to the
     per-tuple echoes it replaces.
     """
-    return Message(ACK, {"seqs": list(seqs), "seq": seqs[0],
-                         "sent_at": sent_at,
-                         "processing_delay": processing_delay})
+    message = Message(ACK, {"seqs": list(seqs), "seq": seqs[0],
+                            "sent_at": sent_at,
+                            "processing_delay": processing_delay})
+    if epoch:
+        message.payload["epoch"] = epoch
+    return message
 
 
 def leave_message(worker_id: str) -> Message:

@@ -257,7 +257,11 @@ def _decode_from(reader: _Reader, depth: int) -> Any:
         result = {}
         for _ in range(count):
             key = _decode_from(reader, depth + 1)
-            result[key] = _decode_from(reader, depth + 1)
+            value = _decode_from(reader, depth + 1)
+            try:
+                result[key] = value
+            except TypeError as error:  # corrupt frame decoding to dict key
+                raise SerializationError("unhashable dict key") from error
         return result
     if tag == _ORD_NDARRAY:
         return _decode_ndarray(reader)

@@ -26,14 +26,22 @@ from repro.core.exceptions import (DeploymentError, RuntimeStateError,
                                    SerializationError)
 from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
 from repro.core.graph import AppGraph
+from repro.core.recovery import RecoveryConfig, RetainedEntry
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
-from repro.runtime.dispatcher import UpstreamDispatcher, instance_id
+from repro.runtime.dispatcher import (BatchPayload, UpstreamDispatcher,
+                                      instance_id)
 from repro.runtime.fabric import Fabric, Mailbox
 from repro.runtime.health import HealthMonitor
 from repro.runtime.serialization import decode_batch, decode_tuple
 from repro.trace import (NULL_TRACER, PROCESS, QUEUE_WAIT, SHED, Span,
                          SpanContext, TraceSink)
+
+#: control kinds a worker rejects when stamped with a stale master epoch.
+#: DATA/BATCH are never fenced (a late tuple is still a real tuple) and
+#: neither are ACKs — fencing only protects control-plane mutations.
+_FENCED_KINDS = frozenset({messages.DEPLOY, messages.START, messages.STOP,
+                           messages.WELCOME})
 
 
 class WorkerRuntime:
@@ -51,7 +59,8 @@ class WorkerRuntime:
                  overload: Optional[overload_mod.OverloadConfig] = None,
                  registry: Optional[metrics_mod.MetricsRegistry] = None,
                  trace: Optional[TraceSink] = None,
-                 delivery: Optional[delivery_mod.DeliveryConfig] = None
+                 delivery: Optional[delivery_mod.DeliveryConfig] = None,
+                 recovery: Optional[RecoveryConfig] = None
                  ) -> None:
         if slowdown < 0:
             raise RuntimeStateError("slowdown must be non-negative")
@@ -79,6 +88,11 @@ class WorkerRuntime:
             delivery = policy_config.delivery
         #: delivery-semantics knobs (None = historical best-effort)
         self.delivery = delivery
+        #: recovery/timing knobs (idle tick, drain pacing, epoch fencing)
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
+        #: highest master epoch adopted so far; 0 = never-recovered
+        #: master, where fencing is inert and frames stay byte-identical
+        self._master_epoch = 0
         #: ingress dedup: at-least-once redelivery may hand a worker the
         #: same (edge, seq) twice; the window suppresses the duplicate
         #: before it reaches the unit, so throughput/accuracy counters
@@ -197,16 +211,19 @@ class WorkerRuntime:
         self.fabric.send(self.worker_id, master_id,
                          messages.leaving_message(self.worker_id))
 
-    def leave(self, master_id: str, quiet: float = 0.25,
+    def leave(self, master_id: str, quiet: Optional[float] = None,
               timeout: float = 10.0) -> float:
         """Graceful drain: LEAVING, finish the mailbox, then depart.
 
         Blocks until the mailbox has been empty and no DATA message has
-        been in flight for *quiet* seconds (or *timeout* expires — a
-        drain must terminate even if control chatter keeps trickling
-        in).  Returns the drain duration, which is also observed into
+        been in flight for *quiet* seconds (default: the recovery
+        config's ``drain_quiet``; *timeout* caps it — a drain must
+        terminate even if control chatter keeps trickling in).  Returns
+        the drain duration, which is also observed into
         ``swing_drain_duration_seconds{device=...}``.
         """
+        if quiet is None:
+            quiet = self.recovery.drain_quiet
         self.begin_leave(master_id)
         deadline = time.monotonic() + timeout
         last_busy = time.monotonic()
@@ -218,7 +235,7 @@ class WorkerRuntime:
                 last_busy = time.monotonic()
             elif time.monotonic() - last_busy >= quiet:
                 break
-            time.sleep(0.01)
+            time.sleep(self.recovery.drain_poll)
         elapsed = time.monotonic() - (self._draining_since
                                       or time.monotonic())
         self._registry.observe_histogram(metrics_mod.DRAIN_SECONDS, elapsed,
@@ -231,7 +248,8 @@ class WorkerRuntime:
     def _loop(self) -> None:
         while self._running.is_set():
             try:
-                sender_id, message = self._mailbox.get(timeout=0.05)
+                sender_id, message = self._mailbox.get(
+                    timeout=self.recovery.worker_idle_tick)
             except TimeoutError:
                 # Idle: close any partial batch that has aged past its
                 # flush delay (the ~50 ms mailbox timeout bounds how
@@ -257,7 +275,63 @@ class WorkerRuntime:
             except Exception:
                 pass  # a failed flush send is already health-accounted
 
+    # -- epoch fencing -----------------------------------------------------
+    @property
+    def master_epoch(self) -> int:
+        """Highest master incarnation this worker has adopted."""
+        return self._master_epoch
+
+    def _admit_epoch(self, message: messages.Message) -> bool:
+        """Epoch-fence one incoming message.
+
+        Any message stamped with a *newer* epoch makes the worker adopt
+        that incarnation.  Control-plane mutations (DEPLOY / START /
+        STOP / WELCOME) stamped with an *older* epoch are rejected and
+        counted — a zombie predecessor must never un-deploy or stop a
+        worker that already follows the recovered master.  Unstamped
+        frames are epoch 0, so pre-recovery traffic is unaffected.
+        """
+        epoch = message.payload.get("epoch", 0)
+        if not isinstance(epoch, int) or epoch < 0:
+            epoch = 0
+        if epoch > self._master_epoch:
+            self._master_epoch = epoch
+            return True
+        if epoch < self._master_epoch and message.kind in _FENCED_KINDS:
+            self._registry.increment(metrics_mod.FENCED_TOTAL,
+                                     device=self.worker_id,
+                                     kind=message.kind)
+            return False
+        return True
+
+    def _reregister(self, master_id: str) -> None:
+        """JOIN a recovered master, carrying the hosted-unit inventory.
+
+        The recovered master reconciles this inventory against its
+        checkpoint; the JOIN is idempotent on its side, so retriggered
+        re-registrations (WELCOME per heartbeat until one lands) are
+        harmless.  The successor also re-hosts the predecessor's
+        instances (the sink above all): any edge that dead-marked them
+        during the outage is revived here, because an edge whose every
+        downstream is dead sends nothing — not even probes — and so
+        could never observe the recovery on its own.
+        """
+        for dispatcher in list(self._dispatchers.values()):
+            try:
+                dispatcher.revive_worker(master_id)
+            except Exception:
+                pass  # revival is best-effort; replay sweeps retry
+        try:
+            self.fabric.send(self.worker_id, master_id,
+                             messages.join_message(self.worker_id,
+                                                   units=self.hosted_units(),
+                                                   epoch=self._master_epoch))
+        except Exception:
+            pass  # the next heartbeat's WELCOME reply retriggers this
+
     def _handle(self, sender_id: str, message: messages.Message) -> None:
+        if not self._admit_epoch(message):
+            return
         if message.kind == messages.DEPLOY:
             self._on_deploy(message)
         elif message.kind == messages.DATA:
@@ -286,6 +360,11 @@ class WorkerRuntime:
                 self._running.clear()
                 self._started.clear()
                 self._started_tenants.clear()
+        elif message.kind == messages.WELCOME \
+                and message.payload.get("epoch", 0):
+            # A recovered master is announcing its new incarnation
+            # (adopted above): re-register with our inventory.
+            self._reregister(sender_id)
         elif self._control_handler is not None:
             self._control_handler(sender_id, message)
 
@@ -431,7 +510,8 @@ class WorkerRuntime:
             # upstream releases its replay retention.
             self._count_deduped(tenant)
             ack = messages.ack_message(message.payload["seq"],
-                                       message.payload["sent_at"], 0.0)
+                                       message.payload["sent_at"], 0.0,
+                                       epoch=self._master_epoch)
             ack.payload["edge"] = message.payload.get("edge", "")
             try:
                 self.fabric.send(self.worker_id, sender_id, ack)
@@ -467,7 +547,8 @@ class WorkerRuntime:
                                  tenant=tenant),
                             sampled=sampled)
             ack = messages.ack_message(message.payload["seq"],
-                                       message.payload["sent_at"], 0.0)
+                                       message.payload["sent_at"], 0.0,
+                                       epoch=self._master_epoch)
             ack.payload["edge"] = message.payload.get("edge", "")
             try:
                 self.fabric.send(self.worker_id, sender_id, ack)
@@ -489,7 +570,8 @@ class WorkerRuntime:
         self.processed_by_tenant[tenant] = \
             self.processed_by_tenant.get(tenant, 0) + 1
         ack = messages.ack_message(message.payload["seq"],
-                                   message.payload["sent_at"], elapsed)
+                                   message.payload["sent_at"], elapsed,
+                                   epoch=self._master_epoch)
         ack.payload["edge"] = message.payload.get("edge", "")
         try:
             self.fabric.send(self.worker_id, sender_id, ack)
@@ -563,7 +645,8 @@ class WorkerRuntime:
             busy += elapsed
         seqs = payload.get("seqs") or [data.seq for data in batch]
         ack = messages.batch_ack_message(seqs, sent_at,
-                                         busy / max(1, len(batch)))
+                                         busy / max(1, len(batch)),
+                                         epoch=self._master_epoch)
         ack.payload["edge"] = edge
         try:
             self.fabric.send(self.worker_id, sender_id, ack)
@@ -690,6 +773,56 @@ class WorkerRuntime:
 
     def hosted_units(self) -> List[str]:
         return sorted(self._units)
+
+    # -- control-plane checkpoint hooks ----------------------------------
+    def dedup_snapshot(self) -> List[tuple]:
+        """Ingress-dedup window keys, oldest first (checkpoint input)."""
+        if self._dedup is None:
+            return []
+        return [tuple(key) for key in self._dedup.snapshot()]
+
+    def restore_dedup(self, keys) -> None:
+        """Seed the ingress-dedup window from a checkpoint.
+
+        A restarted master's co-located sink must not double-deliver
+        tuples its predecessor already delivered; restoring the window
+        before data flows again is what makes redelivered retention an
+        absorbed duplicate instead of a double count.
+        """
+        if self._dedup is not None:
+            self._dedup.restore([tuple(key) for key in keys])
+
+    def export_retention(self) -> Dict[str, List[tuple]]:
+        """Per-edge replay-retention export across this runtime's
+        dispatchers (checkpoint input; empty edges omitted)."""
+        exported = {}
+        for edge, dispatcher in list(self._dispatchers.items()):
+            items = dispatcher.controller.export_retention()
+            if items:
+                exported[edge] = items
+        return exported
+
+    def import_retention(self, edge: str,
+                         entries: List[RetainedEntry]) -> int:
+        """Re-retain checkpointed *entries* on *edge*'s dispatcher.
+
+        Each entry lands unassigned; the controller's next sweep
+        redelivers it to a live downstream, whose dedup absorbs any
+        member that was in fact already delivered.  Returns how many
+        entries were imported (0 when the edge is not deployed here).
+        """
+        dispatcher = self._dispatchers.get(edge)
+        if dispatcher is None:
+            return 0
+        items = []
+        for entry in entries:
+            if len(entry.seqs) > 1:
+                context: object = BatchPayload(entry.frame, list(entry.seqs))
+            else:
+                context = entry.frame
+            items.append((entry.seq, entry.attempt, entry.deadline, context,
+                          tuple(entry.seqs)))
+        return dispatcher.controller.import_retention(items)
 
     @property
     def mailbox(self) -> Mailbox:

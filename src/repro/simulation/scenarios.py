@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro import profiles
-from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT, ChurnSchedule,
-                                 DeliveryConfig)
+from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT,
+                                 CHURN_KILL_MASTER, CHURN_RESTART_MASTER,
+                                 ChurnEvent, ChurnSchedule, DeliveryConfig)
 from repro.core.exceptions import SimulationError
 from repro.core.multitenant import TenantSpec
 from repro.core.overload import DROP_OLDEST, OverloadConfig
@@ -299,6 +300,67 @@ def churn(app: str = FACE_APP, policy: str = "LRS",
         workload=workload_for_app(app),
         workers=profiles.worker_profiles(worker_ids),
         source=profiles.device_profile(profiles.SOURCE_ID),
+        policy=policy,
+        duration=duration,
+        seed=seed,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        detection_delay=detection_delay,
+        delivery=delivery,
+        churn=schedule,
+    )
+
+
+def failover(app: str = FACE_APP, policy: str = "LRS",
+             duration: float = 40.0, seed: int = 11,
+             worker_ids: Sequence[str] = ("B", "D", "G", "H"),
+             kill_time: float = 12.0, outage: float = 4.0,
+             at_least_once: bool = True,
+             replay_capacity: int = 1024,
+             dedup_window: int = 4096,
+             max_delivery_attempts: int = 6,
+             settle: float = 10.0,
+             ack_timeout: float = 2.0, dead_after: int = 2,
+             detection_delay: float = 0.25) -> SwarmConfig:
+    """Master failover soak: kill the master mid-run, restart it later.
+
+    At *kill_time* the master dies (source, dispatcher, control loop
+    and sink all freeze — no STOP is broadcast); workers keep draining
+    their backlogs autonomously.  After *outage* seconds the successor
+    master comes up, buffered results flush into its dedup window, and
+    at-least-once replay sweeps whatever is still pending.  With
+    ``at_least_once=True`` the run must finish with zero end-to-end
+    losses and every duplicate absorbed — the recovery guarantee the
+    failover CLI and the integration tests assert on both substrates.
+
+    The outage ends at least *settle* seconds before the run does, so
+    every redelivery has time to land before the run is judged.
+    """
+    worker_ids = list(worker_ids)
+    if not 0.0 < kill_time < duration:
+        raise SimulationError("kill_time must fall inside the run")
+    if outage <= 0:
+        raise SimulationError("outage must be positive")
+    restart_time = kill_time + outage
+    if restart_time > duration - settle:
+        raise SimulationError("the outage must end %.1fs before the run"
+                              " does, so recovery can be judged" % settle)
+    master_id = profiles.SOURCE_ID
+    schedule = ChurnSchedule(events=(
+        ChurnEvent(time=kill_time, action=CHURN_KILL_MASTER,
+                   device_id=master_id),
+        ChurnEvent(time=restart_time, action=CHURN_RESTART_MASTER,
+                   device_id=master_id),
+    ), seed=seed)
+    delivery = DeliveryConfig(
+        mode=AT_LEAST_ONCE if at_least_once else BEST_EFFORT,
+        replay_capacity=replay_capacity,
+        dedup_window=dedup_window,
+        max_delivery_attempts=max_delivery_attempts)
+    return SwarmConfig(
+        workload=workload_for_app(app),
+        workers=profiles.worker_profiles(worker_ids),
+        source=profiles.device_profile(master_id),
         policy=policy,
         duration=duration,
         seed=seed,

@@ -30,7 +30,9 @@ from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
 from repro.core.batching import BatchConfig
 from repro.core.controller import LrsController, PolicyConfig
-from repro.core.delivery import (CHURN_KILL, CHURN_LEAVE, ChurnSchedule,
+from repro.core.delivery import (CHURN_HEAL, CHURN_KILL, CHURN_KILL_MASTER,
+                                 CHURN_LEAVE, CHURN_PARTITION,
+                                 CHURN_RESTART_MASTER, ChurnSchedule,
                                  DedupWindow, DeliveryConfig, EVICT_SHED)
 from repro.core.exceptions import SimulationError
 from repro.core.overload import OverloadConfig
@@ -508,6 +510,19 @@ class SwarmSimulation:
         self._departed: Dict[str, _WorkerNode] = {}
         #: measured graceful-drain duration per departed device
         self.drain_durations: Dict[str, float] = {}
+        # -- master-outage mirror (churn kill_master / restart_master):
+        # while the master is down its source, dispatcher, control loop
+        # and sink are all frozen; workers keep draining their ingress
+        # and their finished results are buffered here, to be flushed
+        # (ACKs included) when the successor master comes up — the
+        # engine twin of workers processing autonomously and re-sending
+        # into the recovered master's dedup window.
+        self._master_down = False
+        self._outage_results: List[Tuple[_Frame, float]] = []
+        self.master_recoveries = 0
+        #: devices whose link is administratively severed (churn
+        #: ``partition`` events); every message involving them drops
+        self._partitioned: set = set()
         self._all_profiles: Dict[str, DeviceProfile] = {}
         #: one sequence space for the whole swarm: FrameRecords are keyed
         #: by seq, so tenants must never collide
@@ -651,6 +666,18 @@ class SwarmSimulation:
                     self.sim.schedule(event.time,
                                       lambda d=event.device_id:
                                       self._begin_drain(d))
+                elif event.action == CHURN_KILL_MASTER:
+                    self.sim.schedule(event.time, self._kill_master)
+                elif event.action == CHURN_RESTART_MASTER:
+                    self.sim.schedule(event.time, self._restart_master)
+                elif event.action == CHURN_PARTITION:
+                    self.sim.schedule(event.time,
+                                      lambda d=event.device_id:
+                                      self._partition_link(d))
+                elif event.action == CHURN_HEAL:
+                    self.sim.schedule(event.time,
+                                      lambda d=event.device_id:
+                                      self._heal_link(d))
                 else:  # CHURN_JOIN / CHURN_REJOIN
                     self.sim.schedule(event.time,
                                       lambda d=event.device_id:
@@ -803,6 +830,62 @@ class SwarmSimulation:
         # No drops and no link-break notification: a graceful leave has
         # nothing left to lose by construction.
 
+    # -- master failover (churn control-plane events) --------------------
+    def _kill_master(self) -> None:
+        """Master device crash: source, dispatch, control and sink freeze.
+
+        Workers are autonomous: they keep draining their ingress queues
+        and finishing work.  Their results are buffered (the runtime
+        twin: results sent to a dead endpoint are retained upstream and
+        redelivered later) and land when the successor comes up.
+        """
+        self._master_down = True
+
+    def _restart_master(self) -> None:
+        """Successor master up: flush buffered results, sweep, redeliver.
+
+        The flushed results carry their ACKs into the controller and
+        their seqs into the sink dedup window, exactly like the threaded
+        runtime's re-imported retention being absorbed on redelivery;
+        the forced control round then sweeps whatever is still pending
+        so at-least-once replay resumes immediately.
+        """
+        if not self._master_down:
+            return
+        self._master_down = False
+        self.master_recoveries += 1
+        self.registry.increment(metrics_mod.MASTER_RECOVERIES_TOTAL,
+                                device=self.config.source.device_id)
+        pending, self._outage_results = self._outage_results, []
+        for frame, processing_delay in pending:
+            self._finish_result_delivery(frame, processing_delay)
+        for state in self._states.values():
+            state.controller.update(self.sim.now)
+
+    def _partition_link(self, link_id: str) -> None:
+        """Sever the link named ``sender>target`` (churn ``partition``).
+
+        The engine's network is hub-and-spoke through the source radio,
+        so severing a link isolates its non-source endpoint: every
+        message involving that device drops until the matching ``heal``.
+        """
+        for device_id in self._link_devices(link_id):
+            self._partitioned.add(device_id)
+
+    def _heal_link(self, link_id: str) -> None:
+        for device_id in self._link_devices(link_id):
+            self._partitioned.discard(device_id)
+
+    def _link_devices(self, link_id: str) -> List[str]:
+        sender_id, sep, target_id = link_id.partition(">")
+        if not sep or not sender_id or not target_id:
+            raise SimulationError(
+                "partition/heal events need a 'sender>target' link id,"
+                " got %r" % link_id)
+        source_id = self.config.source.device_id
+        return [device_id for device_id in (sender_id, target_id)
+                if device_id != source_id]
+
     # -- at-least-once redelivery ----------------------------------------
     def _redeliver_frame(self, seq: int, destination: str, frame: _Frame,
                          attempt: int) -> None:
@@ -888,6 +971,8 @@ class SwarmSimulation:
 
     def _message_fault(self, device_id: str) -> Tuple[bool, float]:
         """(drop?, extra delay) for a message involving *device_id* now."""
+        if device_id in self._partitioned:
+            return True, 0.0
         now = self.sim.now
         extra_delay = 0.0
         for fault in self.config.faults:
@@ -918,6 +1003,11 @@ class SwarmSimulation:
         egress = state.egress
         egress_name = state.egress_name
         while True:
+            if self._master_down:
+                # The source lives on the master: a crashed master's
+                # pipeline captures nothing until the successor is up.
+                yield self.sim.timeout(0.05)
+                continue
             seq = self._next_seq
             self._next_seq += 1
             now = self.sim.now
@@ -971,6 +1061,9 @@ class SwarmSimulation:
         edge_name = state.edge_name
         batching = config.batching_config()
         while True:
+            if self._master_down:
+                yield self.sim.timeout(0.05)
+                continue
             if batching.enabled:
                 frames = yield from collect_batch(self.sim, egress,
                                                   batching)
@@ -1188,6 +1281,8 @@ class SwarmSimulation:
         # policy update, decision log — is the controller's.
         while True:
             yield self.sim.timeout(self.config.control_interval)
+            if self._master_down:
+                continue  # no control plane while the master is down
             for state in self._states.values():
                 state.controller.update(self.sim.now)
             self._export_queue_depths()
@@ -1205,6 +1300,12 @@ class SwarmSimulation:
 
     # -- sink --------------------------------------------------------------
     def _deliver_result(self, frame: _Frame, processing_delay: float) -> None:
+        if self._master_down:
+            # The sink lives on the master: results finished during the
+            # outage are buffered (the work is NOT lost) and flushed into
+            # the successor's dedup window at restart.
+            self._outage_results.append((frame, processing_delay))
+            return
         record = self.metrics.frame(frame.seq, frame.created_at)
         if record.device_id:
             dropped, extra_delay = self._message_fault(record.device_id)
@@ -1319,6 +1420,8 @@ class SwarmResult:
     #: overload sheds per tenant label (empty at N=1: the default tenant
     #: emits no ``tenant=`` label)
     shed_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: master crash→recovery cycles completed during the run
+    master_recoveries: int = 0
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -1385,6 +1488,7 @@ class SwarmResult:
             drain_seconds=dict(swarm.drain_durations),
             shed_by_tenant=swarm.registry.values_by_label(
                 metrics_mod.SHED_TOTAL, "tenant"),
+            master_recoveries=swarm.master_recoveries,
         )
 
     # -- convenience views used by the benchmark harness -------------------

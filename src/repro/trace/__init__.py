@@ -22,8 +22,8 @@ from repro.trace.collector import (DEFAULT_CAPACITY, NULL_TRACER,
                                    TraceCollector, Tracer, TraceSink,
                                    sample_key)
 from repro.trace.spans import (ACK_RTT, INSTANT_KINDS, PROCESS, QUEUE_WAIT,
-                               RETRY, SERIALIZE, SHED, SPAN_KINDS, TRANSMIT,
-                               Span, SpanContext)
+                               RECOVERY, RETRY, SERIALIZE, SHED, SPAN_KINDS,
+                               TRANSMIT, Span, SpanContext)
 from repro.trace.export import (REQUIRED_EVENT_KEYS, read_jsonl,
                                 to_chrome_trace, to_jsonl,
                                 validate_chrome_trace, write_chrome_trace,
@@ -31,8 +31,8 @@ from repro.trace.export import (REQUIRED_EVENT_KEYS, read_jsonl,
 
 __all__ = [
     "ACK_RTT", "COMPONENTS", "DEFAULT_CAPACITY", "INSTANT_KINDS",
-    "NULL_TRACER", "PROCESS", "QUEUE_WAIT", "REQUIRED_EVENT_KEYS", "RETRY",
-    "SERIALIZE", "SHED",
+    "NULL_TRACER", "PROCESS", "QUEUE_WAIT", "RECOVERY",
+    "REQUIRED_EVENT_KEYS", "RETRY", "SERIALIZE", "SHED",
     "SPAN_KINDS", "Span", "SpanContext", "TRANSMIT", "TraceCollector",
     "TraceSink",
     "Tracer", "critical_path", "delay_decomposition", "read_jsonl",

@@ -30,6 +30,10 @@ Kinds
 ``retry``
     Instantaneous: the dispatcher re-routed the tuple after a failed
     send; ``detail`` names the downstream that failed.
+``recovery``
+    Instantaneous: a successor master restored control-plane state from
+    a checkpoint; ``detail`` carries the adopted epoch, ``seq`` is 0
+    (recovery is a control-plane event, not tied to one tuple).
 """
 
 from __future__ import annotations
@@ -43,13 +47,14 @@ PROCESS = "process"
 ACK_RTT = "ack_rtt"
 SHED = "shed"
 RETRY = "retry"
+RECOVERY = "recovery"
 
 #: every kind the subsystem emits; exporters and tests validate against it
 SPAN_KINDS = frozenset({QUEUE_WAIT, SERIALIZE, TRANSMIT, PROCESS, ACK_RTT,
-                        SHED, RETRY})
+                        SHED, RETRY, RECOVERY})
 
 #: kinds with zero duration by construction (events, not intervals)
-INSTANT_KINDS = frozenset({SHED, RETRY})
+INSTANT_KINDS = frozenset({SHED, RETRY, RECOVERY})
 
 
 class Span:

@@ -74,6 +74,54 @@ class TestMembership:
         assert not controller.is_alive("a")
         assert controller.dead_downstreams() == ["a"]
 
+    def test_revive_resurrects_a_sole_dead_member(self):
+        # Regression: an edge whose ONLY downstream is dead sends
+        # nothing — not even probes — so the ACK path can never
+        # resurrect it (the failover wedge: a worker edge pointing at
+        # the master-hosted sink).  Explicit revival must break it.
+        controller = self._controller()
+        controller.add_downstream("a")
+        controller.mark_dead("a")
+        assert controller.unsatisfiable()
+        assert controller.dead_downstreams() == ["a"]
+        controller.revive_downstream("a")
+        assert controller.is_alive("a")
+        assert not controller.unsatisfiable()
+        assert controller.dispatch(2) == "a"
+
+    def test_revive_is_a_noop_for_alive_or_unknown_members(self):
+        controller = self._controller()
+        controller.add_downstream("a")
+        controller.revive_downstream("a")  # alive: nothing to do
+        controller.revive_downstream("ghost")  # unknown: nothing to do
+        assert controller.downstream_ids() == ["a"]
+        assert controller.is_alive("a")
+
+    def test_revive_unwedges_retained_at_least_once_frames(self):
+        from repro.core.delivery import AT_LEAST_ONCE, DeliveryConfig
+        clock = FakeClock()
+        egress = _FailingEgress(clock, failing={"a"})
+        delivery = DeliveryConfig(mode=AT_LEAST_ONCE,
+                                  redelivery_timeout=0.5)
+        controller = LrsController(
+            PolicyConfig(policy="RR", seed=0, delivery=delivery),
+            clock=clock, egress=egress,
+            registry=metrics_mod.MetricsRegistry())
+        controller.add_downstream("a")
+        # The sole member dies; the tuple is retained unassigned.
+        assert controller.dispatch(1, context=b"frame") is None
+        assert not controller.is_alive("a")
+        assert controller.replay_depth() == 1
+        clock.now = 2.0
+        controller.update(clock.now)
+        assert egress.sent == []  # wedged: nobody to redeliver to
+        # The member comes back (successor master): revival + sweep
+        # place the retained frame without any ACK ever arriving.
+        egress.failing.clear()
+        controller.revive_downstream("a")
+        controller.update(clock.now)
+        assert ("a", 1) in egress.sent
+
 
 class _FailingEgress:
     """Egress that fails for a chosen set of downstreams."""

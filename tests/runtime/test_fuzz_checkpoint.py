@@ -1,0 +1,118 @@
+"""Fuzzing the checkpoint codec: hostile bytes must fail cleanly.
+
+A checkpoint is read at the most fragile moment of the system's life —
+master recovery — so its decoder gets the same treatment as the wire
+codec: random bytes, truncations and bit flips may only ever produce a
+valid checkpoint or :class:`SerializationError`, and version skew
+(fields or versions from a future build) must be rejected loudly rather
+than silently truncated into a wrong restore.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import SerializationError
+from repro.core.recovery import (ControlPlaneCheckpoint, RetainedEntry,
+                                 SessionState)
+from repro.runtime.serialization import encode_value
+
+#: seeded generator over the checkpoint's full value space
+_WORKER_IDS = st.lists(st.text(min_size=1, max_size=6), max_size=4,
+                       unique=True).map(tuple)
+
+_SESSIONS = st.lists(
+    st.builds(
+        SessionState,
+        tenant=st.text(max_size=6),
+        started=st.booleans(),
+        assignments=st.lists(
+            st.tuples(st.text(min_size=1, max_size=8),
+                      st.lists(st.text(min_size=1, max_size=4),
+                               max_size=3).map(tuple)),
+            max_size=3, unique_by=lambda pair: pair[0])
+        .map(lambda pairs: tuple(sorted(pairs)))),
+    max_size=3).map(tuple)
+
+_ENTRIES = st.lists(
+    st.builds(
+        RetainedEntry,
+        seq=st.integers(min_value=0, max_value=2 ** 48),
+        attempt=st.integers(min_value=1, max_value=16),
+        deadline=st.one_of(st.none(),
+                           st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False)),
+        frame=st.binary(max_size=40),
+        seqs=st.lists(st.integers(min_value=0, max_value=2 ** 48),
+                      max_size=4).map(tuple)),
+    max_size=3).map(tuple)
+
+_CHECKPOINTS = st.builds(
+    ControlPlaneCheckpoint,
+    epoch=st.integers(min_value=0, max_value=2 ** 31),
+    workers=_WORKER_IDS,
+    sessions=_SESSIONS,
+    retention=st.lists(
+        st.tuples(st.text(min_size=1, max_size=10), _ENTRIES),
+        max_size=2, unique_by=lambda pair: pair[0])
+    .map(lambda pairs: tuple(sorted(pairs))),
+    dedup=st.lists(st.tuples(st.text(min_size=1, max_size=8),
+                             st.integers(min_value=0, max_value=2 ** 48)),
+                   max_size=5).map(tuple))
+
+
+class TestCheckpointRoundtripFuzz:
+    @given(_CHECKPOINTS)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, checkpoint):
+        assert ControlPlaneCheckpoint.decode(checkpoint.encode()) \
+            == checkpoint
+
+
+class TestCheckpointHostileBytes:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            ControlPlaneCheckpoint.decode(data)
+        except SerializationError:
+            pass  # the only acceptable failure mode
+
+    @given(_CHECKPOINTS, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_always_fails_cleanly(self, checkpoint, data):
+        frame = checkpoint.encode()
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(SerializationError):
+            ControlPlaneCheckpoint.decode(frame[:cut])
+
+    @given(_CHECKPOINTS, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_bit_flips_never_crash(self, checkpoint, data):
+        frame = bytearray(checkpoint.encode())
+        index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[index] ^= 1 << bit
+        try:
+            ControlPlaneCheckpoint.decode(bytes(frame))
+        except SerializationError:
+            pass  # a flip may still decode (payload content) or fail cleanly
+
+
+class TestVersionSkew:
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+           .filter(lambda version: version != 1))
+    @settings(max_examples=50)
+    def test_foreign_versions_rejected(self, version):
+        payload = encode_value({"version": version, "epoch": 0})
+        with pytest.raises(SerializationError, match="version"):
+            ControlPlaneCheckpoint.decode(payload)
+
+    @given(st.text(min_size=1, max_size=12)
+           .filter(lambda name: name not in {"version", "epoch", "workers",
+                                             "sessions", "retention",
+                                             "dedup"}))
+    @settings(max_examples=50)
+    def test_unknown_future_fields_rejected(self, field):
+        payload = encode_value({"version": 1, field: []})
+        with pytest.raises(SerializationError, match="unknown fields"):
+            ControlPlaneCheckpoint.decode(payload)

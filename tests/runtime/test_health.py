@@ -168,3 +168,24 @@ class TestTimeouts:
         snapshot = monitor.snapshot()
         snapshot["B"].consecutive_failures = 99
         assert monitor.snapshot()["B"].consecutive_failures == 1
+
+    def test_silent_from_birth_peer_is_evicted(self):
+        # Regression: a peer registered without EVER producing a
+        # positive signal (no heartbeat, no ACK, no success) used to
+        # survive check_timeouts forever, because the sweep keyed off
+        # last_success alone.  The timeout clock must start at first
+        # sight.
+        monitor, clock, registry = make_monitor(timeout=1.0, max_failures=5)
+        monitor.record_failure("B")  # seen, but never a positive signal
+        clock.advance(1.1)
+        assert monitor.check_timeouts() == ["B"]
+        assert monitor.is_dead("B")
+        assert registry.value(metrics_mod.HEARTBEAT_MISS_TOTAL,
+                              downstream="B") == 1
+
+    def test_silent_peer_not_evicted_before_timeout(self):
+        monitor, clock, _registry = make_monitor(timeout=1.0, max_failures=5)
+        monitor.record_failure("B")
+        clock.advance(0.9)
+        assert monitor.check_timeouts() == []
+        assert not monitor.is_dead("B")
