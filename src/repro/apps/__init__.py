@@ -1,5 +1,5 @@
-"""The paper's two sensing applications, built on the Swing API."""
+"""The paper's sensing applications, built on the Swing API."""
 
-from repro.apps import face, translate
+from repro.apps import face, sensing, translate
 
-__all__ = ["face", "translate"]
+__all__ = ["face", "sensing", "translate"]

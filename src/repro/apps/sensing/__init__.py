@@ -1,0 +1,10 @@
+"""Per-user mobile-sensing aggregation app (keyed stateful operators)."""
+
+from repro.apps.sensing.pipeline import (AGGREGATE_SCHEMA, READING_SCHEMA,
+                                         AggregateSink, SensorSource,
+                                         WindowedAggregateUnit,
+                                         ZipfKeyStream, build_sensing_graph)
+
+__all__ = ["AGGREGATE_SCHEMA", "READING_SCHEMA", "AggregateSink",
+           "SensorSource", "WindowedAggregateUnit", "ZipfKeyStream",
+           "build_sensing_graph"]

@@ -62,6 +62,8 @@ from repro.core.batching import BatchConfig
 from repro.core.delivery import (EVICT_ATTEMPTS, EVICT_EXPIRED,
                                  DeliveryConfig, ReplayBuffer, ReplayEntry)
 from repro.core.exceptions import RoutingError
+from repro.core.keyed import (HotRangeDetector, KeyedConfig, KeyRange,
+                              KeyRangeTable)
 from repro.core.latency import AckTracker, DownstreamStats, RateMeter
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision, RoutingPolicy, make_policy
@@ -121,6 +123,11 @@ class PolicyConfig:
     #: object drives both substrates so batch boundaries replay
     #: identically, and ``max_tuples=1`` is wire-identical to no batching
     batching: Optional[BatchConfig] = None
+    # -- keyed routing -----------------------------------------------------
+    #: key-range routing + hot-split knobs (``None`` = stateless edge);
+    #: one object drives both substrates so range splits replay
+    #: identically
+    keyed: Optional[KeyedConfig] = None
 
     def overload_config(self) -> OverloadConfig:
         """The effective overload knobs (defaults when unset)."""
@@ -133,6 +140,10 @@ class PolicyConfig:
     def batching_config(self) -> BatchConfig:
         """The effective batching knobs (per-tuple dispatch when unset)."""
         return self.batching if self.batching is not None else BatchConfig()
+
+    def keyed_config(self) -> KeyedConfig:
+        """The effective keyed-routing knobs (stateless when unset)."""
+        return self.keyed if self.keyed is not None else KeyedConfig()
 
     def policy_kwargs(self) -> Dict[str, object]:
         """Constructor kwargs for this config's policy class."""
@@ -228,6 +239,12 @@ class LrsController:
         # drain the membership before the batch entry is released.
         self._batch_of: Dict[int, int] = {}
         self._batch_members: Dict[int, set] = {}
+        # -- keyed routing (None until the substrate attaches a table) ---
+        self._key_table: Optional[KeyRangeTable] = None
+        self._key_detector: Optional[HotRangeDetector] = None
+        #: in-flight seq -> key hash, so redelivery after churn or a
+        #: range flip still honors key-range ownership
+        self._key_of: Dict[int, int] = {}
         #: lazily created swing_batch_size histogram for this edge
         self._batch_histogram: Optional[metrics_mod.Histogram] = None
         #: update-round log: (time, decision); capped when the hosting
@@ -328,7 +345,8 @@ class LrsController:
             self._tracker.record_send(seq, downstream_id, now)
 
     def dispatch(self, seq: int, context: Optional[object] = None,
-                 deadline: Optional[float] = None) -> Optional[str]:
+                 deadline: Optional[float] = None,
+                 key_hash: Optional[int] = None) -> Optional[str]:
         """Route + send one tuple; returns the chosen downstream or None.
 
         A failed egress send dead-marks the downstream — kept in the
@@ -340,7 +358,16 @@ class LrsController:
         ACK arrives, and ``deadline`` bounds how long replay may keep
         trying (an expired tuple is evicted, not redelivered — overload
         protection wins).
+
+        When the tuple carries a key (``key_hash`` set) and a key-range
+        table is attached, ownership overrides the policy: the range
+        owner gets the tuple, and a paused or unowned range parks it in
+        the replay buffer (retained unassigned) until routing is flipped
+        — that park/redeliver cycle is what makes a live migration
+        lossless under at-least-once delivery.
         """
+        if key_hash is not None and self._key_table is not None:
+            return self._dispatch_keyed(seq, key_hash, context, deadline)
         with self._lock:
             try:
                 chosen = self._policy.route()
@@ -374,6 +401,130 @@ class LrsController:
             self._replay.retain(seq, None, context, now=self._clock(),
                                 deadline=deadline)
         return None
+
+    def _dispatch_keyed(self, seq: int, key_hash: int,
+                        context: Optional[object],
+                        deadline: Optional[float]) -> Optional[str]:
+        with self._lock:
+            table = self._key_table
+            if self._key_detector is not None:
+                self._key_detector.observe(table.range_of(key_hash),
+                                           self._clock())
+            owner = table.owner_of(key_hash)
+            alive = owner is not None and self._tracker.is_alive(owner)
+        if alive:
+            sent_at = self._send(owner, seq, context)
+            if sent_at is not None:
+                self.record_send(seq, owner, sent_at)
+                if self._replay is not None and context is not None:
+                    with self._lock:
+                        self._key_of[seq] = key_hash
+                    self._replay.retain(seq, owner, context, now=sent_at,
+                                        deadline=deadline)
+                self.dispatched += 1
+                return owner
+            self.mark_dead(owner)
+        # Paused range, unowned hash, dead owner, or failed send: park
+        # the tuple unassigned; the replay sweep re-places it once the
+        # range is routable again.  Without a replay buffer (best
+        # effort) the tuple is simply dropped, like an exhausted
+        # stateless dispatch.
+        if self._replay is not None and context is not None:
+            with self._lock:
+                self._key_of[seq] = key_hash
+            self._replay.retain(seq, None, context, now=self._clock(),
+                                deadline=deadline)
+        return None
+
+    # -- keyed routing ---------------------------------------------------
+    @property
+    def key_table(self) -> Optional[KeyRangeTable]:
+        return self._key_table
+
+    def set_key_table(self, table: Optional[KeyRangeTable]) -> None:
+        """Attach the edge's key-range table (enables keyed dispatch).
+
+        A hot-range detector is created alongside it when the config
+        carries keyed knobs with splitting enabled.
+        """
+        with self._lock:
+            self._key_table = table
+            keyed = self.config.keyed_config()
+            self._key_detector = (HotRangeDetector(keyed)
+                                  if table is not None
+                                  and self.config.keyed is not None
+                                  and keyed.split_enabled else None)
+
+    def hot_range(self, now: Optional[float] = None) \
+            -> Optional[Tuple[KeyRange, float]]:
+        """The hottest splittable range right now, or ``None``.
+
+        Counted on ``swing_hot_keys_detected_total``; callers are
+        expected to act on the proposal (split + migrate), which arms
+        the detector's cooldown via :meth:`split_range`.
+        """
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            if self._key_detector is None or self._key_table is None:
+                return None
+            owners = len({owner for _, owner in self._key_table.ranges()})
+            found = self._key_detector.hottest(now, self._key_table,
+                                               max(owners, 1))
+        if found is not None:
+            self._registry.increment(metrics_mod.HOT_KEYS_DETECTED_TOTAL,
+                                     edge=self.name or "-")
+        return found
+
+    def split_range(self, key_range: KeyRange) -> Tuple[KeyRange, KeyRange]:
+        """Split an owned range in place (both halves keep the owner)."""
+        with self._lock:
+            if self._key_table is None:
+                raise RoutingError("no key table attached to %r"
+                                   % (self.name or "-"))
+            left, right = self._key_table.split(key_range)
+            if self._key_detector is not None:
+                self._key_detector.forget(key_range)
+                self._key_detector.mark_split(self._clock())
+        return left, right
+
+    def move_range(self, key_range: KeyRange, new_owner: str,
+                   reason: str) -> None:
+        """Re-own a range and count the move (reason=hot_split|drain|crash)."""
+        with self._lock:
+            if self._key_table is None:
+                raise RoutingError("no key table attached to %r"
+                                   % (self.name or "-"))
+            self._key_table.assign(key_range, new_owner)
+        labels = {"reason": reason, "edge": self.name or "-"}
+        if self.tenant:
+            labels["tenant"] = self.tenant
+        self._registry.increment(metrics_mod.KEY_RANGE_MOVES_TOTAL, **labels)
+
+    def pause_range(self, key_range: KeyRange) -> None:
+        with self._lock:
+            if self._key_table is None:
+                raise RoutingError("no key table attached to %r"
+                                   % (self.name or "-"))
+            self._key_table.pause(key_range)
+
+    def resume_range(self, key_range: KeyRange) -> None:
+        """Resume a paused range and re-place everything parked on it."""
+        with self._lock:
+            if self._key_table is None:
+                raise RoutingError("no key table attached to %r"
+                                   % (self.name or "-"))
+            self._key_table.resume(key_range)
+        # Parked tuples sit unassigned in the replay buffer; a sweep
+        # pops unassigned entries immediately, so the new owner sees
+        # them without waiting out the redelivery timeout.
+        self._sweep_replay(self._clock())
+
+    def keyed_ranges_of(self, owner: str) -> Tuple[KeyRange, ...]:
+        with self._lock:
+            if self._key_table is None:
+                return ()
+            return self._key_table.ranges_owned_by(owner)
 
     def dispatch_batch(self, seqs: Iterable[int],
                        context: Optional[object] = None,
@@ -555,6 +706,7 @@ class LrsController:
         if self._replay is None:
             return
         with self._lock:
+            self._key_of.pop(seq, None)
             head = self._batch_of.pop(seq, None)
             if head is not None:
                 members = self._batch_members.get(head)
@@ -591,6 +743,7 @@ class LrsController:
             with self._lock:
                 for seq in seqs:
                     self._batch_of.pop(seq, None)
+                    self._key_of.pop(seq, None)
                 self._batch_members.pop(head, None)
             self._replay.release(head)
         with self._lock:
@@ -728,6 +881,7 @@ class LrsController:
             return False
         target = seq
         with self._lock:
+            self._key_of.pop(seq, None)
             head = self._batch_of.pop(seq, None)
             if head is not None:
                 members = self._batch_members.get(head)
@@ -818,11 +972,37 @@ class LrsController:
             # anyway, so redelivering it only wastes the network.
             self._replay.discard(entry, EVICT_EXPIRED)
             self._forget_batch(entry.seq)
+            with self._lock:
+                self._key_of.pop(entry.seq, None)
             return
         if entry.attempt >= self.config.delivery_config() \
                 .max_delivery_attempts:
             self._replay.discard(entry, EVICT_ATTEMPTS)
             self._forget_batch(entry.seq)
+            with self._lock:
+                self._key_of.pop(entry.seq, None)
+            return
+        with self._lock:
+            key_hash = self._key_of.get(entry.seq)
+            keyed = key_hash is not None and self._key_table is not None
+            if keyed:
+                owner = self._key_table.owner_of(key_hash)
+                if owner is None or not self._tracker.is_alive(owner):
+                    owner = None
+        if keyed:
+            # Key-range ownership binds redelivery too: the tuple may
+            # only go to the range owner.  No routable owner (paused
+            # mid-migration, or the owner is down) re-parks it for the
+            # next sweep.
+            if owner is not None:
+                sent_at = self._send_redelivery(owner, entry)
+                if sent_at is not None:
+                    self._record_redelivery(entry, owner, sent_at)
+                    return
+                self.mark_dead(owner)
+            self._replay.retain(entry.seq, None, entry.context,
+                                now=entry.sent_at, deadline=entry.deadline,
+                                attempt=entry.attempt, nbytes=entry.nbytes)
             return
         tried = {entry.downstream} if entry.downstream is not None else set()
         chosen = self._fallback(tried)
@@ -832,27 +1012,7 @@ class LrsController:
         while chosen is not None:
             sent_at = self._send_redelivery(chosen, entry)
             if sent_at is not None:
-                attempt = entry.attempt + 1
-                self.record_send(entry.seq, chosen, sent_at)
-                self._replay.retain(entry.seq, chosen, entry.context,
-                                    now=sent_at, deadline=entry.deadline,
-                                    attempt=attempt, nbytes=entry.nbytes)
-                labels = {"downstream": chosen, "edge": self.name or "-"}
-                if self.tenant:
-                    labels["tenant"] = self.tenant
-                self._registry.increment(metrics_mod.REDELIVERED_TOTAL,
-                                         **labels)
-                if self._trace.enabled:
-                    self._trace.emit(Span(
-                        RETRY, entry.seq, sent_at, sent_at,
-                        device_id=self.name or "-",
-                        hop="egress:%s" % (self.name or "-"),
-                        detail="redeliver:%s>%s#%d"
-                               % (entry.downstream or "-", chosen, attempt),
-                        tenant=self.tenant))
-                if self.on_redeliver is not None:
-                    self.on_redeliver(entry.seq, chosen, entry.context,
-                                      attempt)
+                self._record_redelivery(entry, chosen, sent_at)
                 return
             tried.add(chosen)
             self.mark_dead(chosen)
@@ -862,6 +1022,31 @@ class LrsController:
         self._replay.retain(entry.seq, None, entry.context,
                             now=entry.sent_at, deadline=entry.deadline,
                             attempt=entry.attempt, nbytes=entry.nbytes)
+
+    def _record_redelivery(self, entry: ReplayEntry, chosen: str,
+                           sent_at: float) -> None:
+        """Bookkeeping for one successful redelivery send."""
+        attempt = entry.attempt + 1
+        self.record_send(entry.seq, chosen, sent_at)
+        self._replay.retain(entry.seq, chosen, entry.context,
+                            now=sent_at, deadline=entry.deadline,
+                            attempt=attempt, nbytes=entry.nbytes)
+        labels = {"downstream": chosen, "edge": self.name or "-"}
+        if self.tenant:
+            labels["tenant"] = self.tenant
+        self._registry.increment(metrics_mod.REDELIVERED_TOTAL,
+                                 **labels)
+        if self._trace.enabled:
+            self._trace.emit(Span(
+                RETRY, entry.seq, sent_at, sent_at,
+                device_id=self.name or "-",
+                hop="egress:%s" % (self.name or "-"),
+                detail="redeliver:%s>%s#%d"
+                       % (entry.downstream or "-", chosen, attempt),
+                tenant=self.tenant))
+        if self.on_redeliver is not None:
+            self.on_redeliver(entry.seq, chosen, entry.context,
+                              attempt)
 
     def _send_redelivery(self, downstream_id: str,
                          entry: ReplayEntry) -> Optional[float]:

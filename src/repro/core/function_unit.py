@@ -25,12 +25,16 @@ class UnitContext:
 
     def __init__(self, unit_name: str, instance_id: str,
                  emit: Callable[[DataTuple], None],
-                 now: Callable[[], float]) -> None:
+                 now: Callable[[], float],
+                 state: Optional[Any] = None) -> None:
         self.unit_name = unit_name
         self.instance_id = instance_id
         self._emit = emit
         self._now = now
         self.emitted_count = 0
+        #: per-key operator state (a ``repro.core.state.StateStore``)
+        #: for stateful units; None on stateless activations
+        self.state = state
 
     def emit(self, data: DataTuple) -> None:
         """Send *data* toward the downstream function units."""

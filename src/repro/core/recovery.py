@@ -58,7 +58,7 @@ from repro.core.exceptions import RuntimeStateError, SerializationError
 CHECKPOINT_VERSION = 1
 
 _CHECKPOINT_FIELDS = frozenset({"version", "epoch", "workers", "sessions",
-                                "retention", "dedup"})
+                                "retention", "dedup", "key_ranges"})
 _SESSION_FIELDS = frozenset({"tenant", "started", "assignments"})
 _ENTRY_FIELDS = frozenset({"seq", "attempt", "deadline", "frame", "seqs"})
 
@@ -147,11 +147,16 @@ class ControlPlaneCheckpoint:
     retention: Tuple[Tuple[str, Tuple[RetainedEntry, ...]], ...] = ()
     #: sink/ingress dedup high-water keys, oldest first: (edge, seq)
     dedup: Tuple[Tuple[str, int], ...] = ()
+    #: keyed routing: edge key -> ((lo, hi, owner), ...) range table;
+    #: empty on stateless deployments and then absent from the wire, so
+    #: checkpoints without keyed edges stay byte-identical to version 1
+    #: payloads written before this field existed
+    key_ranges: Tuple[Tuple[str, Tuple[Tuple[int, int, str], ...]], ...] = ()
 
     # -- codec -----------------------------------------------------------
     def encode(self) -> bytes:
         from repro.runtime.serialization import encode_value
-        return encode_value({
+        fields = {
             "version": CHECKPOINT_VERSION,
             "epoch": self.epoch,
             "workers": list(self.workers),
@@ -169,7 +174,12 @@ class ControlPlaneCheckpoint:
                 "seqs": list(entry.seqs),
             } for entry in entries] for edge, entries in self.retention},
             "dedup": [[edge, seq] for edge, seq in self.dedup],
-        })
+        }
+        if self.key_ranges:
+            fields["key_ranges"] = {
+                edge: [[lo, hi, owner] for lo, hi, owner in ranges]
+                for edge, ranges in self.key_ranges}
+        return encode_value(fields)
 
     @classmethod
     def decode(cls, data: bytes) -> "ControlPlaneCheckpoint":
@@ -205,6 +215,11 @@ class ControlPlaneCheckpoint:
                     decoded.get("retention", {}).items()))
             dedup = tuple((pair[0], pair[1])
                           for pair in decoded.get("dedup", []))
+            key_ranges = tuple(
+                (edge, tuple((item[0], item[1], item[2])
+                             for item in ranges))
+                for edge, ranges in sorted(
+                    decoded.get("key_ranges", {}).items()))
         except (TypeError, ValueError, KeyError, IndexError,
                 AttributeError) as error:
             raise SerializationError("malformed checkpoint: %s" % error) \
@@ -219,8 +234,17 @@ class ControlPlaneCheckpoint:
             if not isinstance(edge, str) or not isinstance(seq, int):
                 raise SerializationError("checkpoint dedup keys must be "
                                          "(edge, seq) pairs")
+        for edge, ranges in key_ranges:
+            if not isinstance(edge, str):
+                raise SerializationError("checkpoint key-range edges must "
+                                         "be strings")
+            for lo, hi, owner in ranges:
+                if not isinstance(lo, int) or not isinstance(hi, int) \
+                        or not isinstance(owner, str):
+                    raise SerializationError(
+                        "checkpoint key ranges must be (lo, hi, owner)")
         return cls(epoch=epoch, workers=workers, sessions=sessions,
-                   retention=retention, dedup=dedup)
+                   retention=retention, dedup=dedup, key_ranges=key_ranges)
 
     @staticmethod
     def _decode_session(raw: object) -> SessionState:

@@ -112,6 +112,9 @@ class DataTuple:
     #: owning tenant pipeline; the empty string is the implicit
     #: single-tenant namespace and never appears on the wire
     tenant: str = ""
+    #: partitioning key for keyed stateful operators; ``None`` (the
+    #: default, stateless case) never appears on the wire
+    key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.schema is not None:
@@ -142,6 +145,7 @@ class DataTuple:
             trace=self.trace,
             delivery_attempt=self.delivery_attempt,
             tenant=self.tenant,
+            key=self.key,
         )
 
     def expired(self, now: float) -> bool:

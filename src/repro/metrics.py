@@ -43,6 +43,10 @@ PROBE_WINDOWS_TOTAL = "swing_probe_windows_total"
 FENCED_TOTAL = "swing_fenced_messages_total"
 #: control-plane crash recovery: successful master restore-from-checkpoint
 MASTER_RECOVERIES_TOTAL = "swing_master_recoveries_total"
+#: keyed routing: key-range ownership changes, reason=hot_split|drain|crash
+KEY_RANGE_MOVES_TOTAL = "swing_key_range_moves_total"
+#: keyed routing: hot ranges flagged by the split detector
+HOT_KEYS_DETECTED_TOTAL = "swing_hot_keys_detected_total"
 
 #: gauge: current depth of one named queue (mailbox / sim store)
 QUEUE_DEPTH = "swing_queue_depth"
@@ -57,6 +61,8 @@ SPAN_SECONDS = "swing_span_duration_seconds"
 DRAIN_SECONDS = "swing_drain_duration_seconds"
 #: histogram: tuples per flushed batch on one upstream edge
 BATCH_SIZE = "swing_batch_size"
+#: histogram: pause-to-resume duration of one key-range state migration
+STATE_MIGRATION_SECONDS = "swing_state_migration_seconds"
 
 #: default latency buckets, seconds (1 ms .. 10 s, roughly log-spaced)
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,

@@ -22,7 +22,9 @@ from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
 from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
+from repro.core.controller import PolicyConfig
 from repro.core.exceptions import DeploymentError, RuntimeStateError
+from repro.core.keyed import KeyedConfig
 from repro.core.function_unit import SinkUnit
 from repro.core.graph import AppGraph
 from repro.core.recovery import (CheckpointStore, RecoveryConfig,
@@ -59,7 +61,8 @@ class SwingRuntime:
                  heartbeat_timeout: float = 0.0,
                  recovery: Optional[RecoveryConfig] = None,
                  checkpoint_store: Optional[CheckpointStore] = None,
-                 fabric_wrapper: Optional[Callable[[Fabric], Fabric]] = None
+                 fabric_wrapper: Optional[Callable[[Fabric], Fabric]] = None,
+                 keyed: Optional[KeyedConfig] = None
                  ) -> None:
         if master_id in worker_ids:
             raise RuntimeStateError("master id must not collide with workers")
@@ -90,6 +93,13 @@ class SwingRuntime:
         trace = self.tracer
         #: recovery/timing knobs shared by master and workers
         self.recovery = recovery if recovery is not None else RecoveryConfig()
+        #: keyed-routing knobs; when set every device gets one shared
+        #: PolicyConfig so keyed edges bootstrap identical range tables
+        self.keyed = keyed
+        self._policy_config = (PolicyConfig(
+            policy=policy, seed=seed, control_interval=control_interval,
+            overload=overload, delivery=delivery, keyed=keyed)
+            if keyed is not None else None)
         #: durable checkpoint store; None = historical unrecoverable master
         self.checkpoint_store = checkpoint_store
         self.fabric: Fabric = InProcFabric(overload=overload,
@@ -105,7 +115,8 @@ class SwingRuntime:
                              overload=overload, registry=registry,
                              trace=trace, delivery=delivery,
                              recovery=self.recovery,
-                             checkpoint_store=checkpoint_store)
+                             checkpoint_store=checkpoint_store,
+                             policy_config=self._policy_config)
         self._policy = policy
         self._seed = seed
         self._control_interval = control_interval
@@ -123,6 +134,7 @@ class SwingRuntime:
             control_interval=self._control_interval,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_target=self.master.master_id,
+            policy_config=self._policy_config,
             overload=self.overload, registry=self.registry,
             trace=self.tracer, delivery=self.delivery,
             recovery=self.recovery)
@@ -218,7 +230,8 @@ class SwingRuntime:
                              trace=self.tracer, delivery=self.delivery,
                              recovery=self.recovery,
                              checkpoint_store=self.checkpoint_store,
-                             epoch=epoch)
+                             epoch=epoch,
+                             policy_config=self._policy_config)
         expected: set = set()
         if checkpoint is not None:
             # Await only survivors that still exist on this runtime —

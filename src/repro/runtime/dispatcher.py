@@ -24,6 +24,7 @@ from repro.core import overload as overload_mod
 from repro.core.batching import BatchBuffer
 from repro.core.controller import LrsController, PolicyConfig
 from repro.core.exceptions import RoutingError
+from repro.core.keyed import hash_key
 from repro.core.policies import PolicyDecision
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
@@ -252,6 +253,13 @@ class UpstreamDispatcher:
                         sampled=sampled)
         else:
             payload = encode_tuple(data)
+        if data.key is not None and self.controller.key_table is not None:
+            # Keyed tuples bypass the batch buffer: a batch is one
+            # routing decision, and key-range ownership must be honored
+            # per key, not per flush.
+            return self.controller.dispatch(data.seq, context=payload,
+                                            deadline=data.deadline,
+                                            key_hash=hash_key(data.key))
         if self._batch is None:
             return self.controller.dispatch(data.seq, context=payload,
                                             deadline=data.deadline)

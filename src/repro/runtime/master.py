@@ -34,6 +34,7 @@ from repro import metrics as metrics_mod
 from repro.core import delivery as delivery_mod
 from repro.core import multitenant as multitenant_mod
 from repro.core import overload as overload_mod
+from repro.core.controller import PolicyConfig
 from repro.core.exceptions import DeploymentError
 from repro.core.graph import AppGraph
 from repro.core.recovery import (CheckpointManager, CheckpointStore,
@@ -430,7 +431,8 @@ class Master:
                  delivery: Optional[delivery_mod.DeliveryConfig] = None,
                  recovery: Optional[RecoveryConfig] = None,
                  checkpoint_store: Optional[CheckpointStore] = None,
-                 epoch: int = 0
+                 epoch: int = 0,
+                 policy_config: Optional[PolicyConfig] = None
                  ) -> None:
         graph.validate()
         self.master_id = master_id
@@ -465,6 +467,7 @@ class Master:
             master_id, fabric, graph, policy=policy, source_rate=source_rate,
             seed=seed, control_interval=control_interval,
             control_handler=self._handle_control,
+            policy_config=policy_config,
             overload=overload, registry=self.registry, trace=trace,
             delivery=delivery, recovery=self.recovery)
         self.session = DeploymentSession(self.pool, graph, tenant_id="")
@@ -472,6 +475,8 @@ class Master:
         #: checkpointed retention staged by restore(), imported into the
         #: runtime's dispatchers once the new deployment exists
         self._staged_retention: Tuple = ()
+        #: checkpointed key-range tables staged alongside it
+        self._staged_key_ranges: Tuple = ()
         self._crashed = False
 
     @property
@@ -586,11 +591,16 @@ class Master:
             (edge, retention_entries(items))
             for edge, items in sorted(self.runtime.export_retention()
                                       .items()))
+        key_ranges = tuple(
+            (edge, tuple((lo, hi, owner) for lo, hi, owner in ranges))
+            for edge, ranges in sorted(self.runtime.export_key_ranges()
+                                       .items()))
         return ControlPlaneCheckpoint(
             epoch=self.pool.epoch, workers=workers, sessions=tuple(sessions),
             retention=retention,
             dedup=tuple((edge, seq)
-                        for edge, seq in self.runtime.dedup_snapshot()))
+                        for edge, seq in self.runtime.dedup_snapshot()),
+            key_ranges=key_ranges)
 
     def checkpoint(self) -> None:
         """Write one checkpoint now (no-op without a store)."""
@@ -636,6 +646,7 @@ class Master:
                 % (self.pool.epoch, checkpoint.epoch))
         self.runtime.restore_dedup(checkpoint.dedup)
         self._staged_retention = checkpoint.retention
+        self._staged_key_ranges = checkpoint.key_ranges
         self.registry.increment(metrics_mod.MASTER_RECOVERIES_TOTAL,
                                 device=self.master_id)
         if self.trace.enabled:
@@ -658,4 +669,10 @@ class Master:
         for edge, entries in self._staged_retention:
             count += self.runtime.import_retention(edge, entries)
         self._staged_retention = ()
+        # Keyed routing survives failover too: re-apply the predecessor's
+        # range tables over the fresh deploy's bootstrap tables, so every
+        # split/migration it performed stays in force.
+        for edge, ranges in self._staged_key_ranges:
+            self.runtime.import_key_ranges(edge, ranges)
+        self._staged_key_ranges = ()
         return count

@@ -313,6 +313,7 @@ _KEY_TRACE = _TAG_STR + _PACK_U32.pack(5) + b"trace"
 _KEY_DELIVERY_ATTEMPT = (_TAG_STR + _PACK_U32.pack(16)
                          + b"delivery_attempt")
 _KEY_TENANT = _TAG_STR + _PACK_U32.pack(6) + b"tenant"
+_KEY_KEY = _TAG_STR + _PACK_U32.pack(3) + b"key"
 
 
 def encode_tuple(data: DataTuple) -> bytes:
@@ -329,12 +330,14 @@ def encode_tuple(data: DataTuple) -> bytes:
     deadline = data.deadline
     attempt = data.delivery_attempt
     tenant = data.tenant
+    key = data.key
     if not (type(seq) is int and type(created_at) is float
             and type(attempt) is int and type(tenant) is str
-            and (deadline is None or type(deadline) is float)):
+            and (deadline is None or type(deadline) is float)
+            and (key is None or type(key) is str)):
         return _encode_tuple_generic(data)
     count = 3 + (deadline is not None) + (data.trace is not None) \
-        + (attempt != 1) + (tenant != "")
+        + (attempt != 1) + (tenant != "") + (key is not None)
     out = [_TAG_DICT, _PACK_U32.pack(count), _KEY_SEQ, _TAG_INT]
     try:
         out.append(_PACK_I64.pack(seq))
@@ -360,6 +363,12 @@ def encode_tuple(data: DataTuple) -> bytes:
             out.append(_TAG_STR)
             out.append(_PACK_U32.pack(len(name)))
             out.append(name)
+        if key is not None:
+            raw = key.encode("utf-8")
+            out.append(_KEY_KEY)
+            out.append(_TAG_STR)
+            out.append(_PACK_U32.pack(len(raw)))
+            out.append(raw)
     except struct.error as error:
         raise SerializationError("unencodable field value: %s" % error) \
             from error
@@ -383,6 +392,8 @@ def _encode_tuple_generic(data: DataTuple) -> bytes:
         fields["delivery_attempt"] = data.delivery_attempt
     if data.tenant != "":
         fields["tenant"] = data.tenant
+    if data.key is not None:
+        fields["key"] = data.key
     body = encode_value(fields)
     if len(body) > MAX_ENCODED_BYTES:
         raise SerializationError("tuple exceeds maximum encoded size")
@@ -406,7 +417,8 @@ def _decode_tuple_reader(reader: _Reader) -> DataTuple:
                      deadline=decoded.get("deadline"),
                      trace=SpanContext.from_dict(decoded.get("trace")),
                      delivery_attempt=decoded.get("delivery_attempt", 1),
-                     tenant=decoded.get("tenant", ""))
+                     tenant=decoded.get("tenant", ""),
+                     key=decoded.get("key"))
 
 
 # -- batched frames ------------------------------------------------------

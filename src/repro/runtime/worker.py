@@ -26,7 +26,10 @@ from repro.core.exceptions import (DeploymentError, RuntimeStateError,
                                    SerializationError)
 from repro.core.function_unit import FunctionUnit, SourceUnit, UnitContext
 from repro.core.graph import AppGraph
+from repro.core.keyed import KeyRange, KeyRangeTable
 from repro.core.recovery import RecoveryConfig, RetainedEntry
+from repro.core.state import (InMemoryStateStore, decode_state_snapshot,
+                              encode_state_snapshot, snapshot_range)
 from repro.core.tuples import DataTuple
 from repro.runtime import messages
 from repro.runtime.dispatcher import (BatchPayload, UpstreamDispatcher,
@@ -121,6 +124,10 @@ class WorkerRuntime:
         #: default tenant, "tenant:unit" otherwise)
         self._units: Dict[str, FunctionUnit] = {}
         self._dispatchers: Dict[str, UpstreamDispatcher] = {}
+        #: per-key operator state, keyed like ``_units`` — created for
+        #: units that declare ``stateful = True`` and migrated between
+        #: workers by key range
+        self._key_states: Dict[str, InMemoryStateStore] = {}
         self._running = threading.Event()
         self._started = threading.Event()
         #: set by stop(): interrupts source pacing / heartbeat sleeps so
@@ -405,7 +412,25 @@ class WorkerRuntime:
             dispatcher = self._dispatchers.get(edge)
             if dispatcher is not None:
                 dispatcher.set_downstreams(instances)
+                self._maybe_bootstrap_key_table(dispatcher, instances)
         self.deployed.set()
+
+    def _maybe_bootstrap_key_table(self, dispatcher: UpstreamDispatcher,
+                                   instances) -> None:
+        """Seed a keyed edge's range table on its first deploy.
+
+        The table partitions the key space evenly over the sorted
+        downstream instances, so every worker that hosts this edge's
+        upstream derives the identical table without coordination.
+        Later deploys leave an existing table alone — splits and
+        migrations own it from then on.
+        """
+        if self.policy_config is None or self.policy_config.keyed is None:
+            return
+        if dispatcher.controller.key_table is not None or not instances:
+            return
+        dispatcher.controller.set_key_table(
+            KeyRangeTable.bootstrap(sorted(instances)))
 
     @staticmethod
     def unit_key(unit_name: str, tenant: str = "") -> str:
@@ -461,12 +486,19 @@ class WorkerRuntime:
             self._dispatchers[key] = dispatcher
             edge_dispatchers.append(dispatcher)
         emit = self._make_emit(edge_dispatchers)
+        unit_key = self.unit_key(unit_name, tenant)
+        state = None
+        if getattr(unit, "stateful", False):
+            # Worker-hosted per-key state: survives across tuples, is
+            # snapshotted by key range for live migration.
+            state = self._key_states.setdefault(unit_key,
+                                                InMemoryStateStore())
         context = UnitContext(unit_name=unit_name,
                               instance_id=instance_id(unit_name, self.worker_id),
-                              emit=emit, now=time.monotonic)
+                              emit=emit, now=time.monotonic, state=state)
         unit.bind(context)
         unit.on_start()
-        self._units[self.unit_key(unit_name, tenant)] = unit
+        self._units[unit_key] = unit
 
     def _make_emit(self, dispatchers):
         def _emit(data: DataTuple) -> None:
@@ -478,6 +510,7 @@ class WorkerRuntime:
         unit = self._units.pop(unit_key, None)
         if unit is not None:
             unit.on_stop()
+        self._key_states.pop(unit_key, None)
         prefix = "%s>" % unit_key
         for key in [key for key in self._dispatchers if key.startswith(prefix)]:
             del self._dispatchers[key]
@@ -823,6 +856,67 @@ class WorkerRuntime:
             items.append((entry.seq, entry.attempt, entry.deadline, context,
                           tuple(entry.seqs)))
         return dispatcher.controller.import_retention(items)
+
+    # -- keyed state hosting ----------------------------------------------
+    def state_store(self, unit_name: str,
+                    tenant: str = "") -> InMemoryStateStore:
+        """The per-key state store of a hosted stateful unit."""
+        key = self.unit_key(unit_name, tenant)
+        try:
+            return self._key_states[key]
+        except KeyError:
+            raise DeploymentError("no keyed state for %r on %s"
+                                  % (key, self.worker_id)) from None
+
+    def export_key_state(self, unit_name: str, key_range: KeyRange,
+                         tenant: str = "") -> bytes:
+        """Extract one key range of a unit's state as a wire snapshot.
+
+        The entries leave this worker's store — after a successful
+        install on the new owner the range no longer lives here.
+        """
+        store = self.state_store(unit_name, tenant)
+        return encode_state_snapshot(
+            snapshot_range(store, tenant, unit_name, key_range))
+
+    def import_key_state(self, frame: bytes) -> int:
+        """Install a migrated state snapshot on this worker.
+
+        Returns the number of keys installed.  The target unit must be
+        hosted (and stateful) here already — routing is flipped only
+        after the install succeeds.
+        """
+        snapshot = decode_state_snapshot(frame)
+        key = self.unit_key(snapshot.unit, snapshot.tenant)
+        if key not in self._units:
+            raise DeploymentError("cannot install state for %r: unit not "
+                                  "hosted on %s" % (key, self.worker_id))
+        store = self._key_states.setdefault(key, InMemoryStateStore())
+        store.install(snapshot.entries)
+        return len(snapshot.entries)
+
+    def export_key_ranges(self) -> Dict[str, List[tuple]]:
+        """Per-edge key-range assignments (checkpoint input)."""
+        exported = {}
+        for edge, dispatcher in list(self._dispatchers.items()):
+            table = dispatcher.controller.key_table
+            if table is not None:
+                exported[edge] = [list(item) for item in table.snapshot()]
+        return exported
+
+    def import_key_ranges(self, edge: str, entries) -> bool:
+        """Adopt checkpointed key-range assignments for *edge*.
+
+        Replaces the bootstrap table the deploy installed, so a
+        recovered master preserves every split/migration its
+        predecessor performed.
+        """
+        dispatcher = self._dispatchers.get(edge)
+        if dispatcher is None:
+            return False
+        dispatcher.controller.set_key_table(
+            KeyRangeTable.restore(tuple(item) for item in entries))
+        return True
 
     @property
     def mailbox(self) -> Mailbox:

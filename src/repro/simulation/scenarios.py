@@ -14,6 +14,7 @@ from repro.core.delivery import (AT_LEAST_ONCE, BEST_EFFORT,
                                  CHURN_KILL_MASTER, CHURN_RESTART_MASTER,
                                  ChurnEvent, ChurnSchedule, DeliveryConfig)
 from repro.core.exceptions import SimulationError
+from repro.core.keyed import KeyedConfig
 from repro.core.multitenant import TenantSpec
 from repro.core.overload import DROP_OLDEST, OverloadConfig
 from repro.simulation.mobility import MobilityPlan, MobilityTrace
@@ -442,6 +443,65 @@ def tenants(app: str = FACE_APP, policy: str = "LRS",
                                 drop_policy=DROP_OLDEST),
         delivery=delivery,
         tenants=tuple(specs),
+    )
+
+
+def skew(app: str = FACE_APP, duration: float = 40.0, seed: int = 3,
+         worker_ids: Sequence[str] = ("B", "D", "G", "H"),
+         key_count: int = 64, zipf_alpha: float = 1.2,
+         input_rate: Optional[float] = None,
+         split_enabled: bool = True,
+         hot_ratio: float = 1.5,
+         min_split_interval: float = 2.0,
+         max_splits: int = 8,
+         at_least_once: bool = True,
+         replay_capacity: int = 4096,
+         dedup_window: int = 8192,
+         max_delivery_attempts: int = 8,
+         ack_timeout: float = 6.0, dead_after: int = 4) -> SwarmConfig:
+    """Keyed-skew soak: per-user state under a Zipf-heavy key universe.
+
+    Every frame carries a ``user-N`` key drawn from a seeded
+    Zipf(*zipf_alpha*) distribution over *key_count* users; frames route
+    by key-range ownership (an even partition of the hash space over the
+    initial pool) and each worker folds its keys into per-user windowed
+    aggregates.  The Zipf head concentrates a large share of the stream
+    on whichever worker owns the hot keys' range — the overload that
+    static hash routing cannot escape.  With ``split_enabled=True`` the
+    control loop detects the hot range, splits it, and live-migrates
+    half (state and all) to the least-loaded worker each round; with
+    ``split_enabled=False`` the same run shows the static baseline the
+    acceptance test compares against.
+
+    At-least-once delivery with a generous *ack_timeout* keeps the
+    focus on routing: migration parking, not redelivery storms, is the
+    mechanism under test, and a mid-run split must lose nothing.
+    """
+    worker_ids = list(worker_ids)
+    if len(worker_ids) < 2:
+        raise SimulationError("hot-range splitting needs somewhere to"
+                              " move the heat: use >= 2 workers")
+    if key_count < 1:
+        raise SimulationError("need at least one key")
+    delivery = (DeliveryConfig(mode=AT_LEAST_ONCE,
+                               replay_capacity=replay_capacity,
+                               dedup_window=dedup_window,
+                               max_delivery_attempts=max_delivery_attempts)
+                if at_least_once else None)
+    return SwarmConfig(
+        workload=workload_for_app(app, input_rate),
+        workers=profiles.worker_profiles(worker_ids),
+        source=profiles.device_profile(profiles.SOURCE_ID),
+        policy="LRS",
+        duration=duration,
+        seed=seed,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        delivery=delivery,
+        keyed=KeyedConfig(key_count=key_count, zipf_alpha=zipf_alpha,
+                          split_enabled=split_enabled, hot_ratio=hot_ratio,
+                          min_split_interval=min_split_interval,
+                          max_splits=max_splits),
     )
 
 

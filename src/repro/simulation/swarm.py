@@ -22,6 +22,7 @@ latency-based routing exist to avoid.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,10 +35,16 @@ from repro.core.delivery import (CHURN_HEAL, CHURN_KILL, CHURN_KILL_MASTER,
                                  CHURN_LEAVE, CHURN_PARTITION,
                                  CHURN_RESTART_MASTER, ChurnSchedule,
                                  DedupWindow, DeliveryConfig, EVICT_SHED)
-from repro.core.exceptions import SimulationError
+from repro.core.exceptions import RuntimeStateError, SimulationError
+from repro.core.keyed import (KeyedConfig, KeyRange, KeyRangeTable,
+                              MOVE_CRASH, MOVE_DRAIN, MOVE_HOT_SPLIT,
+                              hash_key, zipf_weights)
 from repro.core.overload import OverloadConfig
 from repro.core.policies import PolicyDecision
 from repro.core.reorder import ReorderBuffer
+from repro.core.state import (InMemoryStateStore, WindowAggregator,
+                              decode_state_snapshot, encode_state_snapshot,
+                              snapshot_range)
 from repro.simulation.control import collect_batch, engine_controller
 from repro.simulation.device import CpuModel, DeviceProfile, ThermalThrottle
 from repro.simulation.energy import EnergyReport, PowerEstimator
@@ -215,10 +222,21 @@ class SwarmConfig:
     #: / sink over the SAME device pool, and bounded worker ingress
     #: queues run cross-tenant fair-share admission.
     tenants: Sequence[multitenant_mod.TenantSpec] = ()
+    #: keyed-routing knobs shared verbatim with the threaded runtime;
+    #: ``None`` keeps every frame stateless (historical behaviour).
+    #: With ``key_count > 0`` the source stamps each frame with a key
+    #: drawn from a seeded Zipf distribution, frames route by key-range
+    #: ownership instead of the policy, workers keep per-key windowed
+    #: aggregates, and the control loop splits/migrates hot ranges.
+    keyed: Optional[KeyedConfig] = None
 
     def batching_config(self) -> BatchConfig:
         """This experiment's batching knobs (per-tuple by default)."""
         return self.batching if self.batching is not None else BatchConfig()
+
+    def keyed_config(self) -> KeyedConfig:
+        """This experiment's keyed-routing knobs (stateless by default)."""
+        return self.keyed if self.keyed is not None else KeyedConfig()
 
     def overload_config(self) -> OverloadConfig:
         """This experiment's overload knobs (disabled-by-default)."""
@@ -248,7 +266,8 @@ class SwarmConfig:
                             capabilities=capabilities,
                             overload=self.overload,
                             delivery=self.delivery,
-                            batching=self.batching)
+                            batching=self.batching,
+                            keyed=self.keyed)
 
     def resolved_source_queue(self) -> Optional[int]:
         """Source queue capacity for the engine (None = unbounded)."""
@@ -294,6 +313,13 @@ class SwarmConfig:
                     "device %s both initial and joining" % event.device_id)
         if self.churn is not None:
             self.churn.validate(set(self.workers))
+        if self.keyed is not None:
+            self.keyed.validate()
+            if self.keyed.key_count > 0 and self.batching_config().enabled:
+                # Keyed tuples route by range ownership per tuple; a
+                # batch spanning ranges has no single owner.
+                raise SimulationError(
+                    "keyed routing runs per-tuple; disable batching")
         seen_tenants = set()
         for spec in self.tenants:
             if not isinstance(spec, multitenant_mod.TenantSpec):
@@ -313,6 +339,11 @@ class _Frame:
     deadline: Optional[float] = None
     #: owning tenant pipeline ("" = the single-tenant namespace)
     tenant: str = ""
+    #: partitioning key for keyed stateful operators (None = stateless)
+    key: Optional[str] = None
+    #: ``hash_key(key)``, stamped once at the source so routing and the
+    #: drain-watch never re-hash per hop
+    key_hash: Optional[int] = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -334,6 +365,8 @@ class _TenantState:
     dedup: Optional[DedupWindow]
     #: RNG stream name for this tenant's arrival process
     arrivals_stream: str
+    #: RNG stream name for this tenant's key draws (keyed runs only)
+    keys_stream: str = "keys"
 
 
 class _WorkerNode:
@@ -369,6 +402,14 @@ class _WorkerNode:
         self.joined_at = sim.now
         self.left_at: Optional[float] = None
         self.current_seq: Optional[int] = None
+        #: the frame being processed right now (drain-watch inspects its
+        #: key hash during a range migration)
+        self.current_frame: Optional[_Frame] = None
+        #: per-tenant keyed operator state — the SAME StateStore the
+        #: threaded runtime's workers host, so snapshot/install run the
+        #: identical code path in both substrates
+        self.key_stores: Dict[str, InMemoryStateStore] = {}
+        self._aggregators: Dict[str, WindowAggregator] = {}
         self.thermal: Optional[ThermalThrottle] = (
             ThermalThrottle()
             if swarm.config.thermal_throttling and profile.throttles
@@ -408,6 +449,7 @@ class _WorkerNode:
                                        hop="ingress:%s" % self.device_id,
                                        tenant=frame.tenant))
             self.current_seq = frame.seq
+            self.current_frame = frame
             jitter = swarm.rngs.lognormal_jitter(
                 "service:%s" % self.device_id, swarm.config.jitter_sigma)
             service = self.cpu.service_time(jitter)
@@ -425,8 +467,26 @@ class _WorkerNode:
                                        hop="worker:%s" % self.device_id,
                                        tenant=frame.tenant))
             counters.frames_completed += 1
+            if frame.key is not None:
+                self._observe_key(frame)
             self.current_seq = None
+            self.current_frame = None
             self._send_result(frame, service)
+
+    def key_store(self, tenant: str) -> InMemoryStateStore:
+        """This device's keyed state for one tenant (created on demand)."""
+        store = self.key_stores.get(tenant)
+        if store is None:
+            store = InMemoryStateStore()
+            self.key_stores[tenant] = store
+            self._aggregators[tenant] = WindowAggregator(store, window=1.0)
+        return store
+
+    def _observe_key(self, frame: _Frame) -> None:
+        """Fold one processed frame into its key's windowed aggregate."""
+        self.key_store(frame.tenant)
+        self._aggregators[frame.tenant].observe(frame.key, 1.0,
+                                                self.swarm.sim.now)
 
     def forget_depth(self, frame: _Frame) -> None:
         """Release one ingress slot from the frame's tenant account."""
@@ -527,6 +587,15 @@ class SwarmSimulation:
         #: one sequence space for the whole swarm: FrameRecords are keyed
         #: by seq, so tenants must never collide
         self._next_seq = 0
+        #: cumulative Zipf weights over the key universe; empty when the
+        #: run is stateless (keyed off or key_count == 0)
+        self._key_cum: List[float] = []
+        keyed = config.keyed
+        if keyed is not None and keyed.key_count > 0:
+            total = 0.0
+            for weight in zipf_weights(keyed.key_count, keyed.zipf_alpha):
+                total += weight
+                self._key_cum.append(total)
         self._build()
 
     def _make_tenant_state(self, spec) -> _TenantState:
@@ -546,11 +615,13 @@ class SwarmSimulation:
             edge_name = "edge:%s@%s" % (source_id, tenant_id)
             controller_name = "%s@%s" % (source_id, tenant_id)
             arrivals_stream = "arrivals:%s" % tenant_id
+            keys_stream = "keys:%s" % tenant_id
         else:
             egress_name = "egress:%s" % source_id
             edge_name = "edge:%s" % source_id
             controller_name = source_id
             arrivals_stream = "arrivals"
+            keys_stream = "keys"
         controller = engine_controller(
             self.sim, config.policy_config(seed=self.rngs.root_seed),
             registry=self.registry, name=controller_name,
@@ -571,7 +642,8 @@ class SwarmSimulation:
                             controller=controller, egress=egress,
                             egress_name=egress_name, edge_name=edge_name,
                             reorder=reorder, dedup=dedup,
-                            arrivals_stream=arrivals_stream)
+                            arrivals_stream=arrivals_stream,
+                            keys_stream=keys_stream)
 
     def _egress_capacity(self, workload: Workload) -> Optional[int]:
         """Source egress capacity for one tenant's queue (None = unbounded)."""
@@ -618,6 +690,13 @@ class SwarmSimulation:
             if config.mobility is not None:
                 rssi = config.mobility.initial_rssi(device_id, rssi)
             self._add_worker(profile, rssi)
+        # Keyed routing: every tenant's control plane starts from the
+        # same even partition of the key space over the initial pool
+        # (later joiners take ownership only through migration).
+        if config.keyed is not None and self.nodes:
+            for state in self._states.values():
+                state.controller.set_key_table(
+                    KeyRangeTable.bootstrap(sorted(self.nodes)))
         # One source + dispatcher pair per tenant pipeline; the default
         # tenant keeps the historical bare process names.
         for tenant_id, state in self._states.items():
@@ -819,6 +898,19 @@ class SwarmSimulation:
                                         device=node.device_id)
         self.drain_durations[node.device_id] = elapsed
         device_id = node.device_id
+        # Keyed ranges leave WITH their state before the device detaches:
+        # the drain-triggered move runs the same migrate path as a
+        # hot-split, so churn- and load-driven migration never diverge.
+        for state in self._states.values():
+            table = state.controller.key_table
+            if table is None:
+                continue
+            for key_range in table.ranges_owned_by(device_id):
+                target = self._keyed_target(exclude=device_id)
+                if target is None:
+                    break
+                yield from self._migrate_range(state, key_range, device_id,
+                                               target, MOVE_DRAIN)
         if self.nodes.get(device_id) is not node:
             return  # superseded (e.g. rejoined under the same id)
         del self.nodes[device_id]
@@ -993,6 +1085,138 @@ class SwarmSimulation:
         if node is not None:
             node.cpu.set_background_load(load)
 
+    # -- keyed state & migration -----------------------------------------
+    def _draw_key(self, state: _TenantState) -> Optional[str]:
+        """One seeded Zipf draw from this tenant's key universe."""
+        if not self._key_cum:
+            return None
+        draw = self.rngs.stream(state.keys_stream).random() \
+            * self._key_cum[-1]
+        index = min(bisect_left(self._key_cum, draw),
+                    len(self._key_cum) - 1)
+        return "user-%d" % index
+
+    def _keyed_target(self, exclude: str) -> Optional[str]:
+        """Least-loaded live worker to receive a migrating range."""
+        candidates = [(len(node.ingress), device_id)
+                      for device_id, node in sorted(self.nodes.items())
+                      if device_id != exclude and node.alive
+                      and not node.draining]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _migrate_range(self, state: _TenantState, key_range: KeyRange,
+                       source_id: str, target_id: str, reason: str):
+        """Engine process: pause → drain → snapshot → install → flip.
+
+        The churn-driven (``drain``) and load-driven (``hot_split``)
+        moves both run through here — one migration code path, mirroring
+        :func:`repro.runtime.migration.migrate_range` step for step.
+        Pausing parks the range's new tuples unassigned in the replay
+        buffer; resume's sweep re-places them on the new owner, so under
+        at-least-once delivery the handoff loses nothing.
+        """
+        controller = state.controller
+        started = self.sim.now
+        controller.pause_range(key_range)
+        try:
+            yield from self._drain_range(source_id, key_range)
+            self._transfer_state(state, key_range, source_id, target_id)
+            controller.move_range(key_range, target_id, reason=reason)
+        finally:
+            controller.resume_range(key_range)
+        self.registry.observe_histogram(metrics_mod.STATE_MIGRATION_SECONDS,
+                                        self.sim.now - started,
+                                        edge=state.edge_name)
+
+    def _drain_range(self, device_id: str, key_range: KeyRange):
+        """Wait until the old owner holds no in-flight frame of the range.
+
+        Pausing already stopped new sends; whatever is queued or on the
+        wire clears within a few poll ticks.  Two consecutive quiet
+        polls guard against a frame landing between checks.
+        """
+        quiet = 0
+        while quiet < 2:
+            node = self.nodes.get(device_id)
+            if node is None or not node.alive:
+                return
+            busy = any(frame.key_hash is not None
+                       and key_range.contains(frame.key_hash)
+                       for frame in node.ingress._items)
+            current = node.current_frame
+            if current is not None and current.key_hash is not None \
+                    and key_range.contains(current.key_hash):
+                busy = True
+            quiet = 0 if busy else quiet + 1
+            yield self.sim.timeout(0.05)
+
+    def _transfer_state(self, state: _TenantState, key_range: KeyRange,
+                        source_id: str, target_id: str) -> int:
+        """Ship one range's keyed state through the hardened codec.
+
+        Encode→decode round-trips the real wire frame even though both
+        ends live in one process: the simulator exercises exactly the
+        bytes the threaded runtime ships between workers.
+        """
+        source = self.nodes.get(source_id) or self._departed.get(source_id)
+        target = self.nodes.get(target_id)
+        if source is None or target is None:
+            return 0
+        store = source.key_stores.get(state.tenant_id)
+        if store is None:
+            return 0
+        frame = encode_state_snapshot(snapshot_range(
+            store, state.tenant_id, "agg", key_range))
+        snapshot = decode_state_snapshot(frame)
+        target_store = target.key_store(state.tenant_id)
+        try:
+            target_store.install(snapshot.entries)
+        except RuntimeStateError:
+            # A revive/re-drain cycle can leave a stale copy behind; the
+            # migrating snapshot is the authoritative one.
+            for key, value in snapshot.entries:
+                target_store.store(key, dict(value))
+        return len(snapshot.entries)
+
+    def _keyed_round(self, state: _TenantState) -> None:
+        """One keyed control round: crash reconciliation, then hot-split.
+
+        A range owned by a device no longer in the swarm is re-owned by
+        a survivor WITHOUT a snapshot — a crash loses per-key state by
+        definition (the guarantee matrix's ``crash`` row); the parked
+        and expiring tuples then redeliver to the new owner.  A hot
+        range is split in place and its upper half migrated to the
+        least-loaded worker; if the heat was in the lower half the
+        detector re-fires next round and halves it again — geometric
+        convergence toward isolating the hot keys.
+        """
+        controller = state.controller
+        table = controller.key_table
+        if table is None:
+            return
+        for key_range, owner in table.ranges():
+            if owner in self.nodes or table.is_paused(key_range):
+                continue
+            target = self._keyed_target(exclude=owner)
+            if target is not None:
+                controller.move_range(key_range, target, reason=MOVE_CRASH)
+        found = controller.hot_range(self.sim.now)
+        if found is None:
+            return
+        hot, _rate = found
+        owner = table.owner(hot)
+        if owner is None or owner not in self.nodes:
+            return
+        target = self._keyed_target(exclude=owner)
+        if target is None:
+            return
+        _lower, upper = controller.split_range(hot)
+        self.sim.process(
+            self._migrate_range(state, upper, owner, target, MOVE_HOT_SPLIT),
+            name="migrate:%s" % (state.tenant_id or "-"))
+
     # -- processes -------------------------------------------------------
     def _source(self, state: _TenantState):
         gaps = state.workload.interarrival_times(
@@ -1026,9 +1250,12 @@ class SwarmSimulation:
             # Lambda is observed at frame creation: a real-time source
             # measures its own capture rate, not the dispatch rate.
             controller.observe_arrival(now)
+            key = self._draw_key(state)
             frame = _Frame(seq=seq, created_at=now,
                            deadline=overload.deadline_for(now),
-                           tenant=tenant)
+                           tenant=tenant, key=key,
+                           key_hash=hash_key(key)
+                           if key is not None else None)
             if overload.enabled and egress.capacity is not None:
                 decision = overload_mod.admission(
                     len(egress), egress.capacity,
@@ -1092,7 +1319,8 @@ class SwarmSimulation:
             # exactly how a silent departure shows up in loss accounting.
             if not batching.enabled:
                 destination = controller.dispatch(
-                    live[0].seq, context=live[0], deadline=live[0].deadline)
+                    live[0].seq, context=live[0], deadline=live[0].deadline,
+                    key_hash=live[0].key_hash)
             else:
                 # One decision per closed batch; the replay context is
                 # the member tuple(s) so redelivery can re-send each
@@ -1285,6 +1513,7 @@ class SwarmSimulation:
                 continue  # no control plane while the master is down
             for state in self._states.values():
                 state.controller.update(self.sim.now)
+                self._keyed_round(state)
             self._export_queue_depths()
 
     def _export_queue_depths(self) -> None:
@@ -1422,6 +1651,12 @@ class SwarmResult:
     shed_by_tenant: Dict[str, int] = field(default_factory=dict)
     #: master crash→recovery cycles completed during the run
     master_recoveries: int = 0
+    #: key-range ownership moves by reason (hot_split / drain / crash)
+    key_moves_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: hot ranges the detector flagged over the run
+    hot_ranges_detected: int = 0
+    #: range splits performed across every tenant's table
+    key_splits: int = 0
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -1489,6 +1724,14 @@ class SwarmResult:
             shed_by_tenant=swarm.registry.values_by_label(
                 metrics_mod.SHED_TOTAL, "tenant"),
             master_recoveries=swarm.master_recoveries,
+            key_moves_by_reason=swarm.registry.values_by_label(
+                metrics_mod.KEY_RANGE_MOVES_TOTAL, "reason"),
+            hot_ranges_detected=sum(swarm.registry.values_by_label(
+                metrics_mod.HOT_KEYS_DETECTED_TOTAL, "edge").values()),
+            key_splits=sum(
+                state.controller.key_table.splits
+                for state in swarm._states.values()
+                if state.controller.key_table is not None),
         )
 
     # -- convenience views used by the benchmark harness -------------------
@@ -1531,6 +1774,22 @@ class SwarmResult:
                       if record.created_at < cutoff
                       and record.sink_arrived_at is None
                       and record.dropped is None)
+
+    def bounded_throughput(self, bound: float, warmup: float = 5.0) -> float:
+        """Completions per second within a latency *bound* after warm-up.
+
+        The skew experiment's figure of merit: a statically-overloaded
+        hot worker still completes frames eventually, but past the bound
+        they no longer count — SLO throughput, not raw throughput.
+        """
+        horizon = self.duration - warmup
+        if horizon <= 0:
+            return 0.0
+        completed = sum(1 for record in self.metrics.completed_frames()
+                        if record.sink_arrived_at >= warmup
+                        and record.total_delay is not None
+                        and record.total_delay <= bound)
+        return completed / horizon
 
     def steady_state_throughput(self, warmup: float = 5.0) -> float:
         """Completions per second after the warm-up period."""

@@ -120,6 +120,67 @@ class TestCheckpointCodec:
             ControlPlaneCheckpoint.decode(b"not a checkpoint")
 
 
+class TestCheckpointKeyRanges:
+    def test_round_trip(self):
+        checkpoint = ControlPlaneCheckpoint(
+            epoch=1, workers=("B", "C"),
+            key_ranges=(("sensor>aggregate",
+                         ((0, 32768, "aggregate@B"),
+                          (32768, 65536, "aggregate@C"))),))
+        assert ControlPlaneCheckpoint.decode(checkpoint.encode()) \
+            == checkpoint
+
+    def test_absent_at_default_stays_byte_identical(self):
+        # A deployment with no keyed edges must write exactly the bytes
+        # a pre-keyed build wrote, so rolling upgrades can exchange
+        # checkpoints in both directions on the stateless path.
+        checkpoint = sample_checkpoint()
+        assert checkpoint.key_ranges == ()
+        frame = checkpoint.encode()
+        assert b"key_ranges" not in frame
+        legacy = encode_value({
+            "version": 1,
+            "epoch": checkpoint.epoch,
+            "workers": list(checkpoint.workers),
+            "sessions": [{
+                "tenant": session.tenant,
+                "started": session.started,
+                "assignments": {unit: list(hosts)
+                                for unit, hosts in session.assignments},
+            } for session in checkpoint.sessions],
+            "retention": {edge: [{
+                "seq": entry.seq,
+                "attempt": entry.attempt,
+                "deadline": entry.deadline,
+                "frame": entry.frame,
+                "seqs": list(entry.seqs),
+            } for entry in entries]
+                for edge, entries in checkpoint.retention},
+            "dedup": [[edge, seq] for edge, seq in checkpoint.dedup],
+        })
+        assert frame == legacy
+
+    def test_malformed_range_entries_rejected(self):
+        payload = encode_value({
+            "version": 1,
+            "key_ranges": {"sensor>aggregate": [[0, "oops", "B"]]}})
+        with pytest.raises(SerializationError):
+            ControlPlaneCheckpoint.decode(payload)
+
+    def test_truncated_range_triple_rejected(self):
+        payload = encode_value({
+            "version": 1, "key_ranges": {"sensor>aggregate": [[0, 100]]}})
+        with pytest.raises(SerializationError):
+            ControlPlaneCheckpoint.decode(payload)
+
+    def test_version_skew_still_rejected_with_ranges(self):
+        payload = encode_value({
+            "version": 2,
+            "key_ranges": {"sensor>aggregate": [[0, 100, "B"]]}})
+        with pytest.raises(SerializationError, match="version"):
+            ControlPlaneCheckpoint.decode(payload)
+
+
 class TestStores:
     def test_in_memory_latest_wins(self):
         store = InMemoryCheckpointStore()

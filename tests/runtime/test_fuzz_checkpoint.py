@@ -57,7 +57,18 @@ _CHECKPOINTS = st.builds(
     .map(lambda pairs: tuple(sorted(pairs))),
     dedup=st.lists(st.tuples(st.text(min_size=1, max_size=8),
                              st.integers(min_value=0, max_value=2 ** 48)),
-                   max_size=5).map(tuple))
+                   max_size=5).map(tuple),
+    key_ranges=st.lists(
+        st.tuples(st.text(min_size=1, max_size=10),
+                  st.lists(st.tuples(st.integers(min_value=0,
+                                                 max_value=2 ** 15),
+                                     st.integers(min_value=2 ** 15 + 1,
+                                                 max_value=2 ** 16),
+                                     st.text(min_size=1, max_size=8))
+                           .map(lambda t: (t[0], t[1], t[2])),
+                           max_size=3).map(tuple)),
+        max_size=2, unique_by=lambda pair: pair[0])
+    .map(lambda pairs: tuple(sorted(pairs))))
 
 
 class TestCheckpointRoundtripFuzz:
@@ -110,7 +121,7 @@ class TestVersionSkew:
     @given(st.text(min_size=1, max_size=12)
            .filter(lambda name: name not in {"version", "epoch", "workers",
                                              "sessions", "retention",
-                                             "dedup"}))
+                                             "dedup", "key_ranges"}))
     @settings(max_examples=50)
     def test_unknown_future_fields_rejected(self, field):
         payload = encode_value({"version": 1, field: []})

@@ -1,0 +1,83 @@
+"""Keyed tuples on the wire: round-trip, parity, unkeyed byte-identity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tuples import DataTuple
+from repro.runtime.serialization import (decode_tuple, encode_tuple,
+                                         encode_value)
+
+
+def _fields_without_key(data):
+    """The pre-keyed wire field dict — the format before `key` existed."""
+    fields = {"seq": data.seq, "created_at": data.created_at,
+              "values": data.values}
+    if data.deadline is not None:
+        fields["deadline"] = data.deadline
+    if data.trace is not None:
+        fields["trace"] = data.trace.to_dict()
+    if data.delivery_attempt != 1:
+        fields["delivery_attempt"] = data.delivery_attempt
+    if data.tenant != "":
+        fields["tenant"] = data.tenant
+    return fields
+
+
+class TestUnkeyedByteIdentity:
+    def test_unkeyed_frame_identical_to_pre_keyed_format(self):
+        # A tuple without a key must encode to exactly the bytes the
+        # codec produced before the key field existed — mixed-version
+        # swarms interoperate on the stateless path.
+        for data in (DataTuple(values={"x": 1}, seq=5, created_at=2.5),
+                     DataTuple(values={}, seq=0, created_at=0.0),
+                     DataTuple(values={"x": 1}, seq=1, created_at=1.0,
+                               deadline=9.0, delivery_attempt=3,
+                               tenant="t1")):
+            assert data.key is None
+            assert encode_tuple(data) == encode_value(
+                _fields_without_key(data))
+
+    def test_absent_key_never_on_wire(self):
+        frame = encode_tuple(DataTuple(values={"x": 1}, seq=5,
+                                       created_at=2.5))
+        assert b"key" not in frame
+
+
+class TestKeyedRoundTrip:
+    def test_key_round_trips(self):
+        data = DataTuple(values={"x": 1}, seq=5, created_at=2.5,
+                         key="user-7")
+        out = decode_tuple(encode_tuple(data))
+        assert out.key == "user-7"
+        assert out.seq == 5 and out.values == {"x": 1}
+
+    def test_unkeyed_decodes_to_none(self):
+        out = decode_tuple(encode_tuple(
+            DataTuple(values={"x": 1}, seq=5, created_at=2.5)))
+        assert out.key is None
+
+    def test_fast_path_matches_generic_for_keyed(self):
+        # The specialized emitter and the generic dict codec must agree
+        # on keyed frames too — the generic path defines the format.
+        data = DataTuple(values={"x": 1}, seq=5, created_at=2.5,
+                         key="user-7", tenant="t1", delivery_attempt=2)
+        fields = _fields_without_key(data)
+        fields["key"] = data.key
+        assert encode_tuple(data) == encode_value(fields)
+
+    def test_non_canonical_key_type_takes_generic_path(self):
+        # A non-str key can only come from in-process misuse; the fast
+        # emitter must fall through rather than corrupt the frame.
+        data = DataTuple(values={}, seq=1, created_at=1.0, key=b"user-1")
+        decoded = decode_tuple(encode_tuple(data))
+        assert decoded.key == b"user-1"
+
+    def test_derive_carries_key(self):
+        data = DataTuple(values={"x": 1}, seq=5, created_at=2.5,
+                         key="user-7")
+        assert data.derive({"y": 2}).key == "user-7"
+
+    @given(st.text(max_size=64))
+    def test_any_text_key_round_trips(self, key):
+        data = DataTuple(values={}, seq=1, created_at=1.0, key=key)
+        assert decode_tuple(encode_tuple(data)).key == key

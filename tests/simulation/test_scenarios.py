@@ -87,6 +87,37 @@ class TestDynamicsScenarios:
         assert stationary.change_points() == []
 
 
+class TestSkewScenario:
+    def test_shape(self):
+        config = scenarios.skew()
+        assert sorted(config.workers) == ["B", "D", "G", "H"]
+        assert config.policy == "LRS"
+        keyed = config.keyed_config()
+        assert keyed.key_count == 64
+        assert keyed.zipf_alpha == 1.2
+        assert keyed.split_enabled
+        assert config.delivery_config().at_least_once
+
+    def test_static_variant_disables_splitting(self):
+        config = scenarios.skew(split_enabled=False)
+        assert not config.keyed_config().split_enabled
+
+    def test_best_effort_variant(self):
+        config = scenarios.skew(at_least_once=False)
+        assert not config.delivery_config().at_least_once
+
+    def test_validates(self):
+        scenarios.skew().validate()
+
+    def test_needs_two_workers(self):
+        with pytest.raises(SimulationError):
+            scenarios.skew(worker_ids=("B",))
+
+    def test_needs_a_key(self):
+        with pytest.raises(SimulationError):
+            scenarios.skew(key_count=0)
+
+
 class TestOverloadScenario:
     def test_shape(self):
         config = scenarios.overload()

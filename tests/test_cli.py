@@ -117,6 +117,40 @@ class TestTraceCommand:
         assert validate_chrome_trace(json.loads(out.read_text()))
 
 
+class TestSkewCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["skew"])
+        assert args.keys == 64
+        assert args.alpha == 1.2
+        assert not args.static
+        assert not args.best_effort
+
+    def test_splitting_run_summary(self, capsys):
+        assert main(["skew", "--duration", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-range splitting" in out
+        assert "range splits" in out
+        assert "end-to-end lost" in out
+
+    def test_static_baseline_mode(self, capsys):
+        assert main(["skew", "--duration", "8", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "static hash routing" in out
+
+    def test_metrics_json_carries_keyed_families(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["skew", "--duration", "12",
+                     "--metrics-json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        counters = doc["metrics"]["counters"]
+        assert any(name.startswith("swing_hot_keys_detected_total")
+                   for name in counters)
+        assert any(name.startswith("swing_key_range_moves_total")
+                   for name in counters)
+        assert any(name.startswith("swing_state_migration_seconds")
+                   for name in doc["metrics"]["histograms"])
+
+
 class TestMetricsJsonOption:
     def test_single_dumps_registry(self, tmp_path):
         path = tmp_path / "metrics.json"
