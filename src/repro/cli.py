@@ -246,6 +246,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the run's keyed/migration counters")
     _add_metrics_json(skew)
 
+    verify = sub.add_parser("verify",
+                            help="chaos sweep: N seeded fault schedules "
+                                 "checked against the global invariant "
+                                 "catalog; violations shrink to a minimal "
+                                 "JSON repro")
+    verify.add_argument("--schedules", type=int, default=20, metavar="N",
+                        help="number of seeded schedules to explore")
+    verify.add_argument("--seed", type=int, default=1,
+                        help="base seed; schedule i uses seed + i")
+    verify.add_argument("--substrate", default="sim",
+                        choices=["sim", "runtime", "both"],
+                        help="which substrate(s) execute each schedule")
+    verify.add_argument("--out", default=None, metavar="FILE",
+                        help="write the first failing schedule's shrunk "
+                             "repro JSON here")
+    verify.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run a repro JSON written by --out "
+                             "instead of sweeping")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="report failures without ddmin shrinking")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-schedule progress lines")
+
     cloudlet = sub.add_parser("cloudlet",
                               help="testbed plus a cloudlet VM (Sec. II)")
     cloudlet.add_argument("--policy", default="LRS", choices=ALL_POLICIES)
@@ -430,6 +453,16 @@ def cmd_faults(args) -> int:
         min_width=20))
     _print_registry(result)
     _write_metrics_json(result, args)
+    # Guarantee: a silently-killed worker must be detected.  A kill with
+    # no revive that is still undetected at the end of the run means the
+    # failure detector lost it.
+    if args.revive_time is None:
+        undetected = [device_id for device_id in args.kill
+                      if device_id not in result.dead_downstreams]
+        if undetected:
+            print("FAIL: killed device(s) never dead-marked: %s"
+                  % ", ".join(undetected))
+            return 1
     return 0
 
 
@@ -472,6 +505,17 @@ def cmd_overload(args) -> int:
     if args.metrics:
         _print_registry(result)
     _write_metrics_json(result, args)
+    # Guarantee: overload protection keeps every bounded ingress queue
+    # at or under its configured capacity.
+    over = {name: depth
+            for name, depth in result.max_queue_depths.items()
+            if name.startswith("ingress:")
+            and depth > args.queue_capacity}
+    if over:
+        print("FAIL: bounded queue(s) exceeded capacity %d: %s"
+              % (args.queue_capacity,
+                 ", ".join("%s=%d" % item for item in sorted(over.items()))))
+        return 1
     return 0
 
 
@@ -717,6 +761,49 @@ def cmd_cloudlet(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import adapters as verify_adapters
+    from repro.verify import explorer
+
+    progress = None if args.quiet else print
+    if args.replay is not None:
+        case, violations = explorer.replay(args.replay, progress=progress)
+        print("replayed %d-event repro (seed=%s) on %s"
+              % (len(case.shrunk), case.shrunk.seed, case.substrate))
+        if violations:
+            for violation in violations:
+                print("FAIL: [%s] %s"
+                      % (violation.invariant, violation.message))
+            return 1
+        print("clean: the repro no longer violates any invariant")
+        return 0
+    substrates = (verify_adapters.SUBSTRATES if args.substrate == "both"
+                  else (args.substrate,))
+    report = explorer.explore(args.schedules, seed=args.seed,
+                              substrates=substrates,
+                              shrink_failures=not args.no_shrink,
+                              progress=progress)
+    clean = sum(1 for record in report.runs if record.ok)
+    print("verify: %d schedule(s) x %s -> %d/%d run(s) clean"
+          % (args.schedules, "+".join(substrates), clean,
+             len(report.runs)))
+    if report.ok:
+        return 0
+    for case in report.failures:
+        print("FAIL: seed=%s substrate=%s shrunk to %d event(s):"
+              % (case.schedule.seed, case.substrate, len(case.shrunk)))
+        for event in case.shrunk:
+            print("  t=%.1fs %s %s" % (event.time, event.action,
+                                       event.target))
+        for violation in case.violations:
+            print("  [%s] %s" % (violation.invariant, violation.message))
+    if args.out is not None:
+        explorer.write_repro(report.failures[0], args.out)
+        print("repro written to %s (re-run: swing verify --replay %s)"
+              % (args.out, args.out))
+    return 1
+
+
 COMMANDS = {
     "testbed": cmd_testbed,
     "compare": cmd_compare,
@@ -730,6 +817,7 @@ COMMANDS = {
     "tenants": cmd_tenants,
     "skew": cmd_skew,
     "trace": cmd_trace,
+    "verify": cmd_verify,
 }
 
 

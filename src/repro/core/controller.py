@@ -50,6 +50,7 @@ sim/real parity harness in ``tests/integration`` verifies.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -232,6 +233,13 @@ class LrsController:
         self.on_redeliver = redelivery
         self._redeliver_queue: Deque[Union[str, ReplayEntry]] = deque()
         self._redelivering = False
+        # Mutation hook for the verification harness: when the env flag
+        # is set, the first overdue redelivery is silently dropped (no
+        # re-retain, no eviction count) — a seeded at-least-once bug the
+        # invariant checker must find and shrink.  Never set outside
+        # `swing verify` mutation tests.
+        self._fault_skip_redelivery = bool(
+            os.environ.get("SWING_FAULT_SKIP_REDELIVERY"))
         # -- batched dispatch bookkeeping (populated only when a batch is
         # retained for replay): member seq -> head seq, and head seq ->
         # the members still awaiting an ACK.  The replay buffer holds ONE
@@ -966,6 +974,13 @@ class LrsController:
                 self._redelivering = False
 
     def _redeliver_entry(self, entry: ReplayEntry) -> None:
+        if self._fault_skip_redelivery:
+            # Seeded bug (see __init__): drop this overdue tuple on the
+            # floor exactly once — it leaves the replay buffer with no
+            # eviction record and is never sent again.
+            self._fault_skip_redelivery = False
+            self._forget_batch(entry.seq)
+            return
         now = self._clock()
         if entry.deadline is not None and now > entry.deadline:
             # Shed-aware: an expired tuple would be dropped on arrival

@@ -169,9 +169,15 @@ class ReplayBuffer:
                attempt: int = 1, nbytes: Optional[int] = None) -> None:
         """Remember *seq* until it is ACKed, evicting to stay in bounds."""
         if nbytes is None:
-            nbytes = (len(context)
-                      if isinstance(context, (bytes, bytearray, memoryview))
-                      else 0)
+            if isinstance(context, (bytes, bytearray, memoryview)):
+                nbytes = len(context)
+            elif isinstance(context, (tuple, list)):
+                # A batched retention's context is its member frames;
+                # the batch weighs what its members weigh.
+                nbytes = sum(int(getattr(item, "nbytes", 0) or 0)
+                             for item in context)
+            else:
+                nbytes = int(getattr(context, "nbytes", 0) or 0)
         with self._lock:
             stale = self._entries.pop(seq, None)
             if stale is not None:

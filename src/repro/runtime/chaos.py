@@ -48,7 +48,8 @@ from repro.core.exceptions import RuntimeStateError, SerializationError
 from repro.runtime.app_runner import SwingRuntime
 from repro.runtime.channels import ChannelClosed
 from repro.runtime.fabric import Fabric, Mailbox
-from repro.runtime.messages import Message
+from repro.runtime.messages import BATCH, Message
+from repro.runtime.serialization import decode_batch
 
 
 @dataclass(frozen=True)
@@ -225,9 +226,20 @@ class ChaosFabric(Fabric):
         index = entropy % len(frame)
         frame[index] ^= 1 << ((entropy >> 8) % 8)
         try:
-            return Message.decode(bytes(frame))
+            mangled = Message.decode(bytes(frame))
         except SerializationError:
             return None
+        if mangled.kind == BATCH:
+            # The outer codec treats the nested batch frame as an opaque
+            # byte string, so a flip inside it survives Message.decode.
+            # Validate the inner framing here too: a corrupted batch is
+            # dropped loudly at the fabric (chaos_corrupt), never handed
+            # downstream to be partially decoded.
+            try:
+                decode_batch(mangled.payload["batch"], zero_copy=False)
+            except (KeyError, TypeError, SerializationError):
+                return None
+        return mangled
 
     def _deliver_late(self, sender_id: str, target_id: str,
                       message: Message) -> None:

@@ -631,7 +631,12 @@ class WorkerRuntime:
         try:
             batch = decode_batch(payload["batch"])
         except SerializationError:
-            return  # poison frame: let upstream replay/expiry handle it
+            # Poison frame: no ACK, so upstream replay/expiry handles
+            # the tuples — but the drop itself must be loud.
+            self._registry.increment(metrics_mod.DROPPED_TOTAL,
+                                     reason="corrupt_batch",
+                                     link="?>%s" % self.worker_id)
+            return
         edge = payload.get("edge", "")
         attempt = payload.get("delivery_attempt", 1)
         sent_at = payload["sent_at"]

@@ -200,6 +200,11 @@ class Store:
     def __len__(self) -> int:
         return len(self._items)
 
+    def items(self) -> Tuple[Any, ...]:
+        """Current contents, oldest first — stored items plus parked
+        putters (end-of-run conservation audits walk these)."""
+        return tuple(self._items) + tuple(item for _, item in self._putters)
+
     @property
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity

@@ -344,6 +344,10 @@ class _Frame:
     #: ``hash_key(key)``, stamped once at the source so routing and the
     #: drain-watch never re-hash per hop
     key_hash: Optional[int] = None
+    #: payload size charged against the replay buffer's byte bound
+    #: (``workload.frame_bytes``, stamped at capture) — without it every
+    #: retention weighed 0 bytes and ``replay_bytes`` never evicted
+    nbytes: int = 0
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -1119,9 +1123,29 @@ class SwarmSimulation:
         """
         controller = state.controller
         started = self.sim.now
+        table = controller.key_table
+        if table is None or table.is_paused(key_range) \
+                or table.owner(key_range) != source_id:
+            # Another migration already has this range (a drain-watch
+            # racing a hot-split); two concurrent handoffs of one range
+            # end with the loser's copy stranded on a non-owner.
+            return
         controller.pause_range(key_range)
         try:
             yield from self._drain_range(source_id, key_range)
+            if table.owner(key_range) != source_id:
+                return  # re-owned while draining; nothing left to move
+            target = self.nodes.get(target_id)
+            if target is None or not target.alive or target.draining:
+                # The chosen receiver churned away while the range was
+                # draining; flipping ownership to a corpse would strand
+                # the state on the old owner (split-brain).  Re-target,
+                # or leave the range where it is and let the next
+                # control round reconcile.
+                fallback = self._keyed_target(exclude=source_id)
+                if fallback is None:
+                    return
+                target_id = fallback
             self._transfer_state(state, key_range, source_id, target_id)
             controller.move_range(key_range, target_id, reason=reason)
         finally:
@@ -1178,6 +1202,11 @@ class SwarmSimulation:
             # migrating snapshot is the authoritative one.
             for key, value in snapshot.entries:
                 target_store.store(key, dict(value))
+        # Hand-off, not copy: the paused+drained range can take no more
+        # writes at the source, so the snapshot is exact — discard it or
+        # the old owner keeps a diverging replica (split-brain state).
+        for key, _value in snapshot.entries:
+            store.delete(key)
         return len(snapshot.entries)
 
     def _keyed_round(self, state: _TenantState) -> None:
@@ -1255,7 +1284,8 @@ class SwarmSimulation:
                            deadline=overload.deadline_for(now),
                            tenant=tenant, key=key,
                            key_hash=hash_key(key)
-                           if key is not None else None)
+                           if key is not None else None,
+                           nbytes=self.config.workload.frame_bytes)
             if overload.enabled and egress.capacity is not None:
                 decision = overload_mod.admission(
                     len(egress), egress.capacity,
@@ -1598,6 +1628,20 @@ class SwarmSimulation:
         self._finalize_counters()
         return SwarmResult.from_simulation(self)
 
+    def pending_source_frames(self) -> Dict[str, List[int]]:
+        """Seqs still queued at each tenant's source egress, per tenant.
+
+        Everything past the egress queue is retained by the replay
+        buffer until its ACK, so this is the one in-flight population a
+        conservation audit cannot see through ``replay_depth_end`` —
+        the verify adapter charges these to the in-flight term of
+        ``delivered + dropped + evicted + retained + queued == emitted``.
+        """
+        return {tenant: sorted(frame.seq
+                               for frame in state.egress.items())
+                for tenant, state in self._states.items()
+                if len(state.egress.items())}
+
     def _finalize_counters(self) -> None:
         end = self.config.duration
         for device_id in self._all_profiles:
@@ -1657,6 +1701,11 @@ class SwarmResult:
     hot_ranges_detected: int = 0
     #: range splits performed across every tenant's table
     key_splits: int = 0
+    #: end-of-run keyed-state audit for the verification subsystem:
+    #: final routing tables plus every live store's keys, so the
+    #: invariant checker can prove no key is duplicated or orphaned
+    #: across migrations (None when the run is not keyed)
+    keyed_audit: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_simulation(cls, swarm: SwarmSimulation) -> "SwarmResult":
@@ -1697,6 +1746,20 @@ class SwarmResult:
                 if not stat.alive:
                     dead.add(device_id)
             replay_depth += state.controller.replay_depth()
+        keyed_audit: Optional[Dict[str, object]] = None
+        if config.keyed is not None:
+            tables = {tenant_key: [list(entry) for entry in
+                                   state.controller.key_table.snapshot()]
+                      for tenant_key, state in swarm._states.items()
+                      if state.controller.key_table is not None}
+            stores: Dict[str, Dict[str, List[str]]] = {}
+            for device_id, node in swarm.nodes.items():
+                per_tenant = {tenant: sorted(store.keys())
+                              for tenant, store in node.key_stores.items()
+                              if store.keys()}
+                if per_tenant:
+                    stores[device_id] = per_tenant
+            keyed_audit = {"tables": tables, "stores": stores}
         return cls(
             config=config,
             metrics=metrics,
@@ -1732,6 +1795,7 @@ class SwarmResult:
                 state.controller.key_table.splits
                 for state in swarm._states.values()
                 if state.controller.key_table is not None),
+            keyed_audit=keyed_audit,
         )
 
     # -- convenience views used by the benchmark harness -------------------

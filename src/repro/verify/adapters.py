@@ -1,0 +1,453 @@
+"""One adapter per substrate: FaultSchedule in, RunHistory out.
+
+The simulator adapter maps a schedule onto a ``SwarmConfig`` — the
+churn projection drives membership / master / partition faults, window
+events map onto the engine's fault mirror (``MessageDropEvent`` /
+``MessageDelayEvent`` / ``BackgroundLoadEvent``) and the profile picks
+the keyed or multi-tenant workload shape.  ``chaos_duplicate`` /
+``chaos_corrupt`` windows are codec-level nemeses with no discrete-event
+mirror (the engine has no byte wire); the adapter records them as notes
+rather than silently claiming coverage.
+
+The runtime adapter builds a real threaded :class:`SwingRuntime` behind
+a seeded :class:`ChaosFabric`, replays the churn projection through the
+existing :class:`ChurnHarness` (time-compressed) while a window driver
+imposes and lifts per-link chaos, and normalises the sink collections,
+metrics registry and control-plane epochs into the same
+:class:`RunHistory` shape.  ``load_burst`` windows are CPU-model
+nemeses with no threaded mirror and are likewise recorded as notes.
+
+Both adapters run the *same* schedule bytes; the invariant checker
+never needs to know which substrate produced the history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro import metrics as metrics_mod
+from repro.core.delivery import (AT_LEAST_ONCE, CHURN_RESTART_MASTER,
+                                 DeliveryConfig)
+from repro.core.exceptions import RuntimeStateError
+from repro.core.function_unit import (CollectingSink, IterableSource,
+                                      LambdaUnit)
+from repro.core.graph import GraphBuilder
+from repro.core.keyed import KeyedConfig
+from repro.core.multitenant import TenantSpec
+from repro.core.overload import DROP_OLDEST, OverloadConfig
+from repro.core.recovery import InMemoryCheckpointStore, RecoveryConfig
+from repro import profiles
+from repro.runtime.app_runner import SwingRuntime
+from repro.runtime.chaos import ChaosFabric, ChurnHarness, LinkChaos
+from repro.simulation import scenarios
+from repro.simulation.swarm import (BackgroundLoadEvent, MessageDelayEvent,
+                                    MessageDropEvent, SwarmConfig,
+                                    SwarmResult, SwarmSimulation)
+from repro.simulation.workload import FACE_APP
+from repro.verify.invariants import RunHistory, TenantHistory
+from repro.verify.schedule import (CHAOS_CORRUPT, CHAOS_DELAY, CHAOS_DROP,
+                                   CHAOS_DUPLICATE, LOAD_BURST,
+                                   FaultSchedule)
+
+SIM = "sim"
+RUNTIME = "runtime"
+SUBSTRATES = (SIM, RUNTIME)
+
+#: sizing for the threaded substrate: the whole scenario timeline is
+#: compressed by TIME_SCALE and the source emits TUPLES tuples across
+#: the fault window, so faults interleave live traffic.
+TIME_SCALE = 0.1
+TUPLES = 120
+_COLLECT_TIMEOUT = 30.0
+
+
+def _link_target(link: str) -> str:
+    """The receiving device of an ``a>b`` link (or a bare device id)."""
+    return link.partition(">")[2] or link
+
+
+# -- simulator ------------------------------------------------------------
+def build_sim_config(schedule: FaultSchedule,
+                     delivery: Optional[DeliveryConfig] = None
+                     ) -> SwarmConfig:
+    """Map *schedule* onto the discrete-event engine's fault mirror."""
+    spec, profile = schedule.spec, schedule.profile
+    workload = scenarios.workload_for_app(FACE_APP)
+    faults: List[object] = []
+    background: List[BackgroundLoadEvent] = []
+    bursting = False
+    for event in schedule.window_events():
+        target = _link_target(event.target)
+        if event.action == CHAOS_DROP:
+            faults.append(MessageDropEvent(time=event.time,
+                                           duration=event.duration,
+                                           drop_prob=event.value,
+                                           device_id=target))
+        elif event.action == CHAOS_DELAY:
+            faults.append(MessageDelayEvent(time=event.time,
+                                            duration=event.duration,
+                                            extra_delay=event.value,
+                                            device_id=target))
+        elif event.action == LOAD_BURST:
+            bursting = True
+            background.append(BackgroundLoadEvent(time=event.time,
+                                                  device_id=event.target,
+                                                  load=event.value))
+            background.append(BackgroundLoadEvent(
+                time=round(event.end, 3), device_id=event.target,
+                load=0.0))
+        # CHAOS_DUPLICATE / CHAOS_CORRUPT: codec-level, runtime-only.
+    if delivery is None:
+        delivery = DeliveryConfig(mode=AT_LEAST_ONCE, replay_capacity=4096,
+                                  dedup_window=8192,
+                                  max_delivery_attempts=8)
+    keyed = None
+    ack_timeout, dead_after = 2.0, 2
+    if profile.keyed:
+        # Generous ACK budget, as in the skew scenario: migration
+        # parking, not redelivery storms, is the mechanism under test.
+        keyed = KeyedConfig(key_count=64, zipf_alpha=1.2,
+                            split_enabled=True, hot_ratio=1.5,
+                            min_split_interval=2.0, max_splits=8)
+        ack_timeout, dead_after = 6.0, 4
+    overload = None
+    if profile.tenant_count > 1 or bursting:
+        overload = OverloadConfig(ttl=2.0, queue_capacity=12,
+                                  drop_policy=DROP_OLDEST)
+    tenants: Tuple[TenantSpec, ...] = ()
+    if profile.tenant_count > 1:
+        rate = workload.input_rate / profile.tenant_count
+        tenants = tuple(
+            TenantSpec(tenant_id="t%d" % index, weight=1.0, priority=0,
+                       input_rate=(rate * 3.0
+                                   if profile.hot_tenant == "t%d" % index
+                                   else rate))
+            for index in range(profile.tenant_count))
+    return SwarmConfig(
+        workload=workload,
+        workers=profiles.worker_profiles(list(spec.workers)),
+        source=profiles.device_profile(spec.source_id),
+        policy="LRS",
+        duration=spec.duration,
+        seed=schedule.seed or 0,
+        ack_timeout=ack_timeout,
+        dead_after=dead_after,
+        detection_delay=0.25,
+        delivery=delivery,
+        churn=schedule.churn_view(),
+        faults=tuple(faults),
+        background_events=tuple(background),
+        overload=overload,
+        keyed=keyed,
+        tenants=tenants,
+    )
+
+
+def history_from_sim(schedule: FaultSchedule,
+                     result: SwarmResult,
+                     horizon: Optional[float] = None,
+                     queued: Optional[Dict[str, List[int]]] = None,
+                     retained: Optional[Dict[str, Set[int]]] = None
+                     ) -> RunHistory:
+    """Normalise one engine run into the checker's RunHistory shape.
+
+    *queued* is the engine's end-of-run source-egress occupancy
+    (:meth:`SwarmSimulation.pending_source_frames`); *retained* the
+    per-tenant seqs the replay buffers still hold — together, the
+    conservation equation's in-flight term.
+    """
+    spec = schedule.spec
+    if horizon is None:
+        horizon = spec.duration - spec.settle / 2.0
+    tenants: Dict[str, TenantHistory] = {}
+
+    def ledger(tenant: str) -> TenantHistory:
+        if tenant not in tenants:
+            tenants[tenant] = TenantHistory()
+        return tenants[tenant]
+
+    for tenant, seqs in (queued or {}).items():
+        ledger(tenant).queued_end.update(seqs)
+    for tenant, seqs in (retained or {}).items():
+        ledger(tenant).retained.update(seqs)
+
+    drop_reasons: Dict[str, int] = {}
+    for seq, record in result.metrics.frames.items():
+        entry = ledger(record.tenant or "")
+        entry.emitted.add(seq)
+        if record.created_at < horizon:
+            entry.judged.add(seq)
+        if record.sink_arrived_at is not None:
+            entry.delivered.append(seq)
+        if record.dropped is not None:
+            entry.accounted.add(seq)
+            drop_reasons[record.dropped] = \
+                drop_reasons.get(record.dropped, 0) + 1
+    registry = result.registry
+    if registry is not None:
+        # Per-tenant eviction budgets: the replay buffer's edge label is
+        # the controller name — "A" single-tenant, "A@tX" multi-tenant.
+        by_edge = registry.values_by_label(
+            metrics_mod.REPLAY_EVICTED_TOTAL, "edge")
+        for edge, count in by_edge.items():
+            tenant = edge.partition("@")[2]
+            ledger(tenant).evictions += count
+    fenced = 0
+    if registry is not None:
+        fenced = sum(registry.values_by_label(
+            metrics_mod.FENCED_TOTAL, "device").values())
+    expected = sum(1 for event in schedule
+                   if event.action == CHURN_RESTART_MASTER)
+    config = result.config
+    capacity = (config.overload.queue_capacity
+                if config.overload is not None else None)
+    at_least_once = (config.delivery is not None
+                     and config.delivery.at_least_once)
+    notes = ["%s window on %s has no discrete-event mirror"
+             % (event.action, event.target)
+             for event in schedule.window_events()
+             if event.action in (CHAOS_DUPLICATE, CHAOS_CORRUPT)]
+    return RunHistory(
+        substrate=SIM,
+        at_least_once=at_least_once,
+        tenants=tenants,
+        hot_tenant=schedule.profile.hot_tenant,
+        drop_reasons=drop_reasons,
+        evict_reasons=dict(result.replay_evicted_by_reason),
+        redelivered=result.redelivered,
+        deduped=result.deduped,
+        retained_end=result.replay_depth_end,
+        queue_depths={name: depth
+                      for name, depth in result.max_queue_depths.items()
+                      if name.startswith("ingress:")},
+        queue_capacity=capacity,
+        expected_recoveries=expected,
+        recoveries=result.master_recoveries,
+        epochs=(),
+        fenced=fenced,
+        keyed_audit=result.keyed_audit,
+        notes=notes,
+    )
+
+
+def _retained_seqs(items) -> Set[int]:
+    """Seqs covered by one controller's export_retention() snapshot."""
+    seqs: Set[int] = set()
+    for seq, _attempt, _deadline, _context, members in items:
+        seqs.add(seq)
+        seqs.update(members)
+    return seqs
+
+
+def run_sim(schedule: FaultSchedule) -> RunHistory:
+    """Run *schedule* on the discrete-event engine and normalise it."""
+    schedule.validate()
+    sim = SwarmSimulation(build_sim_config(schedule))
+    result = sim.run()
+    retained = {tenant: _retained_seqs(state.controller.export_retention())
+                for tenant, state in sim._states.items()}
+    return history_from_sim(schedule, result,
+                            queued=sim.pending_source_frames(),
+                            retained=retained)
+
+
+# -- threaded runtime -----------------------------------------------------
+class _RecordingHarness(ChurnHarness):
+    """ChurnHarness that captures sinks and epochs around restarts."""
+
+    def __init__(self, runtime: SwingRuntime, schedule, time_scale: float,
+                 sinks: List[CollectingSink],
+                 epochs: List[int]) -> None:
+        super().__init__(runtime, schedule, time_scale=time_scale)
+        self._sinks = sinks
+        self._epochs = epochs
+
+    def _apply(self, event) -> None:
+        super()._apply(event)
+        if event.action == CHURN_RESTART_MASTER:
+            self._sinks.append(self.runtime.sink_unit())
+            self._epochs.append(self.runtime.master.pool.epoch)
+
+
+class _WindowDriver(threading.Thread):
+    """Imposes and lifts per-link chaos windows on a ChaosFabric."""
+
+    def __init__(self, fabric: ChaosFabric, schedule: FaultSchedule,
+                 time_scale: float) -> None:
+        super().__init__(name="chaos-windows", daemon=True)
+        self._ops: List[Tuple[float, Callable[[], None]]] = []
+        for event in schedule.window_events():
+            if event.action == LOAD_BURST:
+                continue  # CPU-model nemesis; no threaded mirror
+            link = event.target
+            if ">" not in link:
+                continue
+            sender_id, _, target_id = link.partition(">")
+            chaos = _link_chaos(event.action, event.value)
+            if chaos is None:
+                continue
+            self._ops.append((event.time * time_scale,
+                              _setter(fabric, sender_id, target_id,
+                                      chaos)))
+            self._ops.append((event.end * time_scale,
+                              _setter(fabric, sender_id, target_id,
+                                      LinkChaos())))
+        self._ops.sort(key=lambda item: item[0])
+
+    def run(self) -> None:
+        started = time.monotonic()
+        for offset, operation in self._ops:
+            delay = started + offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            operation()
+
+
+def _setter(fabric: ChaosFabric, sender_id: str, target_id: str,
+            chaos: LinkChaos) -> Callable[[], None]:
+    return lambda: fabric.set_link(sender_id, target_id, chaos)
+
+
+def _link_chaos(action: str, value: float) -> Optional[LinkChaos]:
+    if action == CHAOS_DROP:
+        return LinkChaos(drop=value)
+    if action == CHAOS_DELAY:
+        return LinkChaos(delay=1.0, delay_seconds=value * TIME_SCALE)
+    if action == CHAOS_DUPLICATE:
+        return LinkChaos(duplicate=value)
+    if action == CHAOS_CORRUPT:
+        return LinkChaos(corrupt=value)
+    return None
+
+
+def _retained_runtime_seqs(runtime: SwingRuntime) -> Set[int]:
+    """Un-ACKed seqs still held by the master's dispatchers."""
+    master_runtime = getattr(runtime.master, "runtime", None)
+    dispatchers = getattr(master_runtime, "_dispatchers", {})
+    seqs: Set[int] = set()
+    for dispatcher in dispatchers.values():
+        seqs |= _retained_seqs(dispatcher.controller.export_retention())
+    return seqs
+
+
+def run_runtime(schedule: FaultSchedule,
+                time_scale: float = TIME_SCALE,
+                tuples: int = TUPLES) -> RunHistory:
+    """Run *schedule* on the threaded runtime and normalise it.
+
+    The runtime consumes the plain single-tenant pipeline regardless of
+    the schedule's workload profile: keyed and multi-tenant mirrors are
+    simulator-side (their threaded soaks live in the keyed /
+    multi-tenant integration suites), which the history records as a
+    note rather than silently claiming coverage.
+    """
+    schedule.validate()
+    spec = schedule.spec
+    graph = (GraphBuilder("verify-app")
+             .source("src", lambda: IterableSource(
+                 [{"x": i} for i in range(tuples)]))
+             .unit("work", lambda: LambdaUnit(
+                 lambda value: {"y": value["x"] * 2}))
+             .sink("snk", CollectingSink)
+             .chain("src", "work", "snk")
+             .build())
+    registry = metrics_mod.MetricsRegistry()
+    seed = schedule.seed or 0
+    fabric_holder: List[ChaosFabric] = []
+
+    def wrap(inner):
+        fabric = ChaosFabric(inner, seed=seed, registry=registry)
+        fabric_holder.append(fabric)
+        return fabric
+
+    source_rate = tuples / max(0.5, spec.window_end * time_scale)
+    delivery = DeliveryConfig(mode=AT_LEAST_ONCE, replay_capacity=4096,
+                              dedup_window=8192, max_delivery_attempts=8,
+                              redelivery_timeout=0.4)
+    runtime = SwingRuntime(
+        graph, worker_ids=sorted(spec.workers), policy="RR",
+        source_rate=source_rate, seed=seed, registry=registry,
+        delivery=delivery, fabric_wrapper=wrap,
+        heartbeat_interval=0.1, heartbeat_timeout=0.6,
+        recovery=RecoveryConfig(checkpoint_interval=0.2),
+        checkpoint_store=InMemoryCheckpointStore())
+    sinks: List[CollectingSink] = []
+    epochs: List[int] = []
+    harness = _RecordingHarness(runtime, schedule.churn_view(),
+                                time_scale, sinks, epochs)
+    windows = _WindowDriver(fabric_holder[0], schedule, time_scale)
+    expected = set(range(tuples))
+    runtime.start()
+    try:
+        sinks.append(runtime.sink_unit())
+        epochs.append(runtime.master.pool.epoch)
+        windows.start()
+        harness.run()
+        windows.join(timeout=_COLLECT_TIMEOUT)
+        deadline = time.monotonic() + _COLLECT_TIMEOUT
+        while time.monotonic() < deadline:
+            union = {data.seq for sink in sinks for data in sink.results}
+            if expected <= union:
+                break
+            time.sleep(0.05)
+        time.sleep(0.4)  # let straggling duplicates land
+        retained = _retained_runtime_seqs(runtime)
+        recoveries = int(registry.value(
+            metrics_mod.MASTER_RECOVERIES_TOTAL,
+            device=runtime.master.master_id))
+        delivered = [data.seq for sink in sinks for data in sink.results]
+    finally:
+        runtime.stop()
+    evict_reasons = registry.values_by_label(
+        metrics_mod.REPLAY_EVICTED_TOTAL, "reason")
+    ledger = TenantHistory(emitted=set(expected), judged=set(expected),
+                           delivered=delivered, accounted=set(),
+                           retained=set(retained),
+                           evictions=sum(evict_reasons.values()))
+    fenced = sum(registry.values_by_label(
+        metrics_mod.FENCED_TOTAL, "device").values())
+    notes = ["runtime substrate runs the plain pipeline; %s is a "
+             "simulator-side nemesis" % note
+             for note in (["keyed migration"] if schedule.profile.keyed
+                          else [])
+             + (["tenant overload"]
+                if schedule.profile.tenant_count > 1 else [])]
+    notes.extend("load_burst on %s has no threaded mirror" % event.target
+                 for event in schedule.window_events()
+                 if event.action == LOAD_BURST)
+    return RunHistory(
+        substrate=RUNTIME,
+        at_least_once=True,
+        tenants={"": ledger},
+        hot_tenant=None,
+        drop_reasons=registry.values_by_label(
+            metrics_mod.DROPPED_TOTAL, "reason"),
+        evict_reasons=evict_reasons,
+        redelivered=sum(registry.values_by_label(
+            metrics_mod.REDELIVERED_TOTAL, "downstream").values()),
+        deduped=sum(registry.values_by_label(
+            metrics_mod.DEDUPED_TOTAL, "queue").values()),
+        retained_end=len(retained),
+        queue_depths={},
+        queue_capacity=None,
+        expected_recoveries=sum(
+            1 for event in schedule
+            if event.action == CHURN_RESTART_MASTER),
+        recoveries=recoveries,
+        epochs=tuple(epochs),
+        fenced=fenced,
+        keyed_audit=None,
+        notes=notes,
+    )
+
+
+def run_schedule(schedule: FaultSchedule, substrate: str) -> RunHistory:
+    """Dispatch one schedule onto one substrate."""
+    if substrate == SIM:
+        return run_sim(schedule)
+    if substrate == RUNTIME:
+        return run_runtime(schedule)
+    raise RuntimeStateError("unknown substrate %r (want one of %s)"
+                            % (substrate, list(SUBSTRATES)))

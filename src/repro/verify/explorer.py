@@ -1,0 +1,224 @@
+"""The sweep loop behind ``swing verify``.
+
+``explore`` generates N seeded schedules, runs each on the requested
+substrates and checks the invariant catalog against the resulting
+histories.  A violation triggers ``shrink`` — classic ddmin over the
+schedule's fault *atoms* (paired events such as depart+rejoin or
+partition+heal shrink as one unit, so every candidate subset is still a
+structurally coherent schedule) — and the minimal failing schedule is
+written as a JSON repro that ``replay`` re-executes deterministically.
+
+Schedules are seeded ``base_seed + index``; the same base seed yields
+byte-identical schedules (``FaultSchedule.to_json`` is canonical) and,
+on the discrete-event substrate, an identical verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import RuntimeStateError
+from repro.verify import adapters
+from repro.verify.invariants import InvariantChecker, Violation
+from repro.verify.schedule import FaultSchedule, ScheduleSpec
+
+_REPRO_VERSION = 1
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (schedule, substrate) execution inside a sweep."""
+
+    index: int
+    seed: int
+    substrate: str
+    violations: Tuple[Violation, ...]
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """A failing schedule plus its shrunk minimal form."""
+
+    substrate: str
+    schedule: FaultSchedule
+    shrunk: FaultSchedule
+    violations: Tuple[Violation, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": _REPRO_VERSION,
+            "substrate": self.substrate,
+            "schedule": self.schedule.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "violations": [violation.to_dict()
+                           for violation in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReproCase":
+        if data.get("version") != _REPRO_VERSION:
+            raise RuntimeStateError("unknown repro version %r"
+                                    % data.get("version"))
+        return cls(
+            substrate=str(data["substrate"]),
+            schedule=FaultSchedule.from_dict(data["schedule"]),
+            shrunk=FaultSchedule.from_dict(data["shrunk"]),
+            violations=tuple(
+                Violation(invariant=item["invariant"],
+                          message=item["message"],
+                          details=dict(item.get("details", {})))
+                for item in data.get("violations", ())),
+        )
+
+
+@dataclass
+class ExploreReport:
+    """Everything one ``swing verify`` sweep learned."""
+
+    runs: List[RunRecord] = field(default_factory=list)
+    failures: List[ReproCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schedules": len({record.seed for record in self.runs}),
+            "runs": len(self.runs),
+            "clean": sum(1 for record in self.runs if record.ok),
+            "failures": [case.to_dict() for case in self.failures],
+        }
+
+
+def check_run(schedule: FaultSchedule, substrate: str,
+              checker: Optional[InvariantChecker] = None
+              ) -> Tuple[Tuple[Violation, ...], Tuple[str, ...]]:
+    """Run one schedule on one substrate and check every invariant."""
+    checker = checker or InvariantChecker()
+    history = adapters.run_schedule(schedule, substrate)
+    return tuple(checker.check(history)), tuple(history.notes)
+
+
+def explore(schedules: int, seed: int,
+            substrates: Sequence[str] = (adapters.SIM,),
+            spec: Optional[ScheduleSpec] = None,
+            shrink_failures: bool = True,
+            progress: Progress = None) -> ExploreReport:
+    """Sweep *schedules* seeded chaos schedules across *substrates*."""
+    if schedules < 1:
+        raise RuntimeStateError("need at least one schedule")
+    for substrate in substrates:
+        if substrate not in adapters.SUBSTRATES:
+            raise RuntimeStateError("unknown substrate %r" % (substrate,))
+    checker = InvariantChecker()
+    report = ExploreReport()
+    for index in range(schedules):
+        schedule_seed = seed + index
+        schedule = FaultSchedule.generate(schedule_seed, spec=spec)
+        for substrate in substrates:
+            violations, notes = check_run(schedule, substrate, checker)
+            report.runs.append(RunRecord(
+                index=index, seed=schedule_seed, substrate=substrate,
+                violations=violations, notes=notes))
+            if progress is not None:
+                progress("schedule %d/%d seed=%d substrate=%s %s"
+                         % (index + 1, schedules, schedule_seed,
+                            substrate,
+                            "FAIL(%d)" % len(violations)
+                            if violations else "ok"))
+            if violations:
+                shrunk = schedule
+                if shrink_failures:
+                    shrunk = shrink(schedule, substrate, checker=checker,
+                                    progress=progress)
+                report.failures.append(ReproCase(
+                    substrate=substrate, schedule=schedule,
+                    shrunk=shrunk, violations=violations))
+    return report
+
+
+def shrink(schedule: FaultSchedule, substrate: str,
+           checker: Optional[InvariantChecker] = None,
+           progress: Progress = None) -> FaultSchedule:
+    """ddmin the failing *schedule* down to a minimal set of atoms.
+
+    Candidate subsets that fail structural validation count as
+    non-failing (they are not schedules at all); the returned schedule
+    always still produces at least one violation on *substrate*.
+    """
+    checker = checker or InvariantChecker()
+    cache: Dict[FrozenSet[int], bool] = {}
+
+    def fails(atoms: Sequence[int]) -> bool:
+        key = frozenset(atoms)
+        if key in cache:
+            return cache[key]
+        candidate = schedule.subset(atoms)
+        try:
+            candidate.validate()
+            violations, _ = check_run(candidate, substrate, checker)
+            verdict = bool(violations)
+        except RuntimeStateError:
+            verdict = False
+        cache[key] = verdict
+        return verdict
+
+    atoms = list(schedule.atoms())
+    fails(atoms)  # seed the cache with the known-failing full set
+    granularity = 2
+    while len(atoms) >= 2:
+        chunk = max(1, len(atoms) // granularity)
+        chunks = [atoms[i:i + chunk] for i in range(0, len(atoms), chunk)]
+        reduced = False
+        for piece in chunks:
+            complement = [atom for atom in atoms if atom not in piece]
+            if complement and fails(complement):
+                atoms = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                if progress is not None:
+                    progress("shrink: %d atom(s) still failing"
+                             % len(atoms))
+                break
+        if not reduced:
+            if granularity >= len(atoms):
+                break
+            granularity = min(len(atoms), granularity * 2)
+    return schedule.subset(atoms)
+
+
+def write_repro(case: ReproCase, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(case.to_json())
+        handle.write("\n")
+
+
+def load_repro(path: str) -> ReproCase:
+    with open(path) as handle:
+        return ReproCase.from_dict(json.load(handle))
+
+
+def replay(path: str, substrate: Optional[str] = None,
+           progress: Progress = None
+           ) -> Tuple[ReproCase, Tuple[Violation, ...]]:
+    """Re-run a repro file's shrunk schedule and return the verdict."""
+    case = load_repro(path)
+    target = substrate or case.substrate
+    if progress is not None:
+        progress("replaying %d-event schedule (seed=%s) on %s"
+                 % (len(case.shrunk), case.shrunk.seed, target))
+    violations, _ = check_run(case.shrunk, target)
+    return case, violations

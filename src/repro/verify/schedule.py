@@ -1,0 +1,561 @@
+"""Seeded fault schedules: one nemesis vocabulary for both substrates.
+
+A :class:`FaultSchedule` is a validated, replayable composition of every
+fault the repo can inject, generated deterministically from a seed.  It
+extends the membership-only :class:`~repro.core.delivery.ChurnSchedule`
+with *windowed* nemeses (message drop / delay / duplicate / corrupt,
+background-load bursts) and a :class:`RunProfile` selecting the keyed /
+multi-tenant workload shape the faults compose against.
+
+Events come in two shapes:
+
+- **point events** reuse the churn vocabulary (``kill`` / ``leave`` /
+  ``rejoin`` / ``kill_master`` / ``restart_master`` / ``partition`` /
+  ``heal``) and project onto a plain ``ChurnSchedule`` via
+  :meth:`FaultSchedule.churn_view` — the projection both substrates
+  already consume.
+- **window events** (``chaos_*`` / ``load_burst``) carry a duration and
+  an intensity; the simulator maps them onto its fault mirror
+  (``MessageDropEvent`` …) and the runtime onto per-link
+  :class:`~repro.runtime.chaos.LinkChaos` settings.
+
+Every event belongs to an **atom** — the smallest unit that can be
+removed while keeping the schedule coherent (a departure travels with
+its rejoin, a partition with its heal, a master kill with its restart).
+The shrinker in :mod:`repro.verify.explorer` delta-debugs over atoms so
+each candidate subset still validates.
+
+Serialization (:meth:`to_json` / :meth:`from_json`) is canonical —
+sorted keys, fixed separators, times rounded at generation — so the
+same seed yields byte-identical schedule documents run after run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.delivery import (CHURN_HEAL, CHURN_JOIN, CHURN_KILL,
+                                 CHURN_KILL_MASTER, CHURN_LEAVE,
+                                 CHURN_PARTITION, CHURN_REJOIN,
+                                 CHURN_RESTART_MASTER, ChurnEvent,
+                                 ChurnSchedule)
+from repro.core.exceptions import RuntimeStateError
+
+#: windowed nemeses (duration > 0; ``value`` is the intensity)
+CHAOS_DROP = "chaos_drop"            # drop probability on one link
+CHAOS_DELAY = "chaos_delay"          # extra per-message delay (seconds)
+CHAOS_DUPLICATE = "chaos_duplicate"  # duplicate probability (runtime codec)
+CHAOS_CORRUPT = "chaos_corrupt"      # bit-flip probability (runtime codec)
+LOAD_BURST = "load_burst"            # background CPU load on one worker
+
+_POINT_ACTIONS = frozenset({CHURN_JOIN, CHURN_KILL, CHURN_LEAVE,
+                            CHURN_REJOIN, CHURN_KILL_MASTER,
+                            CHURN_RESTART_MASTER, CHURN_PARTITION,
+                            CHURN_HEAL})
+_WINDOW_ACTIONS = frozenset({CHAOS_DROP, CHAOS_DELAY, CHAOS_DUPLICATE,
+                             CHAOS_CORRUPT, LOAD_BURST})
+_ACTIONS = _POINT_ACTIONS | _WINDOW_ACTIONS
+#: window intensities that are probabilities (bounded to [0, 1])
+_PROBABILITY_ACTIONS = frozenset({CHAOS_DROP, CHAOS_DUPLICATE,
+                                  CHAOS_CORRUPT, LOAD_BURST})
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault at a point (or over a window) of scenario time."""
+
+    time: float
+    action: str
+    target: str          # device id, master id, or a directed "a>b" link
+    duration: float = 0.0
+    value: float = 0.0
+    atom: int = 0        # shrink unit this event belongs to
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise RuntimeStateError("unknown fault action %r (want one "
+                                    "of %s)" % (self.action,
+                                                sorted(_ACTIONS)))
+        if self.time < 0:
+            raise RuntimeStateError("fault event time must be >= 0")
+        if not self.target:
+            raise RuntimeStateError("fault event needs a target")
+        if self.action in _WINDOW_ACTIONS:
+            if self.duration <= 0:
+                raise RuntimeStateError("%s window needs a positive "
+                                        "duration" % self.action)
+        elif self.duration:
+            raise RuntimeStateError("%s is a point event; duration must "
+                                    "be 0" % self.action)
+        if self.action in _PROBABILITY_ACTIONS \
+                and not 0.0 <= self.value <= 1.0:
+            raise RuntimeStateError("%s intensity must be in [0, 1], got "
+                                    "%r" % (self.action, self.value))
+        if self.action == CHAOS_DELAY and self.value < 0:
+            raise RuntimeStateError("chaos_delay needs a non-negative "
+                                    "extra delay")
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"time": self.time, "action": self.action,
+                "target": self.target, "duration": self.duration,
+                "value": self.value, "atom": self.atom}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(time=float(data["time"]), action=str(data["action"]),
+                   target=str(data["target"]),
+                   duration=float(data.get("duration", 0.0)),
+                   value=float(data.get("value", 0.0)),
+                   atom=int(data.get("atom", 0)))
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Shape and feature toggles the generator draws schedules from."""
+
+    workers: Tuple[str, ...] = ("B", "D", "G", "H")
+    source_id: str = "A"
+    duration: float = 36.0
+    start_after: float = 6.0
+    settle: float = 12.0
+    master_faults: bool = True
+    partitions: bool = True
+    link_chaos: bool = True
+    load_bursts: bool = True
+    keyed: bool = True
+    max_tenants: int = 3
+
+    def __post_init__(self) -> None:
+        if len(self.workers) < 3:
+            raise RuntimeStateError("schedules need >= 3 workers so a "
+                                    "survivor always remains")
+        if self.duration <= self.start_after + self.settle:
+            raise RuntimeStateError("duration too short for a fault "
+                                    "window (need > start_after + settle)")
+        if self.max_tenants < 1:
+            raise RuntimeStateError("max_tenants must be >= 1")
+
+    @property
+    def window_end(self) -> float:
+        """Faults stop here so the tail of the run can recover."""
+        return self.duration - self.settle
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"workers": list(self.workers), "source_id": self.source_id,
+                "duration": self.duration, "start_after": self.start_after,
+                "settle": self.settle, "master_faults": self.master_faults,
+                "partitions": self.partitions, "link_chaos": self.link_chaos,
+                "load_bursts": self.load_bursts, "keyed": self.keyed,
+                "max_tenants": self.max_tenants}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScheduleSpec":
+        return cls(workers=tuple(str(w) for w in data["workers"]),
+                   source_id=str(data["source_id"]),
+                   duration=float(data["duration"]),
+                   start_after=float(data["start_after"]),
+                   settle=float(data["settle"]),
+                   master_faults=bool(data["master_faults"]),
+                   partitions=bool(data["partitions"]),
+                   link_chaos=bool(data["link_chaos"]),
+                   load_bursts=bool(data["load_bursts"]),
+                   keyed=bool(data["keyed"]),
+                   max_tenants=int(data["max_tenants"]))
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Workload shape the schedule's faults compose against."""
+
+    keyed: bool = False
+    tenant_count: int = 1
+    hot_tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.tenant_count < 1:
+            raise RuntimeStateError("tenant_count must be >= 1")
+        if self.keyed and self.tenant_count > 1:
+            raise RuntimeStateError("keyed and multi-tenant profiles do "
+                                    "not compose (per-tenant key tables "
+                                    "are a future PR)")
+        if self.hot_tenant is not None and self.tenant_count < 2:
+            raise RuntimeStateError("a hot tenant needs >= 2 tenants")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"keyed": self.keyed, "tenant_count": self.tenant_count,
+                "hot_tenant": self.hot_tenant}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunProfile":
+        hot = data.get("hot_tenant")
+        return cls(keyed=bool(data["keyed"]),
+                   tenant_count=int(data["tenant_count"]),
+                   hot_tenant=None if hot is None else str(hot))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, validated composition of faults over one run."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: Optional[int] = None
+    spec: ScheduleSpec = field(default_factory=ScheduleSpec)
+    profile: RunProfile = field(default_factory=RunProfile)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events,
+                               key=lambda e: (e.time, e.action, e.target)))
+        object.__setattr__(self, "events", ordered)
+
+    # -- generation --------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int,
+                 spec: Optional[ScheduleSpec] = None) -> "FaultSchedule":
+        """One deterministic fault composition for *seed*.
+
+        The generator draws a workload profile (plain / keyed /
+        multi-tenant) and then composes nemeses that are legal against
+        it, each under the rules :meth:`validate` re-checks:
+
+        - worker churn (kill / graceful leave, each paired with a
+          rejoin) over a strict subset of the pool;
+        - at most one master outage (kill + restart), never composed
+          with keyed or multi-tenant profiles and never overlapping
+          other faults — the outage itself is the nemesis there;
+        - link partitions, each paired with a heal on the same link;
+        - seeded drop / delay / duplicate / corrupt windows on
+          source->worker links;
+        - background-load bursts (overload shedding territory), only
+          alongside bounded queues.
+        """
+        spec = spec or ScheduleSpec()
+        rng = random.Random(seed)
+        builder = _Builder(spec, rng)
+        builder.build()
+        return cls(events=tuple(builder.events), seed=seed, spec=spec,
+                   profile=builder.profile)
+
+    # -- views -------------------------------------------------------------
+    def churn_view(self) -> ChurnSchedule:
+        """The point events as a plain membership/control schedule."""
+        churn = tuple(ChurnEvent(time=event.time, action=event.action,
+                                 device_id=event.target)
+                      for event in self.events
+                      if event.action in _POINT_ACTIONS)
+        return ChurnSchedule(events=churn, seed=self.seed)
+
+    def window_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(event for event in self.events
+                     if event.action in _WINDOW_ACTIONS)
+
+    def end_time(self) -> float:
+        """When the last fault (or fault window) is over."""
+        return max((max(event.time, event.end) for event in self.events),
+                   default=0.0)
+
+    def atoms(self) -> Tuple[int, ...]:
+        """Distinct shrink units, in first-appearance order."""
+        seen: List[int] = []
+        for event in self.events:
+            if event.atom not in seen:
+                seen.append(event.atom)
+        return tuple(seen)
+
+    def subset(self, atoms: Iterable[int]) -> "FaultSchedule":
+        """The schedule restricted to the given shrink units."""
+        keep = set(atoms)
+        return FaultSchedule(events=tuple(e for e in self.events
+                                          if e.atom in keep),
+                             seed=self.seed, spec=self.spec,
+                             profile=self.profile)
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Check the composition rules; raises RuntimeStateError."""
+        spec = self.spec
+        self.churn_view().validate(spec.workers)
+        self._validate_master_outages()
+        self._validate_partitions()
+        self._validate_windows()
+        self._validate_survivor()
+
+    def _master_outages(self) -> List[Tuple[float, float]]:
+        outages: List[Tuple[float, float]] = []
+        kill_at: Optional[float] = None
+        for event in self.events:
+            if event.action == CHURN_KILL_MASTER:
+                if kill_at is not None:
+                    raise RuntimeStateError("master killed twice without "
+                                            "a restart in between")
+                kill_at = event.time
+            elif event.action == CHURN_RESTART_MASTER:
+                if kill_at is None:
+                    raise RuntimeStateError("master restart without a "
+                                            "preceding kill")
+                outages.append((kill_at, event.time))
+                kill_at = None
+        if kill_at is not None:
+            raise RuntimeStateError("master killed but never restarted")
+        return outages
+
+    def _validate_master_outages(self) -> None:
+        outages = self._master_outages()
+        for kill_at, restart_at in outages:
+            if restart_at <= kill_at:
+                raise RuntimeStateError("master restart must come after "
+                                        "the kill")
+            if restart_at > self.spec.window_end:
+                raise RuntimeStateError("the master outage must end by "
+                                        "t=%.1f so recovery can be "
+                                        "judged" % self.spec.window_end)
+            for event in self.events:
+                if event.action in (CHURN_KILL_MASTER,
+                                    CHURN_RESTART_MASTER):
+                    continue
+                if event.end > kill_at and event.time < restart_at:
+                    raise RuntimeStateError(
+                        "%s of %r at t=%.1f overlaps the master outage "
+                        "[%.1f, %.1f] — the control plane must be up to "
+                        "coordinate it" % (event.action, event.target,
+                                           event.time, kill_at,
+                                           restart_at))
+        if outages and (self.profile.keyed
+                        or self.profile.tenant_count > 1):
+            raise RuntimeStateError("master outages only compose with "
+                                    "the plain single-tenant profile")
+
+    def _validate_partitions(self) -> None:
+        open_links: Dict[str, float] = {}
+        for event in self.events:
+            if event.action == CHURN_PARTITION:
+                if event.target in open_links:
+                    raise RuntimeStateError("link %r partitioned twice "
+                                            "without a heal"
+                                            % event.target)
+                if ">" not in event.target:
+                    raise RuntimeStateError("partition target must be a "
+                                            "directed 'a>b' link, got %r"
+                                            % event.target)
+                open_links[event.target] = event.time
+            elif event.action == CHURN_HEAL:
+                if event.target not in open_links:
+                    raise RuntimeStateError("heal of %r without an open "
+                                            "partition" % event.target)
+                del open_links[event.target]
+                if event.time > self.spec.window_end:
+                    raise RuntimeStateError("partitions must heal by "
+                                            "t=%.1f" % self.spec.window_end)
+        if open_links:
+            raise RuntimeStateError("links never healed: %s"
+                                    % sorted(open_links))
+
+    def _validate_windows(self) -> None:
+        for event in self.window_events():
+            if event.end > self.spec.window_end:
+                raise RuntimeStateError(
+                    "%s window on %r runs to t=%.1f, past the fault "
+                    "window end t=%.1f" % (event.action, event.target,
+                                           event.end, self.spec.window_end))
+            if event.action == LOAD_BURST \
+                    and event.target not in self.spec.workers:
+                raise RuntimeStateError("load burst targets unknown "
+                                        "worker %r" % event.target)
+
+    def _validate_survivor(self) -> None:
+        churned: Set[str] = {event.target for event in self.events
+                             if event.action in (CHURN_KILL, CHURN_LEAVE)}
+        if not set(self.spec.workers) - churned:
+            raise RuntimeStateError("every worker churns at some point; "
+                                    "keep at least one untouched survivor")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"version": _SCHEMA_VERSION, "seed": self.seed,
+                "spec": self.spec.to_dict(),
+                "profile": self.profile.to_dict(),
+                "events": [event.to_dict() for event in self.events]}
+
+    def to_json(self) -> str:
+        """Canonical (byte-deterministic) JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSchedule":
+        version = int(data.get("version", 0))
+        if version != _SCHEMA_VERSION:
+            raise RuntimeStateError("unknown schedule schema version %r"
+                                    % version)
+        seed = data.get("seed")
+        return cls(events=tuple(FaultEvent.from_dict(entry)
+                                for entry in data["events"]),
+                   seed=None if seed is None else int(seed),
+                   spec=ScheduleSpec.from_dict(data["spec"]),
+                   profile=RunProfile.from_dict(data["profile"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _Builder:
+    """Stateful helper assembling one seeded composition."""
+
+    def __init__(self, spec: ScheduleSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.events: List[FaultEvent] = []
+        self.profile = RunProfile()
+        self._next_atom = 0
+        self._outage: Optional[Tuple[float, float]] = None
+        self._churned: Set[str] = set()
+
+    def _atom(self) -> int:
+        self._next_atom += 1
+        return self._next_atom
+
+    def build(self) -> None:
+        rng, spec = self.rng, self.spec
+        keyed = spec.keyed and rng.random() < 0.25
+        tenant_count = 1
+        hot_tenant = None
+        if not keyed and spec.max_tenants > 1 and rng.random() < 0.3:
+            tenant_count = rng.randint(2, spec.max_tenants)
+            if rng.random() < 0.6:
+                hot_tenant = "t0"
+        self.profile = RunProfile(keyed=keyed, tenant_count=tenant_count,
+                                  hot_tenant=hot_tenant)
+        if spec.master_faults and not keyed and tenant_count == 1 \
+                and rng.random() < 0.4:
+            self._add_master_outage()
+        self._add_membership_churn()
+        if spec.partitions and rng.random() < 0.5:
+            self._add_partitions()
+        if spec.link_chaos and rng.random() < 0.6:
+            self._add_chaos_windows()
+        if spec.load_bursts and not keyed and rng.random() < 0.35:
+            self._add_load_burst()
+
+    # -- segments free of the master outage --------------------------------
+    def _free_segments(self, need: float) -> List[Tuple[float, float]]:
+        spec = self.spec
+        if self._outage is None:
+            segments = [(spec.start_after, spec.window_end)]
+        else:
+            kill_at, restart_at = self._outage
+            segments = [(spec.start_after, kill_at - 1.0),
+                        (restart_at + 1.0, spec.window_end)]
+        return [(lo, hi) for lo, hi in segments if hi - lo >= need]
+
+    def _pick_window(self, need: float) -> Optional[Tuple[float, float]]:
+        segments = self._free_segments(need)
+        if not segments:
+            return None
+        lo, hi = self.rng.choice(segments)
+        start = round(self.rng.uniform(lo, hi - need), 3)
+        return start, hi
+
+    # -- nemeses -----------------------------------------------------------
+    def _add_master_outage(self) -> None:
+        rng, spec = self.rng, self.spec
+        outage = rng.uniform(2.0, 4.0)
+        latest = spec.window_end - outage
+        earliest = spec.start_after + 2.0
+        if latest <= earliest:
+            return
+        kill_at = round(rng.uniform(earliest, latest), 3)
+        restart_at = round(kill_at + outage, 3)
+        atom = self._atom()
+        self.events.append(FaultEvent(kill_at, CHURN_KILL_MASTER,
+                                      spec.source_id, atom=atom))
+        self.events.append(FaultEvent(restart_at, CHURN_RESTART_MASTER,
+                                      spec.source_id, atom=atom))
+        self._outage = (kill_at, restart_at)
+
+    def _add_membership_churn(self) -> None:
+        rng, spec = self.rng, self.spec
+        max_churners = len(spec.workers) - 2
+        count = rng.randint(1, max(1, max_churners))
+        churners = rng.sample(sorted(spec.workers), count)
+        for device_id in sorted(churners):
+            gap = rng.uniform(2.0, 4.0)
+            window = self._pick_window(gap + 1.0)
+            if window is None:
+                continue
+            depart_at, segment_end = window
+            rejoin_at = round(min(segment_end, depart_at + gap), 3)
+            action = CHURN_KILL if rng.random() < 0.5 else CHURN_LEAVE
+            atom = self._atom()
+            self.events.append(FaultEvent(depart_at, action, device_id,
+                                          atom=atom))
+            self.events.append(FaultEvent(rejoin_at, CHURN_REJOIN,
+                                          device_id, atom=atom))
+            self._churned.add(device_id)
+
+    def _add_partitions(self) -> None:
+        rng, spec = self.rng, self.spec
+        steady = sorted(set(spec.workers) - self._churned)
+        if not steady:
+            return
+        for target in rng.sample(steady, min(len(steady),
+                                             rng.randint(1, 2))):
+            hold = rng.uniform(1.5, 3.0)
+            window = self._pick_window(hold + 0.5)
+            if window is None:
+                continue
+            start, _ = window
+            link = "%s>%s" % (spec.source_id, target)
+            atom = self._atom()
+            self.events.append(FaultEvent(start, CHURN_PARTITION, link,
+                                          atom=atom))
+            self.events.append(FaultEvent(round(start + hold, 3),
+                                          CHURN_HEAL, link, atom=atom))
+
+    def _add_chaos_windows(self) -> None:
+        rng, spec = self.rng, self.spec
+        kinds = ((CHAOS_DROP, (0.05, 0.3)), (CHAOS_DELAY, (0.05, 0.25)),
+                 (CHAOS_DUPLICATE, (0.05, 0.2)), (CHAOS_CORRUPT,
+                                                  (0.02, 0.1)))
+        for _ in range(rng.randint(1, 2)):
+            action, (lo, hi) = rng.choice(kinds)
+            target = "%s>%s" % (spec.source_id,
+                                rng.choice(sorted(spec.workers)))
+            hold = rng.uniform(2.0, 4.0)
+            window = self._pick_window(hold + 0.5)
+            if window is None:
+                continue
+            start, _ = window
+            self.events.append(FaultEvent(start, action, target,
+                                          duration=round(hold, 3),
+                                          value=round(rng.uniform(lo, hi),
+                                                      3),
+                                          atom=self._atom()))
+
+    def _add_load_burst(self) -> None:
+        rng, spec = self.rng, self.spec
+        target = rng.choice(sorted(spec.workers))
+        hold = rng.uniform(3.0, 5.0)
+        window = self._pick_window(hold + 0.5)
+        if window is None:
+            return
+        start, _ = window
+        self.events.append(FaultEvent(start, LOAD_BURST, target,
+                                      duration=round(hold, 3),
+                                      value=round(rng.uniform(0.5, 0.8),
+                                                  3),
+                                      atom=self._atom()))

@@ -39,6 +39,8 @@ from repro.simulation.control import engine_controller
 from repro.simulation.engine import Simulator
 from repro.simulation.swarm import run_swarm
 
+from tests.integration.waiting import wait_quiescent, wait_until
+
 SEED = 7
 DURATION = 40.0
 SETTLE = 10.0
@@ -359,12 +361,13 @@ def _runtime(delivery=None, sleep_per_tuple=0.01):
 
 
 def _await_sink(sink, expected, timeout=40.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if len(set(data.seq for data in sink.results)) >= expected:
-            break
-        time.sleep(0.05)
-    time.sleep(0.3)  # let stragglers (duplicates) land before asserting
+    wait_until(
+        lambda: len({data.seq for data in sink.results}) >= expected,
+        timeout=timeout, poll=0.05,
+        message="%d distinct seqs at the sink" % expected)
+    # Stragglers (duplicate redeliveries) may still be in flight; wait
+    # for the sink to go quiet instead of a fixed grace sleep.
+    wait_quiescent(lambda: len(sink.results))
     return [data.seq for data in sink.results]
 
 
@@ -376,9 +379,14 @@ class TestRuntimeChurn:
         runtime.start()
         try:
             sink = runtime.sink_unit()
-            time.sleep(0.8)  # let B accrue un-ACKed in-flight tuples
+            # Mid-stream: B holds un-ACKed in-flight tuples when it dies.
+            wait_until(lambda: len(sink.results) >= 10,
+                       message="an in-flight backlog before the crash")
             runtime.crash_worker("B")
-            time.sleep(0.7)
+            # Keep B down until the master has noticed the silence —
+            # the scenario is crash-detect-redeliver, not a blip.
+            wait_until(lambda: "B" not in runtime.master.pool.worker_ids,
+                       message="the master detecting B's crash")
             runtime.spawn_worker("B")
             got = _await_sink(sink, RUNTIME_TUPLES)
         finally:

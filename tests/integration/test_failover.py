@@ -24,6 +24,8 @@ import time
 
 import pytest
 
+from tests.integration.waiting import wait_quiescent, wait_until
+
 from repro import metrics as metrics_mod
 from repro.core.delivery import AT_LEAST_ONCE, DeliveryConfig
 from repro.core.function_unit import CollectingSink, IterableSource, LambdaUnit
@@ -66,13 +68,15 @@ def _build_runtime(store, sleep_per_tuple=0.01):
 
 def _await_seqs(sinks, expected, timeout=40.0):
     """Poll the union of several sink instances for *expected* seqs."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        union = [data.seq for sink in sinks for data in sink.results]
-        if len(set(union)) >= expected:
-            break
-        time.sleep(0.05)
-    time.sleep(0.4)  # let straggling duplicates land before asserting
+    wait_until(
+        lambda: len({data.seq for sink in sinks
+                     for data in sink.results}) >= expected,
+        timeout=timeout, poll=0.05,
+        message="%d distinct seqs across %d sink(s)"
+                % (expected, len(sinks)))
+    # Straggling duplicates may still be in flight; wait for the sinks
+    # to go quiet instead of sleeping a fixed grace period.
+    wait_quiescent(lambda: sum(len(sink.results) for sink in sinks))
     return [data.seq for sink in sinks for data in sink.results]
 
 
@@ -83,7 +87,9 @@ class TestThreadedFailover:
         runtime.start()
         try:
             old_sink = runtime.sink_unit()
-            time.sleep(0.8)  # mid-run: in-flight tuples, partial delivery
+            # Mid-run: some tuples delivered, plenty still in flight.
+            wait_until(lambda: len(old_sink.results) >= 10,
+                       message="partial delivery before the crash")
             runtime.crash_master()
             assert store.load() is not None  # WAL stand-in written
             # Outage: workers keep running; nothing routes new capture.
@@ -112,19 +118,16 @@ class TestThreadedFailover:
         try:
             assert all(worker.master_epoch == 0
                        for worker in runtime.workers.values())
-            time.sleep(0.5)
+            wait_until(lambda: runtime.sink_unit().results,
+                       message="first delivery before the crash")
             runtime.crash_master()
             checkpointed_epoch = 0  # first incarnation never recovered
             runtime.restart_master()
             assert runtime.master.pool.epoch == checkpointed_epoch + 1
-            deadline = time.monotonic() + 5.0
-            while time.monotonic() < deadline:
-                if all(worker.master_epoch == runtime.master.pool.epoch
-                       for worker in runtime.workers.values()):
-                    break
-                time.sleep(0.02)
-            assert all(worker.master_epoch == runtime.master.pool.epoch
-                       for worker in runtime.workers.values())
+            wait_until(
+                lambda: all(worker.master_epoch == runtime.master.pool.epoch
+                            for worker in runtime.workers.values()),
+                message="workers adopting the successor epoch")
         finally:
             runtime.stop()
 
@@ -133,24 +136,24 @@ class TestThreadedFailover:
         runtime, registry = _build_runtime(store)
         runtime.start()
         try:
-            time.sleep(0.5)
+            wait_until(lambda: runtime.sink_unit().results,
+                       message="first delivery before the crash")
             runtime.crash_master()
             runtime.restart_master()
             worker = runtime.workers["B"]
-            deadline = time.monotonic() + 5.0
-            while (worker.master_epoch < runtime.master.pool.epoch
-                   and time.monotonic() < deadline):
-                time.sleep(0.02)
+            wait_until(
+                lambda: worker.master_epoch >= runtime.master.pool.epoch,
+                message="worker B adopting the successor epoch")
             assert worker.master_epoch >= 1
             before = registry.value(metrics_mod.FENCED_TOTAL,
                                     device="B", kind=messages.STOP)
             # A zombie of the dead incarnation (epoch 0) orders a STOP.
             runtime.fabric.send("A", "B", messages.stop_message())
-            deadline = time.monotonic() + 5.0
-            while (registry.value(metrics_mod.FENCED_TOTAL, device="B",
-                                  kind=messages.STOP) == before
-                   and time.monotonic() < deadline):
-                time.sleep(0.02)
+            wait_until(
+                lambda: registry.value(metrics_mod.FENCED_TOTAL,
+                                       device="B",
+                                       kind=messages.STOP) > before,
+                message="the stale STOP being fenced")
             assert registry.value(metrics_mod.FENCED_TOTAL,
                                   device="B", kind=messages.STOP) \
                 == before + 1
@@ -168,7 +171,8 @@ class TestRejoinDuringDrain:
         try:
             sink = runtime.sink_unit()
             pool = runtime.master.pool
-            time.sleep(0.4)
+            wait_until(lambda: sink.results,
+                       message="first delivery before the drain")
             drained = {}
 
             def drain():
@@ -178,18 +182,14 @@ class TestRejoinDuringDrain:
             drain_thread.start()
             # Wait for the LEAVING to land: B leaves the routing tables
             # while its old incarnation is still draining its queue.
-            deadline = time.monotonic() + 5.0
-            while ("B" in pool.worker_ids
-                   and time.monotonic() < deadline):
-                time.sleep(0.01)
+            wait_until(lambda: "B" not in pool.worker_ids, poll=0.01,
+                       message="the LEAVING to land")
             assert "B" not in pool.worker_ids
             assert drain_thread.is_alive()  # the drain is mid-flight
             # A new incarnation re-registers during the drain.
             runtime.fabric.send("B", "A", messages.join_message("B"))
-            deadline = time.monotonic() + 5.0
-            while ("B" not in pool.worker_ids
-                   and time.monotonic() < deadline):
-                time.sleep(0.01)
+            wait_until(lambda: "B" in pool.worker_ids, poll=0.01,
+                       message="the rejoin registration")
             assert "B" in pool.worker_ids
             # Clean slate: no failure history resurrected from the
             # previous incarnation's pending state.

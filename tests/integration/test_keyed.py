@@ -12,11 +12,7 @@ Two halves, mirroring the two substrates:
   tuples, and the per-key state lands intact on the new owner.
 """
 
-import threading
-import time
 from collections import Counter
-
-import pytest
 
 from repro import metrics as metrics_mod
 from repro.core.delivery import AT_LEAST_ONCE, DeliveryConfig
@@ -30,6 +26,8 @@ from repro.runtime.dispatcher import instance_id
 from repro.runtime.migration import migrate_range
 from repro.simulation import scenarios
 from repro.simulation.swarm import run_swarm
+
+from tests.integration.waiting import wait_until
 
 # -- simulator half ------------------------------------------------------
 
@@ -140,7 +138,9 @@ class TestRuntimeSplitMigration:
             dispatcher = runtime.master.runtime.dispatcher("feed", "count")
             table = dispatcher.controller.key_table
             assert table is not None
-            time.sleep(0.4)  # let the stream reach steady state
+            sink = runtime.sink_unit()
+            wait_until(lambda: len(sink.results) >= 20,
+                       message="the stream reaching steady state")
             owner_b = instance_id("count", "B")
             whole = table.ranges_owned_by(owner_b)[0]
             # the load-driven shape: split B's range, migrate the upper
@@ -152,13 +152,11 @@ class TestRuntimeSplitMigration:
                 reason="hot_split", registry=registry)
             assert table.owner(upper) == instance_id("count", "C")
             # zero loss: every sequence reaches the sink exactly once
-            sink = runtime.sink_unit()
             expected = set(range(_TUPLE_COUNT))
-            deadline = time.monotonic() + 60.0
-            while time.monotonic() < deadline:
-                if set(data.seq for data in sink.results) >= expected:
-                    break
-                time.sleep(0.1)
+            wait_until(
+                lambda: {data.seq for data in sink.results} >= expected,
+                timeout=60.0, poll=0.1,
+                message="the full stream surviving the migration")
             seen = [data.seq for data in sink.results]
             missing = expected - set(seen)
             assert not missing, "lost %d tuples across the migration: %s" \

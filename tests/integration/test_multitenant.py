@@ -21,7 +21,6 @@ split, and the N=1 byte-identity contract: a tenant-free run must show
 no ``tenant=`` label and no tenant-scoped name anywhere.
 """
 
-import time
 
 import pytest
 
@@ -36,6 +35,8 @@ from repro.core.exceptions import RuntimeStateError
 from repro.runtime.app_runner import MultiTenantRuntime
 from repro.simulation import scenarios
 from repro.simulation.swarm import run_swarm
+
+from tests.integration.waiting import wait_quiescent, wait_until
 
 SEED = 3
 DURATION = 25.0
@@ -232,13 +233,15 @@ def _pipeline(tag, count):
 
 
 def _await_tenants(runtime, expectations, timeout=30.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if all(len({data.seq for data in runtime.results(tenant)}) >= want
-               for tenant, want in expectations.items()):
-            break
-        time.sleep(0.05)
-    time.sleep(0.2)  # let stragglers land before asserting
+    wait_until(
+        lambda: all(len({data.seq for data in runtime.results(tenant)}) >= want
+                    for tenant, want in expectations.items()),
+        timeout=timeout, poll=0.05,
+        message="tenants %s completing" % sorted(expectations))
+    # Stragglers may still be in flight; wait for every tenant's sink
+    # to go quiet instead of a fixed grace sleep.
+    wait_quiescent(lambda: {tenant: len(runtime.results(tenant))
+                            for tenant in expectations})
 
 
 @pytest.mark.slow
@@ -301,7 +304,9 @@ class TestRuntimeIsolation:
                                      policy="RR", seed=1)
         runtime.start()
         try:
-            time.sleep(0.5)
+            # Mid-run: alpha must be stopped while still short of done.
+            wait_until(lambda: runtime.results("alpha"),
+                       message="alpha's first delivery")
             runtime.stop_tenant("alpha")
             alpha_frozen = len({d.seq for d in runtime.results("alpha")})
             _await_tenants(runtime, {"beta": 60})

@@ -1,0 +1,51 @@
+"""Bounded condition-waits shared by the integration suite.
+
+A fixed ``time.sleep(X)`` is either too short (flaky under load) or too
+long (slow for everyone, always).  These helpers poll a condition with
+a hard deadline instead: they return as soon as the condition holds and
+fail loudly when it never does.  Sleeps that *shape the scenario*
+(simulated service time, a deliberate outage duration) are not waits
+and stay as plain sleeps.
+"""
+
+import time
+
+
+def wait_until(predicate, timeout=10.0, poll=0.02, message="condition"):
+    """Poll *predicate* until it returns a truthy value.
+
+    Returns that value; raises ``AssertionError`` naming *message* when
+    *timeout* seconds pass first.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError("timed out after %.1fs waiting for %s"
+                                 % (timeout, message))
+        time.sleep(poll)
+
+
+def wait_quiescent(sample, quiet=0.3, timeout=10.0, poll=0.05):
+    """Wait until *sample()* stops changing for *quiet* seconds.
+
+    The bounded replacement for "sleep a bit so stragglers land":
+    returns the settled value once it has held still for *quiet*
+    seconds, or whatever it last was when *timeout* expires (quiescence
+    is an optimisation for the assertion that follows, not itself a
+    guarantee — the caller's assertion stays the arbiter).
+    """
+    deadline = time.monotonic() + timeout
+    last = sample()
+    settled_at = time.monotonic()
+    while time.monotonic() < deadline:
+        if time.monotonic() - settled_at >= quiet:
+            return last
+        time.sleep(poll)
+        current = sample()
+        if current != last:
+            last = current
+            settled_at = time.monotonic()
+    return last

@@ -167,3 +167,42 @@ class TestMetricsJsonOption:
         doc = json.loads(path.read_text())
         assert any(name.startswith("swing_")
                    for name in doc["metrics"]["counters"])
+
+
+class TestVerifyCommand:
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["verify", "--schedules", "2", "--seed", "1",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_violation_exits_one_and_writes_repro(self, tmp_path,
+                                                  monkeypatch, capsys):
+        monkeypatch.setenv("SWING_FAULT_SKIP_REDELIVERY", "1")
+        repro = tmp_path / "repro.json"
+        code = main(["verify", "--schedules", "1", "--seed", "1",
+                     "--quiet", "--out", str(repro)])
+        assert code == 1
+        assert repro.exists()
+        doc = json.loads(repro.read_text())
+        assert doc["substrate"] == "sim"
+        assert doc["violations"]
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_replay_reproduces_then_clears(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv("SWING_FAULT_SKIP_REDELIVERY", "1")
+        repro = tmp_path / "repro.json"
+        assert main(["verify", "--schedules", "1", "--seed", "1",
+                     "--quiet", "--out", str(repro)]) == 1
+        capsys.readouterr()
+        assert main(["verify", "--replay", str(repro), "--quiet"]) == 1
+        # The "fix" (bug flag unset) turns the same repro clean: exit 0.
+        monkeypatch.delenv("SWING_FAULT_SKIP_REDELIVERY")
+        assert main(["verify", "--replay", str(repro), "--quiet"]) == 0
+
+    def test_usage_error_exits_two(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["verify", "--substrate", "quantum"])
+        assert exc.value.code == 2
